@@ -1,0 +1,29 @@
+# Convenience targets for the CoSPARSE reproduction.
+
+PYTHON ?= python
+
+.PHONY: install test bench bench-full artifacts examples clean
+
+install:
+	$(PYTHON) -m pip install -e . || $(PYTHON) setup.py develop
+
+test:
+	$(PYTHON) -m pytest tests/
+
+bench:
+	$(PYTHON) -m pytest benchmarks/ --benchmark-only
+
+# The paper-scale grids (first run generates ~minutes of workloads into
+# .repro_cache/; artifacts land under artifacts/).
+bench-full:
+	REPRO_FULL=1 $(PYTHON) -m pytest benchmarks/ --benchmark-only -s
+
+artifacts:
+	$(PYTHON) -m repro all --scale 8
+
+examples:
+	for ex in examples/*.py; do echo "== $$ex"; $(PYTHON) $$ex || exit 1; done
+
+clean:
+	rm -rf .repro_cache .benchmarks artifacts .pytest_cache
+	find . -name __pycache__ -type d -exec rm -rf {} +

@@ -1,0 +1,57 @@
+"""Benchmark-harness configuration.
+
+Each benchmark regenerates one of the paper's tables/figures through
+:mod:`repro.experiments` and prints it.  By default the drivers run on
+scaled-down grids so ``pytest benchmarks/ --benchmark-only`` finishes in
+minutes; set ``REPRO_FULL=1`` for the paper-scale grids (the workload
+cache under ``REPRO_CACHE_DIR`` makes repeat runs fast).
+"""
+
+import os
+
+import pytest
+
+
+def pytest_configure(config):
+    # Make the plots/tables land in the terminal report.
+    os.environ.setdefault("PYTHONUNBUFFERED", "1")
+
+
+@pytest.fixture(scope="session")
+def full():
+    from repro.experiments.common import full_runs_enabled
+
+    return full_runs_enabled()
+
+
+@pytest.fixture
+def once(benchmark):
+    """Run the driver exactly once under the benchmark timer."""
+
+    def run(fn):
+        return benchmark.pedantic(fn, rounds=1, iterations=1)
+
+    return run
+
+
+def show(result):
+    """Print a regenerated artifact and persist it under ``artifacts/``.
+
+    Every bench leaves its rows as CSV and, where a chart recipe exists,
+    a dependency-free SVG — so a full run ships the regenerated figures.
+    """
+    print()
+    print(result.table())
+    out_dir = os.environ.get("REPRO_ARTIFACTS_DIR", "artifacts")
+    try:
+        os.makedirs(out_dir, exist_ok=True)
+        result.to_csv(os.path.join(out_dir, f"{result.experiment}.csv"))
+        from repro.errors import ReproError
+        from repro.experiments.svg import figure_svg
+
+        try:
+            figure_svg(result, os.path.join(out_dir, f"{result.experiment}.svg"))
+        except ReproError:
+            pass  # tables and text-only artifacts have no chart recipe
+    except OSError:
+        pass  # read-only checkout: printing is enough

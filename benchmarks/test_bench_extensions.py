@@ -1,0 +1,63 @@
+"""Extension bench: CC and BC vs Ligra (beyond the paper's Fig. 10).
+
+The paper's algorithm list ends in "etc."; connected components and
+betweenness centrality are the canonical next two (both are Ligra apps),
+and both traverse with swelling/shrinking frontiers, so they exercise
+the co-reconfiguration machinery the same way BFS/SSSP do.
+"""
+
+import numpy as np
+from conftest import show
+
+from repro.baselines import LigraEngine
+from repro.experiments import geomean
+from repro.experiments.common import table3_graph
+from repro.experiments.report import ExperimentResult
+from repro.graphs import betweenness_centrality, connected_components
+
+
+def test_extension_algorithms_vs_ligra(once, full):
+    scale = 64 if not full else 16
+    graphs = ("vsp", "twitter") if not full else ("vsp", "twitter", "youtube")
+
+    def run():
+        result = ExperimentResult(
+            "fig10-ext",
+            "Extension algorithms (CC, BC) vs Ligra",
+            ["algorithm", "graph", "cosparse_ms", "ligra_ms", "speedup", "effgain"],
+        )
+        for name in graphs:
+            graph = table3_graph(name, scale=scale)
+            engine = LigraEngine(graph)
+
+            co = connected_components(graph, geometry="16x16")
+            li = engine.connected_components()
+            assert np.allclose(co.values, li.values)
+            result.add(
+                algorithm="CC",
+                graph=name,
+                cosparse_ms=co.time_s * 1e3,
+                ligra_ms=li.time_s * 1e3,
+                speedup=li.time_s / co.time_s,
+                effgain=li.energy_j / co.total_energy_j,
+            )
+
+            sources = [int(np.argmax(graph.out_degrees()))]
+            co = betweenness_centrality(graph, sources=sources, geometry="16x16")
+            li = engine.betweenness_centrality(sources=sources)
+            assert np.allclose(co.values, li.values)
+            result.add(
+                algorithm="BC",
+                graph=name,
+                cosparse_ms=co.time_s * 1e3,
+                ligra_ms=li.time_s * 1e3,
+                speedup=li.time_s / co.time_s,
+                effgain=li.energy_j / co.total_energy_j,
+            )
+        return result
+
+    result = once(run)
+    show(result)
+    speedups = result.column("speedup")
+    assert all(s > 0.2 for s in speedups)
+    assert geomean(result.column("effgain")) > 30

@@ -1,0 +1,42 @@
+"""Fig. 10 bench: graph algorithms vs Ligra on the Xeon model.
+
+Paper shape: CoSPARSE wins most (algorithm, graph) pairs with up to
+~3.5x speedup, loses a couple on the biggest traversals, and delivers
+large energy-efficiency gains (paper average: 404x).
+"""
+
+from conftest import show
+
+from repro.experiments import geomean, run_fig10
+from repro.experiments.fig10 import FIG10_WORKLOADS
+
+
+def test_fig10_vs_ligra(once, full):
+    if full:
+        kw = dict(scale=16, workloads=FIG10_WORKLOADS)
+    else:
+        kw = dict(
+            scale=64,
+            workloads={
+                "pr": ("vsp", "twitter", "pokec"),
+                "cf": ("twitter",),
+                "bfs": ("vsp", "twitter", "pokec"),
+                "sssp": ("twitter", "youtube"),
+            },
+        )
+    result = once(lambda: run_fig10(**kw))
+    show(result)
+
+    rows = result.rows[:-1]
+    speedups = [r["speedup"] for r in rows]
+    assert max(speedups) > 1.5, "CoSPARSE must clearly win somewhere"
+    assert max(speedups) < 20.0, "wins should stay in the paper's ballpark"
+    wins = sum(s > 1.0 for s in speedups)
+    assert wins >= len(speedups) * 0.5, "CoSPARSE should win most workloads"
+
+    effs = [r["effgain"] for r in rows]
+    assert geomean(effs) > 50, "energy-efficiency gain must be large"
+
+    # traversals actually reconfigure software along the way
+    trav = [r for r in rows if r["algorithm"] in ("BFS", "SSSP")]
+    assert any(r["sw_switches"] > 0 for r in trav)

@@ -1,0 +1,46 @@
+"""Fig. 4 bench: OP vs IP speedup sweep + crossover vector densities.
+
+Paper shape: OP wins below ~0.5-2 % vector density; the CVD falls as
+PEs per tile grow (about 2 % at 8 PEs to 0.5 % at 32).
+"""
+
+from conftest import show
+
+from repro.experiments import crossover_table, run_fig4
+from repro.experiments.fig4 import FULL_GEOMETRIES, QUICK_GEOMETRIES
+
+
+def test_fig4_op_vs_ip(once, full):
+    if full:
+        kw = dict(scale=1, geometries=FULL_GEOMETRIES, matrices=(0, 1, 2, 3))
+    else:
+        kw = dict(scale=8, geometries=QUICK_GEOMETRIES, matrices=(0, 3))
+    result = once(lambda: run_fig4(**kw))
+    cvd = crossover_table(result)
+    show(result)
+    show(cvd)
+
+    # --- paper-shape assertions -------------------------------------
+    sparse_rows = [r for r in result.rows if r["vector_density"] == 0.0025]
+    assert all(r["op_vs_ip_speedup"] > 1.0 for r in sparse_rows), (
+        "OP must win at the sparse end"
+    )
+    for (n, system) in {(r["N"], r["system"]) for r in result.rows}:
+        series = [
+            r["op_vs_ip_speedup"]
+            for r in result.rows
+            if r["N"] == n and r["system"] == system
+        ]
+        assert series[0] > series[-1], "speedup must fall with density"
+    by_system = {r["system"]: r["cvd"] for r in cvd.rows if r["N"] == cvd.rows[0]["N"]}
+    tile_counts = {g.split("x")[0] for g in by_system}
+    for t in tile_counts:
+        geoms = sorted(
+            (g for g in by_system if g.startswith(f"{t}x")),
+            key=lambda g: int(g.split("x")[1]),
+        )
+        cvds = [by_system[g] for g in geoms if by_system[g] == by_system[g]]
+        for hi, lo in zip(cvds[:-1], cvds[1:]):
+            assert lo <= hi * 1.05, (
+                f"CVD must shrink as PEs per tile grow (tiles={t}: {cvds})"
+            )

@@ -1,0 +1,51 @@
+"""Fig. 5 bench: SCS vs SC for the inner product.
+
+Paper shape: SCS's gain is positively correlated with vector density and
+with the SPM reuse ``Nreuse = N*r*P/T``; the sparsest (largest) matrix
+gains least; more tiles reduce the gain.
+"""
+
+from conftest import show
+
+from repro.experiments import run_fig5
+from repro.experiments.fig5 import FIG5_GEOMETRIES
+
+
+def test_fig5_scs_vs_sc(once, full):
+    if full:
+        kw = dict(scale=1, geometries=FIG5_GEOMETRIES, matrices=(0, 1, 2, 3))
+    else:
+        kw = dict(
+            scale=8,
+            geometries=("4x8", "8x8"),
+            matrices=(0, 3),
+            densities=(0.0025, 0.01, 0.04, 0.5, 1.0),
+        )
+    result = once(lambda: run_fig5(**kw))
+    show(result)
+
+    # gain grows with density for every (matrix, system) series
+    rising = 0
+    series_count = 0
+    for key in {(r["N"], r["system"]) for r in result.rows}:
+        series = [
+            r["scs_gain_pct"]
+            for r in result.rows
+            if (r["N"], r["system"]) == key
+        ]
+        series_count += 1
+        if series[-1] >= series[0]:
+            rising += 1
+    assert rising >= series_count * 0.75, "SCS gain should grow with density"
+
+    if full:
+        # the highest-reuse matrix gains more than the lowest-reuse one
+        # (needs paper-scale footprints: at 1/8 scale the small matrix's
+        # vector fits on chip and SC has little left to lose)
+        by_n = {}
+        for r in result.rows:
+            by_n.setdefault(r["N"], []).append(r["scs_gain_pct"])
+        ns = sorted(by_n)
+        assert max(by_n[ns[0]]) >= max(by_n[ns[-1]]), (
+            "densest matrix (highest Nreuse) should show the largest SCS gain"
+        )

@@ -1,0 +1,43 @@
+"""Fig. 6 bench: PS vs PC for the outer product.
+
+Paper shape: PS's gain grows with vector density (longer sorted list),
+shrinks with more PEs per tile (bigger private caches), and PC wins
+slightly while the sorted list still fits in a PE's L1 bank.
+"""
+
+from conftest import show
+
+from repro.experiments import run_fig6
+from repro.experiments.fig6 import FIG6_GEOMETRIES
+
+
+def test_fig6_ps_vs_pc(once, full):
+    if full:
+        kw = dict(scale=1, geometries=FIG6_GEOMETRIES, matrices=(0, 1, 2, 3))
+    else:
+        kw = dict(scale=2, geometries=("4x8", "4x16"), matrices=(2, 3))
+    result = once(lambda: run_fig6(**kw))
+    show(result)
+
+    # PC is fine (within a few %) whenever the heap fits the bank
+    fits = [r for r in result.rows if r["heap_words_per_pe"] <= 1024]
+    assert all(r["ps_gain_pct"] < 8.0 for r in fits)
+
+    # PS wins clearly somewhere once heaps spill
+    spills = [r for r in result.rows if r["heap_words_per_pe"] > 2048]
+    assert spills, "grid must include spilling points"
+    assert max(r["ps_gain_pct"] for r in spills) > 10.0
+
+    # fewer PEs per tile -> PS gains at least as much (same matrix, d)
+    gain = {
+        (r["N"], r["system"], r["vector_density"]): r["ps_gain_pct"]
+        for r in result.rows
+    }
+    checked = 0
+    for (n, system, d), g8 in gain.items():
+        if system.endswith("x8"):
+            wide = (n, system.replace("x8", "x16"), d)
+            if wide in gain and g8 > 15.0:
+                assert g8 >= gain[wide] - 5.0
+                checked += 1
+    assert checked > 0

@@ -1,0 +1,42 @@
+"""Fig. 8 bench: SpMV vs CPU (MKL-class) and GPU (cuSPARSE-class).
+
+Paper shape: CoSPARSE wins on average (paper: 4.5x CPU / 17.3x GPU with
+282x / 730x energy-efficiency gains); gains grow as the vector gets
+sparser; the IP->OP switch happens at low densities, last for the
+largest-dimension graph (pokec).
+"""
+
+from conftest import show
+
+from repro.experiments import run_fig8
+from repro.experiments.fig8 import FIG8_GRAPHS
+
+
+def test_fig8_vs_cpu_gpu(once, full):
+    kw = (
+        dict(scale=16, graphs=FIG8_GRAPHS)
+        if full
+        else dict(scale=64, graphs=FIG8_GRAPHS)
+    )
+    result = once(lambda: run_fig8(**kw))
+    show(result)
+
+    avg = result.rows[-1]
+    assert avg["speedup_vs_cpu"] > 1.0
+    assert avg["speedup_vs_gpu"] > 1.0
+    assert avg["effgain_vs_cpu"] > 50
+    assert avg["effgain_vs_gpu"] > 50
+
+    # gains grow as the vector gets sparser (per graph)
+    for g in {r["graph"] for r in result.rows[:-1]}:
+        series = sorted(
+            (r for r in result.rows[:-1] if r["graph"] == g),
+            key=lambda r: r["vector_density"],
+        )
+        assert series[0]["speedup_vs_cpu"] > series[-1]["speedup_vs_cpu"]
+
+    # software reconfiguration engages at the sparse end only
+    sparse = [r for r in result.rows[:-1] if r["vector_density"] <= 0.001]
+    dense = [r for r in result.rows[:-1] if r["vector_density"] >= 0.1]
+    assert all(r["config"].startswith("OP") for r in sparse)
+    assert all(r["config"].startswith("IP") for r in dense)

@@ -1,0 +1,44 @@
+"""Fig. 9 bench: the SSSP-on-pokec per-iteration case study.
+
+Paper shape: OP/PC at the sparse ends, IP (SC at moderate, SCS at the
+47 %/27 % peak) in the middle, and a net co-reconfiguration speedup over
+the IP/SC-only baseline (paper: 1.51x; "up to 2.0x across different
+algorithms and input graphs").
+"""
+
+import re
+
+from conftest import show
+
+from repro.experiments import run_fig9
+
+
+def test_fig9_sssp_pokec(once, full):
+    kw = dict(scale=16) if full else dict(scale=64)
+    result = once(lambda: run_fig9(**kw))
+    show(result)
+
+    assert len(result.rows) >= 5, "SSSP must run several iterations"
+
+    # the frontier swells and shrinks
+    densities = [r["vector_density"] for r in result.rows]
+    peak = max(densities)
+    assert peak > 0.05
+    assert densities[0] < 0.01 and densities[-1] < 0.01
+
+    # OP at the sparse ends, IP at the peak
+    assert result.rows[0]["best_sw"] == "OP"
+    assert result.rows[-1]["best_sw"] == "OP"
+    peak_row = max(result.rows, key=lambda r: r["vector_density"])
+    assert peak_row["best_sw"] == "IP"
+
+    # both software and hardware reconfiguration occurred
+    sw = {r["best_sw"] for r in result.rows}
+    hw = {r["best_hw"] for r in result.rows}
+    assert sw == {"IP", "OP"}
+    assert len(hw) >= 2
+
+    # net speedup over the static IP/SC baseline
+    m = re.search(r"net speedup[^:]*: ([0-9.]+)x", result.notes)
+    net = float(m.group(1))
+    assert net > 1.2, f"co-reconfiguration must pay off (got {net}x)"

@@ -1,0 +1,33 @@
+"""Headline-claim bench: co-reconfiguration nets up to ~2x.
+
+"The combined software and hardware reconfiguration achieves a speedup
+of up to 2.0x across different algorithms and input graphs" — measured
+as tree-policy vs static-IP/SC total cycles per workload (Fig. 9's net
+number, for the whole traversal suite)."""
+
+from conftest import show
+
+from repro.experiments import run_reconfiguration_gains
+
+
+def test_reconfiguration_gains(once, full):
+    kw = dict(scale=16) if full else dict(
+        scale=64,
+        workloads={
+            "bfs": ("vsp", "twitter", "pokec"),
+            "sssp": ("twitter", "pokec"),
+            "cc": ("twitter",),
+        },
+    )
+    result = once(lambda: run_reconfiguration_gains(**kw))
+    show(result)
+
+    gains = result.column("net_speedup")
+    # reconfiguration must never make a workload meaningfully slower...
+    assert min(gains) > 0.95
+    # ...and must pay off substantially somewhere (paper: up to 2.0x)
+    assert max(gains) > 1.3
+    assert max(gains) < 3.0, "gains should stay in the paper's ballpark"
+    # the gains come from actual switching
+    best = max(result.rows, key=lambda r: r["net_speedup"])
+    assert best["sw_switches"] >= 1

@@ -1,0 +1,83 @@
+"""Library-throughput benches: how fast the *reproduction itself* runs.
+
+These are ordinary pytest-benchmark timings (multiple rounds) of the hot
+library paths — the functional kernels, the analytic pricing, and a full
+algorithm run — so performance regressions in the reproduction are
+caught the same way result regressions are.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core import CoSparseRuntime
+from repro.formats import CSCMatrix
+from repro.graphs import Graph, bfs
+from repro.hardware import Geometry, HWMode, TransmuterSystem
+from repro.spmv import inner_product, outer_product, spmv_semiring
+from repro.workloads import chung_lu, random_frontier, uniform_random
+
+GEOM = Geometry.parse("4x16")
+
+
+@pytest.fixture(scope="module")
+def matrix():
+    return uniform_random(65_536, nnz=1_000_000, seed=3)
+
+
+@pytest.fixture(scope="module")
+def csc(matrix):
+    return CSCMatrix.from_coo(matrix)
+
+
+@pytest.fixture(scope="module")
+def dense_frontier(matrix):
+    return random_frontier(matrix.n_cols, 0.5, seed=4).to_dense()
+
+
+@pytest.fixture(scope="module")
+def sparse_frontier(matrix):
+    return random_frontier(matrix.n_cols, 0.005, seed=5)
+
+
+def test_inner_product_throughput(benchmark, matrix, dense_frontier):
+    """IP functional + profile build over 1M nnz."""
+    semiring = spmv_semiring()
+    result = benchmark(
+        lambda: inner_product(matrix, dense_frontier, semiring, GEOM, HWMode.SC)
+    )
+    assert result.values.shape == (matrix.n_rows,)
+
+
+def test_outer_product_throughput(benchmark, csc, sparse_frontier):
+    """OP fast path + profile build over a 0.5% frontier."""
+    semiring = spmv_semiring()
+    result = benchmark(
+        lambda: outer_product(csc, sparse_frontier, semiring, GEOM, HWMode.PC)
+    )
+    assert result.touched.any()
+
+
+def test_analytic_pricing_throughput(benchmark, matrix, dense_frontier):
+    """Pricing one IP profile through the flux model."""
+    semiring = spmv_semiring()
+    profile = inner_product(
+        matrix, dense_frontier, semiring, GEOM, HWMode.SC
+    ).profile
+    system = TransmuterSystem(GEOM)
+    report = benchmark(lambda: system.evaluate_without_switching(profile))
+    assert report.cycles > 0
+
+
+def test_runtime_iteration_throughput(benchmark, matrix, sparse_frontier):
+    """One decided+priced+logged runtime invocation."""
+    rt = CoSparseRuntime(matrix, GEOM)
+    semiring = spmv_semiring()
+    benchmark(lambda: rt.spmv(sparse_frontier, semiring))
+
+
+def test_bfs_end_to_end_throughput(benchmark):
+    """A whole reconfigured BFS on a 20k-vertex power-law graph."""
+    graph = Graph(chung_lu(20_000, 200_000, seed=6), name="bench")
+    src = int(np.argmax(graph.out_degrees()))
+    run = benchmark(lambda: bfs(graph, src, geometry="4x16"))
+    assert run.iterations > 2

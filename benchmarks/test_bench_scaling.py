@@ -1,0 +1,38 @@
+"""Scaling-study bench (extension): IP scales with PEs, OP saturates."""
+
+from conftest import show
+
+from repro.experiments import run_scaling
+
+
+def test_geometry_scaling(once, full):
+    if full:
+        kw = dict(n=262_144, nnz=4_000_000)
+    else:
+        kw = dict(n=32_768, nnz=500_000)
+    result = once(lambda: run_scaling(**kw))
+    show(result)
+
+    rows = result.rows
+    by = {(r["system"], r["vector_density"]): r for r in rows}
+
+    def cycles(system, d):
+        return by[(system, d)]["cycles"]
+
+    # dense SpMV (IP) keeps scaling: 16x16 well ahead of 2x8
+    dense = max(r["vector_density"] for r in rows)
+    assert cycles("16x16", dense) < 0.35 * cycles("2x8", dense)
+
+    # sparse SpMV (OP) saturates relative to dense: over the whole
+    # geometry range, OP's total speedup is well under half of IP's
+    sparse = min(r["vector_density"] for r in rows)
+    op_scaling = cycles("2x8", sparse) / cycles("16x32", sparse)
+    ip_scaling = cycles("2x8", dense) / cycles("16x32", dense)
+    assert op_scaling < ip_scaling / 2
+
+    # the decision tree tracks the measured best in most cells
+    agree = sum(bool(r["tree_agrees"]) for r in rows)
+    assert agree >= len(rows) * 0.6
+
+    # bigger arrays draw more static power (sanity of the power model)
+    assert by[("16x32", dense)]["power_w"] > by[("2x8", dense)]["power_w"]

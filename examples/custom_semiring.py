@@ -1,0 +1,102 @@
+#!/usr/bin/env python
+"""Author a new algorithm with a custom Matrix_Op / Vector_Op pair.
+
+The paper's programmability pitch (Section III-D): "End users only need
+to define the key computations to realize a graph algorithm."  This
+example defines **widest path** (maximum-bottleneck path: maximise, over
+paths, the minimum edge capacity) as a semiring —
+
+    Matrix_Op:  max( min(V[src], Sp[src,dst]), V[dst] )
+    Vector_Op:  n/a
+
+— and runs it through the same reconfiguring runtime as BFS/SSSP/PR/CF,
+verifying the result against a brute-force reference.
+
+Run:  python examples/custom_semiring.py
+"""
+
+import numpy as np
+
+from repro.core import CoSparseRuntime
+from repro.graphs import Graph
+from repro.graphs.frontier import frontier_from_mask, single_vertex_frontier
+from repro.spmv import Semiring
+from repro.workloads import chung_lu
+
+
+def widest_path_semiring() -> Semiring:
+    """max-min semiring: bottleneck capacity with carry on V[dst]."""
+
+    def combine(a, v_src, v_dst, src_idx, dst_idx):
+        return np.minimum(v_src, a)
+
+    return Semiring(
+        name="WidestPath",
+        combine=combine,
+        reduce_op=np.maximum,
+        identity=0.0,
+        carry_output=True,  # max(..., V[dst])
+        combine_flops=1,
+        absent=0.0,  # inactive vertices cannot improve anything
+    )
+
+
+def widest_paths(graph: Graph, source: int, geometry="4x8"):
+    """Frontier-driven bottleneck relaxation using the CoSPARSE runtime."""
+    rt = CoSparseRuntime(graph.operand, geometry, policy="tree")
+    n = graph.n_vertices
+    semiring = widest_path_semiring()
+    width = np.zeros(n)
+    width[source] = np.inf
+    frontier = single_vertex_frontier(n, source, value=np.inf)
+    while frontier.nnz:
+        result = rt.spmv(frontier, semiring, current=width)
+        improved = result.values > width
+        width = result.values
+        frontier = frontier_from_mask(improved, width)
+    return width, rt.log
+
+
+def reference_widest(graph: Graph, source: int):
+    """Dijkstra-style reference (priority by widest bottleneck)."""
+    import heapq
+
+    n = graph.n_vertices
+    adj = [[] for _ in range(n)]
+    for u, v, w in zip(graph.adjacency.rows, graph.adjacency.cols, graph.adjacency.vals):
+        adj[int(u)].append((int(v), float(w)))
+    best = np.zeros(n)
+    best[source] = np.inf
+    heap = [(-np.inf, source)]
+    while heap:
+        neg, u = heapq.heappop(heap)
+        if -neg < best[u]:
+            continue
+        for v, w in adj[u]:
+            cand = min(best[u], w)
+            if cand > best[v]:
+                best[v] = cand
+                heapq.heappush(heap, (-cand, v))
+    return best
+
+
+def main():
+    graph = Graph(chung_lu(5_000, 60_000, seed=3), name="widest")
+    source = int(np.argmax(graph.out_degrees()))
+    width, log = widest_paths(graph, source)
+    ref = reference_widest(graph, source)
+    ok = np.allclose(np.nan_to_num(width, posinf=-1), np.nan_to_num(ref, posinf=-1))
+    print(f"widest-path from vertex {source} on {graph}")
+    print(f"verified against Dijkstra-style reference: {ok}")
+    reachable = int((width > 0).sum()) - 1
+    print(f"{reachable:,} reachable vertices; total {log.total_cycles:,.0f} cycles")
+    print(f"configurations used: {list(dict.fromkeys(log.config_sequence()))}")
+    print("\nThat is the whole algorithm: one Semiring dataclass and a")
+    print("frontier loop — scheduling, partitioning and reconfiguration")
+    print("came from the framework.")
+    if not ok:
+        raise SystemExit(1)
+
+
+if __name__ == "__main__":
+    main()

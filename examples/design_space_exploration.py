@@ -1,0 +1,73 @@
+#!/usr/bin/env python
+"""Design-space exploration beyond the paper's headline systems.
+
+Sweeps the Transmuter geometry (tiles x PEs/tile) for a fixed SpMV
+workload and reports how each configuration's best achievable time and
+energy scale — including where the outer product stops scaling because
+of the per-tile LCP serialisation (the mechanism behind the paper's
+observation that the crossover density falls as PEs per tile grow).
+
+Run:  python examples/design_space_exploration.py
+"""
+
+from repro.core import DecisionTree, MatrixInfo
+from repro.experiments.common import run_config
+from repro.formats import CSCMatrix
+from repro.hardware import Geometry, HWMode, TransmuterSystem
+from repro.workloads import random_frontier, uniform_random
+
+GEOMETRIES = ("2x8", "4x8", "4x16", "8x16", "16x16", "16x32")
+DENSITIES = (0.002, 0.02, 0.5)
+
+
+def main():
+    matrix = uniform_random(65_536, nnz=1_000_000, seed=1)
+    csc = CSCMatrix.from_coo(matrix)
+    info = MatrixInfo.of(matrix)
+    print(
+        f"workload: uniform {matrix.n_rows:,}^2 matrix, {matrix.nnz:,} nnz; "
+        "best of the four configurations per cell\n"
+    )
+    header = f"{'system':>7} {'PEs':>5} {'power(W)':>9}"
+    for d in DENSITIES:
+        header += f"  | d_v={d:<6} t(us)  E(uJ)  cfg"
+    print(header)
+    for name in GEOMETRIES:
+        geometry = Geometry.parse(name)
+        system = TransmuterSystem(geometry)
+        tree = DecisionTree(geometry)
+        line = f"{name:>7} {geometry.n_pes:>5} {system.static_power_w:9.3f}"
+        for d in DENSITIES:
+            frontier = random_frontier(matrix.n_cols, d, seed=7)
+            best = None
+            for algo, mode in (
+                ("ip", HWMode.SC),
+                ("ip", HWMode.SCS),
+                ("op", HWMode.PC),
+                ("op", HWMode.PS),
+            ):
+                rep = run_config(matrix, csc, frontier, algo, mode, geometry, system)
+                label = f"{algo.upper()}/{mode.label}"
+                if best is None or rep.cycles < best[0].cycles:
+                    best = (rep, label)
+            rep, label = best
+            picked = tree.decide(info, frontier.density)
+            mark = "" if str(picked) == label else "*"
+            line += (
+                f"  | {rep.cycles / 1e3:11.1f} {rep.energy_j * 1e6:6.1f}"
+                f"  {label}{mark}"
+            )
+        print(line)
+    print(
+        "\n(* = the heuristic decision tree picked a different config than"
+        " the measured optimum for that cell)"
+    )
+    print(
+        "Note how OP's time flattens as PEs per tile grow while IP keeps"
+        " scaling — the LCP's serial merge/write-back is the Amdahl term"
+        " that moves the crossover density."
+    )
+
+
+if __name__ == "__main__":
+    main()

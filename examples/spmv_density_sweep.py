@@ -1,0 +1,51 @@
+#!/usr/bin/env python
+"""Explore the IP/OP crossover (Fig. 4) and calibrate the decision tree.
+
+Sweeps the frontier density on a uniform matrix, times the inner product
+(SC) against the outer product (PC) on several system geometries,
+locates the measured crossover vector density (CVD), and compares it
+with the heuristic the decision tree predicts — the Section III-C
+methodology in miniature.
+
+Run:  python examples/spmv_density_sweep.py [N] [nnz]
+"""
+
+import sys
+
+from repro.core import DecisionTree, MatrixInfo, calibrated_thresholds
+from repro.core.calibration import find_crossover_density, sweep_op_vs_ip
+from repro.hardware import Geometry
+from repro.workloads import uniform_random
+
+
+def main():
+    n = int(sys.argv[1]) if len(sys.argv) > 1 else 32_768
+    nnz = int(sys.argv[2]) if len(sys.argv) > 2 else 500_000
+    print(f"generating a uniform {n:,} x {n:,} matrix with ~{nnz:,} nnz...")
+    matrix = uniform_random(n, nnz=nnz, seed=1)
+    info = MatrixInfo.of(matrix)
+    densities = (0.0025, 0.005, 0.01, 0.02, 0.04, 0.08)
+
+    print(f"\n{'system':>8}  {'measured CVD':>13}  {'tree CVD':>9}   OP-vs-IP speedups")
+    for name in ("4x8", "4x16", "4x32", "8x16"):
+        geometry = Geometry.parse(name)
+        points = sweep_op_vs_ip(matrix, geometry, densities)
+        measured = find_crossover_density(points)
+        predicted = DecisionTree(geometry).crossover_density(info)
+        series = "  ".join(
+            f"{p.vector_density:.3g}:{p.speedup:4.2f}" for p in points
+        )
+        measured_s = f"{measured:.4f}" if measured else "none"
+        print(f"{name:>8}  {measured_s:>13}  {predicted:9.4f}   {series}")
+
+    print("\ncalibrating the decision tree against the measured sweep (4x16)...")
+    thresholds = calibrated_thresholds(matrix, Geometry.parse("4x16"))
+    print(f"  cvd_at_8_pes: default 0.0200 -> calibrated {thresholds.cvd_at_8_pes:.4f}")
+    print(
+        "  (pass `thresholds=...` to CoSparseRuntime to use the"
+        " calibrated tree)"
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,39 @@
+#!/usr/bin/env python
+"""The paper's Fig. 9 case study: SSSP on (a stand-in for) pokec.
+
+Reproduces the per-iteration table — frontier density, execution time of
+all five priced configurations normalised to IP/SC, and the chosen
+software/hardware configuration — plus the net speedup of co-
+reconfiguration over the static IP/SC baseline (the paper reports 1.51x
+on full-size pokec, and up to 2.0x across algorithms and graphs).
+
+Run:  python examples/sssp_case_study.py [scale]
+
+``scale`` shrinks the pokec stand-in (default 64 -> ~25k vertices;
+16 matches the benchmark suite, 1 is full size and takes a while).
+"""
+
+import sys
+
+from repro.experiments import run_fig9
+
+
+def main():
+    scale = int(sys.argv[1]) if len(sys.argv) > 1 else 64
+    print(f"running SSSP on pokec@1/{scale} over a 16x16 system...")
+    result = run_fig9(scale=scale, geometry_name="16x16")
+    print()
+    print(result.table())
+    print()
+    print("Reading the table:")
+    print(" * iterations with <1% frontier density pick the outer product")
+    print("   (only frontier columns are merged);")
+    print(" * the swollen middle iterations pick the inner product, with")
+    print("   SCS once the frontier is dense enough that output traffic")
+    print("   would evict vector lines from the shared cache;")
+    print(" * each hardware switch costs <= 10 cycles, so per-iteration")
+    print("   reconfiguration is essentially free.")
+
+
+if __name__ == "__main__":
+    main()

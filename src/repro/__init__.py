@@ -1,0 +1,53 @@
+"""CoSPARSE (DAC 2021) reproduction.
+
+A software/hardware co-reconfigurable SpMV framework for graph analytics,
+rebuilt in Python on a modelled Transmuter-class substrate.  See README.md
+for a tour and DESIGN.md for the system inventory.
+
+The most useful entry points re-exported here:
+
+>>> from repro import CoSparseRuntime, Graph, bfs
+>>> graph = Graph.from_edges(4, [0, 1, 2], [1, 2, 3])
+>>> run = bfs(graph, 0, geometry="2x4")
+>>> run.values.tolist()
+[0.0, 1.0, 2.0, 3.0]
+"""
+
+from .core import (
+    CoSparseRuntime,
+    DecisionThresholds,
+    DecisionTree,
+    MatrixInfo,
+    SpMVOperand,
+)
+from .formats import COOMatrix, CSCMatrix, CSRMatrix, DenseVector, SparseVector
+from .graphs import Graph, bfs, collaborative_filtering, pagerank, sssp
+from .hardware import Geometry, HWMode, TransmuterSystem
+from .spmv import Semiring, inner_product, outer_product
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "CoSparseRuntime",
+    "DecisionThresholds",
+    "DecisionTree",
+    "MatrixInfo",
+    "SpMVOperand",
+    "COOMatrix",
+    "CSCMatrix",
+    "CSRMatrix",
+    "DenseVector",
+    "SparseVector",
+    "Graph",
+    "bfs",
+    "collaborative_filtering",
+    "pagerank",
+    "sssp",
+    "Geometry",
+    "HWMode",
+    "TransmuterSystem",
+    "Semiring",
+    "inner_product",
+    "outer_product",
+    "__version__",
+]

@@ -1,0 +1,25 @@
+"""Competing-platform baselines (Sections IV-A / IV-C).
+
+Roofline cost models of MKL-on-i7 and cuSPARSE-on-V100 for the Fig. 8
+SpMV comparison, and a functional Ligra-style engine (direction-switching
+edgeMap on a Xeon model) for the Fig. 10 algorithm comparison.  See
+DESIGN.md §2 for the substitution rationale.
+"""
+
+from .cpu_spmv import BaselineReport, cpu_spmv
+from .gpu_spmv import gpu_spmv
+from .ligra import LigraEngine, LigraRun, VertexSubset
+from .platforms import CPU_I7_6700K, GPU_V100, XEON_E7_4860, PlatformModel
+
+__all__ = [
+    "BaselineReport",
+    "cpu_spmv",
+    "gpu_spmv",
+    "LigraEngine",
+    "LigraRun",
+    "VertexSubset",
+    "CPU_I7_6700K",
+    "GPU_V100",
+    "XEON_E7_4860",
+    "PlatformModel",
+]

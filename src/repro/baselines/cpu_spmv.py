@@ -1,0 +1,82 @@
+"""MKL-class CPU SpMV baseline (Fig. 8's CPU bars).
+
+``mkl_sparse_?_mv`` streams a CSR matrix against a *dense* vector: it does
+not exploit frontier sparsity, which is precisely why CoSPARSE's gains
+"grow as the vector becomes sparser" (Section IV-C1).  The functional
+result comes from :meth:`repro.formats.csr.CSRMatrix.matvec`; the cost
+comes from a roofline over the platform model: stream the matrix at
+streaming efficiency, gather the vector at random efficiency (discounted
+by how much of it fits in the LLC), all divided across cores only insofar
+as bandwidth allows.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..formats import CSRMatrix
+from .platforms import CPU_I7_6700K, PlatformModel
+
+__all__ = ["BaselineReport", "cpu_spmv"]
+
+#: Words are 4 bytes across the study (Table II is word-granular).
+_WORD = 4
+#: Skylake LLC: 8 MB.
+_LLC_BYTES = 8 * 1024 * 1024
+
+
+@dataclass(frozen=True)
+class BaselineReport:
+    """Time/energy verdict of one baseline invocation."""
+
+    platform: str
+    time_s: float
+    energy_j: float
+    bytes_moved: float
+    result: np.ndarray = None
+
+    @property
+    def achieved_bw(self) -> float:
+        """Realised bytes/second."""
+        return self.bytes_moved / self.time_s if self.time_s else 0.0
+
+
+def cpu_spmv(
+    matrix: CSRMatrix,
+    vector: np.ndarray,
+    platform: PlatformModel = CPU_I7_6700K,
+    compute: bool = True,
+) -> BaselineReport:
+    """One dense-vector CSR SpMV on the CPU model.
+
+    ``compute=False`` skips the functional product (pure costing, used
+    inside density sweeps where the result is already known).
+    """
+    result = matrix.matvec(np.asarray(vector, dtype=np.float64)) if compute else None
+    nnz, n = matrix.nnz, matrix.n_cols
+    # Matrix stream: values + column indices + row pointers, once.
+    stream_bytes = nnz * 2 * _WORD + (matrix.n_rows + 1) * _WORD
+    # Vector gathers: one word per nnz; the LLC covers min(1, LLC/|x|)
+    # of them, the rest overfetch a 64 B line from DRAM.
+    vec_bytes_total = n * _WORD
+    llc_cover = min(1.0, _LLC_BYTES / max(vec_bytes_total, 1))
+    gather_bytes = nnz * _WORD * (1.0 - llc_cover) * (64 / _WORD / 4)
+    # Output stream.
+    out_bytes = matrix.n_rows * _WORD
+    stream_t = (stream_bytes + out_bytes + vec_bytes_total) / (
+        platform.peak_bw * platform.stream_efficiency
+    )
+    gather_t = gather_bytes / (platform.peak_bw * platform.random_efficiency)
+    # Compute roofline: 2 flops/nnz over cores x 8-wide AVX2 FMA.
+    compute_t = 2.0 * nnz / (platform.cores * platform.clock_hz * 8.0)
+    time_s = max(stream_t + gather_t, compute_t) + platform.invocation_overhead_s
+    bytes_moved = stream_bytes + out_bytes + vec_bytes_total + gather_bytes
+    return BaselineReport(
+        platform=platform.name,
+        time_s=time_s,
+        energy_j=time_s * platform.power_w,
+        bytes_moved=bytes_moved,
+        result=result,
+    )

@@ -1,0 +1,62 @@
+"""cuSPARSE-class GPU SpMV baseline (Fig. 8's GPU bars).
+
+``cusparseScsrmv`` also consumes a dense vector and the whole matrix.
+The V100's enormous peak numbers barely matter: the paper measured "the
+irregular and low-locality memory accesses, coupled with the thread
+divergence inherent in the SIMT model, bottleneck the GPU", with overall
+performance "<0.006% of the peak".  The model therefore applies the
+platform's small achieved-bandwidth fractions, a divergence/stall
+multiplier that *grows with vector density* (memory-dependence stalls
+were 32 % "increasing with vector density"), and a fixed launch/sync
+overhead that dominates the paper's smaller graphs.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..formats import CSRMatrix
+from .cpu_spmv import BaselineReport
+from .platforms import GPU_V100, PlatformModel
+
+__all__ = ["gpu_spmv"]
+
+_WORD = 4
+#: V100 L2: 6 MB.
+_L2_BYTES = 6 * 1024 * 1024
+#: Stall inflation at the density extremes (paper: dependence stalls
+#: grow with density; sync/fetch overhead averages 35 %).
+_STALL_BASE = 1.35
+_STALL_DENSITY_SLOPE = 0.5
+
+
+def gpu_spmv(
+    matrix: CSRMatrix,
+    vector: np.ndarray,
+    platform: PlatformModel = GPU_V100,
+    compute: bool = True,
+) -> BaselineReport:
+    """One dense-vector CSR SpMV on the GPU model."""
+    vector = np.asarray(vector, dtype=np.float64)
+    result = matrix.matvec(vector) if compute else None
+    nnz, n = matrix.nnz, matrix.n_cols
+    density = float(np.count_nonzero(vector)) / n if n else 0.0
+    stream_bytes = nnz * 2 * _WORD + (matrix.n_rows + 1) * _WORD
+    vec_bytes_total = n * _WORD
+    l2_cover = min(1.0, _L2_BYTES / max(vec_bytes_total, 1))
+    gather_bytes = nnz * _WORD * (1.0 - l2_cover) * (64 / _WORD / 4)
+    out_bytes = matrix.n_rows * _WORD
+    stream_t = (stream_bytes + out_bytes + vec_bytes_total) / (
+        platform.peak_bw * platform.stream_efficiency
+    )
+    gather_t = gather_bytes / (platform.peak_bw * platform.random_efficiency)
+    stall_factor = _STALL_BASE + _STALL_DENSITY_SLOPE * density
+    time_s = (stream_t + gather_t) * stall_factor + platform.invocation_overhead_s
+    bytes_moved = stream_bytes + out_bytes + vec_bytes_total + gather_bytes
+    return BaselineReport(
+        platform=platform.name,
+        time_s=time_s,
+        energy_j=time_s * platform.power_w,
+        bytes_moved=bytes_moved,
+        result=result,
+    )

@@ -1,0 +1,100 @@
+"""Competing-platform constants (Section IV-A / IV-C).
+
+The paper compares SpMV against MKL 2018.3 on an Intel i7-6700K and
+cuSPARSE v8.0 on an NVIDIA Tesla V100, and the graph algorithms against
+Ligra on a 48-core Intel Xeon E7-4860 (4 sockets, 2.6 GHz, 256 GB DRAM).
+None of those machines exist in this environment, so each is represented
+by a roofline-style cost model built from public datasheet numbers plus
+the inefficiency factors the paper itself measured (GPU: 12-71 % achieved
+bandwidth, memory-dependence stalls growing with vector density, ~35 %
+sync/fetch overhead; CPU: out-of-order cores hiding irregular-access
+latency).  Every factor is a named field for calibration and ablations.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["PlatformModel", "CPU_I7_6700K", "GPU_V100", "XEON_E7_4860"]
+
+
+@dataclass(frozen=True)
+class PlatformModel:
+    """Roofline parameters of one competing platform."""
+
+    name: str
+    cores: int
+    clock_hz: float
+    #: Peak DRAM bandwidth, bytes/second.
+    peak_bw: float
+    #: Fraction of peak bandwidth achieved on streaming sparse kernels.
+    stream_efficiency: float
+    #: Fraction of peak bandwidth achieved on irregular (gather/scatter)
+    #: traffic — random accesses waste most of each cache line.
+    random_efficiency: float
+    #: Package power under load (W).
+    power_w: float
+    #: Fixed per-kernel-invocation overhead (s): launch / fork-join.
+    invocation_overhead_s: float
+    #: Approximate die area (mm^2), for the paper's 40x-area aside.
+    area_mm2: float
+
+
+#: Intel i7-6700K running MKL 2018.3 (Fig. 8's CPU bars).  Skylake,
+#: 4 cores @ 4.0-4.2 GHz, 2-channel DDR4-2133 = 34.1 GB/s, 91 W TDP.
+CPU_I7_6700K = PlatformModel(
+    name="Intel i7-6700K + MKL 2018.3",
+    cores=4,
+    clock_hz=4.0e9,
+    peak_bw=34.1e9,
+    stream_efficiency=0.75,
+    random_efficiency=0.35,
+    power_w=91.0,
+    invocation_overhead_s=2e-6,
+    area_mm2=122.0,
+)
+
+#: NVIDIA Tesla V100 running cuSPARSE v8.0 (Fig. 8's GPU bars).
+#: 80 SMs @ ~1.37 GHz, 900 GB/s HBM2, 300 W.  The achieved efficiencies
+#: look absurdly low against the datasheet but are the paper's own
+#: measurement: "the overall performance is <0.006% of the peak
+#: performance" — 0.006 % of ~14 TFLOP/s at 2 flops/nnz puts the pokec
+#: SpMV at ~70 ms, i.e. ~5 GB/s of *useful* traffic (the "12-71%
+#: bandwidth utilized" the paper also reports is raw DRAM traffic,
+#: dominated by overfetch and replays: "memory dependence stalls account
+#: for 32% of the GPU stalls ... most of the remaining cycles (averaging
+#: 35%) are spent in synchronization, instruction fetching, and
+#: throttled memory accesses").  cuSPARSE v8's row-per-warp csrmv is
+#: known to collapse on short-row power-law matrices.
+GPU_V100 = PlatformModel(
+    name="NVIDIA Tesla V100 + cuSPARSE v8.0",
+    cores=5120,
+    clock_hz=1.37e9,
+    peak_bw=900.0e9,
+    stream_efficiency=0.008,
+    random_efficiency=0.006,
+    power_w=300.0,
+    invocation_overhead_s=18e-6,
+    area_mm2=815.0,
+)
+
+#: 4-socket Intel Xeon E7-4860 @ 2.6 GHz, 48 cores, 256 GB DRAM —
+#: the Ligra host of Fig. 10.  Aggregate bandwidth of four sockets of
+#: 4-channel DDR3-1066; package power of four 130 W sockets plus DRAM.
+#: The efficiency fractions are far below single-socket roofline because
+#: this is a 2010 Westmere-EX NUMA box: Ligra is NUMA-oblivious, so
+#: roughly 3/4 of its traffic crosses QPI to a remote socket, and the
+#: scattered atomics of the push direction serialise on coherence
+#: (the NUMA-aware-Ligra literature, e.g. Polymer / Zhang et al. PPoPP
+#: 2015 — the paper's own reference [14] — measures 2-4x losses).
+XEON_E7_4860 = PlatformModel(
+    name="Intel Xeon E7-4860 x4 + Ligra",
+    cores=48,
+    clock_hz=2.6e9,
+    peak_bw=4 * 25.6e9,
+    stream_efficiency=0.32,
+    random_efficiency=0.09,
+    power_w=4 * 130.0 + 60.0,
+    invocation_overhead_s=25e-6,
+    area_mm2=4 * 513.0,
+)

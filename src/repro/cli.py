@@ -1,0 +1,167 @@
+"""Command-line interface: regenerate any paper artifact.
+
+Examples
+--------
+::
+
+    python -m repro list
+    python -m repro fig4 --scale 8 --out fig4.csv
+    python -m repro fig9 --scale 32 --geometry 16x16
+    python -m repro table3
+    python -m repro all --scale 16
+
+``--scale`` divides the workload sizes (1 = the paper's full scale);
+``--out`` additionally writes the rows as CSV for plotting.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Callable, Dict
+
+from .experiments import (
+    crossover_table,
+    run_reconfiguration_gains,
+    run_scaling,
+    run_fig4,
+    run_fig5,
+    run_fig6,
+    run_fig7,
+    run_fig8,
+    run_fig9,
+    run_fig10,
+    run_table1,
+    run_table2,
+    run_table3,
+)
+
+__all__ = ["main"]
+
+#: artifact name -> (driver(scale, geometry), default scale, uses geometry)
+_DRIVERS: Dict[str, Callable] = {
+    "table1": lambda scale, geometry: run_table1(),
+    "table2": lambda scale, geometry: run_table2(),
+    "table3": lambda scale, geometry: run_table3(scale=max(scale, 16)),
+    "fig4": lambda scale, geometry: run_fig4(scale=scale),
+    "fig5": lambda scale, geometry: run_fig5(scale=scale),
+    "fig6": lambda scale, geometry: run_fig6(scale=scale),
+    "fig7": lambda scale, geometry: run_fig7(scale=scale),
+    "fig8": lambda scale, geometry: run_fig8(
+        scale=max(scale, 16), geometry_name=geometry
+    ),
+    "fig9": lambda scale, geometry: run_fig9(
+        scale=max(scale, 16), geometry_name=geometry
+    ),
+    "fig10": lambda scale, geometry: run_fig10(
+        scale=max(scale, 16), geometry_name=geometry
+    ),
+    # extension artifacts (beyond the paper)
+    "scaling": lambda scale, geometry: run_scaling(),
+    "gains": lambda scale, geometry: run_reconfiguration_gains(
+        scale=max(scale, 16), geometry_name=geometry
+    ),
+}
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The `python -m repro` argument parser."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Regenerate the CoSPARSE paper's tables and figures.",
+    )
+    parser.add_argument(
+        "artifact",
+        help="one of: list, all, report, " + ", ".join(_DRIVERS),
+    )
+    parser.add_argument(
+        "--scale",
+        type=int,
+        default=8,
+        help="workload divisor (1 = paper scale; default 8). "
+        "Graph-suite artifacts (fig8-10, table3) floor this at 16.",
+    )
+    parser.add_argument(
+        "--geometry",
+        default="16x16",
+        help="system for the graph-suite artifacts (default 16x16)",
+    )
+    parser.add_argument(
+        "--out",
+        metavar="CSV",
+        help="also write the rows to this CSV file",
+    )
+    parser.add_argument(
+        "--svg",
+        metavar="FILE",
+        help="also render the figure as a self-contained SVG chart",
+    )
+    parser.add_argument(
+        "--json",
+        metavar="FILE",
+        help="also persist the result as JSON (diffable with "
+        "repro.experiments.store.compare_results)",
+    )
+    return parser
+
+
+def _run_one(name: str, args) -> int:
+    result = _DRIVERS[name](args.scale, args.geometry)
+    print(result.table())
+    if name == "fig4":
+        print()
+        print(crossover_table(result).table())
+    if args.out:
+        result.to_csv(args.out)
+        print(f"\nrows written to {args.out}")
+    if args.json:
+        from .experiments.store import save_result
+
+        save_result(result, args.json)
+        print(f"result written to {args.json}")
+    if args.svg:
+        from .errors import ReproError
+        from .experiments.svg import figure_svg
+
+        try:
+            figure_svg(result, args.svg)
+            print(f"chart written to {args.svg}")
+        except ReproError as exc:
+            print(f"no chart for this artifact: {exc}", file=sys.stderr)
+    return 0
+
+
+def main(argv=None) -> int:
+    """Entry point; returns a process exit code."""
+    args = build_parser().parse_args(argv)
+    if args.artifact == "list":
+        print("available artifacts:")
+        for name in _DRIVERS:
+            print(f"  {name}")
+        return 0
+    if args.artifact == "all":
+        for name in _DRIVERS:
+            _run_one(name, args)
+            print()
+        return 0
+    if args.artifact == "report":
+        from .experiments.html import write_report
+
+        results = [
+            _DRIVERS[name](args.scale, args.geometry) for name in _DRIVERS
+        ]
+        out = args.out or "report.html"
+        write_report(results, out)
+        print(f"report written to {out}")
+        return 0
+    if args.artifact not in _DRIVERS:
+        print(
+            f"unknown artifact {args.artifact!r}; try `python -m repro list`",
+            file=sys.stderr,
+        )
+        return 2
+    return _run_one(args.artifact, args)
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via __main__
+    raise SystemExit(main())

@@ -1,0 +1,34 @@
+"""The CoSPARSE reconfiguration layer — the paper's primary contribution.
+
+``DecisionTree`` implements Fig. 2's heuristic walk, ``CoSparseRuntime``
+drives iterative SpMV with per-invocation software (IP/OP) and hardware
+(SC/SCS/PC/PS) reconfiguration, and :mod:`repro.core.calibration` derives
+the thresholds from density sweeps the way Section III-C does.
+"""
+
+from .calibration import (
+    SweepPoint,
+    calibrate_cvd,
+    calibrated_thresholds,
+    find_crossover_density,
+    sweep_op_vs_ip,
+)
+from .decision import Decision, DecisionThresholds, DecisionTree, MatrixInfo
+from .reconfig import IterationRecord, ReconfigurationLog
+from .runtime import CoSparseRuntime, SpMVOperand
+
+__all__ = [
+    "SweepPoint",
+    "calibrate_cvd",
+    "calibrated_thresholds",
+    "find_crossover_density",
+    "sweep_op_vs_ip",
+    "Decision",
+    "DecisionThresholds",
+    "DecisionTree",
+    "MatrixInfo",
+    "IterationRecord",
+    "ReconfigurationLog",
+    "CoSparseRuntime",
+    "SpMVOperand",
+]

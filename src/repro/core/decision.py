@@ -1,0 +1,198 @@
+"""The Fig. 2 reconfiguration decision tree.
+
+"Based on the density of the input vector, we decide whether to use the IP
+or OP based SpMV algorithm; this is the software (re)configuration choice.
+Then, based on the density and size of the matrix and the vector, we
+decide on the two-level on-chip memory configuration of the hardware."
+
+Thresholds follow Section III-C's analysis:
+
+* **Software (CVD)** — the crossover vector density "decreases from ~2 %
+  to ~0.5 % as the number of PEs in a tile increases from 8 to 32", i.e.
+  inversely with PEs per tile, with a mild increase for sparser matrices
+  (OP is insensitive to matrix sparsity while IP loses vector reuse).
+* **IP hardware (SC vs SCS)** — SCS pays off when the vector is dense
+  (output traffic would evict vector lines from a shared L1) *and* the
+  SPM-resident elements are reused enough to amortise the fill:
+  ``Nreuse = N * r * PEs_per_tile / num_tiles`` (the paper's formula).
+  If the whole working set fits on chip, SC wins outright.
+* **OP hardware (PC vs PS)** — PS pays off when the sorted list (heap of
+  column heads) outgrows a PE's private L1 bank; "when vector sparsity
+  allows the sorted list to fit in the L1, PC outperforms PS".
+
+Every constant is a field of :class:`DecisionThresholds` so the
+calibration sweeps (:mod:`repro.core.calibration`) can replace the
+defaults with measured values.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Optional
+
+from ..errors import ConfigurationError
+from ..hardware import Geometry, HWMode
+from ..hardware.params import DEFAULT_PARAMS, HardwareParams
+
+__all__ = ["MatrixInfo", "DecisionThresholds", "Decision", "DecisionTree"]
+
+
+@dataclass(frozen=True)
+class MatrixInfo:
+    """The input-matrix properties the decision tree consumes."""
+
+    n_rows: int
+    n_cols: int
+    nnz: int
+
+    @property
+    def density(self) -> float:
+        """``nnz / (n_rows * n_cols)``."""
+        cells = self.n_rows * self.n_cols
+        return self.nnz / cells if cells else 0.0
+
+    @classmethod
+    def of(cls, matrix) -> "MatrixInfo":
+        """Extract from any matrix container with shape/nnz."""
+        return cls(matrix.shape[0], matrix.shape[1], matrix.nnz)
+
+
+@dataclass(frozen=True)
+class DecisionThresholds:
+    """Tunable constants of the decision tree (defaults per Section III-C)."""
+
+    #: CVD at the 8-PEs-per-tile reference point (paper: ~2 %).
+    cvd_at_8_pes: float = 0.02
+    #: Matrix density at which ``cvd_at_8_pes`` was measured (the Fig. 4
+    #: suite's densest matrix).
+    reference_matrix_density: float = 2.3e-4
+    #: Exponent of the mild CVD increase for sparser matrices.
+    matrix_sparsity_exponent: float = 0.05
+    #: CVD clamp range (guards pathological inputs).
+    cvd_min: float = 5e-4
+    cvd_max: float = 0.08
+    #: Vector density above which SCS beats SC (Fig. 9: SCS wins at
+    #: 27-47 %, SC at <= 12 %).
+    scs_density_threshold: float = 0.2
+    #: Minimum Nreuse for the SPM fill to pay off (Fig. 5: the N=1M,
+    #: Nreuse ~ 14 matrix shows no SCS gain).
+    scs_min_reuse: float = 24.0
+
+    def with_overrides(self, **kw) -> "DecisionThresholds":
+        """Copy with selected fields replaced (calibration)."""
+        return replace(self, **kw)
+
+
+@dataclass(frozen=True)
+class Decision:
+    """One iteration's configuration choice."""
+
+    algorithm: str  # "ip" | "op"
+    hw_mode: HWMode
+    vector_density: float
+    cvd: float
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return f"{self.algorithm.upper()}/{self.hw_mode.label}"
+
+
+class DecisionTree:
+    """Heuristic software + hardware configuration selection."""
+
+    def __init__(
+        self,
+        geometry: Geometry,
+        params: HardwareParams = DEFAULT_PARAMS,
+        thresholds: Optional[DecisionThresholds] = None,
+    ):
+        self.geometry = geometry
+        self.params = params
+        self.thresholds = thresholds or DecisionThresholds()
+
+    # ------------------------------------------------------------------
+    # Software reconfiguration threshold (Section III-C1)
+    # ------------------------------------------------------------------
+    def crossover_density(self, info: MatrixInfo) -> float:
+        """The CVD for this matrix on this geometry.
+
+        Scales as ``1/PEs_per_tile`` (2 % at 8 PEs -> 0.5 % at 32: IP
+        keeps scaling with PEs while OP's per-tile LCP stage does not)
+        and drifts up slightly for sparser matrices.
+        """
+        t = self.thresholds
+        cvd = t.cvd_at_8_pes * 8.0 / self.geometry.pes_per_tile
+        if info.density > 0:
+            cvd *= (t.reference_matrix_density / info.density) ** (
+                t.matrix_sparsity_exponent
+            )
+        return float(min(max(cvd, t.cvd_min), t.cvd_max))
+
+    def software(self, info: MatrixInfo, vector_density: float) -> str:
+        """IP for dense frontiers, OP below the crossover density."""
+        return "ip" if vector_density >= self.crossover_density(info) else "op"
+
+    # ------------------------------------------------------------------
+    # Hardware reconfiguration thresholds (Sections III-C2, III-C3)
+    # ------------------------------------------------------------------
+    def working_set_words(self, info: MatrixInfo, value_words: int = 1) -> int:
+        """Words of G.T + frontier (the Fig. 2 "fits in cache" test)."""
+        return 3 * info.nnz + info.n_cols * value_words
+
+    def fits_on_chip(self, info: MatrixInfo, value_words: int = 1) -> bool:
+        """Whether the whole working set fits in on-chip storage."""
+        return self.working_set_words(info, value_words) <= (
+            self.geometry.onchip_total_words(self.params)
+        )
+
+    def nreuse(self, info: MatrixInfo) -> float:
+        """The paper's SPM reuse metric ``N * r * PEs_per_tile / tiles``."""
+        return (
+            info.n_cols
+            * info.density
+            * self.geometry.pes_per_tile
+            / self.geometry.tiles
+        )
+
+    def hardware_ip(self, info: MatrixInfo, vector_density: float) -> HWMode:
+        """SC vs SCS for the inner product."""
+        t = self.thresholds
+        if self.fits_on_chip(info):
+            return HWMode.SC
+        if (
+            vector_density >= t.scs_density_threshold
+            and self.nreuse(info) >= t.scs_min_reuse
+        ):
+            return HWMode.SCS
+        return HWMode.SC
+
+    def hardware_op(self, info: MatrixInfo, vector_density: float) -> HWMode:
+        """PC vs PS for the outer product.
+
+        The sorted list holds the heads of the columns one PE merges:
+        ``2 * n_cols * d_v / PEs_per_tile`` words.  PC wins while it fits
+        in the PE's private L1 bank; PS wins once it spills.
+        """
+        cols_per_pe = info.n_cols * vector_density / self.geometry.pes_per_tile
+        heap_words = 2.0 * cols_per_pe
+        if heap_words <= self.geometry.l1_pe_words(self.params):
+            return HWMode.PC
+        return HWMode.PS
+
+    # ------------------------------------------------------------------
+    def decide(self, info: MatrixInfo, vector_density: float) -> Decision:
+        """Full Fig. 2 walk: software choice, then hardware choice."""
+        if not 0.0 <= vector_density <= 1.0:
+            raise ConfigurationError(
+                f"vector density must be in [0, 1], got {vector_density}"
+            )
+        algorithm = self.software(info, vector_density)
+        if algorithm == "ip":
+            mode = self.hardware_ip(info, vector_density)
+        else:
+            mode = self.hardware_op(info, vector_density)
+        return Decision(
+            algorithm=algorithm,
+            hw_mode=mode,
+            vector_density=vector_density,
+            cvd=self.crossover_density(info),
+        )

@@ -1,0 +1,112 @@
+"""Per-iteration reconfiguration bookkeeping.
+
+The runtime records, for every SpMV invocation, what was decided, what it
+cost, and whether software reconfiguration forced a frontier format
+conversion — the raw material for Fig. 9-style case studies and for the
+net-speedup claims ("a net speedup of 1.51x over the SC-only IP
+execution").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from ..formats import ConversionCost
+from ..hardware import HWMode, RunReport
+
+__all__ = ["IterationRecord", "ReconfigurationLog"]
+
+
+@dataclass
+class IterationRecord:
+    """What one SpMV iteration did and cost."""
+
+    iteration: int
+    vector_density: float
+    algorithm: str
+    hw_mode: HWMode
+    report: RunReport
+    #: Cycles charged for dense<->sparse frontier conversion (0 when the
+    #: frontier was already in the right format).
+    conversion_cycles: float = 0.0
+    conversion: ConversionCost = field(default_factory=ConversionCost)
+    #: True when the software algorithm changed relative to the previous
+    #: iteration (the conversions the paper says happen "once or twice").
+    sw_switched: bool = False
+    #: True when the hardware mode changed (<= 10-cycle reconfiguration).
+    hw_switched: bool = False
+    #: Alternative configurations priced this iteration (oracle policy):
+    #: maps "IP/SC"-style labels to their hypothetical reports.
+    alternatives: Dict[str, RunReport] = field(default_factory=dict)
+
+    @property
+    def total_cycles(self) -> float:
+        """Kernel + conversion cycles for this iteration."""
+        return self.report.cycles + self.conversion_cycles
+
+    @property
+    def config_label(self) -> str:
+        """``"OP/PC"``-style label."""
+        return f"{self.algorithm.upper()}/{self.hw_mode.label}"
+
+
+@dataclass
+class ReconfigurationLog:
+    """The full execution history of one algorithm run."""
+
+    records: List[IterationRecord] = field(default_factory=list)
+
+    def append(self, record: IterationRecord) -> None:
+        self.records.append(record)
+
+    def __len__(self) -> int:
+        return len(self.records)
+
+    def __iter__(self):
+        return iter(self.records)
+
+    # ------------------------------------------------------------------
+    @property
+    def total_cycles(self) -> float:
+        """Whole-run cycles, conversions included."""
+        return sum(r.total_cycles for r in self.records)
+
+    @property
+    def total_energy_j(self) -> float:
+        """Whole-run energy (kernels only; conversion energy is folded
+        into the kernel pricing of the following iteration's traffic)."""
+        return sum(r.report.energy_j or 0.0 for r in self.records)
+
+    @property
+    def sw_switches(self) -> int:
+        """Software (IP<->OP) reconfigurations performed."""
+        return sum(1 for r in self.records if r.sw_switched)
+
+    @property
+    def hw_switches(self) -> int:
+        """Hardware mode reconfigurations performed."""
+        return sum(1 for r in self.records if r.hw_switched)
+
+    def config_sequence(self) -> List[str]:
+        """Per-iteration config labels (e.g. Fig. 9's colour coding)."""
+        return [r.config_label for r in self.records]
+
+    def density_sequence(self) -> List[float]:
+        """Per-iteration frontier densities (Fig. 9's second column)."""
+        return [r.vector_density for r in self.records]
+
+    def summary(self) -> str:
+        """Multi-line digest of the run."""
+        lines = [
+            f"{len(self.records)} iterations, "
+            f"{self.total_cycles:,.0f} cycles, "
+            f"{self.sw_switches} SW / {self.hw_switches} HW switches"
+        ]
+        for r in self.records:
+            lines.append(
+                f"  iter {r.iteration:3d}: d_v={r.vector_density:8.4%}  "
+                f"{r.config_label:6s}  {r.report.cycles:12,.0f} cycles"
+                + ("  [conv]" if r.conversion_cycles else "")
+            )
+        return "\n".join(lines)

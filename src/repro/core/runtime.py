@@ -1,0 +1,344 @@
+"""The CoSPARSE runtime: per-invocation co-reconfiguration of SW and HW.
+
+"For every invocation to CoSPARSE, we select the best software (IP or OP),
+followed by hardware configurations (SCS or SC for IP, PC or PS for OP)"
+(Fig. 2).  The runtime owns the two resident matrix copies (COO for IP,
+CSC for OP — Section III-D2), walks the decision tree (or prices every
+configuration, or pins a static one), converts the frontier representation
+when the software choice flips, runs the chosen kernel, and logs
+everything.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple, Union
+
+import numpy as np
+
+from ..errors import ConfigurationError
+from ..formats import (
+    COOMatrix,
+    CSCMatrix,
+    ConversionCost,
+    DenseVector,
+    SparseVector,
+)
+from ..hardware import Geometry, HWMode, TransmuterSystem
+from ..hardware.params import DEFAULT_PARAMS, HardwareParams
+from ..spmv import SpMVResult, build_ip_partitions, inner_product, outer_product
+from ..spmv.semiring import Semiring
+from .decision import Decision, DecisionThresholds, DecisionTree, MatrixInfo
+from .reconfig import IterationRecord, ReconfigurationLog
+
+__all__ = ["SpMVOperand", "CoSparseRuntime"]
+
+#: Cycles per word of a (parallelised) frontier format-conversion scan.
+_CONV_CYCLES_PER_WORD = 1.0
+
+_POLICIES = ("tree", "oracle", "static", "adaptive")
+_OBJECTIVES = ("time", "energy")
+
+#: Adaptive policy: probe both algorithms when the frontier density is
+#: within this factor of the current crossover estimate...
+_ADAPT_PROBE_BAND = 3.0
+#: ...and move the estimate this far (geometrically) toward the
+#: observed boundary when the tree guessed wrong.
+_ADAPT_STEP = 0.5
+
+
+class SpMVOperand:
+    """The adjacency matrix held in both kernel formats, plus metadata.
+
+    "Two copies of the input compressed sparse matrix (in COO and CSC
+    formats, respectively) are stored in main memory to avoid matrix
+    conversion overhead" — the operand is built once and reused across
+    every iteration of a graph algorithm.
+    """
+
+    def __init__(self, coo: COOMatrix):
+        self.coo = coo
+        self.csc = CSCMatrix.from_coo(coo)
+        self.info = MatrixInfo.of(coo)
+        self._partitions = {}
+
+    @classmethod
+    def from_any(cls, matrix) -> "SpMVOperand":
+        """Accept a COOMatrix, an operand, or anything scipy-like."""
+        if isinstance(matrix, SpMVOperand):
+            return matrix
+        if isinstance(matrix, COOMatrix):
+            return cls(matrix)
+        return cls(COOMatrix.from_scipy(matrix))
+
+    def ip_partition(self, geometry: Geometry, balanced: bool = True):
+        """Cached equal-nnz (or naive) row partitioning for a geometry."""
+        key = (geometry.tiles, geometry.pes_per_tile, balanced)
+        if key not in self._partitions:
+            self._partitions[key] = build_ip_partitions(
+                self.coo.row_extents(),
+                geometry.tiles,
+                geometry.pes_per_tile,
+                balanced=balanced,
+            )
+        return self._partitions[key]
+
+
+class CoSparseRuntime:
+    """Drives SpMV iterations with automatic co-reconfiguration.
+
+    Parameters
+    ----------
+    matrix:
+        The (already transposed, if needed) adjacency matrix: a
+        :class:`SpMVOperand`, :class:`~repro.formats.coo.COOMatrix`, or
+        scipy matrix.
+    geometry:
+        Hardware shape (``Geometry`` or ``"AxB"`` string).
+    policy:
+        ``"tree"`` — the Fig. 2 heuristic decision tree (the paper's
+        automatic mode); ``"oracle"`` — price every valid configuration
+        with the hardware model and pick the best (used to *validate*
+        the tree, and to produce Fig. 9's per-configuration table);
+        ``"static"`` — always run ``static_config`` (the paper's
+        no-reconfiguration baseline is ``("ip", HWMode.SC)``);
+        ``"adaptive"`` (extension) — the tree, plus cheap two-way probes
+        whenever the frontier density lands near the crossover estimate,
+        whose outcome nudges the CVD threshold online.
+    static_config:
+        The pinned ``(algorithm, HWMode)`` for the static policy.
+    objective:
+        What the oracle/adaptive comparisons minimise: ``"time"``
+        (cycles, the paper's criterion) or ``"energy"`` (joules — an
+        extension; on this substrate the two mostly coincide because
+        static power makes energy track time).
+    fidelity:
+        Hardware pricing mode (see
+        :class:`~repro.hardware.system.TransmuterSystem`).
+    with_trace:
+        Generate exact address traces (small inputs only).
+    """
+
+    def __init__(
+        self,
+        matrix,
+        geometry: Union[Geometry, str],
+        params: HardwareParams = DEFAULT_PARAMS,
+        policy: str = "tree",
+        static_config: Tuple[str, HWMode] = ("ip", HWMode.SC),
+        thresholds: Optional[DecisionThresholds] = None,
+        fidelity: str = "analytic",
+        balanced: bool = True,
+        with_trace: bool = False,
+        objective: str = "time",
+    ):
+        if policy not in _POLICIES:
+            raise ConfigurationError(f"policy must be one of {_POLICIES}")
+        if objective not in _OBJECTIVES:
+            raise ConfigurationError(f"objective must be one of {_OBJECTIVES}")
+        self.operand = SpMVOperand.from_any(matrix)
+        self.geometry = (
+            Geometry.parse(geometry) if isinstance(geometry, str) else geometry
+        )
+        self.params = params
+        self.policy = policy
+        self.static_config = static_config
+        self.balanced = balanced
+        self.with_trace = with_trace
+        self.objective = objective
+        self.system = TransmuterSystem(self.geometry, params, fidelity=fidelity)
+        self.tree = DecisionTree(self.geometry, params, thresholds)
+        self.log = ReconfigurationLog()
+        self._iteration = 0
+        self._last_algorithm: Optional[str] = None
+        self._last_mode: Optional[HWMode] = None
+
+    # ------------------------------------------------------------------
+    # Frontier representation helpers
+    # ------------------------------------------------------------------
+    @staticmethod
+    def frontier_density(frontier, semiring: Semiring) -> float:
+        """Structural density: entries differing from ``semiring.absent``."""
+        if isinstance(frontier, SparseVector):
+            return frontier.density
+        arr = frontier.data if isinstance(frontier, DenseVector) else np.asarray(frontier)
+        if arr.ndim == 2:
+            active = np.any(arr != semiring.absent, axis=1)
+            return float(active.sum()) / len(arr) if len(arr) else 0.0
+        n = len(arr)
+        return float(np.count_nonzero(arr != semiring.absent)) / n if n else 0.0
+
+    def _to_dense(self, frontier, semiring: Semiring):
+        """Dense array for IP; returns ``(array, ConversionCost)``."""
+        if isinstance(frontier, SparseVector):
+            arr = np.full(frontier.n, semiring.absent)
+            arr[frontier.indices] = frontier.values
+            return arr, ConversionCost(
+                reads=2 * frontier.nnz, writes=frontier.n + frontier.nnz
+            )
+        arr = frontier.data if isinstance(frontier, DenseVector) else np.asarray(frontier, dtype=np.float64)
+        return arr, ConversionCost()
+
+    def _to_sparse(self, frontier, semiring: Semiring):
+        """SparseVector for OP; returns ``(sv, ConversionCost)``."""
+        if isinstance(frontier, SparseVector):
+            return frontier, ConversionCost()
+        arr = frontier.data if isinstance(frontier, DenseVector) else np.asarray(frontier, dtype=np.float64)
+        idx = np.nonzero(arr != semiring.absent)[0]
+        sv = SparseVector(len(arr), idx, arr[idx], sort=False, check=False)
+        return sv, ConversionCost(reads=len(arr), writes=2 * sv.nnz)
+
+    # ------------------------------------------------------------------
+    # Kernel dispatch
+    # ------------------------------------------------------------------
+    def _run_kernel(
+        self, algorithm: str, mode: HWMode, frontier, semiring, current
+    ) -> Tuple[SpMVResult, ConversionCost]:
+        if algorithm == "ip":
+            vec, cost = self._to_dense(frontier, semiring)
+            result = inner_product(
+                self.operand.coo,
+                vec,
+                semiring,
+                self.geometry,
+                hw_mode=mode,
+                params=self.params,
+                current=current,
+                partition=self.operand.ip_partition(self.geometry, self.balanced),
+                balanced=self.balanced,
+                with_trace=self.with_trace,
+            )
+        else:
+            sv, cost = self._to_sparse(frontier, semiring)
+            result = outer_product(
+                self.operand.csc,
+                sv,
+                semiring,
+                self.geometry,
+                hw_mode=mode,
+                params=self.params,
+                current=current,
+                with_trace=self.with_trace,
+            )
+        return result, cost
+
+    def _score(self, report) -> float:
+        """The quantity comparisons minimise (cycles or joules)."""
+        if self.objective == "energy":
+            return report.energy_j if report.energy_j is not None else report.cycles
+        return report.cycles
+
+    def _compare(self, candidates, frontier, semiring, current):
+        """Price ``candidates``; return (best algo, best mode, reports)."""
+        alternatives = {}
+        best = None
+        for algorithm, mode in candidates:
+            result, _cost = self._run_kernel(
+                algorithm, mode, frontier, semiring, current
+            )
+            report = self.system.evaluate_without_switching(result.profile)
+            alternatives[f"{algorithm.upper()}/{mode.label}"] = report
+            if best is None or self._score(report) < self._score(best[2]):
+                best = (algorithm, mode, report)
+        return best[0], best[1], alternatives
+
+    def _decide(self, density: float, semiring: Semiring, frontier, current):
+        """Pick (algorithm, mode[, alternatives]) per the active policy."""
+        alternatives = {}
+        if self.policy == "static":
+            algorithm, mode = self.static_config
+            return algorithm, mode, alternatives
+        if self.policy in ("tree", "adaptive") or semiring.value_words != 1:
+            # Vector-valued semirings (CF) always run dense IP; the tree
+            # handles them through their density (1.0 in practice).
+            d = self.tree.decide(self.operand.info, density)
+            if (
+                self.policy == "adaptive"
+                and semiring.value_words == 1
+                and density > 0
+                and d.cvd / _ADAPT_PROBE_BAND < density < d.cvd * _ADAPT_PROBE_BAND
+            ):
+                return self._adaptive_probe(d, density, frontier, semiring, current)
+            return d.algorithm, d.hw_mode, alternatives
+        # oracle: price every valid configuration and take the best
+        candidates = [
+            ("ip", HWMode.SC),
+            ("ip", HWMode.SCS),
+            ("op", HWMode.PC),
+            ("op", HWMode.PS),
+        ]
+        return self._compare(candidates, frontier, semiring, current)
+
+    def _adaptive_probe(self, decision, density, frontier, semiring, current):
+        """Near the crossover estimate: measure both algorithms, correct
+        the threshold when the tree guessed wrong (extension feature).
+
+        The CVD estimate moves geometrically toward the observed
+        boundary, back-projected through the tree's ``1/P`` scaling so
+        the correction transfers across geometries.
+        """
+        info = self.operand.info
+        tree = self.tree
+        candidates = [
+            ("ip", tree.hardware_ip(info, density)),
+            ("op", tree.hardware_op(info, density)),
+        ]
+        algorithm, mode, alternatives = self._compare(
+            candidates, frontier, semiring, current
+        )
+        if algorithm != decision.algorithm:
+            # the boundary lies on the other side of this density
+            ratio = (density / decision.cvd) ** _ADAPT_STEP
+            t = tree.thresholds
+            new_at_8 = min(
+                max(t.cvd_at_8_pes * ratio, t.cvd_min), t.cvd_max
+            )
+            tree.thresholds = t.with_overrides(cvd_at_8_pes=float(new_at_8))
+        return algorithm, mode, alternatives
+
+    # ------------------------------------------------------------------
+    def spmv(self, frontier, semiring: Semiring, current=None) -> SpMVResult:
+        """One reconfigured SpMV invocation; logs an IterationRecord."""
+        density = self.frontier_density(frontier, semiring)
+        algorithm, mode, alternatives = self._decide(
+            density, semiring, frontier, current
+        )
+        result, conv = self._run_kernel(algorithm, mode, frontier, semiring, current)
+        report = self.system.run(result.profile)
+        conv_cycles = (
+            conv.words * _CONV_CYCLES_PER_WORD / max(self.geometry.n_pes, 1)
+        )
+        record = IterationRecord(
+            iteration=self._iteration,
+            vector_density=density,
+            algorithm=algorithm,
+            hw_mode=mode,
+            report=report,
+            conversion_cycles=conv_cycles,
+            conversion=conv,
+            sw_switched=(
+                self._last_algorithm is not None
+                and algorithm != self._last_algorithm
+            ),
+            hw_switched=(
+                self._last_mode is not None and mode is not self._last_mode
+            ),
+            alternatives=alternatives,
+        )
+        self.log.append(record)
+        self._iteration += 1
+        self._last_algorithm = algorithm
+        self._last_mode = mode
+        return result
+
+    # ------------------------------------------------------------------
+    @property
+    def last_record(self) -> Optional[IterationRecord]:
+        """The most recent iteration's record (None before any spmv)."""
+        return self.log.records[-1] if self.log.records else None
+
+    def reset_log(self) -> None:
+        """Start a fresh log (new algorithm run on the same operand)."""
+        self.log = ReconfigurationLog()
+        self._iteration = 0
+        self._last_algorithm = None
+        self._last_mode = None

@@ -1,0 +1,52 @@
+"""Experiment drivers: one per table/figure of the paper's evaluation.
+
+Each ``run_*`` function regenerates its artifact and returns an
+:class:`~repro.experiments.report.ExperimentResult` whose ``table()``
+prints the same rows/series the paper reports.  The benchmark suite
+(``benchmarks/``) wraps these, and EXPERIMENTS.md records the outcomes.
+"""
+
+from .fig4 import crossover_table, run_fig4
+from .fig5 import run_fig5
+from .fig6 import run_fig6
+from .fig7 import run_fig7
+from .fig8 import run_fig8
+from .fig9 import run_fig9
+from .fig10 import run_fig10
+from .html import render_report, write_report
+from .gains import GAINS_WORKLOADS, run_reconfiguration_gains
+from .scaling import SCALING_GEOMETRIES, run_scaling
+from .report import ExperimentResult, geomean, text_table
+from .store import Drift, compare_results, load_result, save_result
+from .svg import bar_chart, figure_svg, line_chart
+from .tables import run_table1, run_table2, run_table3
+
+__all__ = [
+    "crossover_table",
+    "run_fig4",
+    "run_fig5",
+    "run_fig6",
+    "run_fig7",
+    "run_fig8",
+    "run_fig9",
+    "run_fig10",
+    "GAINS_WORKLOADS",
+    "run_reconfiguration_gains",
+    "SCALING_GEOMETRIES",
+    "run_scaling",
+    "ExperimentResult",
+    "render_report",
+    "write_report",
+    "Drift",
+    "compare_results",
+    "load_result",
+    "save_result",
+    "bar_chart",
+    "figure_svg",
+    "line_chart",
+    "geomean",
+    "text_table",
+    "run_table1",
+    "run_table2",
+    "run_table3",
+]

@@ -1,0 +1,108 @@
+"""Shared plumbing for the experiment drivers.
+
+Full-scale workload generation (4M-nnz uniform matrices, multi-million-
+edge graphs) takes minutes, so everything goes through an on-disk cache
+(``REPRO_CACHE_DIR`` env var, default ``./.repro_cache``).  Each driver
+takes a ``quick`` flag: the benchmark suite runs the quick subset by
+default and the full paper grid when ``REPRO_FULL=1``.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import List, Optional
+
+from ..formats import COOMatrix
+from ..graphs import Graph
+from ..workloads import (
+    FIG4_DIMENSIONS,
+    TABLE3_GRAPHS,
+    cached_matrix,
+    chung_lu,
+    load_graph,
+    uniform_random,
+)
+
+__all__ = [
+    "cache_dir",
+    "full_runs_enabled",
+    "fig4_matrix",
+    "fig7_matrix",
+    "table3_graph",
+    "FIG7_DIMENSIONS",
+]
+
+#: Fig. 7's (N, density) captions.
+FIG7_DIMENSIONS = (
+    (131_072, 4.9e-5),
+    (262_144, 2.6e-5),
+    (524_288, 1.3e-5),
+    (1_048_576, 6.7e-6),
+)
+
+
+def run_config(coo, csc, frontier, algorithm: str, mode, geometry, system=None):
+    """Price one (algorithm, mode) configuration on one input.
+
+    Shared by the Figs. 4-6 sweep drivers: runs the kernel functionally,
+    prices its profile, and returns the
+    :class:`~repro.hardware.stats.RunReport`.  ``csc`` is the matrix's
+    CSC copy (built once per matrix by the caller, as the real runtime
+    does).
+    """
+    from ..hardware import TransmuterSystem
+    from ..spmv import inner_product, outer_product, spmv_semiring
+
+    semiring = spmv_semiring()
+    system = system or TransmuterSystem(geometry)
+    if algorithm == "ip":
+        result = inner_product(coo, frontier.to_dense(), semiring, geometry, mode)
+    else:
+        result = outer_product(csc, frontier, semiring, geometry, mode)
+    return system.evaluate_without_switching(result.profile)
+
+
+def cache_dir() -> str:
+    """Workload cache directory (created on first use)."""
+    return os.environ.get("REPRO_CACHE_DIR", os.path.abspath(".repro_cache"))
+
+
+def full_runs_enabled() -> bool:
+    """Whether benches should run the full paper grid (REPRO_FULL=1)."""
+    return os.environ.get("REPRO_FULL", "0") not in ("0", "", "false")
+
+
+def fig4_matrix(index: int, scale: int = 1, seed: int = 1) -> COOMatrix:
+    """Cached uniform matrix ``index`` of the Figs. 4-6 suite."""
+    n, nnz = FIG4_DIMENSIONS[index]
+    n, nnz = n // scale, nnz // scale
+    return cached_matrix(
+        cache_dir(),
+        f"fig4_u_{n}_{nnz}_{seed}",
+        lambda: uniform_random(n, nnz=nnz, seed=seed + index),
+    )
+
+
+def fig7_matrix(index: int, scale: int = 1, seed: int = 2) -> COOMatrix:
+    """Cached power-law matrix ``index`` of the Fig. 7 suite."""
+    n, r = FIG7_DIMENSIONS[index]
+    e = int(r * n * n)
+    n, e = n // scale, e // scale
+    return cached_matrix(
+        cache_dir(),
+        f"fig7_pl_{n}_{e}_{seed}",
+        lambda: chung_lu(n, e, exponent=2.1, seed=seed + index),
+    )
+
+
+def table3_graph(name: str, scale: int = 16, seed: int = 42) -> Graph:
+    """Cached Table III stand-in graph."""
+    spec = TABLE3_GRAPHS[name]
+    n = max(spec.vertices // scale, 64)
+
+    def build() -> COOMatrix:
+        return load_graph(name, scale=scale, seed=seed).adjacency
+
+    coo = cached_matrix(cache_dir(), f"t3_{name}_{n}_{seed}", build)
+    label = name if scale == 1 else f"{name}@1/{scale}"
+    return Graph(coo, name=label)

@@ -1,0 +1,110 @@
+"""Fig. 10 — graph algorithms vs. Ligra on a Xeon.
+
+Paper setup: PR and CF on all five Table III graphs, BFS and SSSP on
+four (livejournal excluded), CoSPARSE 16x16 vs. Ligra on the 48-core
+Xeon E7-4860.  Headline: up to 3.5x speedup (Ligra slightly wins BFS/
+SSSP on pokec thanks to the Xeon's much larger on-chip memory), 404.4x
+average energy-efficiency gain.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Sequence
+
+import numpy as np
+
+from ..baselines import LigraEngine
+from ..graphs import bfs, collaborative_filtering, pagerank, sssp
+from ..hardware import Geometry
+from .common import table3_graph
+from .report import ExperimentResult, geomean
+
+__all__ = ["run_fig10", "FIG10_WORKLOADS"]
+
+#: (algorithm, graphs) pairs exactly as the Fig. 10 x-axis lists them.
+FIG10_WORKLOADS: Dict[str, Sequence[str]] = {
+    "pr": ("vsp", "twitter", "youtube", "pokec", "livejournal"),
+    "cf": ("vsp", "twitter", "youtube", "pokec", "livejournal"),
+    "bfs": ("vsp", "twitter", "youtube", "pokec"),
+    "sssp": ("vsp", "twitter", "youtube", "pokec"),
+}
+
+
+def _run_pair(algorithm: str, graph, geometry_name: str, check: bool):
+    """Run one algorithm on CoSPARSE and on Ligra; verify agreement."""
+    engine = LigraEngine(graph)
+    if algorithm == "bfs":
+        src = int(np.argmax(graph.out_degrees()))
+        co = bfs(graph, src, geometry=geometry_name)
+        li = engine.bfs(src)
+    elif algorithm == "sssp":
+        src = int(np.argmax(graph.out_degrees()))
+        co = sssp(graph, src, geometry=geometry_name)
+        li = engine.sssp(src)
+    elif algorithm == "pr":
+        co = pagerank(graph, geometry=geometry_name, max_iters=10, tol=0.0)
+        li = engine.pagerank(max_iters=10, tol=0.0)
+    else:
+        co = collaborative_filtering(graph, geometry=geometry_name, iterations=5)
+        li = engine.cf(iterations=5)
+    if check and not np.allclose(
+        np.nan_to_num(co.values, posinf=-1.0),
+        np.nan_to_num(li.values, posinf=-1.0),
+        atol=1e-8,
+    ):
+        raise AssertionError(
+            f"CoSPARSE and Ligra disagree on {algorithm}/{graph.name}"
+        )
+    return co, li
+
+
+def run_fig10(
+    scale: int = 16,
+    geometry_name: str = "16x16",
+    workloads: Dict[str, Sequence[str]] = None,
+    check: bool = True,
+) -> ExperimentResult:
+    """Regenerate Fig. 10; one row per (algorithm, graph) + geomean."""
+    workloads = workloads or FIG10_WORKLOADS
+    result = ExperimentResult(
+        experiment="fig10",
+        title="Speedup and energy-efficiency gain over Ligra (Xeon)",
+        columns=[
+            "algorithm",
+            "graph",
+            "cosparse_ms",
+            "ligra_ms",
+            "speedup",
+            "effgain",
+            "iters",
+            "sw_switches",
+        ],
+        notes=f"CoSPARSE {geometry_name} vs Ligra/Xeon, graphs at scale=1/{scale}",
+    )
+    for algorithm, names in workloads.items():
+        for name in names:
+            graph = table3_graph(name, scale=scale)
+            co, li = _run_pair(algorithm, graph, geometry_name, check)
+            co_t = co.time_s
+            co_e = co.total_energy_j
+            result.add(
+                algorithm=algorithm.upper(),
+                graph=name,
+                cosparse_ms=co_t * 1e3,
+                ligra_ms=li.time_s * 1e3,
+                speedup=li.time_s / co_t,
+                effgain=li.energy_j / co_e if co_e else float("nan"),
+                iters=co.iterations,
+                sw_switches=co.log.sw_switches,
+            )
+    result.add(
+        algorithm="geomean",
+        graph="",
+        cosparse_ms=float("nan"),
+        ligra_ms=float("nan"),
+        speedup=geomean(result.column("speedup")),
+        effgain=geomean([e for e in result.column("effgain") if e == e]),
+        iters="",
+        sw_switches="",
+    )
+    return result

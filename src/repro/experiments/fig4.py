@@ -1,0 +1,93 @@
+"""Fig. 4 — speedup of OP (PC) vs. IP (SC) across vector densities.
+
+Paper setup: uniform matrices with 4M non-zeros at N = 131k..1M, vector
+densities 0.0025..0.04, systems 4x8..8x32.  Expected shape: "IP performs
+better for dense vectors and OP performs better for sparse vectors.  The
+crossover vector density decreases when more PEs are present in a tile"
+— from ~2 % at 8 PEs/tile to ~0.5 % at 32.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+from ..core.calibration import SweepPoint, find_crossover_density
+from ..formats import CSCMatrix
+from ..hardware import Geometry, HWMode, TransmuterSystem
+from ..workloads import FIG4_DENSITIES, random_frontier
+from .common import FIG4_DIMENSIONS, fig4_matrix, run_config
+from .report import ExperimentResult
+
+__all__ = ["run_fig4", "crossover_table", "FULL_GEOMETRIES", "QUICK_GEOMETRIES"]
+
+FULL_GEOMETRIES = ("4x8", "4x16", "4x32", "8x8", "8x16", "8x32")
+QUICK_GEOMETRIES = ("4x8", "4x16", "4x32")
+
+
+def run_fig4(
+    scale: int = 1,
+    geometries: Sequence[str] = FULL_GEOMETRIES,
+    densities: Sequence[float] = FIG4_DENSITIES,
+    matrices: Sequence[int] = (0, 1, 2, 3),
+    seed: int = 7,
+) -> ExperimentResult:
+    """Regenerate the Fig. 4 sweep; one row per (matrix, system, d_v)."""
+    result = ExperimentResult(
+        experiment="fig4",
+        title="Speedup of OP (PC) vs. IP (SC)",
+        columns=[
+            "N",
+            "matrix_density",
+            "system",
+            "vector_density",
+            "ip_cycles",
+            "op_cycles",
+            "op_vs_ip_speedup",
+        ],
+        notes=f"uniform matrices, scale=1/{scale}",
+    )
+    for mi in matrices:
+        coo = fig4_matrix(mi, scale=scale)
+        csc = CSCMatrix.from_coo(coo)
+        for geom_name in geometries:
+            geometry = Geometry.parse(geom_name)
+            system = TransmuterSystem(geometry)
+            for i, d in enumerate(densities):
+                frontier = random_frontier(coo.n_cols, d, seed=seed + 13 * i)
+                ip = run_config(coo, csc, frontier, "ip", HWMode.SC, geometry, system)
+                op = run_config(coo, csc, frontier, "op", HWMode.PC, geometry, system)
+                result.add(
+                    N=coo.n_cols,
+                    matrix_density=coo.density,
+                    system=geom_name,
+                    vector_density=d,
+                    ip_cycles=ip.cycles,
+                    op_cycles=op.cycles,
+                    op_vs_ip_speedup=ip.cycles / op.cycles,
+                )
+    return result
+
+
+def crossover_table(sweep: ExperimentResult) -> ExperimentResult:
+    """The crossover vector density (CVD) per (matrix, system).
+
+    This is the Section III-C1 takeaway Fig. 4 exists to support.
+    """
+    result = ExperimentResult(
+        experiment="fig4-cvd",
+        title="Crossover vector density per matrix and system",
+        columns=["N", "system", "cvd"],
+    )
+    groups = {}
+    for row in sweep.rows:
+        groups.setdefault((row["N"], row["system"]), []).append(
+            SweepPoint(
+                vector_density=row["vector_density"],
+                baseline_cycles=row["ip_cycles"],
+                candidate_cycles=row["op_cycles"],
+            )
+        )
+    for (n, system), points in groups.items():
+        cvd = find_crossover_density(points)
+        result.add(N=n, system=system, cvd=cvd if cvd is not None else float("nan"))
+    return result

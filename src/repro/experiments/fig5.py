@@ -1,0 +1,74 @@
+"""Fig. 5 — speedup of SCS vs. SC for the inner product.
+
+Paper takeaway: "The speedup of SCS is positively correlated to vector
+density as well as the number of times that the vector elements stored
+in the SPM are reused" (``Nreuse = N*r*P/T``); the sparsest (largest)
+matrix shows the least gain, and more tiles reduce the gain.
+
+The paper sweeps the same 0.0025..0.04 densities as Fig. 4; because the
+SCS-vs-SC contrast also matters at the dense end (Fig. 9 picks SCS at
+27-47 % density), the driver extends the sweep to 1.0 — the paper range
+is the prefix.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from ..core.decision import DecisionTree, MatrixInfo
+from ..formats import CSCMatrix
+from ..hardware import Geometry, HWMode, TransmuterSystem
+from ..workloads import random_frontier
+from .common import fig4_matrix, run_config
+from .report import ExperimentResult
+
+__all__ = ["run_fig5", "FIG5_GEOMETRIES", "FIG5_DENSITIES"]
+
+FIG5_GEOMETRIES = ("4x8", "4x16", "8x8", "8x16")
+FIG5_DENSITIES = (0.0025, 0.005, 0.01, 0.02, 0.04, 0.2, 0.5, 1.0)
+
+
+def run_fig5(
+    scale: int = 1,
+    geometries: Sequence[str] = FIG5_GEOMETRIES,
+    densities: Sequence[float] = FIG5_DENSITIES,
+    matrices: Sequence[int] = (0, 1, 2, 3),
+    seed: int = 9,
+) -> ExperimentResult:
+    """Regenerate the Fig. 5 sweep; one row per (matrix, system, d_v)."""
+    result = ExperimentResult(
+        experiment="fig5",
+        title="Speedup of SCS vs. SC for IP",
+        columns=[
+            "N",
+            "nreuse",
+            "system",
+            "vector_density",
+            "sc_cycles",
+            "scs_cycles",
+            "scs_gain_pct",
+        ],
+        notes=f"uniform matrices, scale=1/{scale}; paper sweeps d_v<=0.04",
+    )
+    for mi in matrices:
+        coo = fig4_matrix(mi, scale=scale)
+        csc = CSCMatrix.from_coo(coo)
+        info = MatrixInfo.of(coo)
+        for geom_name in geometries:
+            geometry = Geometry.parse(geom_name)
+            system = TransmuterSystem(geometry)
+            nreuse = DecisionTree(geometry).nreuse(info)
+            for i, d in enumerate(densities):
+                frontier = random_frontier(coo.n_cols, d, seed=seed + 17 * i)
+                sc = run_config(coo, csc, frontier, "ip", HWMode.SC, geometry, system)
+                scs = run_config(coo, csc, frontier, "ip", HWMode.SCS, geometry, system)
+                result.add(
+                    N=coo.n_cols,
+                    nreuse=nreuse,
+                    system=geom_name,
+                    vector_density=d,
+                    sc_cycles=sc.cycles,
+                    scs_cycles=scs.cycles,
+                    scs_gain_pct=100.0 * (sc.cycles / scs.cycles - 1.0),
+                )
+    return result

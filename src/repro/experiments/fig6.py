@@ -1,0 +1,66 @@
+"""Fig. 6 — speedup of PS vs. PC for the outer product.
+
+Paper takeaway: "The performance gain of PS grows with increasing vector
+density, increasing number of tiles, and decreasing number of PEs per
+tile"; PC wins (slightly) while the sorted list still fits in a PE's
+private L1 bank.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from ..formats import CSCMatrix
+from ..hardware import Geometry, HWMode, TransmuterSystem
+from ..workloads import FIG4_DENSITIES, random_frontier
+from .common import fig4_matrix, run_config
+from .report import ExperimentResult
+
+__all__ = ["run_fig6", "FIG6_GEOMETRIES"]
+
+FIG6_GEOMETRIES = ("4x8", "4x16", "8x8", "8x16")
+
+
+def run_fig6(
+    scale: int = 1,
+    geometries: Sequence[str] = FIG6_GEOMETRIES,
+    densities: Sequence[float] = FIG4_DENSITIES,
+    matrices: Sequence[int] = (0, 1, 2, 3),
+    seed: int = 5,
+) -> ExperimentResult:
+    """Regenerate the Fig. 6 sweep; one row per (matrix, system, d_v)."""
+    result = ExperimentResult(
+        experiment="fig6",
+        title="Speedup of PS vs. PC for OP",
+        columns=[
+            "N",
+            "system",
+            "vector_density",
+            "heap_words_per_pe",
+            "pc_cycles",
+            "ps_cycles",
+            "ps_gain_pct",
+        ],
+        notes=f"uniform matrices, scale=1/{scale}",
+    )
+    for mi in matrices:
+        coo = fig4_matrix(mi, scale=scale)
+        csc = CSCMatrix.from_coo(coo)
+        for geom_name in geometries:
+            geometry = Geometry.parse(geom_name)
+            system = TransmuterSystem(geometry)
+            for i, d in enumerate(densities):
+                frontier = random_frontier(coo.n_cols, d, seed=seed + 19 * i)
+                pc = run_config(coo, csc, frontier, "op", HWMode.PC, geometry, system)
+                ps = run_config(coo, csc, frontier, "op", HWMode.PS, geometry, system)
+                heap_words = 2.0 * coo.n_cols * d / geometry.pes_per_tile
+                result.add(
+                    N=coo.n_cols,
+                    system=geom_name,
+                    vector_density=d,
+                    heap_words_per_pe=heap_words,
+                    pc_cycles=pc.cycles,
+                    ps_cycles=ps.cycles,
+                    ps_gain_pct=100.0 * (pc.cycles / ps.cycles - 1.0),
+                )
+    return result

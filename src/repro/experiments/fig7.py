@@ -1,0 +1,118 @@
+"""Fig. 7 — workload balancing on power-law matrices.
+
+Paper setup: power-law matrices at N = 131k..1M (densities 4.9e-5 ..
+6.7e-6), SpMV time normalised to *uniform* matrices of the same shape
+and density, on an 8x16 system.  IP runs with a fully dense vector
+(d_v = 1.0) on SC/SCS; OP runs at d_v = 0.1 on PC/PS; each with and
+without the equal-nnz partitioning.
+
+Expected shape: equal-nnz partitioning improves IP by 7-30 % (SC more
+than SCS), power-law OP runs *faster* than uniform (empty columns shrink
+the merge), and OP's partitioning gains are within ~10 %.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from ..formats import CSCMatrix
+from ..hardware import Geometry, HWMode, TransmuterSystem
+from ..spmv import inner_product, outer_product, spmv_semiring
+from ..workloads import random_frontier, uniform_random
+from .common import FIG7_DIMENSIONS, cache_dir, fig7_matrix
+from ..workloads.io import cached_matrix
+from .report import ExperimentResult
+
+__all__ = ["run_fig7"]
+
+_IP_DENSITY = 1.0
+_OP_DENSITY = 0.1
+
+
+def _uniform_twin(index: int, scale: int, seed: int = 3):
+    """Uniform matrix matching the power-law one's shape and density."""
+    n, r = FIG7_DIMENSIONS[index]
+    e = int(r * n * n)
+    n_s, e_s = n // scale, e // scale
+    return cached_matrix(
+        cache_dir(),
+        f"fig7_u_{n_s}_{e_s}_{seed}",
+        lambda: uniform_random(n_s, nnz=e_s, seed=seed + index),
+    )
+
+
+def run_fig7(
+    scale: int = 1,
+    geometry_name: str = "8x16",
+    matrices: Sequence[int] = (0, 1, 2, 3),
+    seed: int = 23,
+) -> ExperimentResult:
+    """Regenerate Fig. 7; one row per (matrix, config, partitioning)."""
+    geometry = Geometry.parse(geometry_name)
+    system = TransmuterSystem(geometry)
+    semiring = spmv_semiring()
+    result = ExperimentResult(
+        experiment="fig7",
+        title="Power-law SpMV time normalised to uniform (workload balancing)",
+        columns=[
+            "N",
+            "config",
+            "partitioned",
+            "powerlaw_cycles",
+            "uniform_cycles",
+            "normalized_time",
+        ],
+        notes=(
+            f"system {geometry_name}, IP at d_v={_IP_DENSITY}, "
+            f"OP at d_v={_OP_DENSITY}, scale=1/{scale}"
+        ),
+    )
+
+    def price_ip(coo, mode, balanced, frontier):
+        r = inner_product(
+            coo,
+            frontier.to_dense(),
+            semiring,
+            geometry,
+            mode,
+            balanced=balanced,
+        )
+        return system.evaluate_without_switching(r.profile).cycles
+
+    def price_op(csc, mode, balanced, frontier):
+        r = outer_product(
+            csc, frontier, semiring, geometry, mode, balanced=balanced
+        )
+        return system.evaluate_without_switching(r.profile).cycles
+
+    for mi in matrices:
+        pl = fig7_matrix(mi, scale=scale)
+        uni = _uniform_twin(mi, scale=scale)
+        ip_frontier = random_frontier(pl.n_cols, _IP_DENSITY, seed=seed)
+        op_frontier = random_frontier(pl.n_cols, _OP_DENSITY, seed=seed + 1)
+        for mode in (HWMode.SC, HWMode.SCS):
+            for balanced in (False, True):
+                p = price_ip(pl, mode, balanced, ip_frontier)
+                u = price_ip(uni, mode, balanced, ip_frontier)
+                result.add(
+                    N=pl.n_cols,
+                    config=mode.label,
+                    partitioned=balanced,
+                    powerlaw_cycles=p,
+                    uniform_cycles=u,
+                    normalized_time=p / u,
+                )
+        pl_csc, uni_csc = CSCMatrix.from_coo(pl), CSCMatrix.from_coo(uni)
+        for mode in (HWMode.PC, HWMode.PS):
+            for balanced in (False, True):
+                p = price_op(pl_csc, mode, balanced, op_frontier)
+                u = price_op(uni_csc, mode, balanced, op_frontier)
+                result.add(
+                    N=pl.n_cols,
+                    config=mode.label,
+                    partitioned=balanced,
+                    powerlaw_cycles=p,
+                    uniform_cycles=u,
+                    normalized_time=p / u,
+                )
+    return result

@@ -1,0 +1,97 @@
+"""Self-contained HTML report assembling regenerated artifacts.
+
+``python -m repro report`` (or :func:`write_report`) runs a set of
+drivers and emits one dependency-free HTML file with every table and —
+where a chart recipe exists — the inline SVG figure, so a reproduction
+run can be reviewed in a browser without any tooling.
+"""
+
+from __future__ import annotations
+
+import datetime
+import html as _html
+from typing import List, Optional, Sequence
+
+from ..errors import ReproError
+from .report import ExperimentResult
+from .svg import figure_svg
+
+__all__ = ["render_report", "write_report"]
+
+_STYLE = """
+body { font-family: sans-serif; max-width: 1000px; margin: 2em auto;
+       color: #222; }
+h1 { border-bottom: 2px solid #444; padding-bottom: .3em; }
+h2 { margin-top: 2.2em; border-bottom: 1px solid #bbb; }
+table { border-collapse: collapse; font-size: 13px; margin: 1em 0; }
+th, td { border: 1px solid #ccc; padding: 3px 9px; text-align: right; }
+th { background: #f0f0f0; }
+td:first-child, th:first-child { text-align: left; }
+.notes { color: #555; font-style: italic; }
+.toc li { margin: .2em 0; }
+"""
+
+
+def _fmt_cell(value) -> str:
+    if isinstance(value, float):
+        if value != value:
+            return ""
+        if abs(value) >= 1000:
+            return f"{value:,.0f}"
+        return f"{value:.4g}"
+    return _html.escape(str(value))
+
+
+def _table_html(result: ExperimentResult) -> str:
+    head = "".join(f"<th>{_html.escape(c)}</th>" for c in result.columns)
+    body = "".join(
+        "<tr>"
+        + "".join(f"<td>{_fmt_cell(r.get(c, ''))}</td>" for c in result.columns)
+        + "</tr>"
+        for r in result.rows
+    )
+    return f"<table><thead><tr>{head}</tr></thead><tbody>{body}</tbody></table>"
+
+
+def render_report(
+    results: Sequence[ExperimentResult],
+    title: str = "CoSPARSE reproduction report",
+    timestamp: Optional[str] = None,
+) -> str:
+    """Render the artifacts into one self-contained HTML document."""
+    if not results:
+        raise ReproError("nothing to report")
+    stamp = timestamp or datetime.datetime.now().isoformat(timespec="seconds")
+    toc: List[str] = []
+    sections: List[str] = []
+    for r in results:
+        anchor = r.experiment
+        toc.append(f'<li><a href="#{anchor}">{_html.escape(r.title)}</a></li>')
+        try:
+            chart = figure_svg(r)
+        except ReproError:
+            chart = ""
+        notes = (
+            f'<p class="notes">{_html.escape(r.notes)}</p>' if r.notes else ""
+        )
+        sections.append(
+            f'<h2 id="{anchor}">{_html.escape(r.experiment.upper())} — '
+            f"{_html.escape(r.title)}</h2>{notes}{chart}{_table_html(r)}"
+        )
+    return (
+        "<!DOCTYPE html><html><head><meta charset='utf-8'>"
+        f"<title>{_html.escape(title)}</title><style>{_STYLE}</style></head>"
+        f"<body><h1>{_html.escape(title)}</h1>"
+        f"<p class='notes'>generated {stamp} — see EXPERIMENTS.md for the "
+        "paper-vs-measured record</p>"
+        f"<ul class='toc'>{''.join(toc)}</ul>"
+        f"{''.join(sections)}</body></html>"
+    )
+
+
+def write_report(results: Sequence[ExperimentResult], path: str, **kw) -> str:
+    """Render and write the report; returns the HTML string."""
+    doc = render_report(results, **kw)
+    with open(path, "w") as f:
+        f.write(doc)
+    return doc

@@ -1,0 +1,87 @@
+"""Result containers and text-table rendering for the experiment drivers.
+
+Every figure/table driver returns an :class:`ExperimentResult` whose
+``table()`` prints the same rows/series the paper reports, so the
+benchmark harness and EXPERIMENTS.md share one source of truth.
+"""
+
+from __future__ import annotations
+
+import csv
+import math
+from dataclasses import dataclass, field
+from typing import Dict, List, Sequence
+
+__all__ = ["ExperimentResult", "text_table", "geomean"]
+
+
+def geomean(values: Sequence[float]) -> float:
+    """Geometric mean, ignoring non-positive entries."""
+    vals = [v for v in values if v > 0]
+    if not vals:
+        return 0.0
+    return math.exp(sum(math.log(v) for v in vals) / len(vals))
+
+
+def _fmt(value) -> str:
+    if isinstance(value, float):
+        if value == 0:
+            return "0"
+        if abs(value) >= 1000:
+            return f"{value:,.0f}"
+        if abs(value) >= 10:
+            return f"{value:.1f}"
+        if abs(value) >= 0.01:
+            return f"{value:.3f}"
+        return f"{value:.3g}"
+    return str(value)
+
+
+def text_table(columns: Sequence[str], rows: Sequence[Dict]) -> str:
+    """Monospace table with right-aligned numeric cells."""
+    cells = [[_fmt(r.get(c, "")) for c in columns] for r in rows]
+    widths = [
+        max(len(c), *(len(row[i]) for row in cells)) if cells else len(c)
+        for i, c in enumerate(columns)
+    ]
+    header = "  ".join(c.ljust(w) for c, w in zip(columns, widths))
+    sep = "  ".join("-" * w for w in widths)
+    body = [
+        "  ".join(cell.rjust(w) for cell, w in zip(row, widths)) for row in cells
+    ]
+    return "\n".join([header, sep, *body])
+
+
+@dataclass
+class ExperimentResult:
+    """One regenerated paper artifact."""
+
+    experiment: str  # e.g. "fig4"
+    title: str
+    columns: List[str]
+    rows: List[Dict] = field(default_factory=list)
+    notes: str = ""
+
+    def add(self, **row) -> None:
+        """Append one row."""
+        self.rows.append(row)
+
+    def table(self) -> str:
+        """The figure/table as text, with the caption and notes."""
+        parts = [f"== {self.experiment.upper()}: {self.title} =="]
+        parts.append(text_table(self.columns, self.rows))
+        if self.notes:
+            parts.append(f"note: {self.notes}")
+        return "\n".join(parts)
+
+    def to_csv(self, path: str) -> None:
+        """Persist the rows for offline plotting."""
+        with open(path, "w", newline="") as f:
+            writer = csv.DictWriter(f, fieldnames=self.columns)
+            writer.writeheader()
+            for row in self.rows:
+                writer.writerow({c: row.get(c, "") for c in self.columns})
+
+    def column(self, name: str) -> List:
+        """All values of one column (assertion helpers in benches)."""
+        return [r.get(name) for r in self.rows]

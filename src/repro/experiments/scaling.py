@@ -1,0 +1,90 @@
+"""Geometry-scaling study (extension driver).
+
+The paper varies the system from 4x8 to 8x32 (gem5) and evaluates the
+headline systems at 16x16; this driver sweeps geometries for a fixed
+SpMV workload and records, per frontier density, the best achievable
+configuration — quantifying the two scaling laws the reconfiguration
+thresholds rest on:
+
+* IP scales near-linearly with total PEs (streaming parallelism);
+* OP saturates with PEs *per tile* (the LCP's serial merge/write-back)
+  but keeps scaling with tiles.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from ..core.decision import DecisionTree, MatrixInfo
+from ..formats import CSCMatrix
+from ..hardware import Geometry, HWMode, TransmuterSystem
+from ..workloads import random_frontier, uniform_random
+from .common import run_config
+from .report import ExperimentResult
+
+__all__ = ["run_scaling", "SCALING_GEOMETRIES"]
+
+SCALING_GEOMETRIES = ("2x8", "4x8", "4x16", "8x16", "16x16", "16x32")
+
+_CONFIGS = (
+    ("ip", HWMode.SC),
+    ("ip", HWMode.SCS),
+    ("op", HWMode.PC),
+    ("op", HWMode.PS),
+)
+
+
+def run_scaling(
+    n: int = 65_536,
+    nnz: int = 1_000_000,
+    geometries: Sequence[str] = SCALING_GEOMETRIES,
+    densities: Sequence[float] = (0.002, 0.02, 0.5),
+    seed: int = 13,
+) -> ExperimentResult:
+    """Sweep geometries; one row per (system, density) with the best
+    configuration, its cycles/energy, and whether the decision tree
+    agrees with the measured optimum."""
+    matrix = uniform_random(n, nnz=nnz, seed=seed)
+    csc = CSCMatrix.from_coo(matrix)
+    info = MatrixInfo.of(matrix)
+    result = ExperimentResult(
+        experiment="scaling",
+        title=f"Best configuration across geometries (N={n:,}, nnz={matrix.nnz:,})",
+        columns=[
+            "system",
+            "n_pes",
+            "vector_density",
+            "best_config",
+            "cycles",
+            "energy_uj",
+            "power_w",
+            "tree_agrees",
+        ],
+    )
+    for name in geometries:
+        geometry = Geometry.parse(name)
+        system = TransmuterSystem(geometry)
+        tree = DecisionTree(geometry)
+        for i, d in enumerate(densities):
+            frontier = random_frontier(matrix.n_cols, d, seed=seed + 7 * i)
+            best = None
+            for algorithm, mode in _CONFIGS:
+                rep = run_config(
+                    matrix, csc, frontier, algorithm, mode, geometry, system
+                )
+                label = f"{algorithm.upper()}/{mode.label}"
+                if best is None or rep.cycles < best[0].cycles:
+                    best = (rep, label)
+            rep, label = best
+            picked = tree.decide(info, frontier.density)
+            result.add(
+                system=name,
+                n_pes=geometry.n_pes,
+                vector_density=d,
+                best_config=label,
+                cycles=rep.cycles,
+                energy_uj=(rep.energy_j or 0.0) * 1e6,
+                power_w=system.static_power_w,
+                tree_agrees=str(picked) == label,
+            )
+    return result

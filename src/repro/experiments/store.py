@@ -1,0 +1,133 @@
+"""Persistence and regression-diffing of experiment results.
+
+A reproduction is only as good as its ability to notice drift: this
+module round-trips :class:`~repro.experiments.report.ExperimentResult`
+through JSON and compares two runs of the same artifact row by row, so a
+model change that silently moves a crossover or a speedup shows up as a
+structured diff instead of a re-reading exercise.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+from dataclasses import dataclass
+from typing import Dict, List, Sequence
+
+from ..errors import ReproError
+from .report import ExperimentResult
+
+__all__ = ["save_result", "load_result", "compare_results", "Drift"]
+
+_FORMAT_VERSION = 1
+
+
+def save_result(result: ExperimentResult, path: str) -> None:
+    """Write a result (rows + metadata) as JSON."""
+    payload = {
+        "format_version": _FORMAT_VERSION,
+        "experiment": result.experiment,
+        "title": result.title,
+        "columns": result.columns,
+        "notes": result.notes,
+        "rows": result.rows,
+    }
+    with open(path, "w") as f:
+        json.dump(payload, f, indent=1, default=str)
+
+
+def load_result(path: str) -> ExperimentResult:
+    """Read a result written by :func:`save_result`."""
+    with open(path) as f:
+        payload = json.load(f)
+    if payload.get("format_version") != _FORMAT_VERSION:
+        raise ReproError(
+            f"{path}: unsupported result format "
+            f"{payload.get('format_version')!r}"
+        )
+    return ExperimentResult(
+        experiment=payload["experiment"],
+        title=payload["title"],
+        columns=payload["columns"],
+        rows=payload["rows"],
+        notes=payload.get("notes", ""),
+    )
+
+
+@dataclass(frozen=True)
+class Drift:
+    """One row whose measured value moved between runs."""
+
+    key: tuple
+    column: str
+    old: float
+    new: float
+
+    @property
+    def rel_change(self) -> float:
+        """``new/old - 1`` (inf when the old value was 0)."""
+        if self.old == 0:
+            return math.inf if self.new else 0.0
+        return self.new / self.old - 1.0
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"{self.key} {self.column}: {self.old:g} -> {self.new:g} "
+            f"({self.rel_change:+.1%})"
+        )
+
+
+def compare_results(
+    old: ExperimentResult,
+    new: ExperimentResult,
+    key_columns: Sequence[str],
+    value_columns: Sequence[str],
+    rel_tol: float = 0.05,
+) -> List[Drift]:
+    """Rows whose values moved by more than ``rel_tol`` between runs.
+
+    Rows are matched on ``key_columns``; rows present in only one run are
+    reported with the missing side as NaN.  Non-numeric and NaN values
+    are skipped (they carry no regression signal).
+    """
+    if old.experiment != new.experiment:
+        raise ReproError(
+            f"comparing different artifacts: {old.experiment} vs {new.experiment}"
+        )
+
+    def index(result) -> Dict[tuple, dict]:
+        return {
+            tuple(r.get(k) for k in key_columns): r for r in result.rows
+        }
+
+    old_idx, new_idx = index(old), index(new)
+    drifts: List[Drift] = []
+    for key in sorted(set(old_idx) | set(new_idx), key=str):
+        o_row = old_idx.get(key)
+        n_row = new_idx.get(key)
+        for col in value_columns:
+            o = _num(o_row, col)
+            n = _num(n_row, col)
+            if o is None and n is None:
+                continue
+            if o is None or n is None:
+                drifts.append(
+                    Drift(key, col, o if o is not None else math.nan,
+                          n if n is not None else math.nan)
+                )
+                continue
+            denom = abs(o) if o else 1.0
+            if abs(n - o) / denom > rel_tol:
+                drifts.append(Drift(key, col, o, n))
+    return drifts
+
+
+def _num(row, col):
+    if row is None:
+        return None
+    v = row.get(col)
+    if isinstance(v, bool) or not isinstance(v, (int, float)):
+        return None
+    if isinstance(v, float) and math.isnan(v):
+        return None
+    return float(v)

@@ -1,0 +1,249 @@
+"""Dependency-free SVG charts for the regenerated figures.
+
+The offline environment has no plotting stack, so this module renders
+:class:`~repro.experiments.report.ExperimentResult` rows into
+self-contained SVG line/bar charts — enough to eyeball every figure's
+shape against the paper.  ``figure_svg`` knows sensible axes for each
+artifact; ``line_chart``/``bar_chart`` are the generic building blocks.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, List, Optional, Sequence
+
+from ..errors import ReproError
+from .report import ExperimentResult
+
+__all__ = ["line_chart", "bar_chart", "figure_svg"]
+
+_W, _H = 640, 400
+_ML, _MR, _MT, _MB = 70, 160, 40, 50
+_COLORS = (
+    "#1f77b4",
+    "#d62728",
+    "#2ca02c",
+    "#ff7f0e",
+    "#9467bd",
+    "#8c564b",
+    "#17becf",
+    "#7f7f7f",
+    "#bcbd22",
+    "#e377c2",
+)
+
+
+def _esc(text) -> str:
+    return (
+        str(text).replace("&", "&amp;").replace("<", "&lt;").replace(">", "&gt;")
+    )
+
+
+def _ticks(lo: float, hi: float, log: bool, n: int = 5) -> List[float]:
+    if log:
+        lo_e, hi_e = math.floor(math.log10(lo)), math.ceil(math.log10(hi))
+        return [10.0**e for e in range(lo_e, hi_e + 1)]
+    if hi == lo:
+        return [lo]
+    step = (hi - lo) / n
+    mag = 10 ** math.floor(math.log10(abs(step)))
+    step = math.ceil(step / mag) * mag
+    start = math.floor(lo / step) * step
+    return [start + i * step for i in range(int((hi - start) / step) + 2)]
+
+
+class _Scale:
+    def __init__(self, lo, hi, out_lo, out_hi, log):
+        if log and lo <= 0:
+            raise ReproError("log scale needs positive values")
+        self.lo, self.hi, self.log = lo, hi, log
+        self.out_lo, self.out_hi = out_lo, out_hi
+
+    def __call__(self, v: float) -> float:
+        if self.log:
+            lo, hi, v = math.log10(self.lo), math.log10(self.hi), math.log10(v)
+        else:
+            lo, hi = self.lo, self.hi
+        if hi == lo:
+            return (self.out_lo + self.out_hi) / 2
+        t = (v - lo) / (hi - lo)
+        return self.out_lo + t * (self.out_hi - self.out_lo)
+
+
+def _fmt(v: float) -> str:
+    if v == 0:
+        return "0"
+    if abs(v) >= 1000 or abs(v) < 0.01:
+        return f"{v:.0e}".replace("e-0", "e-").replace("e+0", "e")
+    return f"{v:g}"
+
+
+def _frame(title, x_label, y_label, xs, ys, parts, log_x, log_y, zero_line):
+    x_lo, x_hi = min(xs), max(xs)
+    y_lo, y_hi = min(ys), max(ys)
+    if not log_y:
+        pad = 0.05 * (y_hi - y_lo or 1.0)
+        y_lo, y_hi = y_lo - pad, y_hi + pad
+    sx = _Scale(x_lo, x_hi, _ML, _W - _MR, log_x)
+    sy = _Scale(y_lo, y_hi, _H - _MB, _MT, log_y)
+    grid = []
+    for t in _ticks(x_lo, x_hi, log_x):
+        if x_lo <= t <= x_hi:
+            x = sx(t)
+            grid.append(
+                f'<line x1="{x:.1f}" y1="{_MT}" x2="{x:.1f}" y2="{_H - _MB}" '
+                f'stroke="#ddd"/>'
+                f'<text x="{x:.1f}" y="{_H - _MB + 16}" font-size="11" '
+                f'text-anchor="middle">{_esc(_fmt(t))}</text>'
+            )
+    for t in _ticks(y_lo, y_hi, log_y):
+        if y_lo <= t <= y_hi:
+            y = sy(t)
+            grid.append(
+                f'<line x1="{_ML}" y1="{y:.1f}" x2="{_W - _MR}" y2="{y:.1f}" '
+                f'stroke="#ddd"/>'
+                f'<text x="{_ML - 6}" y="{y + 4:.1f}" font-size="11" '
+                f'text-anchor="end">{_esc(_fmt(t))}</text>'
+            )
+    if zero_line and y_lo < 0 < y_hi:
+        y = sy(0.0)
+        grid.append(
+            f'<line x1="{_ML}" y1="{y:.1f}" x2="{_W - _MR}" y2="{y:.1f}" '
+            f'stroke="#888" stroke-dasharray="4 3"/>'
+        )
+    return sx, sy, [
+        f'<svg xmlns="http://www.w3.org/2000/svg" width="{_W}" height="{_H}" '
+        f'viewBox="0 0 {_W} {_H}" font-family="sans-serif">',
+        f'<rect width="{_W}" height="{_H}" fill="white"/>',
+        f'<text x="{(_ML + _W - _MR) / 2}" y="22" font-size="14" '
+        f'text-anchor="middle" font-weight="bold">{_esc(title)}</text>',
+        f'<text x="{(_ML + _W - _MR) / 2}" y="{_H - 12}" font-size="12" '
+        f'text-anchor="middle">{_esc(x_label)}</text>',
+        f'<text x="16" y="{(_MT + _H - _MB) / 2}" font-size="12" '
+        f'text-anchor="middle" transform="rotate(-90 16 {(_MT + _H - _MB) / 2})">'
+        f"{_esc(y_label)}</text>",
+        f'<rect x="{_ML}" y="{_MT}" width="{_W - _ML - _MR}" '
+        f'height="{_H - _MT - _MB}" fill="none" stroke="#333"/>',
+        *grid,
+        *parts,
+        "</svg>",
+    ]
+
+
+def line_chart(
+    rows: Sequence[Dict],
+    x_key: str,
+    y_key: str,
+    series_key: str,
+    title: str = "",
+    log_x: bool = False,
+    log_y: bool = False,
+    zero_line: bool = False,
+) -> str:
+    """One polyline per distinct ``series_key`` value."""
+    series: Dict[str, List] = {}
+    for r in rows:
+        x, y = r.get(x_key), r.get(y_key)
+        if x is None or y is None or y != y:
+            continue
+        series.setdefault(str(r.get(series_key, "")), []).append((float(x), float(y)))
+    if not series:
+        raise ReproError("no plottable rows")
+    xs = [x for pts in series.values() for x, _ in pts]
+    ys = [y for pts in series.values() for _, y in pts]
+    # build with a dummy frame first to get scales
+    parts: List[str] = []
+    sx, sy, doc = _frame(
+        title, x_key, y_key, xs, ys, parts, log_x, log_y, zero_line
+    )
+    legend_y = _MT
+    for i, (name, pts) in enumerate(sorted(series.items())):
+        color = _COLORS[i % len(_COLORS)]
+        pts = sorted(pts)
+        coords = " ".join(f"{sx(x):.1f},{sy(y):.1f}" for x, y in pts)
+        parts.append(
+            f'<polyline points="{coords}" fill="none" stroke="{color}" '
+            f'stroke-width="1.8"/>'
+        )
+        for x, y in pts:
+            parts.append(
+                f'<circle cx="{sx(x):.1f}" cy="{sy(y):.1f}" r="2.6" '
+                f'fill="{color}"/>'
+            )
+        parts.append(
+            f'<rect x="{_W - _MR + 10}" y="{legend_y}" width="12" height="3" '
+            f'fill="{color}"/>'
+            f'<text x="{_W - _MR + 27}" y="{legend_y + 5}" font-size="11">'
+            f"{_esc(name)}</text>"
+        )
+        legend_y += 18
+    doc = doc[:-1] + parts + ["</svg>"]
+    return "\n".join(doc)
+
+
+def bar_chart(
+    rows: Sequence[Dict],
+    label_key: str,
+    y_key: str,
+    title: str = "",
+    log_y: bool = False,
+) -> str:
+    """One bar per row, labelled from ``label_key``."""
+    data = [
+        (str(r.get(label_key, "")), float(r[y_key]))
+        for r in rows
+        if r.get(y_key) is not None and r[y_key] == r[y_key]
+    ]
+    if not data:
+        raise ReproError("no plottable rows")
+    ys = [y for _, y in data]
+    y_lo = min(0.0, min(ys)) if not log_y else min(ys)
+    sy = _Scale(y_lo, max(ys) * 1.05, _H - _MB, _MT, log_y)
+    slot = (_W - _ML - _MR) / len(data)
+    parts = []
+    for i, (name, y) in enumerate(data):
+        x0 = _ML + i * slot + 0.15 * slot
+        top = sy(y)
+        base = sy(max(y_lo, 1e-12) if log_y else 0.0)
+        parts.append(
+            f'<rect x="{x0:.1f}" y="{min(top, base):.1f}" width="{0.7 * slot:.1f}" '
+            f'height="{abs(base - top):.1f}" fill="{_COLORS[i % len(_COLORS)]}"/>'
+            f'<text x="{x0 + 0.35 * slot:.1f}" y="{_H - _MB + 16}" font-size="10" '
+            f'text-anchor="middle">{_esc(name)}</text>'
+        )
+    _sx, _sy2, doc = _frame(
+        title, label_key, y_key, [0, len(data)], [y_lo, max(ys) * 1.05],
+        parts, False, log_y, zero_line=not log_y,
+    )
+    return "\n".join(doc)
+
+
+#: Per-artifact chart recipe: (kind, kwargs)
+_RECIPES = {
+    "fig4": ("line", dict(x_key="vector_density", y_key="op_vs_ip_speedup", series_key="system", log_x=True, log_y=True)),
+    "fig5": ("line", dict(x_key="vector_density", y_key="scs_gain_pct", series_key="system", log_x=True, zero_line=True)),
+    "fig6": ("line", dict(x_key="vector_density", y_key="ps_gain_pct", series_key="system", log_x=True, zero_line=True)),
+    "fig8": ("line", dict(x_key="vector_density", y_key="speedup_vs_cpu", series_key="graph", log_x=True, log_y=True)),
+    "fig9": ("line", dict(x_key="iteration", y_key="vector_density", series_key="best_sw", log_y=True)),
+    "fig10": ("bar", dict(label_key="graph", y_key="speedup")),
+    "fig7": ("bar", dict(label_key="config", y_key="normalized_time")),
+}
+
+
+def figure_svg(result: ExperimentResult, path: Optional[str] = None) -> str:
+    """Render an experiment result with its artifact's default recipe."""
+    kind, kw = _RECIPES.get(result.experiment, ("line", None))
+    if kw is None:
+        raise ReproError(
+            f"no chart recipe for {result.experiment!r}; use line_chart/bar_chart"
+        )
+    rows = [r for r in result.rows if r.get("graph") != "average"]
+    rows = [r for r in rows if r.get("algorithm") != "geomean"]
+    if kind == "line":
+        svg = line_chart(rows, title=result.title, **kw)
+    else:
+        svg = bar_chart(rows, title=result.title, **kw)
+    if path:
+        with open(path, "w") as f:
+            f.write(svg)
+    return svg

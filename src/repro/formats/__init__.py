@@ -1,0 +1,37 @@
+"""Sparse and dense storage substrate used by every kernel and baseline.
+
+CoSPARSE keeps two copies of the adjacency matrix resident (COO for the
+inner-product kernel, CSC for the outer-product kernel — paper §III-D2),
+streams frontiers as either dense arrays or sorted (index, value) pairs,
+and converts vectors between the two at reconfiguration points.
+"""
+
+from .blocked import BlockedCOO
+from .coo import COOMatrix
+from .csc import CSCMatrix
+from .csr import CSRMatrix
+from .dense import DenseVector
+from .sparse_vector import SparseVector
+from .convert import (
+    ConversionCost,
+    dense_to_sparse,
+    ensure_dense,
+    ensure_sparse,
+    sparse_to_dense,
+    vector_density,
+)
+
+__all__ = [
+    "BlockedCOO",
+    "COOMatrix",
+    "CSCMatrix",
+    "CSRMatrix",
+    "DenseVector",
+    "SparseVector",
+    "ConversionCost",
+    "dense_to_sparse",
+    "sparse_to_dense",
+    "ensure_dense",
+    "ensure_sparse",
+    "vector_density",
+]

@@ -1,0 +1,145 @@
+"""Vblock-major (blocked) COO layout — the IP kernel's stored order.
+
+Section III-B: each PE's equal-nnz row partition is "further divided into
+multiple vertical blocks (vblocks) so that the vector elements
+corresponding to each vblock can fit in the shared SPM", and the PEs
+stream their partitions vblock by vblock.  For that stream to be
+*sequential* in memory (the property the matrix stream's prefetchability
+rests on) the stored layout must match the schedule: entries grouped by
+(PE partition, vblock), row-major inside each group.
+
+This container materialises that preprocessing once per (partition,
+vblock-width) pair.  It is what the IP trace generator's addresses
+assume, and what a real port of the kernel would DMA from.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, Tuple
+
+import numpy as np
+
+from ..errors import ShapeError
+from .coo import COOMatrix
+
+__all__ = ["BlockedCOO"]
+
+
+class BlockedCOO:
+    """A COO matrix re-laid-out in (partition, vblock)-major order.
+
+    Parameters
+    ----------
+    coo:
+        Row-major source matrix.
+    partition_bounds:
+        Flat row boundaries, one partition per PE in schedule order
+        (``n_partitions + 1`` entries; build from
+        :class:`repro.spmv.partition.IPPartition` bounds).
+    vblock_width:
+        Columns per vertical block.
+    """
+
+    __slots__ = (
+        "n_rows",
+        "n_cols",
+        "vblock_width",
+        "n_vblocks",
+        "partition_bounds",
+        "rows",
+        "cols",
+        "vals",
+        "_group_ptr",
+        "_n_partitions",
+    )
+
+    def __init__(self, coo: COOMatrix, partition_bounds, vblock_width: int):
+        partition_bounds = np.asarray(partition_bounds, dtype=np.int64)
+        if vblock_width <= 0:
+            raise ShapeError("vblock width must be positive")
+        if (
+            len(partition_bounds) < 2
+            or partition_bounds[0] != 0
+            or partition_bounds[-1] != coo.n_rows
+            or np.any(np.diff(partition_bounds) < 0)
+        ):
+            raise ShapeError("partition bounds must cover [0, n_rows]")
+        self.n_rows, self.n_cols = coo.shape
+        self.vblock_width = int(vblock_width)
+        self.n_vblocks = max(1, -(-coo.n_cols // vblock_width))
+        self.partition_bounds = partition_bounds
+        self._n_partitions = len(partition_bounds) - 1
+
+        part_of = np.clip(
+            np.searchsorted(partition_bounds, coo.rows, side="right") - 1,
+            0,
+            self._n_partitions - 1,
+        )
+        vb_of = coo.cols // vblock_width
+        group = part_of * self.n_vblocks + vb_of
+        # stable sort: row-major order is preserved inside each group
+        order = np.argsort(group, kind="stable")
+        self.rows = coo.rows[order]
+        self.cols = coo.cols[order]
+        self.vals = coo.vals[order]
+        counts = np.bincount(
+            group, minlength=self._n_partitions * self.n_vblocks
+        )
+        self._group_ptr = np.zeros(len(counts) + 1, dtype=np.int64)
+        np.cumsum(counts, out=self._group_ptr[1:])
+
+    # ------------------------------------------------------------------
+    @property
+    def nnz(self) -> int:
+        """Stored entries (identical to the source matrix's)."""
+        return len(self.vals)
+
+    @property
+    def n_partitions(self) -> int:
+        """PE partitions in schedule order."""
+        return self._n_partitions
+
+    def group_range(self, partition: int, vblock: int) -> Tuple[int, int]:
+        """Storage extent ``[lo, hi)`` of one (partition, vblock) group."""
+        if not 0 <= partition < self._n_partitions:
+            raise ShapeError(f"partition {partition} out of range")
+        if not 0 <= vblock < self.n_vblocks:
+            raise ShapeError(f"vblock {vblock} out of range")
+        g = partition * self.n_vblocks + vblock
+        return int(self._group_ptr[g]), int(self._group_ptr[g + 1])
+
+    def partition_range(self, partition: int) -> Tuple[int, int]:
+        """Storage extent of one PE's whole (contiguous) stream."""
+        lo, _ = self.group_range(partition, 0)
+        _, hi = self.group_range(partition, self.n_vblocks - 1)
+        return lo, hi
+
+    def iter_schedule(self, partition: int) -> Iterator[Tuple[int, np.ndarray, np.ndarray, np.ndarray]]:
+        """Yield ``(vblock, rows, cols, vals)`` in execution order."""
+        for vb in range(self.n_vblocks):
+            lo, hi = self.group_range(partition, vb)
+            if hi > lo:
+                yield vb, self.rows[lo:hi], self.cols[lo:hi], self.vals[lo:hi]
+
+    def to_coo(self) -> COOMatrix:
+        """Back to canonical row-major order (for equality checks)."""
+        return COOMatrix(
+            self.n_rows, self.n_cols, self.rows, self.cols, self.vals
+        )
+
+    def check_invariants(self) -> bool:
+        """Every group holds only its own rows/columns; stream covers all."""
+        for p in range(self._n_partitions):
+            r_lo = self.partition_bounds[p]
+            r_hi = self.partition_bounds[p + 1]
+            for vb, rows, cols, _vals in self.iter_schedule(p):
+                if len(rows) == 0:
+                    continue
+                if rows.min() < r_lo or rows.max() >= r_hi:
+                    return False
+                if (
+                    cols.min() < vb * self.vblock_width
+                    or cols.max() >= (vb + 1) * self.vblock_width
+                ):
+                    return False
+        return int(self._group_ptr[-1]) == self.nnz

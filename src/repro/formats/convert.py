@@ -1,0 +1,100 @@
+"""Format conversions and their modelled costs.
+
+Section III-D2 of the paper: "two copies of the input compressed sparse
+matrix (in COO and CSC formats, respectively) are stored in main memory to
+avoid matrix conversion overhead ... whereas the lightweight vector
+conversion between sparse and dense format is performed for the iterations
+that require reconfiguration."
+
+This module performs those vector conversions functionally *and* reports
+the data movement they imply, so the runtime can charge the conversion to
+the iteration that triggered a software reconfiguration.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from .dense import DenseVector
+from .sparse_vector import SparseVector
+
+__all__ = [
+    "ConversionCost",
+    "dense_to_sparse",
+    "sparse_to_dense",
+    "ensure_dense",
+    "ensure_sparse",
+    "vector_density",
+]
+
+
+@dataclass(frozen=True)
+class ConversionCost:
+    """Word traffic implied by one vector format conversion.
+
+    Attributes
+    ----------
+    reads, writes:
+        Words read from / written to memory by the conversion pass.
+    """
+
+    reads: int = 0
+    writes: int = 0
+
+    @property
+    def words(self) -> int:
+        """Total words moved."""
+        return self.reads + self.writes
+
+    def __add__(self, other: "ConversionCost") -> "ConversionCost":
+        return ConversionCost(self.reads + other.reads, self.writes + other.writes)
+
+
+#: A conversion that moved nothing (input already in the right format).
+NO_COST = ConversionCost()
+
+
+def dense_to_sparse(vec: DenseVector):
+    """Compact a dense frontier into (index, value) pairs.
+
+    Cost: scan all ``n`` words, write ``2·nnz`` words (index + value).
+    """
+    sv = vec.to_sparse()
+    return sv, ConversionCost(reads=vec.n, writes=2 * sv.nnz)
+
+
+def sparse_to_dense(vec: SparseVector):
+    """Scatter a sparse frontier into a dense array.
+
+    Cost: clear ``n`` words, read ``2·nnz`` pair words, write ``nnz``.
+    """
+    dv = DenseVector(vec.to_dense())
+    return dv, ConversionCost(reads=2 * vec.nnz, writes=vec.n + vec.nnz)
+
+
+def ensure_dense(vec):
+    """Return ``(DenseVector, ConversionCost)`` whatever ``vec`` is."""
+    if isinstance(vec, DenseVector):
+        return vec, NO_COST
+    if isinstance(vec, SparseVector):
+        return sparse_to_dense(vec)
+    return DenseVector(np.asarray(vec, dtype=np.float64)), NO_COST
+
+
+def ensure_sparse(vec):
+    """Return ``(SparseVector, ConversionCost)`` whatever ``vec`` is."""
+    if isinstance(vec, SparseVector):
+        return vec, NO_COST
+    if isinstance(vec, DenseVector):
+        return dense_to_sparse(vec)
+    return dense_to_sparse(DenseVector(np.asarray(vec, dtype=np.float64)))
+
+
+def vector_density(vec) -> float:
+    """Structural density of any frontier representation or raw array."""
+    if isinstance(vec, (DenseVector, SparseVector)):
+        return vec.density
+    arr = np.asarray(vec)
+    return float(np.count_nonzero(arr)) / len(arr) if len(arr) else 0.0

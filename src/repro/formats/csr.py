@@ -1,0 +1,131 @@
+"""Compressed sparse row (CSR) storage.
+
+CoSPARSE itself keeps the matrix in COO (IP) and CSC (OP); CSR is the format
+the *baselines* use — MKL-style CPU SpMV, the cuSPARSE-style GPU model, and
+the Ligra engine's pull direction all stream CSR rows.  Implemented from
+scratch for symmetry with the other containers.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+
+from ..errors import FormatError, ShapeError
+
+__all__ = ["CSRMatrix"]
+
+
+class CSRMatrix:
+    """Sparse matrix in CSR format with column indices sorted within rows."""
+
+    __slots__ = ("n_rows", "n_cols", "indptr", "indices", "vals")
+
+    def __init__(self, n_rows, n_cols, indptr, indices, vals, *, check=True):
+        indptr = np.asarray(indptr, dtype=np.int64)
+        indices = np.asarray(indices, dtype=np.int64)
+        vals = np.asarray(vals, dtype=np.float64)
+        if check:
+            if len(indptr) != n_rows + 1:
+                raise FormatError(
+                    f"indptr must have n_rows+1={n_rows + 1} entries, got {len(indptr)}"
+                )
+            if indptr[0] != 0 or indptr[-1] != len(indices):
+                raise FormatError("indptr must start at 0 and end at nnz")
+            if np.any(np.diff(indptr) < 0):
+                raise FormatError("indptr must be non-decreasing")
+            if len(indices) != len(vals):
+                raise FormatError("indices/vals length mismatch")
+            if len(indices) and (indices.min() < 0 or indices.max() >= n_cols):
+                raise FormatError("column index out of range")
+        self.n_rows = int(n_rows)
+        self.n_cols = int(n_cols)
+        self.indptr = indptr
+        self.indices = indices
+        self.vals = vals
+
+    # ------------------------------------------------------------------
+    @property
+    def shape(self) -> Tuple[int, int]:
+        """``(n_rows, n_cols)``."""
+        return (self.n_rows, self.n_cols)
+
+    @property
+    def nnz(self) -> int:
+        """Number of stored entries."""
+        return len(self.vals)
+
+    def __repr__(self):  # pragma: no cover - debugging aid
+        return f"CSRMatrix(shape={self.shape}, nnz={self.nnz})"
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_coo(cls, coo) -> "CSRMatrix":
+        """Convert a row-major :class:`~repro.formats.coo.COOMatrix`."""
+        counts = np.bincount(coo.rows, minlength=coo.n_rows)
+        indptr = np.zeros(coo.n_rows + 1, dtype=np.int64)
+        np.cumsum(counts, out=indptr[1:])
+        # coo is already (row, col) sorted, so indices/vals are in place.
+        return cls(coo.n_rows, coo.n_cols, indptr, coo.cols, coo.vals, check=False)
+
+    @classmethod
+    def from_dense(cls, dense) -> "CSRMatrix":
+        """Build from a 2-D numpy array."""
+        from .coo import COOMatrix
+
+        return cls.from_coo(COOMatrix.from_dense(dense))
+
+    @classmethod
+    def from_scipy(cls, mat) -> "CSRMatrix":
+        """Build from any scipy.sparse matrix."""
+        m = mat.tocsr()
+        m.sort_indices()
+        return cls(m.shape[0], m.shape[1], m.indptr, m.indices, m.data)
+
+    # ------------------------------------------------------------------
+    def to_scipy(self):
+        """Return a ``scipy.sparse.csr_matrix`` over the same buffers."""
+        import scipy.sparse as sp
+
+        return sp.csr_matrix(
+            (self.vals, self.indices, self.indptr), shape=self.shape
+        )
+
+    def to_coo(self):
+        """Convert to row-major COO."""
+        from .coo import COOMatrix
+
+        rows = np.repeat(np.arange(self.n_rows), np.diff(self.indptr))
+        return COOMatrix(
+            self.n_rows, self.n_cols, rows, self.indices, self.vals, sort=False
+        )
+
+    def to_dense(self) -> np.ndarray:
+        """Materialise as a dense 2-D array."""
+        return self.to_coo().to_dense()
+
+    # ------------------------------------------------------------------
+    def row(self, i: int) -> Tuple[np.ndarray, np.ndarray]:
+        """``(col_indices, values)`` of row ``i``."""
+        if not 0 <= i < self.n_rows:
+            raise ShapeError(f"row {i} outside [0, {self.n_rows})")
+        lo, hi = self.indptr[i], self.indptr[i + 1]
+        return self.indices[lo:hi], self.vals[lo:hi]
+
+    def row_lengths(self) -> np.ndarray:
+        """Non-zeros per row."""
+        return np.diff(self.indptr)
+
+    def matvec(self, x: np.ndarray) -> np.ndarray:
+        """Plain ``A @ x`` used by the baseline cost models (vectorised)."""
+        x = np.asarray(x, dtype=np.float64)
+        if x.shape != (self.n_cols,):
+            raise ShapeError(
+                f"vector length {x.shape} incompatible with {self.shape}"
+            )
+        products = self.vals * x[self.indices]
+        out = np.zeros(self.n_rows)
+        rows = np.repeat(np.arange(self.n_rows), np.diff(self.indptr))
+        np.add.at(out, rows, products)
+        return out

@@ -1,0 +1,74 @@
+"""Dense frontier vector wrapper.
+
+The IP kernel treats the frontier as "a dense array" (Section III-A).  The
+wrapper exists so both frontier representations expose the same small
+surface (``n``, ``nnz``, ``density``, conversion) to the runtime's decision
+tree, while the payload stays a plain numpy array for vectorised kernels.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..errors import FormatError
+
+__all__ = ["DenseVector"]
+
+
+class DenseVector:
+    """A dense length-``n`` vector; density is computed structurally."""
+
+    __slots__ = ("data",)
+
+    def __init__(self, data):
+        data = np.asarray(data, dtype=np.float64)
+        if data.ndim != 1:
+            raise FormatError("DenseVector expects a 1-D array")
+        self.data = data
+
+    # ------------------------------------------------------------------
+    @property
+    def n(self) -> int:
+        """Vector length."""
+        return len(self.data)
+
+    @property
+    def nnz(self) -> int:
+        """Count of non-zero entries (scan — the runtime models this cost)."""
+        return int(np.count_nonzero(self.data))
+
+    @property
+    def density(self) -> float:
+        """``nnz / n`` — the software reconfiguration input."""
+        return self.nnz / self.n if self.n else 0.0
+
+    def __repr__(self):  # pragma: no cover - debugging aid
+        return f"DenseVector(n={self.n}, nnz={self.nnz})"
+
+    def __len__(self) -> int:
+        return self.n
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def zeros(cls, n: int) -> "DenseVector":
+        """An all-zero vector of length ``n``."""
+        return cls(np.zeros(n))
+
+    @classmethod
+    def full(cls, n: int, value: float) -> "DenseVector":
+        """A constant vector (e.g. the initial PageRank distribution)."""
+        return cls(np.full(n, float(value)))
+
+    def copy(self) -> "DenseVector":
+        """Deep copy."""
+        return DenseVector(self.data.copy())
+
+    def to_sparse(self):
+        """Convert to :class:`~repro.formats.sparse_vector.SparseVector`."""
+        from .sparse_vector import SparseVector
+
+        return SparseVector.from_dense(self.data)
+
+    def to_dense(self) -> np.ndarray:
+        """Return the underlying array (shared, not copied)."""
+        return self.data

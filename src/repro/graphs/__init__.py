@@ -1,0 +1,35 @@
+"""Graph analytics on the CoSPARSE SpMV abstraction (paper §III-D).
+
+BFS, SSSP, PageRank and collaborative filtering, each defined by its
+Table I ``Matrix_Op`` / ``Vector_Op`` pair and driven through the
+reconfiguring :class:`~repro.core.runtime.CoSparseRuntime`.
+"""
+
+from .bc import betweenness_centrality, sigma_semiring
+from .bfs import bfs
+from .cc import cc_semiring, connected_components
+from .cf import cf_loss, collaborative_filtering
+from .common import AlgorithmRun, ensure_runtime
+from .frontier import FrontierTrace, frontier_from_mask, single_vertex_frontier
+from .graph import Graph
+from .pagerank import pagerank, pagerank_semiring_for
+from .sssp import sssp
+
+__all__ = [
+    "betweenness_centrality",
+    "sigma_semiring",
+    "bfs",
+    "cc_semiring",
+    "connected_components",
+    "cf_loss",
+    "collaborative_filtering",
+    "AlgorithmRun",
+    "ensure_runtime",
+    "FrontierTrace",
+    "frontier_from_mask",
+    "single_vertex_frontier",
+    "Graph",
+    "pagerank",
+    "pagerank_semiring_for",
+    "sssp",
+]

@@ -1,0 +1,84 @@
+"""Shared plumbing for the algorithm drivers."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from ..core.reconfig import ReconfigurationLog
+from ..core.runtime import CoSparseRuntime
+from .frontier import FrontierTrace
+from .graph import Graph
+
+__all__ = ["AlgorithmRun", "ensure_runtime"]
+
+
+def ensure_runtime(
+    graph: Graph, runtime: Optional[CoSparseRuntime] = None, geometry="8x16", **kw
+) -> CoSparseRuntime:
+    """Use the caller's runtime or build one over the graph's operand.
+
+    A provided runtime has its log reset so the returned run's statistics
+    cover exactly one algorithm execution.
+    """
+    if runtime is None:
+        return CoSparseRuntime(graph.operand, geometry, **kw)
+    runtime.reset_log()
+    return runtime
+
+
+@dataclass
+class AlgorithmRun:
+    """Outcome of one graph-algorithm execution on CoSPARSE.
+
+    Attributes
+    ----------
+    algorithm:
+        ``"bfs"`` / ``"sssp"`` / ``"pr"`` / ``"cf"``.
+    values:
+        The algorithm's vertex result (levels, distances, ranks, or the
+        ``(n, K)`` latent-factor matrix).
+    log:
+        Per-iteration reconfiguration and cost records.
+    frontier_trace:
+        Frontier density per iteration (Fig. 9's second column).
+    converged:
+        Whether the run reached its own stopping criterion (vs. hitting
+        the iteration cap).
+    """
+
+    algorithm: str
+    values: np.ndarray
+    log: ReconfigurationLog
+    frontier_trace: FrontierTrace
+    converged: bool = True
+
+    @property
+    def iterations(self) -> int:
+        """SpMV iterations performed."""
+        return len(self.log)
+
+    @property
+    def total_cycles(self) -> float:
+        """Whole-run modelled cycles (conversions included)."""
+        return self.log.total_cycles
+
+    @property
+    def total_energy_j(self) -> float:
+        """Whole-run modelled energy."""
+        return self.log.total_energy_j
+
+    @property
+    def time_s(self) -> float:
+        """Wall-clock seconds at the modelled 1 GHz clock."""
+        return self.total_cycles * 1e-9
+
+    def summary(self) -> str:
+        """One-line digest for reports."""
+        return (
+            f"{self.algorithm}: {self.iterations} iters, "
+            f"{self.total_cycles:,.0f} cycles, "
+            f"configs {'/'.join(dict.fromkeys(self.log.config_sequence()))}"
+        )

@@ -1,0 +1,69 @@
+"""Single-source shortest paths (frontier-driven Bellman-Ford).
+
+Table I: ``Matrix_Op = min(V[src] + Sp[src,dst], V[dst])``.  The carry
+semiring folds the current distance of every destination into the
+reduction; the next frontier is the set of vertices whose distance just
+improved — the evolution whose pokec instance is the paper's Fig. 9 case
+study (<0.1 % -> 47 % -> <0.1 % active vertices).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from ..core.runtime import CoSparseRuntime
+from ..errors import AlgorithmError
+from ..spmv.semiring import sssp_semiring
+from .common import AlgorithmRun, ensure_runtime
+from .frontier import FrontierTrace, frontier_from_mask, single_vertex_frontier
+from .graph import Graph
+
+__all__ = ["sssp"]
+
+
+def sssp(
+    graph: Graph,
+    source: int,
+    runtime: Optional[CoSparseRuntime] = None,
+    geometry="8x16",
+    max_iters: Optional[int] = None,
+    **runtime_kw,
+) -> AlgorithmRun:
+    """Shortest distances from ``source``; unreachable vertices stay ``inf``.
+
+    Edge weights must be non-negative (the frontier-driven relaxation
+    still terminates with negative weights on DAG-like inputs, but the
+    paper's workloads — and the iteration cap — assume non-negative).
+    """
+    source = graph.check_source(source)
+    if graph.n_edges and graph.adjacency.vals.min() < 0:
+        raise AlgorithmError("SSSP requires non-negative edge weights")
+    rt = ensure_runtime(graph, runtime, geometry, **runtime_kw)
+    n = graph.n_vertices
+    semiring = sssp_semiring()
+    dist = np.full(n, np.inf)
+    dist[source] = 0.0
+    frontier = single_vertex_frontier(n, source, value=0.0)
+    trace = FrontierTrace(n, [])
+    cap = max_iters if max_iters is not None else n
+    converged = False
+    for _ in range(cap):
+        if frontier.nnz == 0:
+            converged = True
+            break
+        trace.record(frontier)
+        result = rt.spmv(frontier, semiring, current=dist)
+        improved = result.values < dist
+        dist = result.values
+        frontier = frontier_from_mask(improved, dist)
+    else:
+        converged = frontier.nnz == 0
+    return AlgorithmRun(
+        algorithm="sssp",
+        values=dist,
+        log=rt.log,
+        frontier_trace=trace,
+        converged=converged,
+    )

@@ -1,0 +1,172 @@
+"""Set-associative cache bank simulation for the trace fidelity mode.
+
+Models one Table II RCache bank in CACHE mode — 4 kB, 4-way set
+associative, 64 B (16-word) blocks, LRU replacement — and the banked
+arrangements the four hardware configurations build out of them.  The
+simulator is functional (it tracks tags, not data) and word-granular on
+the request side, line-granular on the fill side, exactly like the paper's
+hardware.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Dict, Iterable, List, Tuple
+
+import numpy as np
+
+from ..errors import SimulationError
+from .params import HardwareParams
+
+__all__ = ["CacheBank", "BankedCache"]
+
+
+class CacheBank:
+    """One 4 kB, 4-way, LRU cache bank.
+
+    Parameters
+    ----------
+    params:
+        Hardware constants (bank size, ways, line words).
+    sets_override:
+        Optional set count, for banks logically merged into one larger
+        cache (a shared tile-level L1 is modelled as a single cache of
+        ``n_banks x bank`` capacity for hit-rate purposes).
+    """
+
+    def __init__(self, params: HardwareParams, sets_override: int = 0):
+        self.params = params
+        self.line_words = params.cache_line_words
+        self.ways = params.cache_ways
+        self.n_sets = sets_override or params.cache_sets_per_bank
+        if self.n_sets <= 0:
+            raise SimulationError("cache must have at least one set")
+        # set index -> OrderedDict of resident line tags (LRU order: oldest
+        # first).  Values are dirty flags.
+        self._sets: List["OrderedDict[int, bool]"] = [
+            OrderedDict() for _ in range(self.n_sets)
+        ]
+        self.hits = 0
+        self.misses = 0
+        self.writebacks = 0
+
+    # ------------------------------------------------------------------
+    @property
+    def capacity_words(self) -> int:
+        """Total words this bank can hold."""
+        return self.n_sets * self.ways * self.line_words
+
+    def reset_lines(self) -> None:
+        """Invalidate all lines but keep counters (reconfiguration flush)."""
+        for s in self._sets:
+            s.clear()
+
+    def access(self, word_addr: int, write: bool = False) -> bool:
+        """Look up one word address; returns True on hit, filling on miss."""
+        line = word_addr // self.line_words
+        idx = line % self.n_sets
+        ways = self._sets[idx]
+        if line in ways:
+            ways[line] = ways[line] or write
+            ways.move_to_end(line)
+            self.hits += 1
+            return True
+        self.misses += 1
+        if len(ways) >= self.ways:
+            _victim, dirty = ways.popitem(last=False)
+            if dirty:
+                self.writebacks += 1
+        ways[line] = write
+        return False
+
+    @property
+    def accesses(self) -> int:
+        return self.hits + self.misses
+
+    @property
+    def hit_rate(self) -> float:
+        """Hits over accesses (1.0 when idle)."""
+        return self.hits / self.accesses if self.accesses else 1.0
+
+
+class BankedCache:
+    """A group of banks behind one (shared) crossbar.
+
+    For hit-rate purposes a shared group behaves as one cache of the
+    aggregate capacity with word-level bank interleaving; we model it as a
+    single :class:`CacheBank` with ``n_banks`` times the sets, and track
+    bank conflicts statistically from the interleaved request stream.
+    """
+
+    def __init__(self, n_banks: int, params: HardwareParams):
+        if n_banks <= 0:
+            raise SimulationError("need at least one bank")
+        self.n_banks = n_banks
+        self.params = params
+        self._cache = CacheBank(params, sets_override=params.cache_sets_per_bank * n_banks)
+
+    # ------------------------------------------------------------------
+    @property
+    def capacity_words(self) -> int:
+        return self._cache.capacity_words
+
+    @property
+    def hits(self) -> int:
+        return self._cache.hits
+
+    @property
+    def misses(self) -> int:
+        return self._cache.misses
+
+    @property
+    def accesses(self) -> int:
+        return self._cache.accesses
+
+    @property
+    def hit_rate(self) -> float:
+        return self._cache.hit_rate
+
+    def access(self, word_addr: int, write: bool = False) -> bool:
+        """Single word lookup (True on hit)."""
+        return self._cache.access(word_addr, write)
+
+    @property
+    def writebacks(self) -> int:
+        return self._cache.writebacks
+
+    def run_trace(self, addrs: np.ndarray, writes: np.ndarray) -> np.ndarray:
+        """Replay a word-address trace; return a per-access hit mask.
+
+        The caller aggregates the mask per stream (``np.add.at``) and
+        forwards the missing addresses to the next memory level.
+        """
+        n = len(addrs)
+        hit = np.empty(n, dtype=bool)
+        access = self._cache.access  # local alias, hot loop
+        addr_list = addrs.tolist()
+        write_list = writes.tolist()
+        for i in range(n):
+            hit[i] = access(addr_list[i], write_list[i])
+        return hit
+
+
+def interleave_round_robin(
+    lengths: Iterable[int],
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Ordering that interleaves several program-order streams fairly.
+
+    Returns ``(source, position)`` arrays: processing the streams in this
+    order approximates the concurrent execution of one PE per stream.
+    Streams advance in lockstep until they run out.
+    """
+    lengths = list(lengths)
+    total = int(sum(lengths))
+    source = np.empty(total, dtype=np.int64)
+    position = np.empty(total, dtype=np.int64)
+    if total == 0:
+        return source, position
+    # Sort all (index_within_stream, stream) pairs lexicographically.
+    src = np.concatenate([np.full(n, i, dtype=np.int64) for i, n in enumerate(lengths)])
+    pos = np.concatenate([np.arange(n, dtype=np.int64) for n in lengths])
+    order = np.lexsort((src, pos))
+    return src[order], pos[order]

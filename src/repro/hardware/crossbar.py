@@ -1,0 +1,72 @@
+"""Reconfigurable crossbar (RXBar) model.
+
+Table II: "Nsrc x Ndst non-coherent crossbar with 1-cycle response.
+Arbitrate/Shared: 1-cycle arbitration latency, 0 to (Nsrc-1) serialisation
+latency depending upon number of conflicts.  Transparent/Private: no
+arbitration, direct access."
+
+The crossbar contributes (a) latency — folded into access latencies via
+:func:`repro.hardware.latency.shared_conflict_cycles` — and (b) hop energy
+per traversal.  This class tracks traversals and exposes the same expected
+conflict computation, plus an exact conflict counter for replayed traces.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..errors import SimulationError
+from .latency import shared_conflict_cycles
+from .params import HardwareParams
+
+__all__ = ["Crossbar"]
+
+
+class Crossbar:
+    """One RXBar instance in shared (arbitrated) or private mode."""
+
+    def __init__(self, n_sources: int, n_banks: int, shared: bool, params: HardwareParams):
+        if n_sources <= 0 or n_banks <= 0:
+            raise SimulationError("crossbar dimensions must be positive")
+        self.n_sources = n_sources
+        self.n_banks = n_banks
+        self.shared = shared
+        self.params = params
+        self.traversals = 0
+        self.conflict_cycles = 0.0
+
+    # ------------------------------------------------------------------
+    def expected_access_extra(self) -> float:
+        """Mean extra cycles one access pays at this crossbar."""
+        if not self.shared:
+            return 0.0
+        return shared_conflict_cycles(self.n_sources, self.n_banks, self.params)
+
+    def record(self, count: int) -> None:
+        """Account ``count`` traversals with the expected conflict cost."""
+        self.traversals += count
+        self.conflict_cycles += count * self.expected_access_extra()
+
+    # ------------------------------------------------------------------
+    def replay_conflicts(self, bank_ids: np.ndarray, window: int = 0) -> float:
+        """Exact serialisation cycles for a trace of bank destinations.
+
+        ``bank_ids`` lists the bank each concurrent access targets, in the
+        interleaved order produced by
+        :func:`repro.hardware.cache.interleave_round_robin`; accesses are
+        grouped into windows of ``window`` (default: ``n_sources``)
+        concurrent requests, and each window pays ``max(0, k-1)`` cycles
+        per bank receiving ``k`` requests.
+        """
+        if not self.shared or len(bank_ids) == 0:
+            return 0.0
+        window = window or self.n_sources
+        extra = 0.0
+        n = len(bank_ids)
+        for start in range(0, n, window):
+            chunk = bank_ids[start : start + window]
+            counts = np.bincount(chunk % self.n_banks, minlength=self.n_banks)
+            extra += float(np.maximum(counts - 1, 0).sum())
+        self.conflict_cycles += extra
+        self.traversals += n
+        return extra

@@ -1,0 +1,90 @@
+"""System geometry: an A x B Transmuter arrangement.
+
+The paper writes "an A x B system" for "a Transmuter design with A tiles
+and B PEs per tile" (Section II-C).  Each PE has one L1 RCache bank and one
+L2 RCache bank associated with it (the Transmuter organisation: the number
+of PEs and L1 RCache banks in a tile are equal — the paper relies on this
+in Section III-C3), so on-chip capacity scales with the PE count.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..errors import ConfigurationError
+from .params import DEFAULT_PARAMS, HardwareParams
+
+__all__ = ["Geometry"]
+
+
+@dataclass(frozen=True)
+class Geometry:
+    """``tiles`` x ``pes_per_tile`` system shape."""
+
+    tiles: int
+    pes_per_tile: int
+
+    def __post_init__(self):
+        if self.tiles <= 0 or self.pes_per_tile <= 0:
+            raise ConfigurationError(
+                f"geometry must be positive, got {self.tiles}x{self.pes_per_tile}"
+            )
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def parse(cls, name: str) -> "Geometry":
+        """Parse the paper's ``"AxB"`` notation (e.g. ``"8x16"``)."""
+        try:
+            a, b = name.lower().split("x")
+            return cls(int(a), int(b))
+        except (ValueError, AttributeError) as exc:
+            raise ConfigurationError(f"cannot parse geometry {name!r}") from exc
+
+    @property
+    def name(self) -> str:
+        """The paper's ``AxB`` label."""
+        return f"{self.tiles}x{self.pes_per_tile}"
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return self.name
+
+    # ------------------------------------------------------------------
+    @property
+    def n_pes(self) -> int:
+        """Total processing elements."""
+        return self.tiles * self.pes_per_tile
+
+    @property
+    def l1_banks_per_tile(self) -> int:
+        """L1 RCache banks in one tile (one per PE)."""
+        return self.pes_per_tile
+
+    @property
+    def l2_banks_per_tile(self) -> int:
+        """L2 RCache banks associated with one tile (one per PE)."""
+        return self.pes_per_tile
+
+    # ------------------------------------------------------------------
+    def l1_tile_words(self, params: HardwareParams = DEFAULT_PARAMS) -> int:
+        """Aggregate L1 capacity of one tile, in words."""
+        return self.l1_banks_per_tile * params.bank_words
+
+    def l1_pe_words(self, params: HardwareParams = DEFAULT_PARAMS) -> int:
+        """L1 capacity private to one PE (its own bank), in words."""
+        return params.bank_words
+
+    def l2_tile_words(self, params: HardwareParams = DEFAULT_PARAMS) -> int:
+        """Aggregate L2 capacity of one tile's banks, in words."""
+        return self.l2_banks_per_tile * params.bank_words
+
+    def l2_total_words(self, params: HardwareParams = DEFAULT_PARAMS) -> int:
+        """Aggregate L2 capacity of the whole system, in words."""
+        return self.tiles * self.l2_tile_words(params)
+
+    def onchip_total_words(self, params: HardwareParams = DEFAULT_PARAMS) -> int:
+        """All on-chip storage (L1 + L2), in words.
+
+        The hardware decision tree's "G.T and f fits in cache" test
+        (Fig. 2) compares the working set against this quantity.
+        """
+        return self.tiles * (self.l1_tile_words(params) + self.l2_tile_words(params))

@@ -1,0 +1,128 @@
+"""The four hardware configurations CoSPARSE reconfigures between.
+
+Fig. 2 of the paper identifies the configurations "most suitable for SpMV":
+
+=====  ===========================  ========================  =========
+Mode   L1                           L2                        Kernel
+=====  ===========================  ========================  =========
+SC     shared cache                 shared cache              IP
+SCS    shared cache + scratchpad    shared cache              IP
+PC     private cache                private cache             OP
+PS     private scratchpad           private cache             OP
+=====  ===========================  ========================  =========
+
+In ``SCS`` half of a tile's L1 banks are configured as a shared scratchpad
+holding the current vblock's vector segment while the other half keep
+caching the matrix stream.  In ``PS`` each PE's whole L1 bank becomes a
+private scratchpad holding the OP sorted list (heap).
+"""
+
+from __future__ import annotations
+
+from enum import Enum
+
+from ..errors import ConfigurationError
+
+__all__ = ["HWMode", "MemKind", "Sharing", "modes_for_algorithm"]
+
+
+class MemKind(str, Enum):
+    """What an RCache bank is configured as."""
+
+    CACHE = "cache"
+    SPM = "spm"
+    SPLIT = "split"  # half cache, half scratchpad (the SCS L1)
+
+
+class Sharing(str, Enum):
+    """Crossbar mode in front of a memory level."""
+
+    SHARED = "shared"  # arbitrated, all PEs reach all banks
+    PRIVATE = "private"  # transparent, each PE reaches its own bank
+
+
+class HWMode(Enum):
+    """One of the paper's four memory-hierarchy configurations."""
+
+    SC = ("SC", Sharing.SHARED, MemKind.CACHE, Sharing.SHARED, MemKind.CACHE)
+    SCS = ("SCS", Sharing.SHARED, MemKind.SPLIT, Sharing.SHARED, MemKind.CACHE)
+    PC = ("PC", Sharing.PRIVATE, MemKind.CACHE, Sharing.PRIVATE, MemKind.CACHE)
+    PS = ("PS", Sharing.PRIVATE, MemKind.SPM, Sharing.PRIVATE, MemKind.CACHE)
+
+    def __init__(self, label, l1_sharing, l1_kind, l2_sharing, l2_kind):
+        self.label = label
+        self.l1_sharing = l1_sharing
+        self.l1_kind = l1_kind
+        self.l2_sharing = l2_sharing
+        self.l2_kind = l2_kind
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return self.label
+
+    # ------------------------------------------------------------------
+    @property
+    def has_spm(self) -> bool:
+        """Whether any L1 storage is configured as scratchpad."""
+        return self.l1_kind in (MemKind.SPM, MemKind.SPLIT)
+
+    @property
+    def is_shared(self) -> bool:
+        """Whether L1 is behind an arbitrated (shared) crossbar."""
+        return self.l1_sharing is Sharing.SHARED
+
+    def l1_cache_words(self, geometry, params) -> int:
+        """Words of L1 *cache* reachable by one PE under this mode.
+
+        Shared modes pool the tile's banks; ``SCS`` gives half of them to
+        the scratchpad; private modes confine each PE to its own bank;
+        ``PS`` has no L1 cache at all.
+        """
+        tile_words = geometry.l1_tile_words(params)
+        if self is HWMode.SC:
+            return tile_words
+        if self is HWMode.SCS:
+            return tile_words // 2
+        if self is HWMode.PC:
+            return geometry.l1_pe_words(params)
+        return 0  # PS: the whole bank is scratchpad
+
+    def spm_words(self, geometry, params) -> int:
+        """Words of scratchpad reachable by one PE under this mode.
+
+        ``SCS``'s scratchpad is shared by the tile (vector segment);
+        ``PS``'s is private per PE (the heap).
+        """
+        if self is HWMode.SCS:
+            return geometry.l1_tile_words(params) // 2
+        if self is HWMode.PS:
+            return geometry.l1_pe_words(params)
+        return 0
+
+    def l2_words(self, geometry, params) -> int:
+        """Words of L2 cache backing one PE's misses.
+
+        Shared L2 pools every tile's banks system-wide; private L2 keeps a
+        tile's banks to that tile.
+        """
+        if self.l2_sharing is Sharing.SHARED:
+            return geometry.l2_total_words(params)
+        return geometry.l2_tile_words(params)
+
+
+#: Modes the decision tree may pick for each software algorithm (Fig. 2).
+_IP_MODES = (HWMode.SC, HWMode.SCS)
+_OP_MODES = (HWMode.PC, HWMode.PS)
+
+
+def modes_for_algorithm(algorithm: str):
+    """Valid hardware modes for ``"ip"`` or ``"op"``.
+
+    The paper pairs shared-memory modes with the inner product (the vector
+    is reused across PEs) and private-memory modes with the outer product
+    (each PE owns disjoint columns), and never crosses them.
+    """
+    if algorithm == "ip":
+        return _IP_MODES
+    if algorithm == "op":
+        return _OP_MODES
+    raise ConfigurationError(f"unknown SpMV algorithm {algorithm!r}")

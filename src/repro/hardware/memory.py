@@ -1,0 +1,64 @@
+"""HBM2 main-memory model.
+
+Table II: "1 HBM2 stack: 16 64-bit pseudo-channels, each @ 8000 MB/s,
+80-150 ns average access latency."  That is 128 GB/s of aggregate
+streaming bandwidth (32 words/cycle at 1 GHz) and a ~115-cycle average
+latency.  Random short-burst traffic loses row-buffer locality and
+achieves only a fraction of the streaming bandwidth
+(``dram_random_efficiency``).
+
+The model splits traffic into a sequential and a random pool and reports
+the bandwidth-floor cycles — the system-level lower bound the analytic
+model compares against the compute-path time.
+"""
+
+from __future__ import annotations
+
+from ..errors import SimulationError
+from .params import HardwareParams
+
+__all__ = ["MainMemory"]
+
+
+class MainMemory:
+    """Aggregate HBM2 traffic accounting for one kernel invocation."""
+
+    def __init__(self, params: HardwareParams):
+        self.params = params
+        self.seq_words = 0.0
+        self.rand_words = 0.0
+
+    # ------------------------------------------------------------------
+    def record(self, words: float, sequential: bool) -> None:
+        """Account ``words`` of traffic in the right pool."""
+        if words < 0:
+            raise SimulationError("memory traffic must be non-negative")
+        if sequential:
+            self.seq_words += words
+        else:
+            self.rand_words += words
+
+    @property
+    def total_words(self) -> float:
+        """All words moved to/from the HBM stack."""
+        return self.seq_words + self.rand_words
+
+    @property
+    def floor_cycles(self) -> float:
+        """Cycles needed just to move this much data."""
+        p = self.params
+        seq = self.seq_words / p.dram_words_per_cycle
+        rand = self.rand_words / (p.dram_words_per_cycle * p.dram_random_efficiency)
+        return seq + rand
+
+    @property
+    def bytes_moved(self) -> float:
+        """Total bytes, for bandwidth-utilisation reporting."""
+        return self.total_words * self.params.word_bytes
+
+    def achieved_bandwidth_fraction(self, cycles: float) -> float:
+        """Fraction of peak streaming bandwidth used over ``cycles``."""
+        if cycles <= 0:
+            return 0.0
+        peak_words = cycles * self.params.dram_words_per_cycle
+        return min(1.0, self.total_words / peak_words)

@@ -1,0 +1,141 @@
+"""Microarchitectural parameters of the modelled Transmuter substrate.
+
+These mirror Table II of the paper:
+
+====================  =====================================================
+Module                Parameters
+====================  =====================================================
+PE / LCP              1-issue, 4-stage, in-order core @ 1.0 GHz
+RCache (per bank)     4 kB, 1-ported, word-granular; CACHE: 4-way
+                      set-associative, 8 MSHRs, 64 B blocks, stride
+                      prefetcher; SPM: physically addressed, word-granular
+RXBar                 non-coherent crossbar, 1-cycle response;
+                      shared: 1-cycle arbitration + 0..(Nsrc-1)
+                      serialisation on conflicts; private: direct access
+Main memory           1 HBM2 stack: 16 x 64-bit pseudo-channels @
+                      8000 MB/s each, 80-150 ns average access latency
+====================  =====================================================
+
+Latency/energy constants that Table II does not pin down (L2 hit time,
+per-event energies, prefetcher effectiveness) are taken from the Transmuter
+paper's class of 40 nm prototypes and CACTI-style estimates; each one is a
+named field here so calibration sweeps (``repro.core.calibration``) and
+ablation benches can vary them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+__all__ = ["HardwareParams", "DEFAULT_PARAMS"]
+
+
+@dataclass(frozen=True)
+class HardwareParams:
+    """All tunable constants of the hardware performance/energy model."""
+
+    # ----- clocks and word sizes ------------------------------------
+    clock_hz: float = 1.0e9
+    word_bytes: int = 4
+    cache_line_words: int = 16  # 64 B blocks
+
+    # ----- RCache banks ----------------------------------------------
+    bank_bytes: int = 4096  # 4 kB per L1/L2 bank
+    cache_ways: int = 4
+    mshrs: int = 8
+
+    # ----- latencies (cycles) ----------------------------------------
+    spm_private_latency: float = 1.0  # direct, no crossbar arbitration
+    spm_shared_latency: float = 2.0  # +1 crossbar response
+    l1_private_latency: float = 1.0
+    l1_shared_latency: float = 2.0  # bank + crossbar response
+    xbar_arbitration: float = 1.0  # shared mode only
+    l2_hit_latency: float = 8.0  # L1 miss, L2 hit (incl. traversal)
+    dram_latency: float = 115.0  # 80-150 ns average at 1 GHz
+
+    # ----- bandwidths -------------------------------------------------
+    #: 16 pseudo-channels x 8000 MB/s = 128 GB/s = 32 words/cycle at 1 GHz.
+    dram_words_per_cycle: float = 32.0
+    #: Random (short-burst) accesses achieve a fraction of the streaming
+    #: bandwidth; HBM2's 16 narrow pseudo-channels keep fine-grained
+    #: accesses reasonably efficient (one reason the substrate suits
+    #: sparse workloads).
+    dram_random_efficiency: float = 0.45
+
+    # ----- access-pattern behaviour -----------------------------------
+    #: Fraction of a sequential stream's miss latency hidden by the stride
+    #: prefetcher plus the 8 MSHRs.
+    prefetch_hide_fraction: float = 0.85
+    #: Fraction of a *dependent* random miss hidden (pointer chasing in the
+    #: OP merge cannot be prefetched; only MSHR overlap of independent
+    #: accesses helps a little).
+    random_hide_fraction: float = 0.10
+    #: LRU capacity pressure exerted by a no-reuse stream relative to a
+    #: reused working set (streams churn through the cache but each line
+    #: survives only briefly).
+    stream_pressure: float = 0.35
+
+    # ----- core cost factors -------------------------------------------
+    #: Extra cycles an SPM access pays for software management
+    #: (address generation into the physically addressed SPM).
+    spm_management_overhead: float = 0.5
+    #: Cycles the LCP spends per element it merges/forwards in OP
+    #: (receive, compare against last index, accumulate, emit).
+    lcp_cycles_per_element: float = 4.0
+    #: Cycles the LCP spends per *distinct output row* it commits in OP:
+    #: a dependent read-modify-write of the output vector in main memory
+    #: (load old value, reduce, store), serial within the tile.  This is
+    #: the Amdahl term that keeps OP from scaling with PEs per tile and
+    #: sets the crossover vector density (Section III-C1).
+    lcp_rmw_cycles_per_row: float = 90.0
+    #: Cycles per word for the LCP's sequential result write-back.
+    lcp_write_cycles_per_word: float = 1.2
+    #: Cycles per word for DMA fills of a scratchpad (burst reads at
+    #: streaming bandwidth; the engines take the max of this and the
+    #: tile's fair share of HBM bandwidth).
+    spm_fill_cycles_per_word: float = 0.15
+    #: Fraction of the SPM fill hidden behind compute (the LCP
+    #: double-buffers the next vblock while the PEs work on the current
+    #: one; the visible wait is the remainder).
+    spm_fill_overlap: float = 0.5
+    #: Runtime hardware reconfiguration cost, "estimated to be <= 10
+    #: clock cycles" (Section II-C / III-D).
+    reconfig_cycles: float = 10.0
+
+    # ----- energy model (picojoules per event; CACTI-class 40 nm) ------
+    pe_op_energy_pj: float = 6.0  # one in-order pipeline slot
+    spm_access_energy_pj: float = 2.0
+    l1_access_energy_pj: float = 4.0
+    l2_access_energy_pj: float = 8.0
+    xbar_hop_energy_pj: float = 1.5
+    dram_word_energy_pj: float = 120.0  # ~30 pJ/B for HBM2
+
+    # ----- static power (milliwatts per instance) ----------------------
+    pe_static_mw: float = 0.6
+    lcp_static_mw: float = 0.6
+    bank_static_mw: float = 0.15
+    xbar_static_mw: float = 0.8  # per tile-level crossbar
+
+    # ------------------------------------------------------------------
+    @property
+    def bank_words(self) -> int:
+        """Words per 4 kB RCache bank."""
+        return self.bank_bytes // self.word_bytes
+
+    @property
+    def cache_sets_per_bank(self) -> int:
+        """Sets in one bank configured as a 4-way cache."""
+        return self.bank_bytes // (self.cache_ways * self.cache_line_words * self.word_bytes)
+
+    @property
+    def cycle_s(self) -> float:
+        """Seconds per clock cycle."""
+        return 1.0 / self.clock_hz
+
+    def with_overrides(self, **kw) -> "HardwareParams":
+        """Return a copy with selected fields replaced (for ablations)."""
+        return replace(self, **kw)
+
+
+#: The default parameter set used throughout the experiments.
+DEFAULT_PARAMS = HardwareParams()

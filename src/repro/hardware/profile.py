@@ -1,0 +1,236 @@
+"""The contract between SpMV kernels and the hardware model.
+
+A kernel (inner or outer product) runs functionally in numpy and, as a side
+product, describes *what the hardware would have done*: per-PE compute
+operation counts and memory access streams, per-tile LCP serial work, and —
+optionally, for small inputs — an exact word-address trace.  The hardware
+model (:mod:`repro.hardware.analytic` or :mod:`repro.hardware.trace`)
+consumes this description and prices it in cycles and picojoules.
+
+Keeping the contract explicit lets the same kernel implementation be priced
+under every hardware mode, which is exactly what the CoSPARSE decision
+layer needs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import IntEnum
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from ..errors import SimulationError
+from .hwconfig import HWMode
+
+__all__ = [
+    "Region",
+    "Pattern",
+    "AccessStream",
+    "PEProfile",
+    "TileProfile",
+    "KernelProfile",
+    "PETrace",
+]
+
+
+class Region(IntEnum):
+    """Logical data structure an access belongs to (for attribution)."""
+
+    MATRIX = 0  # COO entries (IP) or CSC column entries (OP)
+    VECTOR_IN = 1  # input frontier values
+    VECTOR_OUT = 2  # output vector updates
+    FRONTIER = 3  # sparse frontier (index, value) pairs
+    HEAP = 4  # OP sorted list of column heads
+    COLPTR = 5  # CSC indptr lookups
+
+
+class Pattern:
+    """Access-pattern labels understood by the analytic model.
+
+    * ``SEQUENTIAL`` — unit-stride stream; the stride prefetcher and MSHRs
+      hide most miss latency.
+    * ``RANDOM`` — data-dependent but *independent* accesses (IP's vector
+      gathers): consecutive accesses do not depend on each other, so MSHRs
+      overlap a moderate fraction of the latency.
+    * ``DEPENDENT`` — pointer-chasing (OP's heap walks and next-column
+      loads): each address is derived from the previous access's result,
+      so essentially nothing is hidden.
+    """
+
+    SEQUENTIAL = "sequential"
+    RANDOM = "random"
+    DEPENDENT = "dependent"
+
+    ALL = (SEQUENTIAL, RANDOM, DEPENDENT)
+
+
+@dataclass
+class AccessStream:
+    """A homogeneous group of word accesses issued by one PE.
+
+    Attributes
+    ----------
+    region:
+        Which data structure is touched (attribution + shared-footprint
+        detection).
+    count:
+        Number of word accesses.
+    pattern:
+        One of :class:`Pattern`'s labels.
+    footprint:
+        Distinct words touched by this PE.
+    in_spm:
+        The configuration placed this data in scratchpad; accesses bypass
+        the cache path entirely.
+    shared_footprint:
+        Under a *shared* L1, every PE in the tile touches the *same* words
+        (e.g. the vblock's vector segment), so the tile-level footprint is
+        this PE's footprint, not the sum over PEs.
+    passes:
+        How many times the footprint is swept end-to-end (sequential
+        streams only; >1 models re-streaming).
+    writes:
+        Number of the ``count`` accesses that are stores.  Stores retire
+        through the write buffer at ~1 cycle and only contribute
+        write-back DRAM traffic; loads bear the miss stalls.
+    distinct_touches:
+        When set, only this many of the load accesses can miss — the
+        rest are guaranteed near hits (e.g. IP's output accumulation:
+        consecutive same-row entries in the row-major stream re-touch
+        the value just used, so only distinct (row, vblock) first
+        touches are exposed to the memory system).
+    fill_granule:
+        Words fetched per miss: 0 means a full cache line; a positive
+        value models the natural access granule (one word for scattered
+        scalar read-modify-writes through the word-granular RCache port,
+        K words for a latent-factor row) so misses do not overfetch.
+    """
+
+    region: Region
+    count: float
+    pattern: str
+    footprint: float
+    in_spm: bool = False
+    shared_footprint: bool = False
+    passes: int = 1
+    writes: float = 0.0
+    distinct_touches: Optional[float] = None
+    fill_granule: int = 0
+
+    def __post_init__(self):
+        if self.pattern not in Pattern.ALL:
+            raise SimulationError(f"unknown access pattern {self.pattern!r}")
+        if self.count < 0 or self.footprint < 0:
+            raise SimulationError("stream counts must be non-negative")
+
+
+@dataclass
+class PETrace:
+    """Exact per-PE word-address trace (small inputs / trace mode).
+
+    ``regions`` tags each access with a :class:`Region` value; ``addrs``
+    holds region-local word offsets (the trace engine relocates regions
+    into disjoint address ranges); ``writes`` flags stores.
+    """
+
+    regions: np.ndarray
+    addrs: np.ndarray
+    writes: np.ndarray
+
+    def __post_init__(self):
+        if not (len(self.regions) == len(self.addrs) == len(self.writes)):
+            raise SimulationError("trace arrays must have equal length")
+
+    @property
+    def n_accesses(self) -> int:
+        return len(self.addrs)
+
+    @classmethod
+    def concat(cls, parts: List["PETrace"]) -> "PETrace":
+        """Concatenate traces in program order."""
+        if not parts:
+            e = np.zeros(0, dtype=np.int64)
+            return cls(e.astype(np.int8), e, e.astype(bool))
+        return cls(
+            np.concatenate([p.regions for p in parts]),
+            np.concatenate([p.addrs for p in parts]),
+            np.concatenate([p.writes for p in parts]),
+        )
+
+
+@dataclass
+class PEProfile:
+    """One PE's share of the kernel."""
+
+    compute_ops: float = 0.0
+    streams: List[AccessStream] = field(default_factory=list)
+    #: Words DMA-copied into this PE's (or its tile's) scratchpad.
+    spm_fill_words: float = 0.0
+    trace: Optional[PETrace] = None
+
+    def stream(self, region: Region) -> Optional[AccessStream]:
+        """First stream for ``region`` (testing convenience)."""
+        for s in self.streams:
+            if s.region is region:
+                return s
+        return None
+
+    @property
+    def total_accesses(self) -> float:
+        return sum(s.count for s in self.streams)
+
+
+@dataclass
+class TileProfile:
+    """One tile: its PEs plus the LCP's serial work."""
+
+    pes: List[PEProfile]
+    #: Elements the LCP merges/forwards serially (OP step 4).  This work
+    #: does not parallelise with the PE count — the Amdahl term behind the
+    #: paper's observation that OP scales worse with PEs per tile.
+    lcp_serial_elements: float = 0.0
+    #: Words the LCP writes back to main memory.
+    lcp_output_words: float = 0.0
+    #: LCP bookkeeping ops (chunk assignment, synchronisation).
+    lcp_compute_ops: float = 0.0
+    #: Words DMA-copied into the tile's *shared* scratchpad (the SCS
+    #: vblock fills).  Every PE in the tile waits for the fill, but the
+    #: DRAM traffic is counted once per tile.
+    spm_fill_words: float = 0.0
+
+
+@dataclass
+class KernelProfile:
+    """Everything the hardware model needs to price one kernel invocation."""
+
+    algorithm: str  # "ip" or "op"
+    mode: HWMode
+    tiles: List[TileProfile]
+    #: One-off invocation overhead (partition lookup, chunk scheduling).
+    fixed_overhead_cycles: float = 0.0
+    #: Free-form details for reports (vblock count, heap sizes, ...).
+    meta: Dict[str, object] = field(default_factory=dict)
+
+    def __post_init__(self):
+        if self.algorithm not in ("ip", "op"):
+            raise SimulationError(f"unknown algorithm {self.algorithm!r}")
+        if not self.tiles:
+            raise SimulationError("profile must contain at least one tile")
+
+    # ------------------------------------------------------------------
+    @property
+    def n_tiles(self) -> int:
+        return len(self.tiles)
+
+    @property
+    def total_compute_ops(self) -> float:
+        return sum(pe.compute_ops for t in self.tiles for pe in t.pes)
+
+    @property
+    def total_accesses(self) -> float:
+        return sum(pe.total_accesses for t in self.tiles for pe in t.pes)
+
+    def has_traces(self) -> bool:
+        """Whether every PE carries an exact trace (trace mode possible)."""
+        return all(pe.trace is not None for t in self.tiles for pe in t.pes)

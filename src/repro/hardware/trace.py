@@ -1,0 +1,270 @@
+"""Trace-replay fidelity mode.
+
+For small inputs the kernels attach an exact per-PE word-address trace to
+their profile (see :class:`repro.hardware.profile.PETrace`).  This engine
+replays those traces through real set-associative LRU caches arranged per
+the active :class:`~repro.hardware.hwconfig.HWMode` — shared tile-level L1
+(SC/SCS), private per-PE banks (PC), scratchpad bypass (SCS vector / PS
+heap) — measures per-stream hit rates, and composes latencies with the
+*same* formulas as the analytic mode.
+
+Address convention
+------------------
+Kernels emit *region-local global word offsets*: an access to matrix entry
+``k`` uses offset ``k`` whichever PE issues it, and an access to vector
+element ``j`` uses offset ``j``.  The engine relocates each
+:class:`~repro.hardware.profile.Region` into a disjoint address range, so
+regions never alias while shared structures (the vector) naturally overlap
+between PEs.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+import numpy as np
+
+from ..errors import SimulationError
+from .cache import BankedCache, interleave_round_robin
+from .geometry import Geometry
+from .hwconfig import HWMode, Sharing
+from .latency import compose_latency
+from .params import HardwareParams
+from .profile import KernelProfile, Pattern, Region
+from .stats import MemCounters, RunReport, TileReport
+
+__all__ = ["TraceEngine"]
+
+#: Word-address stride separating relocated regions (2^40 words).
+_REGION_STRIDE = 1 << 40
+
+
+def _relocate(regions: np.ndarray, addrs: np.ndarray) -> np.ndarray:
+    """Map region-local offsets into the disjoint global address space."""
+    return addrs + regions.astype(np.int64) * _REGION_STRIDE
+
+
+class TraceEngine:
+    """Replays kernel traces through modelled caches."""
+
+    def __init__(self, geometry: Geometry, params: HardwareParams):
+        self.geometry = geometry
+        self.params = params
+
+    # ------------------------------------------------------------------
+    def evaluate(self, profile: KernelProfile) -> RunReport:
+        """Price one kernel invocation from its exact traces."""
+        if not profile.has_traces():
+            raise SimulationError(
+                "trace mode requires every PE profile to carry a PETrace; "
+                "use the analytic mode for summarised profiles"
+            )
+        geom, params, mode = self.geometry, self.params, profile.mode
+        counters = MemCounters()
+        tile_reports: List[TileReport] = []
+        dram_seq = 0.0
+        dram_rand = 0.0
+        line = params.cache_line_words
+
+        from .analytic import AnalyticModel  # latency bases shared via methods
+
+        helper = AnalyticModel(geom, params)
+        l1_base = helper._l1_base_latency(mode)
+        spm_lat = helper._spm_latency(mode)
+
+        l2_shared = mode.l2_sharing is Sharing.SHARED
+        shared_l2 = (
+            BankedCache(geom.tiles * geom.l2_banks_per_tile, params)
+            if l2_shared
+            else None
+        )
+        # Collected per tile: (pe_partials, miss streams for L2, ...)
+        staged = []
+
+        for tile in profile.tiles:
+            # Which regions live in SPM for this tile (uniform across PEs).
+            spm_regions = {
+                s.region for pe in tile.pes for s in pe.streams if s.in_spm
+            }
+            patterns: Dict[Region, str] = {}
+            for pe in tile.pes:
+                for s in pe.streams:
+                    patterns.setdefault(s.region, s.pattern)
+
+            # Split each PE's trace into SPM and cache-path accesses.
+            cache_parts = []  # (pe_idx, regions, addrs, writes)
+            spm_counts = np.zeros(len(tile.pes))
+            for pe_idx, pe in enumerate(tile.pes):
+                tr = pe.trace
+                in_spm = (
+                    np.isin(tr.regions, [int(r) for r in spm_regions])
+                    if spm_regions
+                    else np.zeros(len(tr.regions), dtype=bool)
+                )
+                spm_counts[pe_idx] = int(in_spm.sum())
+                cache_parts.append(
+                    (
+                        tr.regions[~in_spm],
+                        _relocate(tr.regions[~in_spm], tr.addrs[~in_spm]),
+                        tr.writes[~in_spm],
+                    )
+                )
+
+            # --- L1 simulation ------------------------------------------
+            n_pes = len(tile.pes)
+            hit1 = [None] * n_pes
+            if mode.l1_sharing is Sharing.SHARED:
+                banks = geom.l1_banks_per_tile
+                if mode is HWMode.SCS:
+                    banks = max(banks // 2, 1)
+                l1 = BankedCache(banks, params)
+                src, pos = interleave_round_robin(len(p[1]) for p in cache_parts)
+                addrs = np.empty(len(src), dtype=np.int64)
+                writes = np.empty(len(src), dtype=bool)
+                for i in range(n_pes):
+                    sel = src == i
+                    addrs[sel] = cache_parts[i][1][pos[sel]]
+                    writes[sel] = cache_parts[i][2][pos[sel]]
+                hits = l1.run_trace(addrs, writes)
+                for i in range(n_pes):
+                    sel = src == i
+                    back = np.empty(int(sel.sum()), dtype=bool)
+                    back[pos[sel]] = hits[sel]
+                    hit1[i] = back
+                wb1 = l1.writebacks
+            else:
+                wb1 = 0
+                for i, (regs, addrs, writes) in enumerate(cache_parts):
+                    if mode is HWMode.PS:
+                        hit1[i] = np.zeros(len(addrs), dtype=bool)  # no L1 cache
+                    else:
+                        bank = BankedCache(1, params)
+                        hit1[i] = bank.run_trace(addrs, writes)
+                        wb1 += bank.writebacks
+
+            staged.append((tile, cache_parts, hit1, spm_counts, patterns, wb1))
+
+        # --- L2 simulation (needs all tiles when shared) ------------------
+        if l2_shared:
+            # Interleave every tile's miss streams through one shared L2.
+            flat = []  # (tile_idx, pe_idx, regs, addrs, writes)
+            for t_idx, (tile, parts, hit1, _spm, _pat, _wb) in enumerate(staged):
+                for p_idx, (regs, addrs, writes) in enumerate(parts):
+                    miss = ~hit1[p_idx]
+                    flat.append((t_idx, p_idx, regs[miss], addrs[miss], writes[miss]))
+            src, pos = interleave_round_robin(len(f[3]) for f in flat)
+            addrs = np.empty(len(src), dtype=np.int64)
+            writes = np.empty(len(src), dtype=bool)
+            for i, f in enumerate(flat):
+                sel = src == i
+                addrs[sel] = f[3][pos[sel]]
+                writes[sel] = f[4][pos[sel]]
+            hits = shared_l2.run_trace(addrs, writes)
+            hit2_of = {}
+            for i, f in enumerate(flat):
+                sel = src == i
+                back = np.empty(int(sel.sum()), dtype=bool)
+                back[pos[sel]] = hits[sel]
+                hit2_of[(f[0], f[1])] = back
+            l2_writebacks = shared_l2.writebacks
+        else:
+            hit2_of = {}
+            l2_writebacks = 0
+            for t_idx, (tile, parts, hit1, _spm, _pat, _wb) in enumerate(staged):
+                l2 = BankedCache(self.geometry.l2_banks_per_tile, self.params)
+                for p_idx, (regs, addrs, writes) in enumerate(parts):
+                    miss = ~hit1[p_idx]
+                    hit2_of[(t_idx, p_idx)] = l2.run_trace(addrs[miss], writes[miss])
+                l2_writebacks += l2.writebacks
+
+        # --- latency composition ------------------------------------------
+        for t_idx, (tile, parts, hit1, spm_counts, patterns, wb1) in enumerate(staged):
+            pe_cycles = []
+            for p_idx, pe in enumerate(tile.pes):
+                regs, _addrs, _writes = parts[p_idx]
+                h1_mask = hit1[p_idx]
+                h2_mask = hit2_of[(t_idx, p_idx)]
+                cycles = pe.compute_ops
+                counters.pe_ops += pe.compute_ops
+                cycles += spm_counts[p_idx] * spm_lat
+                counters.spm_accesses += spm_counts[p_idx]
+
+                miss_regs = regs[~h1_mask]
+                for region in np.unique(regs):
+                    sel = regs == region
+                    count = int(sel.sum())
+                    h1 = float(h1_mask[sel].sum()) / count
+                    m_sel = miss_regs == region
+                    m1 = int(m_sel.sum())
+                    h2 = float(h2_mask[m_sel].sum()) / m1 if m1 else 1.0
+                    pattern = patterns.get(Region(int(region)), Pattern.RANDOM)
+                    lat = compose_latency(l1_base, h1, h2, pattern, self.params)
+                    cycles += count * lat
+                    counters.l1_accesses += count
+                    counters.l1_hits += h1 * count
+                    counters.l2_accesses += m1
+                    counters.l2_hits += h2 * m1
+                    m2 = m1 - int(h2_mask[m_sel].sum())
+                    fill = m2 * line
+                    counters.dram_words += fill
+                    if pattern == Pattern.SEQUENTIAL:
+                        dram_seq += fill
+                    else:
+                        dram_rand += fill
+                    if mode.l1_sharing is Sharing.SHARED:
+                        counters.xbar_hops += count
+                    counters.xbar_hops += m1
+
+                fill_rate = max(
+                    self.params.spm_fill_cycles_per_word,
+                    geom.tiles / self.params.dram_words_per_cycle,
+                )
+                visible_fill = fill_rate * (1.0 - self.params.spm_fill_overlap)
+                if pe.spm_fill_words:
+                    cycles += pe.spm_fill_words * visible_fill
+                    counters.dram_words += pe.spm_fill_words
+                    counters.spm_accesses += pe.spm_fill_words
+                    dram_seq += pe.spm_fill_words
+                if tile.spm_fill_words:
+                    cycles += tile.spm_fill_words * visible_fill
+                pe_cycles.append(cycles)
+
+            out_rows = tile.lcp_output_words / 2.0  # (index, value) pairs
+            lcp_cycles = (
+                tile.lcp_serial_elements * self.params.lcp_cycles_per_element
+                + out_rows * self.params.lcp_rmw_cycles_per_row
+                + tile.lcp_compute_ops
+            )
+            counters.lcp_ops += tile.lcp_serial_elements * 4 + tile.lcp_compute_ops
+            counters.dram_words += out_rows + tile.lcp_output_words
+            dram_rand += out_rows
+            dram_seq += tile.lcp_output_words
+            if tile.spm_fill_words:
+                counters.dram_words += tile.spm_fill_words
+                counters.spm_accesses += tile.spm_fill_words
+                dram_seq += tile.spm_fill_words
+            tile_reports.append(TileReport(pe_cycles=pe_cycles, lcp_cycles=lcp_cycles))
+
+        wb_words = l2_writebacks * line
+        counters.dram_words += wb_words
+        dram_seq += wb_words
+
+        compute_cycles = max(t.cycles for t in tile_reports)
+        bw_cycles = (
+            dram_seq / self.params.dram_words_per_cycle
+            + dram_rand
+            / (self.params.dram_words_per_cycle * self.params.dram_random_efficiency)
+        )
+        total = max(compute_cycles, bw_cycles) + profile.fixed_overhead_cycles
+        return RunReport(
+            cycles=total,
+            counters=counters,
+            tile_reports=tile_reports,
+            bandwidth_floor_cycles=bw_cycles,
+            fidelity="trace",
+            detail={
+                "compute_cycles": compute_cycles,
+                "mode": mode.label,
+                "algorithm": profile.algorithm,
+            },
+        )

@@ -1,0 +1,170 @@
+"""The OP kernel's sorted list of column heads, as a binary min-heap.
+
+Section III-A: "The sorted list maintaining the head elements of the
+non-empty matrix columns is kept in the private SPM ... For higher
+scalability, the sorted list uses a heap structure, i.e. a binary tree
+which guarantees that the parent is smaller than its children."
+
+The heap is *instrumented*: every slot read/write is counted and can be
+recorded as a word-offset trace, so the exact OP implementation doubles as
+the trace generator for the PS/PC hardware comparison (each heap slot is
+two words: row index + cursor id).
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+from ..errors import SimulationError
+
+__all__ = ["MergeHeap"]
+
+_WORDS_PER_SLOT = 2  # (row index, cursor id)
+
+
+class MergeHeap:
+    """Min-heap of ``(key, cursor)`` pairs ordered by key (row index)."""
+
+    def __init__(self, record_trace: bool = False, sink=None):
+        self._keys: List[int] = []
+        self._cursors: List[int] = []
+        self.reads = 0
+        self.writes = 0
+        self.compares = 0
+        self.max_size = 0
+        self._trace: Optional[List[Tuple[int, bool]]] = [] if record_trace else None
+        #: Optional callable ``(word_offset, is_write)`` invoked on every
+        #: slot-word access — lets a kernel interleave heap accesses with
+        #: its own column/frontier loads in one program-order trace.
+        self._sink = sink
+
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self._keys)
+
+    @property
+    def accesses(self) -> int:
+        """Total word accesses to heap storage."""
+        return self.reads + self.writes
+
+    # -- instrumented slot accessors -----------------------------------
+    def _record(self, i: int, write: bool) -> None:
+        if self._trace is not None:
+            self._trace.append((i * _WORDS_PER_SLOT, write))
+            self._trace.append((i * _WORDS_PER_SLOT + 1, write))
+        if self._sink is not None:
+            self._sink(i * _WORDS_PER_SLOT, write)
+            self._sink(i * _WORDS_PER_SLOT + 1, write)
+
+    def _read(self, i: int) -> Tuple[int, int]:
+        self.reads += _WORDS_PER_SLOT
+        self._record(i, False)
+        return self._keys[i], self._cursors[i]
+
+    def _write(self, i: int, key: int, cursor: int) -> None:
+        self.writes += _WORDS_PER_SLOT
+        self._record(i, True)
+        self._keys[i] = key
+        self._cursors[i] = cursor
+
+    # ------------------------------------------------------------------
+    def push(self, key: int, cursor: int) -> None:
+        """Insert an element and sift it up."""
+        self._keys.append(key)
+        self._cursors.append(cursor)
+        self.writes += _WORDS_PER_SLOT
+        self._record(len(self._keys) - 1, True)
+        self._sift_up(len(self._keys) - 1)
+        self.max_size = max(self.max_size, len(self._keys))
+
+    def peek(self) -> Tuple[int, int]:
+        """Smallest ``(key, cursor)`` without removal."""
+        if not self._keys:
+            raise SimulationError("peek on empty merge heap")
+        return self._read(0)
+
+    def pop(self) -> Tuple[int, int]:
+        """Remove and return the smallest ``(key, cursor)``."""
+        if not self._keys:
+            raise SimulationError("pop on empty merge heap")
+        top = self._read(0)
+        lk, lc = self._read(len(self._keys) - 1)
+        self._keys.pop()
+        self._cursors.pop()
+        if self._keys:
+            self._write(0, lk, lc)
+            self._sift_down(0)
+        return top
+
+    def replace_top(self, key: int, cursor: int) -> Tuple[int, int]:
+        """Pop the minimum and push a new element in one sift.
+
+        This is the merge loop's hot operation: "Pop the element with the
+        smallest index and load next element in the matrix column."
+        """
+        if not self._keys:
+            raise SimulationError("replace_top on empty merge heap")
+        top = self._read(0)
+        self._write(0, key, cursor)
+        self._sift_down(0)
+        return top
+
+    # ------------------------------------------------------------------
+    def _sift_up(self, i: int) -> None:
+        while i > 0:
+            parent = (i - 1) // 2
+            self.compares += 1
+            pk, pc = self._read(parent)
+            ik, ic = self._read(i)
+            if pk <= ik:
+                break
+            self._write(parent, ik, ic)
+            self._write(i, pk, pc)
+            i = parent
+
+    def _sift_down(self, i: int) -> None:
+        n = len(self._keys)
+        while True:
+            left, right = 2 * i + 1, 2 * i + 2
+            smallest = i
+            sk, sc = self._read(i)
+            best_k, best_c = sk, sc
+            if left < n:
+                self.compares += 1
+                lk, lc = self._read(left)
+                if lk < best_k:
+                    smallest, best_k, best_c = left, lk, lc
+            if right < n:
+                self.compares += 1
+                rk, rc = self._read(right)
+                if rk < best_k:
+                    smallest, best_k, best_c = right, rk, rc
+            if smallest == i:
+                return
+            self._write(smallest, sk, sc)
+            self._write(i, best_k, best_c)
+            i = smallest
+
+    # ------------------------------------------------------------------
+    def trace_arrays(self):
+        """``(word_offsets, write_flags)`` of every recorded heap access."""
+        if self._trace is None:
+            raise SimulationError("heap was constructed without trace recording")
+        if not self._trace:
+            return np.zeros(0, dtype=np.int64), np.zeros(0, dtype=bool)
+        offs, wr = zip(*self._trace)
+        return np.asarray(offs, dtype=np.int64), np.asarray(wr, dtype=bool)
+
+    @property
+    def words(self) -> int:
+        """Peak heap footprint in words."""
+        return self.max_size * _WORDS_PER_SLOT
+
+    def check_invariant(self) -> bool:
+        """Verify the parent<=child property (tests)."""
+        n = len(self._keys)
+        return all(
+            self._keys[(i - 1) // 2] <= self._keys[i] for i in range(1, n)
+        )

@@ -1,0 +1,286 @@
+"""The inner-product (IP) SpMV kernel.
+
+Section III-A/III-B of the paper: the matrix is streamed in row-major COO
+order, split into equal-nnz row partitions (one per PE) and vertical
+blocks (vblocks) sized to the scratchpad; the dense frontier is gathered
+randomly per non-zero.  Under ``SCS`` the current vblock's vector segment
+is pinned in the tile's shared SPM; under ``SC`` it is fetched through the
+shared L1 caches.  Each tile owns disjoint output rows, so no
+synchronisation is needed.
+
+The function below produces (a) the exact functional result of the
+semiring SpMV, computed with vectorised numpy over the very same
+partition structure, and (b) the per-PE hardware profile — and, on
+request, an exact interleaved address trace for the trace-replay engine.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from ..errors import ConfigurationError, ShapeError
+from ..formats import COOMatrix, DenseVector
+from ..hardware import (
+    AccessStream,
+    Geometry,
+    HWMode,
+    KernelProfile,
+    PEProfile,
+    PETrace,
+    Pattern,
+    Region,
+    TileProfile,
+)
+from ..hardware.params import DEFAULT_PARAMS, HardwareParams
+from .partition import IPPartition, build_ip_partitions, vblock_width
+from .result import SpMVResult
+from .semiring import Semiring
+
+__all__ = ["inner_product"]
+
+#: In-order pipeline slots per streamed COO entry (loop control, three
+#: loads issued, activity test) beyond the semiring's own flops.
+_OPS_PER_ENTRY = 6
+#: Invocation setup: partition table lookup and kernel launch.
+_FIXED_OVERHEAD = 150.0
+#: Per-vblock tile synchronisation cycles.
+_VBLOCK_SYNC = 12.0
+
+
+def inner_product(
+    matrix: COOMatrix,
+    vector,
+    semiring: Semiring,
+    geometry: Geometry,
+    hw_mode: HWMode = HWMode.SC,
+    params: HardwareParams = DEFAULT_PARAMS,
+    current: Optional[np.ndarray] = None,
+    partition: Optional[IPPartition] = None,
+    balanced: bool = True,
+    with_trace: bool = False,
+) -> SpMVResult:
+    """Run one IP SpMV: ``out = reduce(combine(A[i,j], v[j]))`` over rows.
+
+    Parameters
+    ----------
+    matrix:
+        Adjacency matrix in row-major COO (already transposed if the
+        caller wants ``SpMV(G.T, f)`` semantics).
+    vector:
+        Dense frontier — a numpy array, a
+        :class:`~repro.formats.dense.DenseVector`, or a 2-D ``(n, K)``
+        array for vector-valued semirings (CF).  Inactive entries hold
+        ``semiring.absent``.
+    semiring:
+        The Matrix_Op/Vector_Op pair to execute.
+    geometry, hw_mode, params:
+        Hardware context; ``hw_mode`` must be ``SC`` or ``SCS``.
+    current:
+        Current vertex values (required for carry/``needs_dst``
+        semirings and as Vector_Op's second operand).
+    partition:
+        Pre-built static partition (reused across iterations, as the
+        paper's preprocessing does); built on the fly when omitted.
+    balanced:
+        Equal-nnz partitioning (True) or the naive equal-rows baseline
+        (False) — the Fig. 7 ablation.
+    with_trace:
+        Attach exact per-PE address traces (scalar semirings only).
+    """
+    if hw_mode not in (HWMode.SC, HWMode.SCS):
+        raise ConfigurationError(f"IP runs under SC or SCS, not {hw_mode}")
+    if isinstance(vector, DenseVector):
+        vector = vector.data
+    v = np.asarray(vector, dtype=np.float64)
+    if v.shape[0] != matrix.n_cols:
+        raise ShapeError(
+            f"vector length {v.shape[0]} incompatible with matrix {matrix.shape}"
+        )
+    vw = semiring.value_words
+    if (vw == 1) != (v.ndim == 1):
+        raise ShapeError(
+            f"semiring {semiring.name} expects value_words={vw}, "
+            f"got vector of shape {v.shape}"
+        )
+    if with_trace and vw != 1:
+        raise ConfigurationError("trace generation supports scalar semirings only")
+
+    rows, cols, vals = matrix.to_arrays()
+    row_ptr = matrix.row_extents()
+    if partition is None:
+        partition = build_ip_partitions(
+            row_ptr, geometry.tiles, geometry.pes_per_tile, balanced=balanced
+        )
+
+    # ------------------------------------------------------------------
+    # Functional result (vectorised; identical to the per-PE schedule
+    # because row partitions are disjoint and the reduce is commutative).
+    # ------------------------------------------------------------------
+    if v.ndim == 1:
+        active = v[cols] != semiring.absent
+    else:
+        active = np.ones(len(cols), dtype=bool)
+    a_rows, a_cols, a_vals = rows[active], cols[active], vals[active]
+    out = semiring.init_output(matrix.n_rows, current)
+    v_dst = None
+    if semiring.needs_dst:
+        if current is None:
+            raise ShapeError(f"semiring {semiring.name} needs current dst values")
+        v_dst = np.asarray(current, dtype=np.float64)[a_rows]
+    contrib = semiring.combine(a_vals, v[a_cols], v_dst, a_cols, a_rows)
+    semiring.scatter(out, a_rows, contrib)
+    touched = np.zeros(matrix.n_rows, dtype=bool)
+    touched[a_rows] = True
+    prev = (
+        np.asarray(current, dtype=np.float64)
+        if current is not None
+        else semiring.init_output(matrix.n_rows, None)
+    )
+    out = semiring.apply_vector_op(out, prev)
+
+    # ------------------------------------------------------------------
+    # Hardware profile
+    # ------------------------------------------------------------------
+    T, P = geometry.tiles, geometry.pes_per_tile
+    # Both modes use the SPM-sized vertical blocking: "the vertical
+    # partition is not required for the SC mode but can still be
+    # beneficial because of the improved spatial and temporal locality of
+    # vector accesses" (Section III-B).  Keeping the width identical
+    # isolates the SCS-vs-SC contrast to where the vector segment lives:
+    # pinned in the scratchpad, or exposed to eviction in the shared L1.
+    width = vblock_width(HWMode.SCS.spm_words(geometry, params), vw)
+    n_vblocks = max(1, -(-matrix.n_cols // width))
+
+    # Per-PE entry/active counts, vectorised over all entries.
+    flat_bounds = np.concatenate(
+        [b[:-1] for b in partition.pe_bounds] + [[matrix.n_rows]]
+    ).astype(np.int64)
+    part_of = np.clip(
+        np.searchsorted(flat_bounds, rows, side="right") - 1, 0, T * P - 1
+    )
+    nnz_pe = np.bincount(part_of, minlength=T * P).astype(np.int64)
+    act_pe = np.bincount(part_of[active], minlength=T * P).astype(np.int64)
+    # Output first-touches: the row-major stream accumulates consecutive
+    # same-row contributions in registers, so only distinct (row, vblock)
+    # pairs are exposed to the memory system.
+    out_key = rows[active] * np.int64(n_vblocks) + cols[active] // width
+    uniq_out = np.unique(out_key)
+    uniq_rows = (uniq_out // n_vblocks).astype(np.int64)
+    out_part = np.clip(
+        np.searchsorted(flat_bounds, uniq_rows, side="right") - 1, 0, T * P - 1
+    )
+    out_pe = np.bincount(out_part, minlength=T * P).astype(np.int64)
+
+    tiles = []
+    for t in range(T):
+        pes = []
+        for p in range(P):
+            k = t * P + p
+            n_k, a_k = int(nnz_pe[k]), int(act_pe[k])
+            lo, hi = partition.pe_row_range(t, p)
+            streams = [
+                AccessStream(
+                    Region.MATRIX,
+                    count=3 * n_k,
+                    pattern=Pattern.SEQUENTIAL,
+                    footprint=3 * n_k,
+                ),
+                AccessStream(
+                    Region.VECTOR_IN,
+                    count=n_k * vw,
+                    pattern=Pattern.RANDOM,
+                    footprint=min(width, matrix.n_cols) * vw,
+                    in_spm=hw_mode is HWMode.SCS,
+                    shared_footprint=True,
+                    # a multi-word vertex value is one gather: the first
+                    # word's fill covers the rest of the row
+                    distinct_touches=float(n_k),
+                    fill_granule=vw if vw > 1 else 0,
+                ),
+                AccessStream(
+                    Region.VECTOR_OUT,
+                    count=2 * a_k * vw,
+                    pattern=Pattern.RANDOM,
+                    footprint=max(hi - lo, 1) * vw,
+                    writes=a_k * vw,
+                    # one exposed load per (row, vblock) first touch;
+                    # a multi-word row is covered by its first fill
+                    distinct_touches=float(out_pe[k]),
+                    fill_granule=vw,
+                ),
+            ]
+            pe = PEProfile(
+                compute_ops=n_k * _OPS_PER_ENTRY + a_k * semiring.combine_flops,
+                streams=streams,
+            )
+            if with_trace:
+                pe.trace = _build_ip_trace(
+                    part_of, k, rows, cols, active, width
+                )
+            pes.append(pe)
+        fill = float(matrix.n_cols * vw) if hw_mode is HWMode.SCS else 0.0
+        tiles.append(
+            TileProfile(
+                pes=pes,
+                lcp_compute_ops=n_vblocks * _VBLOCK_SYNC,
+                spm_fill_words=fill,
+            )
+        )
+
+    profile = KernelProfile(
+        algorithm="ip",
+        mode=hw_mode,
+        tiles=tiles,
+        fixed_overhead_cycles=_FIXED_OVERHEAD + n_vblocks * _VBLOCK_SYNC,
+        meta={
+            "n_vblocks": n_vblocks,
+            "vblock_width": width,
+            "balanced": balanced,
+            "active_entries": int(active.sum()),
+        },
+    )
+    return SpMVResult(values=out, touched=touched, profile=profile, semiring=semiring)
+
+
+def _build_ip_trace(
+    part_of: np.ndarray,
+    k: int,
+    rows: np.ndarray,
+    cols: np.ndarray,
+    active: np.ndarray,
+    width: int,
+) -> PETrace:
+    """Exact access trace of PE ``k``: per entry, 3 matrix words, one
+    vector gather, and (when the source is active) an output
+    read-modify-write pair — in vblock-major schedule order."""
+    sel = np.nonzero(part_of == k)[0]
+    if len(sel) == 0:
+        e = np.zeros(0, dtype=np.int64)
+        return PETrace(e.astype(np.int8), e, e.astype(bool))
+    order = sel[np.argsort(cols[sel] // width, kind="stable")]
+    n = len(order)
+    act = active[order]
+    per_entry = 4 + 2 * act.astype(np.int64)
+    starts = np.concatenate([[0], np.cumsum(per_entry)[:-1]])
+    total = int(per_entry.sum())
+    regions = np.empty(total, dtype=np.int8)
+    addrs = np.empty(total, dtype=np.int64)
+    writes = np.zeros(total, dtype=bool)
+    # The stored partition is pre-blocked to match the schedule (the
+    # paper's preprocessing), so the matrix stream is strictly
+    # sequential within this PE's contiguous row-partition range.
+    seq = int(sel[0]) + np.arange(n, dtype=np.int64)
+    for off in range(3):  # matrix words (row, col, val)
+        regions[starts + off] = int(Region.MATRIX)
+        addrs[starts + off] = 3 * seq + off
+    regions[starts + 3] = int(Region.VECTOR_IN)
+    addrs[starts + 3] = cols[order]
+    a_starts = starts[act]
+    regions[a_starts + 4] = int(Region.VECTOR_OUT)
+    addrs[a_starts + 4] = rows[order][act]
+    regions[a_starts + 5] = int(Region.VECTOR_OUT)
+    addrs[a_starts + 5] = rows[order][act]
+    writes[a_starts + 5] = True
+    return PETrace(regions, addrs, writes)

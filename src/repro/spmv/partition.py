@@ -1,0 +1,117 @@
+"""Static workload partitioning (Section III-B of the paper).
+
+Inner product: "The sparse matrix is first statically partitioned into row
+partitions with the same number of non-zero elements.  Each PE is assigned
+one of the row partitions and thus obtains a similar amount of work.  The
+row partitions are further divided into multiple vertical blocks (vblocks)
+so that the vector elements corresponding to each vblock can fit in the
+shared SPM."
+
+Outer product: "the matrix is first divided into row partitions with the
+same number of non-zero elements and assigned to each tile"; the frontier
+non-zeros are then distributed dynamically by the LCP (see
+:meth:`repro.formats.sparse_vector.SparseVector.chunk`).
+
+The un-balanced baseline (equal *row-count* partitions) exists for the
+Fig. 7 ablation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+import numpy as np
+
+from ..errors import ShapeError
+
+__all__ = [
+    "equal_nnz_row_bounds",
+    "equal_rows_bounds",
+    "nnz_per_partition",
+    "vblock_width",
+    "IPPartition",
+    "build_ip_partitions",
+]
+
+
+def equal_nnz_row_bounds(row_ptr: np.ndarray, n_parts: int) -> np.ndarray:
+    """Row boundaries giving each of ``n_parts`` a near-equal nnz share.
+
+    ``row_ptr`` is a CSR-style extent array (``row_ptr[i]`` = first entry
+    of row ``i``).  Returns ``n_parts + 1`` row indices; partition ``p``
+    owns rows ``bounds[p]:bounds[p+1]``.  Partitions split at row
+    granularity ("disparate row partitions") so no two PEs ever write the
+    same output element — the property that lets IP skip synchronisation.
+    """
+    if n_parts <= 0:
+        raise ShapeError("n_parts must be positive")
+    n_rows = len(row_ptr) - 1
+    total = int(row_ptr[-1])
+    targets = np.linspace(0, total, n_parts + 1)
+    bounds = np.searchsorted(row_ptr, targets, side="left").astype(np.int64)
+    bounds[0], bounds[-1] = 0, n_rows
+    # Monotonicity can break on pathological skew (a single huge row);
+    # clamp so every partition is a valid (possibly empty) range.
+    np.maximum.accumulate(bounds, out=bounds)
+    return bounds
+
+
+def equal_rows_bounds(n_rows: int, n_parts: int) -> np.ndarray:
+    """Naive equal-row-count boundaries (the "w/o partition" baseline)."""
+    if n_parts <= 0:
+        raise ShapeError("n_parts must be positive")
+    return np.linspace(0, n_rows, n_parts + 1).astype(np.int64)
+
+
+def nnz_per_partition(row_ptr: np.ndarray, bounds: np.ndarray) -> np.ndarray:
+    """Non-zeros inside each partition delimited by ``bounds``."""
+    at = row_ptr[bounds]
+    return np.diff(at)
+
+
+def vblock_width(spm_words: int, value_words: int = 1) -> int:
+    """Columns per vertical block so the vector segment fits in the SPM."""
+    if spm_words <= 0:
+        raise ShapeError("vblock sizing needs a positive SPM capacity")
+    return max(1, spm_words // max(value_words, 1))
+
+
+@dataclass(frozen=True)
+class IPPartition:
+    """The IP kernel's static schedule for one geometry.
+
+    ``tile_bounds`` split rows across tiles; ``pe_bounds[t]`` split tile
+    ``t``'s rows across its PEs.  Both are equal-nnz unless ``balanced``
+    was disabled (Fig. 7's ablation).
+    """
+
+    tile_bounds: np.ndarray
+    pe_bounds: List[np.ndarray]
+    balanced: bool
+
+    def pe_row_range(self, tile: int, pe: int):
+        """Row range ``[lo, hi)`` owned by PE ``pe`` of tile ``tile``."""
+        b = self.pe_bounds[tile]
+        return int(b[pe]), int(b[pe + 1])
+
+
+def build_ip_partitions(
+    row_ptr: np.ndarray, tiles: int, pes_per_tile: int, balanced: bool = True
+) -> IPPartition:
+    """Two-level (tile, PE) row partitioning for the IP kernel."""
+    n_rows = len(row_ptr) - 1
+    if balanced:
+        tile_bounds = equal_nnz_row_bounds(row_ptr, tiles)
+    else:
+        tile_bounds = equal_rows_bounds(n_rows, tiles)
+    pe_bounds = []
+    for t in range(tiles):
+        lo, hi = int(tile_bounds[t]), int(tile_bounds[t + 1])
+        if balanced:
+            sub_ptr = row_ptr[lo : hi + 1] - row_ptr[lo]
+            local = equal_nnz_row_bounds(sub_ptr, pes_per_tile)
+        else:
+            local = equal_rows_bounds(hi - lo, pes_per_tile)
+        pe_bounds.append(local + lo)
+    return IPPartition(tile_bounds=tile_bounds, pe_bounds=pe_bounds, balanced=balanced)

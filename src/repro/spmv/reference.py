@@ -1,0 +1,62 @@
+"""Independent reference implementations used as test oracles.
+
+Deliberately written as explicit Python loops over a dense matrix (plus a
+scipy cross-check for the plain SpMV semiring) so they share no code with
+the kernels they validate.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from .semiring import Semiring
+
+__all__ = ["reference_spmv", "scipy_spmv"]
+
+
+def reference_spmv(
+    dense_matrix: np.ndarray,
+    vector: np.ndarray,
+    semiring: Semiring,
+    current: Optional[np.ndarray] = None,
+) -> np.ndarray:
+    """Semiring SpMV by explicit loops: the slow, obviously correct oracle.
+
+    Mirrors Table I semantics: for every structural non-zero
+    ``A[dst, src]`` whose source is active (frontier value differs from
+    ``semiring.absent``), reduce ``combine(A[dst,src], v[src], v_dst)``
+    into ``out[dst]``; then apply Vector_Op.
+    """
+    dense_matrix = np.asarray(dense_matrix, dtype=np.float64)
+    v = np.asarray(vector, dtype=np.float64)
+    n_rows, n_cols = dense_matrix.shape
+    out = semiring.init_output(n_rows, current)
+    cur = np.asarray(current, dtype=np.float64) if current is not None else None
+    for dst in range(n_rows):
+        for src in range(n_cols):
+            a = dense_matrix[dst, src]
+            if a == 0.0:
+                continue
+            v_src = v[src]
+            if semiring.value_words == 1 and v_src == semiring.absent:
+                continue
+            v_dst = None
+            if semiring.needs_dst:
+                v_dst = np.asarray([cur[dst]])
+            c = semiring.combine(
+                np.asarray([a]),
+                np.asarray([v_src]) if semiring.value_words == 1 else v_src[None],
+                v_dst if v_dst is None else np.asarray(v_dst),
+                np.asarray([src]),
+                np.asarray([dst]),
+            )[0]
+            out[dst] = semiring.reduce_op(out[dst], c)
+    prev = cur if cur is not None else semiring.init_output(n_rows, None)
+    return semiring.apply_vector_op(out, prev)
+
+
+def scipy_spmv(matrix, vector: np.ndarray) -> np.ndarray:
+    """``A @ v`` through scipy.sparse — the plain-SpMV cross-check."""
+    return np.asarray(matrix.to_scipy() @ np.asarray(vector, dtype=np.float64))

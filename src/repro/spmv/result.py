@@ -1,0 +1,57 @@
+"""Result container returned by both SpMV kernels."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..formats import DenseVector, SparseVector
+from ..hardware.profile import KernelProfile
+from .semiring import Semiring
+
+__all__ = ["SpMVResult"]
+
+
+@dataclass
+class SpMVResult:
+    """Functional output plus the hardware profile of one invocation.
+
+    Attributes
+    ----------
+    values:
+        Dense output array (``(n,)`` or ``(n, K)``) *after* the
+        semiring's Vector_Op has been applied.
+    touched:
+        Boolean mask of destinations that received at least one
+        contribution — the raw material for the next frontier.
+    profile:
+        What the hardware would have done (see
+        :class:`repro.hardware.profile.KernelProfile`).
+    semiring:
+        The Matrix_Op/Vector_Op pair that was executed.
+    """
+
+    values: np.ndarray
+    touched: np.ndarray
+    profile: KernelProfile
+    semiring: Semiring
+
+    @property
+    def n(self) -> int:
+        """Output vector length."""
+        return len(self.values)
+
+    @property
+    def touched_count(self) -> int:
+        """Destinations that received a contribution."""
+        return int(self.touched.sum())
+
+    def dense_output(self) -> DenseVector:
+        """Scalar output as a :class:`~repro.formats.dense.DenseVector`."""
+        return DenseVector(self.values)
+
+    def touched_sparse(self) -> SparseVector:
+        """Touched entries as a sparse vector (scalar semirings only)."""
+        idx = np.nonzero(self.touched)[0]
+        return SparseVector(self.n, idx, self.values[idx], sort=False, check=False)

@@ -1,0 +1,146 @@
+"""Matrix/graph persistence.
+
+Two formats: MatrixMarket coordinate text (interchange with every sparse
+tool chain) and a fast ``.npz`` cache used by the experiment drivers so
+multi-minute generation of the full-scale suites happens once.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Callable
+
+import numpy as np
+
+from ..errors import FormatError
+from ..formats import COOMatrix
+
+__all__ = [
+    "save_matrix_market",
+    "load_matrix_market",
+    "save_npz",
+    "load_npz",
+    "cached_matrix",
+    "load_snap_edgelist",
+]
+
+
+def save_matrix_market(path: str, matrix: COOMatrix, comment: str = "") -> None:
+    """Write a MatrixMarket ``coordinate real general`` file."""
+    with open(path, "w") as f:
+        f.write("%%MatrixMarket matrix coordinate real general\n")
+        for line in comment.splitlines():
+            f.write(f"% {line}\n")
+        f.write(f"{matrix.n_rows} {matrix.n_cols} {matrix.nnz}\n")
+        for r, c, v in zip(matrix.rows, matrix.cols, matrix.vals):
+            f.write(f"{r + 1} {c + 1} {v:.17g}\n")
+
+
+def load_matrix_market(path: str) -> COOMatrix:
+    """Read a MatrixMarket coordinate file (real/integer/pattern)."""
+    with open(path) as f:
+        header = f.readline()
+        if not header.startswith("%%MatrixMarket"):
+            raise FormatError(f"{path}: not a MatrixMarket file")
+        parts = header.lower().split()
+        if "coordinate" not in parts:
+            raise FormatError(f"{path}: only coordinate format is supported")
+        pattern = "pattern" in parts
+        line = f.readline()
+        while line.startswith("%"):
+            line = f.readline()
+        n_rows, n_cols, nnz = (int(x) for x in line.split())
+        rows = np.empty(nnz, dtype=np.int64)
+        cols = np.empty(nnz, dtype=np.int64)
+        vals = np.ones(nnz)
+        for i in range(nnz):
+            fields = f.readline().split()
+            rows[i] = int(fields[0]) - 1
+            cols[i] = int(fields[1]) - 1
+            if not pattern and len(fields) > 2:
+                vals[i] = float(fields[2])
+    return COOMatrix(n_rows, n_cols, rows, cols, vals)
+
+
+def save_npz(path: str, matrix: COOMatrix) -> None:
+    """Binary cache of a COO matrix."""
+    np.savez_compressed(
+        path,
+        shape=np.asarray(matrix.shape, dtype=np.int64),
+        rows=matrix.rows,
+        cols=matrix.cols,
+        vals=matrix.vals,
+    )
+
+
+def load_npz(path: str) -> COOMatrix:
+    """Load a matrix written by :func:`save_npz` (no re-validation)."""
+    z = np.load(path)
+    n_rows, n_cols = (int(x) for x in z["shape"])
+    return COOMatrix(
+        n_rows, n_cols, z["rows"], z["cols"], z["vals"], sort=False, check=False
+    )
+
+
+def load_snap_edgelist(
+    path: str,
+    undirected: bool = False,
+    weighted: bool = False,
+    comment_chars: str = "#%",
+):
+    """Load a SNAP-style whitespace edge list into a graph adjacency.
+
+    The Table III graphs ship from snap.stanford.edu in this format
+    (``# comment`` header lines, then ``src dst [weight]`` per line,
+    arbitrary non-contiguous vertex ids).  Ids are compacted to
+    ``0..n-1`` preserving order of first appearance in sorted-id order;
+    duplicate edges are dropped (first weight kept); self-loops are
+    dropped, matching the synthetic generators' conventions.
+
+    Returns the :class:`~repro.formats.coo.COOMatrix` adjacency; wrap it
+    in :class:`repro.graphs.Graph` to run algorithms on it.
+    """
+    src, dst, w = [], [], []
+    with open(path) as f:
+        for line in f:
+            line = line.strip()
+            if not line or line[0] in comment_chars:
+                continue
+            fields = line.split()
+            src.append(int(fields[0]))
+            dst.append(int(fields[1]))
+            w.append(float(fields[2]) if weighted and len(fields) > 2 else 1.0)
+    if not src:
+        return COOMatrix.empty(0, 0)
+    src = np.asarray(src, dtype=np.int64)
+    dst = np.asarray(dst, dtype=np.int64)
+    w = np.asarray(w, dtype=np.float64)
+    ids = np.unique(np.concatenate([src, dst]))
+    src = np.searchsorted(ids, src)
+    dst = np.searchsorted(ids, dst)
+    n = len(ids)
+    if undirected:
+        src, dst = np.concatenate([src, dst]), np.concatenate([dst, src])
+        w = np.concatenate([w, w])
+    keep = src != dst
+    src, dst, w = src[keep], dst[keep], w[keep]
+    keys = src * n + dst
+    _uniq, first = np.unique(keys, return_index=True)
+    return COOMatrix(n, n, src[first], dst[first], w[first])
+
+
+def cached_matrix(
+    cache_dir: str, key: str, builder: Callable[[], COOMatrix]
+) -> COOMatrix:
+    """Build-or-load a matrix under ``cache_dir/key.npz``.
+
+    The experiment drivers use this so the 4M-nnz suites are generated
+    once per machine.
+    """
+    os.makedirs(cache_dir, exist_ok=True)
+    path = os.path.join(cache_dir, f"{key}.npz")
+    if os.path.exists(path):
+        return load_npz(path)
+    matrix = builder()
+    save_npz(path, matrix)
+    return matrix

@@ -1,0 +1,128 @@
+"""Vertex-reordering preprocessing (extension).
+
+The paper balances *work* (equal-nnz partitions) but leaves vertex order
+as the dataset delivers it.  Classic preprocessing reorders vertices to
+improve locality, which interacts with exactly the structures CoSPARSE
+reconfigures around: the IP vector segment's reuse and the OP merge's
+column clustering.  This module provides the two standard orderings —
+
+* **degree sort** — hubs first: concentrates the hot vector entries in
+  the lowest indices (and therefore in the first vblocks);
+* **BFS order** (reverse-Cuthill-McKee-flavoured) — neighbours get
+  nearby ids: shrinks the spread of column indices per row region;
+
+plus the machinery to apply a permutation consistently to a graph.  The
+ablation bench measures what each buys on the modelled hardware.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+import numpy as np
+
+from ..errors import WorkloadError
+from ..formats import COOMatrix
+from ..graphs.graph import Graph
+
+__all__ = ["degree_order", "bfs_order", "permute_matrix", "reorder_graph"]
+
+
+def degree_order(matrix: COOMatrix, by: str = "total") -> np.ndarray:
+    """Permutation placing high-degree vertices first.
+
+    ``by``: ``"in"``, ``"out"`` or ``"total"`` degree.  Returns ``perm``
+    with ``perm[old_id] = new_id``.
+    """
+    if by == "in":
+        deg = matrix.col_counts()
+    elif by == "out":
+        deg = matrix.row_counts()
+    elif by == "total":
+        deg = matrix.row_counts() + matrix.col_counts()
+    else:
+        raise WorkloadError(f"unknown degree kind {by!r}")
+    order = np.argsort(-deg, kind="stable")  # old ids, hubs first
+    perm = np.empty_like(order)
+    perm[order] = np.arange(len(order))
+    return perm
+
+
+def bfs_order(matrix: COOMatrix, source: Optional[int] = None) -> np.ndarray:
+    """Permutation numbering vertices in BFS discovery order.
+
+    Neighbours receive nearby ids (the RCM family's locality effect);
+    unreached vertices keep their relative order at the end.  Runs over
+    the symmetrised structure so direction does not fragment the order.
+    """
+    n = matrix.n_rows
+    if n == 0:
+        return np.zeros(0, dtype=np.int64)
+    # symmetrised CSR-ish adjacency
+    src = np.concatenate([matrix.rows, matrix.cols])
+    dst = np.concatenate([matrix.cols, matrix.rows])
+    order_edges = np.argsort(src, kind="stable")
+    src, dst = src[order_edges], dst[order_edges]
+    indptr = np.zeros(n + 1, dtype=np.int64)
+    np.cumsum(np.bincount(src, minlength=n), out=indptr[1:])
+
+    if source is None:
+        deg = matrix.row_counts() + matrix.col_counts()
+        source = int(np.argmax(deg))
+    visited = np.zeros(n, dtype=bool)
+    out = np.empty(n, dtype=np.int64)
+    count = 0
+    frontier = np.asarray([source], dtype=np.int64)
+    visited[source] = True
+    while count < n:
+        if len(frontier) == 0:
+            # next unvisited seed (disconnected component)
+            rest = np.nonzero(~visited)[0]
+            frontier = rest[:1]
+            visited[frontier] = True
+        out[count : count + len(frontier)] = frontier
+        count += len(frontier)
+        nxt = []
+        for u in frontier.tolist():
+            nbrs = dst[indptr[u] : indptr[u + 1]]
+            fresh = nbrs[~visited[nbrs]]
+            if len(fresh):
+                fresh = np.unique(fresh)
+                visited[fresh] = True
+                nxt.append(fresh)
+        frontier = np.concatenate(nxt) if nxt else np.zeros(0, dtype=np.int64)
+    perm = np.empty(n, dtype=np.int64)
+    perm[out] = np.arange(n)
+    return perm
+
+
+def permute_matrix(matrix: COOMatrix, perm: np.ndarray) -> COOMatrix:
+    """Apply ``perm`` (old id -> new id) to rows and columns."""
+    perm = np.asarray(perm, dtype=np.int64)
+    if len(perm) != matrix.n_rows or matrix.n_rows != matrix.n_cols:
+        raise WorkloadError("permutation must match a square matrix")
+    if len(np.unique(perm)) != len(perm):
+        raise WorkloadError("perm must be a permutation")
+    return COOMatrix(
+        matrix.n_rows,
+        matrix.n_cols,
+        perm[matrix.rows],
+        perm[matrix.cols],
+        matrix.vals,
+    )
+
+
+def reorder_graph(
+    graph: Graph, method: str = "degree", **kw
+) -> Tuple[Graph, np.ndarray]:
+    """Return ``(reordered graph, perm)`` for ``"degree"`` or ``"bfs"``."""
+    if method == "degree":
+        perm = degree_order(graph.adjacency, **kw)
+    elif method == "bfs":
+        perm = bfs_order(graph.adjacency, **kw)
+    else:
+        raise WorkloadError(f"unknown reordering {method!r}")
+    return (
+        Graph(permute_matrix(graph.adjacency, perm), name=f"{graph.name}+{method}"),
+        perm,
+    )

@@ -1,0 +1,45 @@
+"""Frontier-vector generators for the density sweeps."""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+import numpy as np
+
+from ..errors import WorkloadError
+from ..formats import SparseVector
+
+__all__ = ["random_frontier", "density_sweep", "FIG4_DENSITIES", "FIG8_DENSITIES"]
+
+#: The x-axis of Figs. 4-6.
+FIG4_DENSITIES: Sequence[float] = (0.0025, 0.005, 0.01, 0.02, 0.04)
+#: The Fig. 8 sweep ("vector density sweeps from 0.001 to 1.0").
+FIG8_DENSITIES: Sequence[float] = (0.001, 0.01, 0.1, 1.0)
+
+
+def random_frontier(
+    n: int, density: float, seed: int = 0, value_low: float = 0.1, value_high: float = 1.1
+) -> SparseVector:
+    """A frontier with ``round(density * n)`` uniformly placed non-zeros.
+
+    Values are drawn from ``[value_low, value_high)`` and never zero, so
+    the structural density equals the numeric one.
+    """
+    if not 0.0 <= density <= 1.0:
+        raise WorkloadError(f"density must be in [0, 1], got {density}")
+    nnz = int(round(density * n))
+    nnz = max(0, min(nnz, n))
+    rng = np.random.default_rng(seed)
+    idx = rng.choice(n, size=nnz, replace=False)
+    vals = rng.uniform(value_low, value_high, size=nnz)
+    return SparseVector(n, idx, vals)
+
+
+def density_sweep(
+    n: int, densities: Sequence[float], seed: int = 0
+) -> List[SparseVector]:
+    """One frontier per density, with decorrelated seeds."""
+    return [
+        random_frontier(n, d, seed=seed + 1009 * i)
+        for i, d in enumerate(densities)
+    ]

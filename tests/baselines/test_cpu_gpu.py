@@ -1,0 +1,95 @@
+"""CPU/GPU baseline cost-model tests (Fig. 8's comparators)."""
+
+import numpy as np
+import pytest
+
+from repro.baselines import (
+    CPU_I7_6700K,
+    GPU_V100,
+    XEON_E7_4860,
+    cpu_spmv,
+    gpu_spmv,
+)
+from repro.formats import CSRMatrix
+
+
+@pytest.fixture
+def csr(medium_coo):
+    return CSRMatrix.from_coo(medium_coo)
+
+
+class TestFunctional:
+    def test_cpu_result_matches_scipy(self, csr, medium_coo, rng):
+        x = rng.random(csr.n_cols)
+        rep = cpu_spmv(csr, x)
+        assert np.allclose(rep.result, medium_coo.to_scipy() @ x)
+
+    def test_gpu_result_matches_cpu(self, csr, rng):
+        x = rng.random(csr.n_cols)
+        assert np.allclose(cpu_spmv(csr, x).result, gpu_spmv(csr, x).result)
+
+    def test_compute_false_skips_result(self, csr, rng):
+        rep = cpu_spmv(csr, rng.random(csr.n_cols), compute=False)
+        assert rep.result is None
+        assert rep.time_s > 0
+
+
+class TestCostShape:
+    def test_time_independent_of_vector_density(self, csr):
+        """MKL/cuSPARSE do not exploit frontier sparsity — the mechanism
+        behind CoSPARSE's growing advantage at low densities."""
+        sparse_v = np.zeros(csr.n_cols)
+        sparse_v[0] = 1.0
+        dense_v = np.ones(csr.n_cols)
+        a = cpu_spmv(csr, sparse_v, compute=False).time_s
+        b = cpu_spmv(csr, dense_v, compute=False).time_s
+        assert a == pytest.approx(b)
+
+    def test_gpu_stalls_grow_with_density(self, csr):
+        sparse_v = np.zeros(csr.n_cols)
+        sparse_v[0] = 1.0
+        dense_v = np.ones(csr.n_cols)
+        assert gpu_spmv(csr, dense_v, compute=False).time_s > gpu_spmv(
+            csr, sparse_v, compute=False
+        ).time_s
+
+    def test_energy_is_time_times_power(self, csr, rng):
+        x = rng.random(csr.n_cols)
+        rep = cpu_spmv(csr, x, compute=False)
+        assert rep.energy_j == pytest.approx(rep.time_s * CPU_I7_6700K.power_w)
+
+    def test_achieved_bw_below_peak(self, csr, rng):
+        x = rng.random(csr.n_cols)
+        for rep, platform in (
+            (cpu_spmv(csr, x, compute=False), CPU_I7_6700K),
+            (gpu_spmv(csr, x, compute=False), GPU_V100),
+        ):
+            assert rep.achieved_bw < platform.peak_bw
+
+    def test_gpu_launch_overhead_dominates_tiny_kernels(self):
+        from repro.formats import COOMatrix
+
+        tiny = CSRMatrix.from_coo(COOMatrix(8, 8, [0], [1], [1.0]))
+        rep = gpu_spmv(tiny, np.ones(8), compute=False)
+        assert rep.time_s >= GPU_V100.invocation_overhead_s
+
+
+class TestPlatforms:
+    def test_power_ordering(self):
+        """GPU > Xeon > desktop CPU in raw power draw."""
+        assert XEON_E7_4860.power_w > CPU_I7_6700K.power_w
+        assert GPU_V100.power_w > CPU_I7_6700K.power_w
+
+    def test_cpu_power_hundreds_of_times_transmuter(self):
+        """The paper: 'the CPU consumes at least 200x more power'."""
+        from repro.hardware import EnergyModel, Geometry
+
+        array = EnergyModel(Geometry(16, 16))
+        assert XEON_E7_4860.power_w > 200 * array.static_power_w
+
+    def test_xeon_area_about_40x(self):
+        from repro.hardware import EnergyModel, Geometry
+
+        array = EnergyModel(Geometry(16, 16))
+        ratio = XEON_E7_4860.area_mm2 / array.area_mm2
+        assert 10 < ratio < 150  # "40x more area", coarse model

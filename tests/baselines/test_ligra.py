@@ -1,0 +1,114 @@
+"""Ligra-engine tests: direction rule, functional agreement, pricing."""
+
+import numpy as np
+import pytest
+
+from repro.baselines import LigraEngine, VertexSubset
+from repro.errors import AlgorithmError
+from repro.graphs import Graph, bfs, collaborative_filtering, pagerank, sssp
+
+
+@pytest.fixture(scope="module")
+def graph():
+    from repro.workloads import chung_lu
+
+    return Graph(chung_lu(800, 8000, seed=13), name="ligra-test")
+
+
+@pytest.fixture
+def engine(graph):
+    return LigraEngine(graph)
+
+
+class TestVertexSubset:
+    def test_single(self):
+        vs = VertexSubset.single(10, 4)
+        assert vs.size == 1
+        assert vs.density == 0.1
+
+    def test_mask_round_trip(self):
+        mask = np.asarray([False, True, True, False])
+        vs = VertexSubset.from_mask(mask)
+        assert np.array_equal(vs.to_mask(), mask)
+
+    def test_all_vertices(self):
+        assert VertexSubset.all_vertices(7).size == 7
+
+
+class TestDirectionRule:
+    def test_threshold_is_e_over_20(self, engine, graph):
+        assert engine.threshold == graph.n_edges // 20
+
+    def test_small_frontier_pushes(self, engine):
+        assert engine.choose_direction(VertexSubset.single(800, 0)) == "push"
+
+    def test_huge_frontier_pulls(self, engine):
+        assert engine.choose_direction(VertexSubset.all_vertices(800)) == "pull"
+
+    def test_bfs_switches_directions(self, engine, graph):
+        src = int(np.argmax(graph.out_degrees()))
+        run = engine.bfs(src)
+        dirs = run.directions()
+        assert "push" in dirs and "pull" in dirs
+        # the classic push -> pull -> push pattern: starts sparse
+        assert dirs[0] == "push"
+
+
+class TestFunctionalAgreement:
+    """Ligra must compute exactly what the CoSPARSE drivers compute."""
+
+    def test_bfs(self, engine, graph):
+        run = bfs(graph, 0, geometry="2x4")
+        li = engine.bfs(0)
+        assert np.allclose(
+            np.nan_to_num(run.values, posinf=-1),
+            np.nan_to_num(li.values, posinf=-1),
+        )
+
+    def test_sssp(self, engine, graph):
+        run = sssp(graph, 0, geometry="2x4")
+        li = engine.sssp(0)
+        assert np.allclose(
+            np.nan_to_num(run.values, posinf=-1),
+            np.nan_to_num(li.values, posinf=-1),
+        )
+
+    def test_sssp_rejects_negative(self):
+        g = Graph.from_edges(2, [0], [1], [-2.0])
+        with pytest.raises(AlgorithmError):
+            LigraEngine(g).sssp(0)
+
+    def test_pagerank(self, engine, graph):
+        run = pagerank(graph, geometry="2x4", max_iters=8, tol=0.0)
+        li = engine.pagerank(max_iters=8, tol=0.0)
+        assert np.allclose(run.values, li.values)
+
+    def test_cf(self, engine, graph):
+        run = collaborative_filtering(graph, geometry="2x4", iterations=3, k=4)
+        li = engine.cf(iterations=3, k=4)
+        assert np.allclose(run.values, li.values)
+
+
+class TestPricing:
+    def test_time_and_energy_positive(self, engine):
+        run = engine.bfs(0)
+        assert run.time_s > 0
+        assert run.energy_j == pytest.approx(run.time_s * engine.platform.power_w)
+
+    def test_pull_costs_independent_of_frontier(self, engine, graph):
+        a = engine._price("pull", 10, 100)
+        b = engine._price("pull", 700, 5000)
+        assert a == pytest.approx(b)
+
+    def test_push_scales_with_edges(self, engine):
+        assert engine._price("push", 10, 10_000) > engine._price("push", 10, 100)
+
+    def test_wide_values_cost_more(self, engine):
+        assert engine._price("pull", 10, 100, value_words=8) > engine._price(
+            "pull", 10, 100, value_words=1
+        )
+
+    def test_records_per_iteration(self, engine):
+        run = engine.pagerank(max_iters=5, tol=0.0)
+        assert run.iterations == 5
+        assert all(r.edges_processed >= 0 for r in run.records)

@@ -1,0 +1,72 @@
+"""Extension-policy tests: adaptive thresholds and the energy objective."""
+
+import numpy as np
+import pytest
+
+from repro.core import CoSparseRuntime, DecisionThresholds
+from repro.errors import ConfigurationError
+from repro.spmv import spmv_semiring
+from repro.workloads import random_frontier, uniform_random
+
+
+@pytest.fixture(scope="module")
+def matrix():
+    return uniform_random(16384, nnz=250_000, seed=9)
+
+
+class TestEnergyObjective:
+    def test_rejects_unknown_objective(self, matrix):
+        with pytest.raises(ConfigurationError):
+            CoSparseRuntime(matrix, "2x8", objective="area")
+
+    def test_energy_oracle_picks_minimum_energy(self, matrix):
+        rt = CoSparseRuntime(matrix, "2x8", policy="oracle", objective="energy")
+        rt.spmv(random_frontier(matrix.n_cols, 0.01, seed=1), spmv_semiring())
+        rec = rt.last_record
+        best_alt = min(a.energy_j for a in rec.alternatives.values())
+        assert rec.report.energy_j <= best_alt * 1.05
+
+    def test_energy_and_time_agree_on_algorithm(self, matrix):
+        """Static power makes energy track time on this substrate, so
+        the software choice coincides (hardware modes may tie within a
+        couple of per cent and flip)."""
+        sr = spmv_semiring()
+        for i, d in enumerate((0.002, 0.02, 0.5)):
+            f = random_frontier(matrix.n_cols, d, seed=10 + i)
+            t = CoSparseRuntime(matrix, "2x8", policy="oracle", objective="time")
+            e = CoSparseRuntime(t.operand, "2x8", policy="oracle", objective="energy")
+            t.spmv(f, sr)
+            e.spmv(f, sr)
+            assert t.last_record.algorithm == e.last_record.algorithm
+
+
+class TestAdaptivePolicy:
+    def test_probes_only_near_boundary(self, matrix):
+        rt = CoSparseRuntime(matrix, "2x8", policy="adaptive")
+        sr = spmv_semiring()
+        rt.spmv(random_frontier(matrix.n_cols, 0.9, seed=2), sr)
+        assert rt.last_record.alternatives == {}  # far from CVD: no probe
+        cvd = rt.tree.crossover_density(rt.operand.info)
+        rt.spmv(random_frontier(matrix.n_cols, cvd, seed=3), sr)
+        assert len(rt.last_record.alternatives) == 2  # probed both
+
+    def test_wrong_threshold_self_corrects(self, matrix):
+        """Start with a CVD estimate that is 8x too high: near-boundary
+        probes must pull it down toward the measured crossover."""
+        bad = DecisionThresholds(cvd_at_8_pes=0.16, cvd_max=0.5)
+        rt = CoSparseRuntime(matrix, "2x8", policy="adaptive", thresholds=bad)
+        sr = spmv_semiring()
+        start = rt.tree.crossover_density(rt.operand.info)
+        rng = np.random.default_rng(4)
+        for i in range(6):
+            d = start * float(rng.uniform(0.4, 1.2))
+            rt.spmv(random_frontier(matrix.n_cols, d, seed=20 + i), sr)
+        end = rt.tree.crossover_density(rt.operand.info)
+        assert end < start * 0.8
+
+    def test_adaptive_matches_tree_functionally(self, matrix):
+        sr = spmv_semiring()
+        f = random_frontier(matrix.n_cols, 0.01, seed=5)
+        a = CoSparseRuntime(matrix, "2x8", policy="adaptive").spmv(f, sr)
+        b = CoSparseRuntime(matrix, "2x8", policy="tree").spmv(f, sr)
+        assert np.allclose(a.values, b.values)

@@ -1,0 +1,90 @@
+"""Calibration sweep tests (Section III-C methodology)."""
+
+import pytest
+
+from repro.core import (
+    DecisionThresholds,
+    SweepPoint,
+    calibrate_cvd,
+    calibrated_thresholds,
+    find_crossover_density,
+    sweep_op_vs_ip,
+)
+from repro.hardware import Geometry
+from repro.workloads import uniform_random
+
+
+@pytest.fixture(scope="module")
+def calib_matrix():
+    # dense enough that OP clearly wins at the sparse end on 2x8
+    return uniform_random(16384, nnz=200_000, seed=3)
+
+
+class TestCrossoverFinder:
+    def test_interpolates(self):
+        pts = [
+            SweepPoint(0.005, 100.0, 25.0),  # OP 4x faster
+            SweepPoint(0.02, 100.0, 400.0),  # OP 4x slower
+        ]
+        cvd = find_crossover_density(pts)
+        assert 0.005 < cvd < 0.02
+        assert cvd == pytest.approx(0.01, rel=0.05)  # log-symmetric midpoint
+
+    def test_no_crossover_returns_none(self):
+        pts = [SweepPoint(0.005, 100.0, 10.0), SweepPoint(0.02, 100.0, 20.0)]
+        assert find_crossover_density(pts) is None
+
+    def test_ip_wins_everywhere(self):
+        pts = [SweepPoint(0.005, 10.0, 100.0), SweepPoint(0.02, 10.0, 200.0)]
+        assert find_crossover_density(pts) == 0.005
+
+    def test_unordered_input_handled(self):
+        pts = [
+            SweepPoint(0.02, 100.0, 400.0),
+            SweepPoint(0.005, 100.0, 25.0),
+        ]
+        assert find_crossover_density(pts) is not None
+
+
+class TestSweep:
+    def test_speedup_monotone_decreasing(self, calib_matrix):
+        pts = sweep_op_vs_ip(
+            calib_matrix, Geometry(2, 8), [0.0025, 0.01, 0.04]
+        )
+        speedups = [p.speedup for p in pts]
+        assert speedups[0] > speedups[-1]
+
+    def test_op_wins_at_sparse_end(self, calib_matrix):
+        pts = sweep_op_vs_ip(calib_matrix, Geometry(2, 8), [0.001])
+        assert pts[0].speedup > 1.0
+
+    def test_point_speedup(self):
+        assert SweepPoint(0.1, 10.0, 5.0).speedup == 2.0
+        assert SweepPoint(0.1, 10.0, 0.0).speedup == float("inf")
+
+
+class TestCalibratedThresholds:
+    def test_measured_cvd_in_plausible_band(self, calib_matrix):
+        cvd = calibrate_cvd(
+            calib_matrix,
+            Geometry(2, 8),
+            densities=(0.0025, 0.005, 0.01, 0.02, 0.04, 0.08, 0.16),
+        )
+        assert cvd is None or 0.001 < cvd < 0.2
+
+    def test_back_projection(self, calib_matrix):
+        t = calibrated_thresholds(
+            calib_matrix,
+            Geometry(2, 8),
+            densities=(0.0025, 0.005, 0.01, 0.02, 0.04, 0.08, 0.16),
+        )
+        assert isinstance(t, DecisionThresholds)
+        assert t.cvd_at_8_pes > 0
+
+    def test_falls_back_to_base_without_crossover(self, calib_matrix):
+        base = DecisionThresholds()
+        t = calibrated_thresholds(
+            calib_matrix, Geometry(2, 8), densities=(1e-5,), base=base
+        )
+        # single ultra-sparse point: OP wins, no crossover found
+        assert t == base

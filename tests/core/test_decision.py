@@ -1,0 +1,134 @@
+"""Decision-tree tests (Fig. 2 + Section III-C thresholds)."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.core import DecisionThresholds, DecisionTree, MatrixInfo
+from repro.hardware import Geometry, HWMode
+
+
+def info(n=262_144, nnz=4_000_000):
+    return MatrixInfo(n, n, nnz)
+
+
+class TestMatrixInfo:
+    def test_density(self):
+        i = MatrixInfo(100, 200, 50)
+        assert i.density == pytest.approx(50 / 20000)
+
+    def test_empty_shape(self):
+        assert MatrixInfo(0, 0, 0).density == 0.0
+
+    def test_of_extracts(self, medium_coo):
+        i = MatrixInfo.of(medium_coo)
+        assert i.nnz == medium_coo.nnz
+        assert (i.n_rows, i.n_cols) == medium_coo.shape
+
+
+class TestSoftwareThreshold:
+    def test_cvd_halves_when_pes_double(self):
+        """'The crossover density decreases from ~2% to ~0.5% as the
+        number of PEs in a tile increases from 8 to 32.'"""
+        cvd8 = DecisionTree(Geometry(4, 8)).crossover_density(info())
+        cvd16 = DecisionTree(Geometry(4, 16)).crossover_density(info())
+        cvd32 = DecisionTree(Geometry(4, 32)).crossover_density(info())
+        assert cvd8 == pytest.approx(2 * cvd16, rel=0.1)
+        assert cvd16 == pytest.approx(2 * cvd32, rel=0.1)
+
+    def test_paper_endpoints(self):
+        assert 0.01 <= DecisionTree(Geometry(4, 8)).crossover_density(
+            MatrixInfo(131_072, 131_072, 4_000_000)
+        ) <= 0.03
+        assert 0.003 <= DecisionTree(Geometry(4, 32)).crossover_density(
+            MatrixInfo(131_072, 131_072, 4_000_000)
+        ) <= 0.01
+
+    def test_sparser_matrix_raises_cvd(self):
+        tree = DecisionTree(Geometry(4, 16))
+        dense_m = MatrixInfo(131_072, 131_072, 4_000_000)
+        sparse_m = MatrixInfo(1_048_576, 1_048_576, 4_000_000)
+        assert tree.crossover_density(sparse_m) > tree.crossover_density(dense_m)
+
+    def test_software_choice(self):
+        tree = DecisionTree(Geometry(4, 16))
+        cvd = tree.crossover_density(info())
+        assert tree.software(info(), cvd * 2) == "ip"
+        assert tree.software(info(), cvd / 2) == "op"
+
+    def test_cvd_clamped(self):
+        t = DecisionThresholds(cvd_min=0.001, cvd_max=0.05)
+        tree = DecisionTree(Geometry(4, 1024), thresholds=t)
+        assert tree.crossover_density(info()) >= 0.001
+
+
+class TestHardwareIP:
+    def test_fits_on_chip_means_sc(self):
+        tree = DecisionTree(Geometry(8, 16))
+        tiny = MatrixInfo(100, 100, 500)
+        assert tree.fits_on_chip(tiny)
+        assert tree.hardware_ip(tiny, 1.0) is HWMode.SC
+
+    def test_dense_vector_high_reuse_means_scs(self):
+        tree = DecisionTree(Geometry(4, 16))
+        m = MatrixInfo(131_072, 131_072, 4_000_000)  # Nreuse ~ 120
+        assert not tree.fits_on_chip(m)
+        assert tree.hardware_ip(m, 0.47) is HWMode.SCS
+
+    def test_sparse_vector_means_sc(self):
+        tree = DecisionTree(Geometry(4, 16))
+        m = MatrixInfo(131_072, 131_072, 4_000_000)
+        assert tree.hardware_ip(m, 0.05) is HWMode.SC
+
+    def test_low_reuse_means_sc_even_when_dense(self):
+        """Fig. 5: the N=1M matrix (Nreuse ~ 14) gains nothing from SCS."""
+        tree = DecisionTree(Geometry(4, 16))
+        m = MatrixInfo(1_048_576, 1_048_576, 4_000_000)
+        assert tree.nreuse(m) < tree.thresholds.scs_min_reuse
+        assert tree.hardware_ip(m, 1.0) is HWMode.SC
+
+    def test_nreuse_formula(self):
+        tree = DecisionTree(Geometry(4, 16))
+        m = info()
+        expected = m.n_cols * m.density * 16 / 4
+        assert tree.nreuse(m) == pytest.approx(expected)
+
+
+class TestHardwareOP:
+    def test_small_heap_means_pc(self):
+        tree = DecisionTree(Geometry(4, 16))
+        m = info()
+        # 0.1% density: 2*262*0.1%... heap well under 1024 words
+        assert tree.hardware_op(m, 0.001) is HWMode.PC
+
+    def test_big_heap_means_ps(self):
+        tree = DecisionTree(Geometry(4, 16))
+        m = info()
+        assert tree.hardware_op(m, 0.04) is HWMode.PS
+
+    def test_more_pes_shrink_heap(self):
+        m = info()
+        d = 0.008
+        few = DecisionTree(Geometry(4, 4)).hardware_op(m, d)
+        many = DecisionTree(Geometry(4, 64)).hardware_op(m, d)
+        assert few is HWMode.PS
+        assert many is HWMode.PC
+
+
+class TestDecide:
+    def test_walks_both_levels(self):
+        tree = DecisionTree(Geometry(4, 16))
+        d = tree.decide(info(), 0.5)
+        assert d.algorithm == "ip"
+        assert d.hw_mode in (HWMode.SC, HWMode.SCS)
+        d = tree.decide(info(), 0.001)
+        assert d.algorithm == "op"
+        assert d.hw_mode in (HWMode.PC, HWMode.PS)
+
+    def test_rejects_bad_density(self):
+        tree = DecisionTree(Geometry(4, 16))
+        with pytest.raises(ConfigurationError):
+            tree.decide(info(), 1.5)
+
+    def test_decision_labels(self):
+        tree = DecisionTree(Geometry(4, 16))
+        assert str(tree.decide(info(), 0.5)).startswith("IP/")

@@ -1,0 +1,62 @@
+"""Reconfiguration log tests."""
+
+from repro.core import IterationRecord, ReconfigurationLog
+from repro.formats import ConversionCost
+from repro.hardware import HWMode, MemCounters, RunReport
+
+
+def record(i, density, algo, mode, cycles, sw=False, hw=False, conv=0.0):
+    return IterationRecord(
+        iteration=i,
+        vector_density=density,
+        algorithm=algo,
+        hw_mode=mode,
+        report=RunReport(cycles=cycles, counters=MemCounters(), energy_j=1e-6),
+        conversion_cycles=conv,
+        conversion=ConversionCost(),
+        sw_switched=sw,
+        hw_switched=hw,
+    )
+
+
+class TestRecord:
+    def test_total_cycles_includes_conversion(self):
+        r = record(0, 0.1, "ip", HWMode.SC, 1000.0, conv=50.0)
+        assert r.total_cycles == 1050.0
+
+    def test_config_label(self):
+        assert record(0, 0.1, "op", HWMode.PS, 1.0).config_label == "OP/PS"
+
+
+class TestLog:
+    def build(self):
+        log = ReconfigurationLog()
+        log.append(record(0, 0.001, "op", HWMode.PC, 100.0))
+        log.append(record(1, 0.3, "ip", HWMode.SC, 500.0, sw=True, hw=True))
+        log.append(record(2, 0.5, "ip", HWMode.SCS, 400.0, hw=True, conv=10.0))
+        return log
+
+    def test_totals(self):
+        log = self.build()
+        assert log.total_cycles == 1010.0
+        assert log.total_energy_j == 3e-6
+        assert len(log) == 3
+
+    def test_switch_counts(self):
+        log = self.build()
+        assert log.sw_switches == 1
+        assert log.hw_switches == 2
+
+    def test_sequences(self):
+        log = self.build()
+        assert log.config_sequence() == ["OP/PC", "IP/SC", "IP/SCS"]
+        assert log.density_sequence() == [0.001, 0.3, 0.5]
+
+    def test_summary_lists_iterations(self):
+        text = self.build().summary()
+        assert "3 iterations" in text
+        assert "OP/PC" in text
+        assert "[conv]" in text
+
+    def test_iterable(self):
+        assert [r.iteration for r in self.build()] == [0, 1, 2]

@@ -1,0 +1,58 @@
+"""Property-based runtime invariants over random density sequences."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import CoSparseRuntime, SpMVOperand
+from repro.spmv import spmv_semiring
+from repro.workloads import random_frontier, uniform_random
+
+_OPERAND = SpMVOperand(uniform_random(2048, nnz=30_000, seed=55))
+
+
+@given(
+    densities=st.lists(
+        st.sampled_from([0.0, 0.001, 0.01, 0.1, 0.9]), min_size=1, max_size=6
+    ),
+    seed=st.integers(0, 1000),
+)
+@settings(max_examples=40, deadline=None)
+def test_log_invariants(densities, seed):
+    rt = CoSparseRuntime(_OPERAND, "2x4")
+    sr = spmv_semiring()
+    for i, d in enumerate(densities):
+        rt.spmv(random_frontier(_OPERAND.info.n_cols, d, seed=seed + i), sr)
+    log = rt.log
+    assert len(log) == len(densities)
+    # switch counts equal the transitions in the recorded sequences
+    algos = [r.algorithm for r in log]
+    assert log.sw_switches == sum(
+        a != b for a, b in zip(algos[:-1], algos[1:])
+    )
+    modes = [r.hw_mode for r in log]
+    assert log.hw_switches == sum(
+        a is not b for a, b in zip(modes[:-1], modes[1:])
+    )
+    # totals decompose over records
+    assert log.total_cycles == pytest.approx(
+        sum(r.total_cycles for r in log)
+    )
+    # density was recorded faithfully
+    for r, d in zip(log, densities):
+        assert r.vector_density == pytest.approx(d, abs=1 / 2048 + 1e-9)
+
+
+@given(seed=st.integers(0, 500))
+@settings(max_examples=20, deadline=None)
+def test_policies_agree_functionally(seed):
+    sr = spmv_semiring()
+    f = random_frontier(_OPERAND.info.n_cols, 0.02, seed=seed)
+    values = {}
+    for policy in ("tree", "oracle", "static", "adaptive"):
+        rt = CoSparseRuntime(_OPERAND, "2x4", policy=policy)
+        values[policy] = rt.spmv(f, sr).values
+    base = values["tree"]
+    for policy, v in values.items():
+        assert np.allclose(v, base), policy

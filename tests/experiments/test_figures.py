@@ -1,0 +1,199 @@
+"""Small-scale smoke + shape tests of the figure drivers.
+
+The benchmark harness runs the real (paper-scale) grids; here each driver
+runs on a shrunken grid and the *qualitative* paper claims are asserted.
+"""
+
+import numpy as np
+import pytest
+
+from repro.experiments import (
+    crossover_table,
+    run_fig4,
+    run_fig5,
+    run_fig6,
+    run_fig7,
+    run_fig8,
+    run_fig9,
+    run_fig10,
+    run_table1,
+    run_table2,
+    run_table3,
+)
+
+
+@pytest.fixture(autouse=True)
+def tmp_cache(tmp_path, monkeypatch):
+    monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "cache"))
+
+
+class TestFig4:
+    @pytest.fixture(scope="class")
+    def result(self, tmp_path_factory):
+        import os
+
+        os.environ["REPRO_CACHE_DIR"] = str(tmp_path_factory.mktemp("c4"))
+        return run_fig4(scale=16, geometries=("4x8", "4x16"), matrices=(0,))
+
+    def test_rows_complete(self, result):
+        assert len(result.rows) == 2 * 5
+
+    def test_op_wins_sparse_end(self, result):
+        sparse = [r for r in result.rows if r["vector_density"] == 0.0025]
+        assert all(r["op_vs_ip_speedup"] > 1.0 for r in sparse)
+
+    def test_speedup_decreases_with_density(self, result):
+        for system in ("4x8", "4x16"):
+            ss = [
+                r["op_vs_ip_speedup"]
+                for r in result.rows
+                if r["system"] == system
+            ]
+            assert ss[0] > ss[-1]
+
+    def test_crossover_shrinks_with_more_pes(self, result):
+        cvd = {r["system"]: r["cvd"] for r in crossover_table(result).rows}
+        assert cvd["4x16"] < cvd["4x8"]
+
+
+class TestFig5:
+    def test_gain_grows_with_density(self):
+        # matrix 3 (the largest) keeps a vblock-sized vector footprint
+        # even at 1/16 scale, so the output-pressure mechanism shows
+        r = run_fig5(
+            scale=16,
+            geometries=("4x8",),
+            matrices=(3,),
+            densities=(0.01, 0.5, 1.0),
+        )
+        gains = [row["scs_gain_pct"] for row in r.rows]
+        assert gains[-1] > gains[0]
+
+
+class TestFig6:
+    def test_ps_wins_only_when_heap_spills(self):
+        r = run_fig6(
+            scale=4,
+            geometries=("4x8",),
+            matrices=(3,),
+            densities=(0.0025, 0.04),
+        )
+        lo, hi = r.rows[0], r.rows[-1]
+        assert lo["ps_gain_pct"] < hi["ps_gain_pct"]
+        assert lo["ps_gain_pct"] < 5.0  # PC fine at small heaps
+
+
+class TestFig7:
+    @pytest.fixture(scope="class")
+    def result(self, tmp_path_factory):
+        import os
+
+        os.environ["REPRO_CACHE_DIR"] = str(tmp_path_factory.mktemp("c7"))
+        return run_fig7(scale=16, matrices=(0,), geometry_name="8x16")
+
+    def test_all_configs_present(self, result):
+        configs = {r["config"] for r in result.rows}
+        assert configs == {"SC", "SCS", "PC", "PS"}
+
+    def test_partitioning_helps_ip(self, result):
+        for cfg in ("SC", "SCS"):
+            rows = {r["partitioned"]: r for r in result.rows if r["config"] == cfg}
+            assert (
+                rows[True]["powerlaw_cycles"] <= rows[False]["powerlaw_cycles"]
+            )
+
+
+class TestFig8:
+    @pytest.fixture(scope="class")
+    def result(self, tmp_path_factory):
+        import os
+
+        os.environ["REPRO_CACHE_DIR"] = str(tmp_path_factory.mktemp("c8"))
+        return run_fig8(scale=256, graphs=("twitter", "vsp"), densities=(0.001, 1.0))
+
+    def test_beats_cpu_and_gpu_on_average(self, result):
+        avg = result.rows[-1]
+        assert avg["graph"] == "average"
+        assert avg["speedup_vs_cpu"] > 1.0
+        assert avg["speedup_vs_gpu"] > 1.0
+
+    def test_energy_gains_large(self, result):
+        avg = result.rows[-1]
+        assert avg["effgain_vs_cpu"] > 20
+        assert avg["effgain_vs_gpu"] > 20
+
+    def test_sparse_vectors_use_op(self, result):
+        sparse = [r for r in result.rows[:-1] if r["vector_density"] == 0.001]
+        assert all(r["config"].startswith("OP") for r in sparse)
+
+    def test_dense_vectors_use_ip(self, result):
+        dense = [r for r in result.rows[:-1] if r["vector_density"] == 1.0]
+        assert all(r["config"].startswith("IP") for r in dense)
+
+
+class TestFig9:
+    @pytest.fixture(scope="class")
+    def result(self, tmp_path_factory):
+        import os
+
+        os.environ["REPRO_CACHE_DIR"] = str(tmp_path_factory.mktemp("c9"))
+        return run_fig9(scale=128, geometry_name="16x16")
+
+    def test_all_five_configs_priced(self, result):
+        for col in ("IP/SC", "IP/SCS", "OP/SC", "OP/PC", "OP/PS"):
+            assert col in result.columns
+            assert all(np.isfinite(r[col]) for r in result.rows)
+
+    def test_op_chosen_at_sparse_ends(self, result):
+        assert result.rows[0]["best_sw"] == "OP"
+        assert result.rows[-1]["best_sw"] == "OP"
+
+    def test_ip_chosen_at_peak(self, result):
+        peak = max(result.rows, key=lambda r: r["vector_density"])
+        assert peak["best_sw"] == "IP"
+
+    def test_net_speedup_reported(self, result):
+        assert "net speedup" in result.notes
+
+    def test_baseline_normalisation(self, result):
+        assert all(r["IP/SC"] == 1.0 for r in result.rows)
+
+
+class TestFig10:
+    def test_small_run_wins_somewhere(self, tmp_path_factory):
+        import os
+
+        os.environ["REPRO_CACHE_DIR"] = str(tmp_path_factory.mktemp("c10"))
+        r = run_fig10(
+            scale=256,
+            workloads={"bfs": ("twitter",), "pr": ("twitter",)},
+        )
+        assert r.rows[-1]["algorithm"] == "geomean"
+        speedups = [row["speedup"] for row in r.rows[:-1]]
+        assert all(s > 0 for s in speedups)
+        effs = [row["effgain"] for row in r.rows[:-1]]
+        assert all(e > 10 for e in effs)
+
+
+class TestTables:
+    def test_table1_verified(self):
+        r = run_table1(n=150)
+        assert all(row["verified"] for row in r.rows)
+        assert [row["algorithm"] for row in r.rows] == [
+            "SpMV",
+            "BFS",
+            "SSSP",
+            "PR",
+            "CF",
+        ]
+
+    def test_table2_lists_parameters(self):
+        r = run_table2()
+        assert any("1.0 GHz" in str(row["value"]) for row in r.rows)
+
+    def test_table3_specs_vs_generated(self):
+        r = run_table3(scale=512)
+        assert len(r.rows) == 5
+        for row in r.rows:
+            assert row["gen_V"] <= row["spec_V"]
+            assert row["gen_E"] > 0

@@ -1,0 +1,31 @@
+"""Co-reconfiguration gains driver tests."""
+
+import pytest
+
+from repro.experiments import run_reconfiguration_gains
+
+
+@pytest.fixture(scope="module")
+def result():
+    return run_reconfiguration_gains(
+        scale=128,
+        workloads={"bfs": ("twitter", "pokec"), "cc": ("twitter",)},
+    )
+
+
+class TestGainsDriver:
+    def test_rows_complete(self, result):
+        assert len(result.rows) == 3
+
+    def test_results_verified(self, result):
+        # the driver raises if the two policies disagree functionally;
+        # reaching here means every row passed that check
+        assert all(r["net_speedup"] > 0 for r in result.rows)
+
+    def test_reconfiguration_never_hurts_much(self, result):
+        assert min(result.column("net_speedup")) > 0.9
+
+    def test_gain_comes_with_switches(self, result):
+        best = max(result.rows, key=lambda r: r["net_speedup"])
+        if best["net_speedup"] > 1.1:
+            assert best["sw_switches"] >= 1

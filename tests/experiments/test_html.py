@@ -1,0 +1,51 @@
+"""HTML report tests."""
+
+import pytest
+
+from repro.errors import ReproError
+from repro.experiments import ExperimentResult
+from repro.experiments.html import render_report, write_report
+
+
+def sample():
+    r = ExperimentResult(
+        "fig4", "Speedup of OP vs IP", ["vector_density", "op_vs_ip_speedup", "system"]
+    )
+    r.add(vector_density=0.0025, op_vs_ip_speedup=4.0, system="4x8")
+    r.add(vector_density=0.04, op_vs_ip_speedup=0.5, system="4x8")
+    r.notes = "demo <notes>"
+    return r
+
+
+class TestRender:
+    def test_contains_table_and_chart(self):
+        doc = render_report([sample()], timestamp="T")
+        assert "<table>" in doc
+        assert "<svg" in doc  # fig4 has a chart recipe
+        assert "0.0025" in doc
+
+    def test_escapes_notes(self):
+        doc = render_report([sample()], timestamp="T")
+        assert "demo &lt;notes&gt;" in doc
+
+    def test_toc_links_sections(self):
+        t2 = ExperimentResult("table2", "Params", ["parameter", "value"])
+        t2.add(parameter="clock", value="1 GHz")
+        doc = render_report([sample(), t2], timestamp="T")
+        assert doc.count('href="#') == 2
+        assert 'id="table2"' in doc
+
+    def test_chartless_artifacts_ok(self):
+        t2 = ExperimentResult("table2", "Params", ["parameter", "value"])
+        t2.add(parameter="clock", value="1 GHz")
+        doc = render_report([t2], timestamp="T")
+        assert "<svg" not in doc
+
+    def test_empty_rejected(self):
+        with pytest.raises(ReproError):
+            render_report([])
+
+    def test_write_report(self, tmp_path):
+        path = tmp_path / "r.html"
+        write_report([sample()], str(path), timestamp="T")
+        assert path.read_text().startswith("<!DOCTYPE html>")

@@ -1,0 +1,63 @@
+"""Report/table rendering tests."""
+
+import math
+
+import pytest
+
+from repro.experiments import ExperimentResult, geomean, text_table
+
+
+class TestGeomean:
+    def test_basic(self):
+        assert geomean([1.0, 4.0]) == pytest.approx(2.0)
+
+    def test_ignores_nonpositive(self):
+        assert geomean([2.0, 0.0, -1.0, 8.0]) == pytest.approx(4.0)
+
+    def test_empty(self):
+        assert geomean([]) == 0.0
+
+
+class TestTextTable:
+    def test_renders_all_rows(self):
+        t = text_table(["a", "b"], [{"a": 1, "b": 2.5}, {"a": 10, "b": 0.001}])
+        lines = t.splitlines()
+        assert len(lines) == 4
+        assert "a" in lines[0] and "b" in lines[0]
+
+    def test_missing_cells_blank(self):
+        t = text_table(["a", "b"], [{"a": 1}])
+        assert t.splitlines()[2].strip().startswith("1")
+
+    def test_large_numbers_get_commas(self):
+        t = text_table(["x"], [{"x": 1234567.0}])
+        assert "1,234,567" in t
+
+
+class TestExperimentResult:
+    def make(self):
+        r = ExperimentResult("figX", "demo", ["k", "v"])
+        r.add(k="one", v=1.0)
+        r.add(k="two", v=2.0)
+        return r
+
+    def test_table_has_header_and_notes(self):
+        r = self.make()
+        r.notes = "hello"
+        text = r.table()
+        assert "FIGX" in text
+        assert "note: hello" in text
+
+    def test_column_accessor(self):
+        assert self.make().column("v") == [1.0, 2.0]
+
+    def test_csv_round_trip(self, tmp_path):
+        import csv
+
+        r = self.make()
+        path = tmp_path / "r.csv"
+        r.to_csv(str(path))
+        with open(path) as f:
+            rows = list(csv.DictReader(f))
+        assert rows[0]["k"] == "one"
+        assert float(rows[1]["v"]) == 2.0

@@ -1,0 +1,36 @@
+"""Geometry-scaling driver tests."""
+
+import pytest
+
+from repro.experiments import run_scaling
+
+
+@pytest.fixture(scope="module")
+def result():
+    return run_scaling(
+        n=8192,
+        nnz=120_000,
+        geometries=("2x8", "4x16"),
+        densities=(0.002, 0.5),
+    )
+
+
+class TestScalingDriver:
+    def test_grid_complete(self, result):
+        assert len(result.rows) == 4
+
+    def test_sparse_prefers_op(self, result):
+        sparse = [r for r in result.rows if r["vector_density"] == 0.002]
+        assert all(r["best_config"].startswith("OP") for r in sparse)
+
+    def test_dense_prefers_ip(self, result):
+        dense = [r for r in result.rows if r["vector_density"] == 0.5]
+        assert all(r["best_config"].startswith("IP") for r in dense)
+
+    def test_more_pes_faster_dense(self, result):
+        by = {(r["system"], r["vector_density"]): r["cycles"] for r in result.rows}
+        assert by[("4x16", 0.5)] < by[("2x8", 0.5)]
+
+    def test_power_grows_with_size(self, result):
+        by = {r["system"]: r["power_w"] for r in result.rows}
+        assert by["4x16"] > by["2x8"]

@@ -1,0 +1,85 @@
+"""Result persistence and drift-diff tests."""
+
+import math
+
+import pytest
+
+from repro.errors import ReproError
+from repro.experiments import ExperimentResult
+from repro.experiments.store import compare_results, load_result, save_result
+
+
+def make(speedups):
+    r = ExperimentResult("fig4", "demo", ["system", "vector_density", "speedup"])
+    for (system, d), s in speedups.items():
+        r.add(system=system, vector_density=d, speedup=s)
+    return r
+
+
+class TestRoundTrip:
+    def test_json_round_trip(self, tmp_path):
+        r = make({("4x8", 0.01): 2.0, ("4x16", 0.01): 1.1})
+        r.notes = "hello"
+        path = str(tmp_path / "r.json")
+        save_result(r, path)
+        back = load_result(path)
+        assert back.experiment == r.experiment
+        assert back.rows == r.rows
+        assert back.notes == "hello"
+
+    def test_rejects_unknown_version(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text('{"format_version": 99}')
+        with pytest.raises(ReproError):
+            load_result(str(path))
+
+
+class TestCompare:
+    def test_no_drift_within_tolerance(self):
+        a = make({("4x8", 0.01): 2.00})
+        b = make({("4x8", 0.01): 2.04})
+        assert compare_results(a, b, ["system", "vector_density"], ["speedup"]) == []
+
+    def test_detects_drift(self):
+        a = make({("4x8", 0.01): 2.0})
+        b = make({("4x8", 0.01): 3.0})
+        drifts = compare_results(a, b, ["system", "vector_density"], ["speedup"])
+        assert len(drifts) == 1
+        assert drifts[0].rel_change == pytest.approx(0.5)
+
+    def test_missing_row_reported(self):
+        a = make({("4x8", 0.01): 2.0, ("4x16", 0.01): 1.5})
+        b = make({("4x8", 0.01): 2.0})
+        drifts = compare_results(a, b, ["system", "vector_density"], ["speedup"])
+        assert len(drifts) == 1
+        assert math.isnan(drifts[0].new)
+
+    def test_rejects_different_artifacts(self):
+        a = make({("4x8", 0.01): 2.0})
+        b = ExperimentResult("fig5", "x", ["system"])
+        with pytest.raises(ReproError):
+            compare_results(a, b, ["system"], ["speedup"])
+
+    def test_non_numeric_skipped(self):
+        a = make({("4x8", 0.01): 2.0})
+        a.rows[0]["speedup"] = "n/a"
+        b = make({("4x8", 0.01): 2.0})
+        drifts = compare_results(a, b, ["system", "vector_density"], ["speedup"])
+        # old side non-numeric -> reported as one-sided drift
+        assert len(drifts) == 1
+        assert math.isnan(drifts[0].old)
+
+    def test_self_comparison_clean_on_real_driver(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "c"))
+        from repro.experiments import run_table3
+
+        r = run_table3(scale=512)
+        path = str(tmp_path / "t3.json")
+        save_result(r, path)
+        again = load_result(path)
+        assert (
+            compare_results(
+                r, again, ["graph"], ["gen_V", "gen_E", "gen_density"]
+            )
+            == []
+        )

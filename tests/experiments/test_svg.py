@@ -1,0 +1,91 @@
+"""SVG chart writer tests."""
+
+import xml.etree.ElementTree as ET
+
+import pytest
+
+from repro.errors import ReproError
+from repro.experiments import ExperimentResult
+from repro.experiments.svg import bar_chart, figure_svg, line_chart
+
+NS = "{http://www.w3.org/2000/svg}"
+
+
+def parse(svg):
+    return ET.fromstring(svg)
+
+
+class TestLineChart:
+    def rows(self):
+        return [
+            {"x": 0.001, "y": 5.0, "s": "a"},
+            {"x": 0.01, "y": 2.0, "s": "a"},
+            {"x": 0.001, "y": 3.0, "s": "b"},
+            {"x": 0.01, "y": 1.0, "s": "b"},
+        ]
+
+    def test_valid_xml_with_one_polyline_per_series(self):
+        root = parse(line_chart(self.rows(), "x", "y", "s", title="t"))
+        polylines = root.findall(f".//{NS}polyline")
+        assert len(polylines) == 2
+
+    def test_log_axes(self):
+        svg = line_chart(self.rows(), "x", "y", "s", log_x=True, log_y=True)
+        parse(svg)  # must stay well-formed
+
+    def test_nan_rows_dropped(self):
+        rows = self.rows() + [{"x": 0.1, "y": float("nan"), "s": "a"}]
+        parse(line_chart(rows, "x", "y", "s"))
+
+    def test_empty_rejected(self):
+        with pytest.raises(ReproError):
+            line_chart([], "x", "y", "s")
+
+    def test_log_scale_rejects_nonpositive(self):
+        with pytest.raises(ReproError):
+            line_chart([{"x": 0.0, "y": 1.0, "s": "a"}], "x", "y", "s", log_x=True)
+
+    def test_title_escaped(self):
+        svg = line_chart(self.rows(), "x", "y", "s", title="a < b & c")
+        assert "a &lt; b &amp; c" in svg
+
+
+class TestBarChart:
+    def test_one_bar_per_row(self):
+        rows = [{"g": "x", "v": 1.0}, {"g": "y", "v": 2.5}, {"g": "z", "v": 0.5}]
+        root = parse(bar_chart(rows, "g", "v"))
+        bars = [
+            r
+            for r in root.findall(f".//{NS}rect")
+            if r.get("fill", "").startswith("#") and r.get("fill") != "#ddd"
+        ]
+        assert len(bars) >= 3
+
+    def test_negative_values_ok(self):
+        parse(bar_chart([{"g": "a", "v": -5.0}, {"g": "b", "v": 3.0}], "g", "v"))
+
+
+class TestFigureRecipes:
+    def test_fig4_recipe(self, tmp_path):
+        r = ExperimentResult(
+            "fig4", "demo", ["vector_density", "op_vs_ip_speedup", "system"]
+        )
+        for d, s in ((0.0025, 4.0), (0.04, 0.5)):
+            r.add(vector_density=d, op_vs_ip_speedup=s, system="4x8")
+        path = tmp_path / "fig4.svg"
+        svg = figure_svg(r, str(path))
+        assert path.exists()
+        parse(svg)
+
+    def test_fig10_recipe_drops_geomean(self):
+        r = ExperimentResult("fig10", "demo", ["graph", "speedup", "algorithm"])
+        r.add(graph="vsp", speedup=2.0, algorithm="PR")
+        r.add(graph="", speedup=1.5, algorithm="geomean")
+        root = parse(figure_svg(r))
+        texts = [t.text for t in root.findall(f".//{NS}text")]
+        assert "vsp" in texts
+
+    def test_unknown_experiment_rejected(self):
+        r = ExperimentResult("table2", "demo", ["a"])
+        with pytest.raises(ReproError):
+            figure_svg(r)

@@ -1,0 +1,73 @@
+"""Blocked (vblock-major) COO layout tests."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import ShapeError
+from repro.formats import BlockedCOO, COOMatrix
+from repro.spmv import build_ip_partitions
+
+
+def flat_bounds(coo, tiles, pes):
+    part = build_ip_partitions(coo.row_extents(), tiles, pes)
+    return np.concatenate(
+        [b[:-1] for b in part.pe_bounds] + [[coo.n_rows]]
+    ).astype(np.int64)
+
+
+class TestBlocking:
+    def test_preserves_content(self, medium_coo):
+        b = BlockedCOO(medium_coo, flat_bounds(medium_coo, 2, 4), 128)
+        assert b.to_coo().allclose(medium_coo)
+        assert b.nnz == medium_coo.nnz
+
+    def test_invariants(self, medium_coo):
+        b = BlockedCOO(medium_coo, flat_bounds(medium_coo, 2, 4), 100)
+        assert b.check_invariants()
+
+    def test_partition_streams_contiguous_and_disjoint(self, medium_coo):
+        b = BlockedCOO(medium_coo, flat_bounds(medium_coo, 2, 4), 256)
+        prev_hi = 0
+        for p in range(b.n_partitions):
+            lo, hi = b.partition_range(p)
+            assert lo == prev_hi
+            prev_hi = hi
+        assert prev_hi == b.nnz
+
+    def test_schedule_order_row_major_inside_group(self, medium_coo):
+        b = BlockedCOO(medium_coo, flat_bounds(medium_coo, 2, 4), 256)
+        for vb, rows, cols, _vals in b.iter_schedule(0):
+            keys = rows * b.n_cols + cols
+            assert np.all(np.diff(keys) > 0)
+
+    def test_group_range_validation(self, medium_coo):
+        b = BlockedCOO(medium_coo, flat_bounds(medium_coo, 2, 4), 256)
+        with pytest.raises(ShapeError):
+            b.group_range(b.n_partitions, 0)
+        with pytest.raises(ShapeError):
+            b.group_range(0, b.n_vblocks)
+
+    def test_rejects_bad_bounds(self, medium_coo):
+        with pytest.raises(ShapeError):
+            BlockedCOO(medium_coo, [0, 10], 64)  # doesn't cover all rows
+        with pytest.raises(ShapeError):
+            BlockedCOO(medium_coo, [0, medium_coo.n_rows], 0)
+
+    @given(
+        n=st.integers(4, 60),
+        density=st.floats(0.01, 0.5),
+        parts=st.integers(1, 8),
+        width=st.integers(1, 64),
+        seed=st.integers(0, 1000),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_round_trip_property(self, n, density, parts, width, seed):
+        rng = np.random.default_rng(seed)
+        dense = (rng.random((n, n)) < density) * rng.random((n, n))
+        coo = COOMatrix.from_dense(dense)
+        bounds = np.linspace(0, n, parts + 1).astype(np.int64)
+        b = BlockedCOO(coo, bounds, width)
+        assert b.check_invariants()
+        assert np.allclose(b.to_coo().to_dense(), dense)

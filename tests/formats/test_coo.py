@@ -1,0 +1,135 @@
+"""Unit tests for the COO container."""
+
+import numpy as np
+import pytest
+
+from repro.errors import FormatError, ShapeError
+from repro.formats import COOMatrix
+
+
+class TestConstruction:
+    def test_sorts_row_major(self):
+        m = COOMatrix(3, 3, [2, 0, 1, 0], [0, 2, 1, 0], [1.0, 2.0, 3.0, 4.0])
+        assert list(m.rows) == [0, 0, 1, 2]
+        assert list(m.cols) == [0, 2, 1, 0]
+        assert list(m.vals) == [4.0, 2.0, 3.0, 1.0]
+
+    def test_rejects_length_mismatch(self):
+        with pytest.raises(FormatError):
+            COOMatrix(2, 2, [0, 1], [0], [1.0])
+
+    def test_rejects_row_out_of_range(self):
+        with pytest.raises(FormatError):
+            COOMatrix(2, 2, [2], [0], [1.0])
+
+    def test_rejects_col_out_of_range(self):
+        with pytest.raises(FormatError):
+            COOMatrix(2, 2, [0], [5], [1.0])
+
+    def test_rejects_negative_index(self):
+        with pytest.raises(FormatError):
+            COOMatrix(2, 2, [-1], [0], [1.0])
+
+    def test_rejects_negative_shape(self):
+        with pytest.raises(FormatError):
+            COOMatrix(-1, 2, [], [], [])
+
+    def test_empty(self):
+        m = COOMatrix.empty(5, 7)
+        assert m.shape == (5, 7)
+        assert m.nnz == 0
+        assert m.density == 0.0
+
+    def test_zero_by_zero_density(self):
+        assert COOMatrix.empty(0, 0).density == 0.0
+
+
+class TestRoundTrips:
+    def test_dense_round_trip(self, small_dense):
+        m = COOMatrix.from_dense(small_dense)
+        assert np.allclose(m.to_dense(), small_dense)
+
+    def test_from_dense_rejects_1d(self):
+        with pytest.raises(FormatError):
+            COOMatrix.from_dense(np.ones(4))
+
+    def test_scipy_round_trip(self, small_coo):
+        back = COOMatrix.from_scipy(small_coo.to_scipy())
+        assert back.allclose(small_coo)
+
+    def test_nnz_and_density(self, small_dense):
+        m = COOMatrix.from_dense(small_dense)
+        assert m.nnz == np.count_nonzero(small_dense)
+        assert m.density == pytest.approx(m.nnz / small_dense.size)
+
+
+class TestStructure:
+    def test_sum_duplicates(self):
+        m = COOMatrix(2, 2, [0, 0, 1], [1, 1, 0], [1.0, 2.0, 5.0])
+        d = m.sum_duplicates()
+        assert d.nnz == 2
+        assert d.to_dense()[0, 1] == 3.0
+        assert d.to_dense()[1, 0] == 5.0
+
+    def test_transpose(self, small_dense):
+        m = COOMatrix.from_dense(small_dense)
+        assert np.allclose(m.transpose().to_dense(), small_dense.T)
+
+    def test_transpose_is_row_major(self, small_coo):
+        t = small_coo.transpose()
+        keys = t.rows * t.n_cols + t.cols
+        assert np.all(np.diff(keys) > 0)
+
+    def test_row_counts_match_dense(self, small_dense):
+        m = COOMatrix.from_dense(small_dense)
+        assert np.array_equal(m.row_counts(), (small_dense != 0).sum(axis=1))
+
+    def test_col_counts_match_dense(self, small_dense):
+        m = COOMatrix.from_dense(small_dense)
+        assert np.array_equal(m.col_counts(), (small_dense != 0).sum(axis=0))
+
+    def test_row_extents(self, small_coo):
+        ptr = small_coo.row_extents()
+        assert ptr[0] == 0
+        assert ptr[-1] == small_coo.nnz
+        assert np.all(np.diff(ptr) >= 0)
+
+
+class TestSlicing:
+    def test_row_range_partition_covers_matrix(self, medium_coo):
+        a = medium_coo.row_range(0, 1000)
+        b = medium_coo.row_range(1000, 2000)
+        assert a.nnz + b.nnz == medium_coo.nnz
+
+    def test_row_range_keeps_indices(self, small_coo):
+        part = small_coo.row_range(10, 20)
+        assert part.nnz == 0 or part.rows.min() >= 10
+        assert part.nnz == 0 or part.rows.max() < 20
+
+    def test_row_range_rejects_bad_bounds(self, small_coo):
+        with pytest.raises(ShapeError):
+            small_coo.row_range(20, 10)
+        with pytest.raises(ShapeError):
+            small_coo.row_range(0, 1000)
+
+    def test_nnz_slice(self, small_coo):
+        half = small_coo.nnz // 2
+        a = small_coo.nnz_slice(0, half)
+        b = small_coo.nnz_slice(half, small_coo.nnz)
+        assert a.nnz == half
+        assert a.nnz + b.nnz == small_coo.nnz
+
+    def test_iter_vblocks_partitions_entries(self, small_coo):
+        total = 0
+        for start_col, mask in small_coo.iter_vblocks(7):
+            assert start_col % 7 == 0
+            sel = small_coo.cols[mask]
+            if len(sel):
+                assert sel.min() >= start_col
+                assert sel.max() < start_col + 7
+            total += int(mask.sum())
+        assert total == small_coo.nnz
+
+    def test_iter_vblocks_rejects_nonpositive(self, small_coo):
+        with pytest.raises(ShapeError):
+            list(small_coo.iter_vblocks(0))

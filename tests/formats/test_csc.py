@@ -1,0 +1,94 @@
+"""Unit tests for the CSC container."""
+
+import numpy as np
+import pytest
+
+from repro.errors import FormatError, ShapeError
+from repro.formats import COOMatrix, CSCMatrix
+
+
+class TestConstruction:
+    def test_from_coo_round_trip(self, small_coo):
+        csc = CSCMatrix.from_coo(small_coo)
+        assert np.allclose(csc.to_dense(), small_coo.to_dense())
+
+    def test_from_dense(self, small_dense):
+        assert np.allclose(CSCMatrix.from_dense(small_dense).to_dense(), small_dense)
+
+    def test_scipy_round_trip(self, small_csc):
+        back = CSCMatrix.from_scipy(small_csc.to_scipy())
+        assert np.allclose(back.to_dense(), small_csc.to_dense())
+
+    def test_rows_sorted_within_columns(self, small_csc):
+        for j in range(small_csc.n_cols):
+            rows, _ = small_csc.column(j)
+            assert np.all(np.diff(rows) > 0)
+
+    def test_rejects_bad_indptr_length(self):
+        with pytest.raises(FormatError):
+            CSCMatrix(2, 2, [0, 1], [0], [1.0])
+
+    def test_rejects_decreasing_indptr(self):
+        with pytest.raises(FormatError):
+            CSCMatrix(2, 2, [0, 1, 0], [0], [1.0])
+
+    def test_rejects_indptr_not_ending_at_nnz(self):
+        with pytest.raises(FormatError):
+            CSCMatrix(2, 2, [0, 1, 5], [0], [1.0])
+
+    def test_rejects_row_out_of_range(self):
+        with pytest.raises(FormatError):
+            CSCMatrix(2, 2, [0, 1, 1], [7], [1.0])
+
+
+class TestColumns:
+    def test_column_contents(self, small_dense, small_csc):
+        for j in (0, 5, small_csc.n_cols - 1):
+            rows, vals = small_csc.column(j)
+            dense_col = small_dense[:, j]
+            assert np.array_equal(rows, np.nonzero(dense_col)[0])
+            assert np.allclose(vals, dense_col[rows])
+
+    def test_column_rejects_out_of_range(self, small_csc):
+        with pytest.raises(ShapeError):
+            small_csc.column(small_csc.n_cols)
+
+    def test_column_lengths(self, small_csc, small_dense):
+        assert np.array_equal(
+            small_csc.column_lengths(), (small_dense != 0).sum(axis=0)
+        )
+
+    def test_column_lengths_subset(self, small_csc):
+        js = np.asarray([0, 3, 9])
+        assert np.array_equal(
+            small_csc.column_lengths(js), small_csc.column_lengths()[js]
+        )
+
+    def test_nonempty_columns(self, small_csc):
+        js = np.arange(small_csc.n_cols)
+        ne = small_csc.nonempty_columns(js)
+        lengths = small_csc.column_lengths()
+        assert np.array_equal(ne, js[lengths > 0])
+
+
+class TestGather:
+    def test_gather_columns_matches_columns(self, small_csc):
+        js = np.asarray([2, 7, 11])
+        rows, vals, col_of = small_csc.gather_columns(js)
+        off = 0
+        for j in js:
+            r, v = small_csc.column(j)
+            n = len(r)
+            assert np.array_equal(rows[off : off + n], r)
+            assert np.allclose(vals[off : off + n], v)
+            assert np.all(col_of[off : off + n] == j)
+            off += n
+        assert off == len(rows)
+
+    def test_gather_empty_selection(self, small_csc):
+        rows, vals, col_of = small_csc.gather_columns(np.zeros(0, dtype=np.int64))
+        assert len(rows) == len(vals) == len(col_of) == 0
+
+    def test_gather_all_columns_equals_nnz(self, medium_csc):
+        rows, vals, _ = medium_csc.gather_columns(np.arange(medium_csc.n_cols))
+        assert len(rows) == medium_csc.nnz

@@ -1,0 +1,68 @@
+"""Unit tests for the CSR container (baseline format)."""
+
+import numpy as np
+import pytest
+
+from repro.errors import FormatError, ShapeError
+from repro.formats import COOMatrix, CSRMatrix
+
+
+class TestConstruction:
+    def test_from_coo_round_trip(self, small_coo):
+        csr = CSRMatrix.from_coo(small_coo)
+        assert np.allclose(csr.to_dense(), small_coo.to_dense())
+
+    def test_from_dense(self, small_dense):
+        assert np.allclose(CSRMatrix.from_dense(small_dense).to_dense(), small_dense)
+
+    def test_scipy_round_trip(self, small_coo):
+        csr = CSRMatrix.from_coo(small_coo)
+        back = CSRMatrix.from_scipy(csr.to_scipy())
+        assert np.allclose(back.to_dense(), csr.to_dense())
+
+    def test_rejects_bad_indptr(self):
+        with pytest.raises(FormatError):
+            CSRMatrix(2, 2, [0, 2], [0, 1], [1.0, 2.0])
+
+    def test_rejects_col_out_of_range(self):
+        with pytest.raises(FormatError):
+            CSRMatrix(1, 2, [0, 1], [4], [1.0])
+
+
+class TestRows:
+    def test_row_contents(self, small_dense):
+        csr = CSRMatrix.from_dense(small_dense)
+        for i in (0, 17, csr.n_rows - 1):
+            cols, vals = csr.row(i)
+            assert np.array_equal(cols, np.nonzero(small_dense[i])[0])
+            assert np.allclose(vals, small_dense[i, cols])
+
+    def test_row_rejects_out_of_range(self, small_coo):
+        csr = CSRMatrix.from_coo(small_coo)
+        with pytest.raises(ShapeError):
+            csr.row(-1)
+
+    def test_row_lengths(self, small_dense):
+        csr = CSRMatrix.from_dense(small_dense)
+        assert np.array_equal(csr.row_lengths(), (small_dense != 0).sum(axis=1))
+
+
+class TestMatvec:
+    def test_matches_dense(self, small_dense, rng):
+        csr = CSRMatrix.from_dense(small_dense)
+        x = rng.random(csr.n_cols)
+        assert np.allclose(csr.matvec(x), small_dense @ x)
+
+    def test_matches_scipy(self, medium_coo, rng):
+        csr = CSRMatrix.from_coo(medium_coo)
+        x = rng.random(csr.n_cols)
+        assert np.allclose(csr.matvec(x), medium_coo.to_scipy() @ x)
+
+    def test_rejects_wrong_length(self, small_coo):
+        csr = CSRMatrix.from_coo(small_coo)
+        with pytest.raises(ShapeError):
+            csr.matvec(np.ones(csr.n_cols + 1))
+
+    def test_zero_vector_gives_zero(self, small_coo):
+        csr = CSRMatrix.from_coo(small_coo)
+        assert np.allclose(csr.matvec(np.zeros(csr.n_cols)), 0.0)

@@ -1,0 +1,154 @@
+"""End-to-end algorithm tests against networkx / dense references."""
+
+import numpy as np
+import pytest
+
+networkx = pytest.importorskip("networkx")
+
+from repro.core import CoSparseRuntime
+from repro.errors import AlgorithmError
+from repro.graphs import (
+    Graph,
+    bfs,
+    cf_loss,
+    collaborative_filtering,
+    pagerank,
+    sssp,
+)
+
+
+@pytest.fixture(scope="module")
+def nx_graph():
+    rng = np.random.default_rng(9)
+    g = networkx.gnp_random_graph(250, 0.03, seed=4, directed=True)
+    for u, v in g.edges():
+        g[u][v]["weight"] = float(rng.integers(1, 10))
+    return g
+
+
+@pytest.fixture(scope="module")
+def graph(nx_graph):
+    return Graph.from_networkx(nx_graph, name="algo-test")
+
+
+class TestBFS:
+    def test_levels_match_networkx(self, graph, nx_graph):
+        run = bfs(graph, 0, geometry="2x4")
+        ref = networkx.single_source_shortest_path_length(nx_graph, 0)
+        mine = {v: int(l) for v, l in enumerate(run.values) if np.isfinite(l)}
+        assert mine == ref
+
+    def test_unreachable_stay_inf(self):
+        g = Graph.from_edges(4, [0], [1])
+        run = bfs(g, 0, geometry="1x2")
+        assert np.isinf(run.values[2]) and np.isinf(run.values[3])
+
+    def test_frontier_trace_recorded(self, graph):
+        run = bfs(graph, 0, geometry="2x4")
+        assert len(run.frontier_trace.sizes) == run.iterations
+        assert run.frontier_trace.sizes[0] == 1
+
+    def test_max_iters_cap(self, graph):
+        run = bfs(graph, 0, geometry="2x4", max_iters=1)
+        assert run.iterations == 1
+        assert not run.converged
+
+    def test_rejects_bad_source(self, graph):
+        with pytest.raises(AlgorithmError):
+            bfs(graph, -1, geometry="2x4")
+
+    def test_reconfigures_over_the_run(self, graph):
+        """The frontier swells then shrinks; the tree must switch."""
+        run = bfs(graph, 0, geometry="2x4")
+        labels = set(run.log.config_sequence())
+        assert any(l.startswith("OP/") for l in labels)
+        assert any(l.startswith("IP/") for l in labels)
+
+
+class TestSSSP:
+    def test_distances_match_dijkstra(self, graph, nx_graph):
+        run = sssp(graph, 0, geometry="2x4")
+        ref = networkx.single_source_dijkstra_path_length(nx_graph, 0)
+        mine = {v: d for v, d in enumerate(run.values) if np.isfinite(d)}
+        assert set(mine) == set(ref)
+        for v in ref:
+            assert mine[v] == pytest.approx(ref[v])
+
+    def test_rejects_negative_weights(self):
+        g = Graph.from_edges(2, [0], [1], [-1.0])
+        with pytest.raises(AlgorithmError):
+            sssp(g, 0, geometry="1x2")
+
+    def test_source_distance_zero(self, graph):
+        run = sssp(graph, 5, geometry="2x4")
+        assert run.values[5] == 0.0
+
+    def test_runs_on_shared_runtime(self, graph):
+        rt = CoSparseRuntime(graph.operand, "2x4")
+        run1 = sssp(graph, 0, runtime=rt)
+        run2 = sssp(graph, 1, runtime=rt)  # reset_log between runs
+        assert run2.iterations == len(rt.log)
+
+
+class TestPageRank:
+    def test_matches_dense_power_iteration(self, graph):
+        run = pagerank(graph, geometry="2x4", max_iters=60, tol=1e-12)
+        n = graph.n_vertices
+        A = graph.adjacency.to_dense() != 0
+        deg = graph.out_degrees().astype(float)
+        safe = np.where(deg > 0, deg, 1.0)
+        r = np.full(n, 1.0 / n)
+        for _ in range(60):
+            r = 0.15 / n + 0.85 * (A.T @ (r / safe))
+        assert np.allclose(run.values, r, atol=1e-8)
+
+    def test_converges(self, graph):
+        run = pagerank(graph, geometry="2x4", max_iters=200, tol=1e-9)
+        assert run.converged
+
+    def test_always_dense_ip(self, graph):
+        run = pagerank(graph, geometry="2x4", max_iters=5, tol=0.0)
+        assert all(r.algorithm == "ip" for r in run.log)
+
+    def test_ranks_bounded(self, graph):
+        run = pagerank(graph, geometry="2x4", max_iters=30)
+        assert np.all(run.values > 0)
+        assert run.values.sum() <= 1.0 + 1e-9
+
+
+class TestCF:
+    @pytest.fixture(scope="class")
+    def ratings(self):
+        rng = np.random.default_rng(21)
+        users, items = 40, 25
+        u = rng.integers(0, users, 300)
+        i = rng.integers(0, items, 300) + users
+        r = rng.uniform(1, 5, 300)
+        return Graph.from_edges(users + items, u, i, r, undirected=True)
+
+    def test_loss_decreases(self, ratings):
+        run = collaborative_filtering(ratings, geometry="2x4", iterations=6, k=4)
+        rng = np.random.default_rng(11)
+        initial = rng.normal(scale=0.1, size=(ratings.n_vertices, 4))
+        assert cf_loss(ratings, run.values) < cf_loss(ratings, initial)
+
+    def test_factor_shape(self, ratings):
+        run = collaborative_filtering(ratings, geometry="2x4", iterations=2, k=5)
+        assert run.values.shape == (ratings.n_vertices, 5)
+
+    def test_rejects_zero_iterations(self, ratings):
+        with pytest.raises(AlgorithmError):
+            collaborative_filtering(ratings, geometry="2x4", iterations=0)
+
+    def test_always_dense_ip(self, ratings):
+        run = collaborative_filtering(ratings, geometry="2x4", iterations=2)
+        assert all(r.algorithm == "ip" for r in run.log)
+
+
+class TestAlgorithmRun:
+    def test_summary_and_costs(self, graph):
+        run = bfs(graph, 0, geometry="2x4")
+        assert run.total_cycles > 0
+        assert run.total_energy_j > 0
+        assert run.time_s == pytest.approx(run.total_cycles * 1e-9)
+        assert "bfs" in run.summary()

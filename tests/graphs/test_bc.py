@@ -1,0 +1,60 @@
+"""Betweenness-centrality (extension algorithm) tests."""
+
+import numpy as np
+import pytest
+
+from repro.graphs import Graph, betweenness_centrality
+
+
+class TestBC:
+    def test_exact_matches_networkx(self):
+        networkx = pytest.importorskip("networkx")
+        g_nx = networkx.gnp_random_graph(50, 0.1, seed=7, directed=True)
+        g = Graph.from_networkx(g_nx)
+        run = betweenness_centrality(g, geometry="1x2")
+        ref = networkx.betweenness_centrality(g_nx, normalized=False)
+        for v in range(g.n_vertices):
+            assert run.values[v] == pytest.approx(ref[v], abs=1e-9)
+
+    def test_path_graph(self):
+        # 0 -> 1 -> 2 -> 3: middle vertices carry all pairs through them
+        g = Graph.from_edges(4, [0, 1, 2], [1, 2, 3])
+        run = betweenness_centrality(g, geometry="1x2")
+        assert np.allclose(run.values, [0.0, 2.0, 2.0, 0.0])
+
+    def test_star_center(self):
+        # in-star + out-star through vertex 0
+        g = Graph.from_edges(5, [1, 2, 0, 0], [0, 0, 3, 4])
+        run = betweenness_centrality(g, geometry="1x2")
+        assert run.values[0] == pytest.approx(4.0)  # 2 sources x 2 sinks
+
+    def test_equal_shortest_paths_split(self):
+        # two parallel 2-hop routes 0->{1,2}->3: each middle gets 0.5
+        g = Graph.from_edges(4, [0, 0, 1, 2], [1, 2, 3, 3])
+        run = betweenness_centrality(g, geometry="1x2")
+        assert run.values[1] == pytest.approx(0.5)
+        assert run.values[2] == pytest.approx(0.5)
+
+    def test_sampled_sources_subset(self):
+        networkx = pytest.importorskip("networkx")
+        g_nx = networkx.gnp_random_graph(40, 0.12, seed=8, directed=True)
+        g = Graph.from_networkx(g_nx)
+        run = betweenness_centrality(g, sources=[0, 5], geometry="1x2")
+        # manual Brandes restricted to the two sources
+        ref = np.zeros(40)
+        for s in (0, 5):
+            full = networkx.betweenness_centrality_subset(
+                g_nx, sources=[s], targets=list(g_nx.nodes()), normalized=False
+            )
+            for v, x in full.items():
+                ref[v] += x
+        assert np.allclose(run.values, ref, atol=1e-9)
+
+    def test_forward_phase_reconfigures(self):
+        from repro.workloads import chung_lu
+
+        g = Graph(chung_lu(3000, 30000, seed=4), name="bc")
+        hub = int(np.argmax(g.out_degrees()))
+        run = betweenness_centrality(g, sources=[hub], geometry="2x4")
+        labels = set(run.log.config_sequence())
+        assert len(labels) >= 2  # the swell forces at least one switch

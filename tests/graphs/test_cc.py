@@ -1,0 +1,53 @@
+"""Connected-components (extension algorithm) tests."""
+
+import numpy as np
+import pytest
+
+from repro.graphs import Graph, connected_components
+
+
+class TestCC:
+    def test_matches_networkx(self):
+        networkx = pytest.importorskip("networkx")
+        g_nx = networkx.gnp_random_graph(250, 0.008, seed=5, directed=True)
+        graph = Graph.from_networkx(g_nx)
+        run = connected_components(graph, geometry="2x4")
+        for comp in networkx.weakly_connected_components(g_nx):
+            labels = {run.values[v] for v in comp}
+            assert len(labels) == 1
+            assert labels.pop() == min(comp)
+
+    def test_isolated_vertices_self_label(self):
+        g = Graph.from_edges(5, [0], [1])
+        run = connected_components(g, geometry="1x2")
+        assert run.values[2] == 2 and run.values[4] == 4
+
+    def test_single_component_chain(self):
+        n = 30
+        g = Graph.from_edges(n, np.arange(n - 1), np.arange(1, n))
+        run = connected_components(g, geometry="1x2")
+        assert np.all(run.values == 0)
+        assert run.converged
+
+    def test_direction_ignored(self):
+        """Weak connectivity: a reversed edge still joins components."""
+        g = Graph.from_edges(4, [1, 3], [0, 2])
+        run = connected_components(g, geometry="1x2")
+        assert run.values[0] == run.values[1] == 0
+        assert run.values[2] == run.values[3] == 2
+
+    def test_reconfigures_as_labels_converge(self):
+        from repro.workloads import chung_lu
+
+        g = Graph(chung_lu(2000, 16000, seed=2), name="cc")
+        run = connected_components(g, geometry="2x4")
+        labels = set(run.log.config_sequence())
+        assert any(l.startswith("IP/") for l in labels)
+        assert any(l.startswith("OP/") for l in labels)
+
+    def test_max_iters_cap(self):
+        n = 50
+        g = Graph.from_edges(n, np.arange(n - 1), np.arange(1, n))
+        run = connected_components(g, geometry="1x2", max_iters=2)
+        assert run.iterations == 2
+        assert not run.converged

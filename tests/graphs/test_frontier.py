@@ -1,0 +1,37 @@
+"""Frontier helper tests."""
+
+import numpy as np
+import pytest
+
+from repro.graphs import FrontierTrace, frontier_from_mask, single_vertex_frontier
+
+
+class TestHelpers:
+    def test_single_vertex(self):
+        f = single_vertex_frontier(10, 3, value=0.0)
+        assert f.nnz == 1
+        assert f.indices[0] == 3
+        assert f.values[0] == 0.0
+
+    def test_from_mask(self):
+        mask = np.asarray([True, False, True])
+        vals = np.asarray([5.0, 6.0, 7.0])
+        f = frontier_from_mask(mask, vals)
+        assert list(f.indices) == [0, 2]
+        assert list(f.values) == [5.0, 7.0]
+
+    def test_from_empty_mask(self):
+        f = frontier_from_mask(np.zeros(5, dtype=bool), np.zeros(5))
+        assert f.nnz == 0
+
+
+class TestTrace:
+    def test_densities(self):
+        t = FrontierTrace(100, [])
+        t.record(single_vertex_frontier(100, 0))
+        t.record(frontier_from_mask(np.ones(100, dtype=bool), np.ones(100)))
+        assert t.densities == [0.01, 1.0]
+        assert t.peak_density == 1.0
+
+    def test_empty_trace(self):
+        assert FrontierTrace(10, []).peak_density == 0.0

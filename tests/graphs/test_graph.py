@@ -1,0 +1,75 @@
+"""Graph container tests."""
+
+import numpy as np
+import pytest
+
+from repro.errors import AlgorithmError
+from repro.formats import COOMatrix
+from repro.graphs import Graph
+
+
+class TestConstruction:
+    def test_rejects_non_square(self):
+        with pytest.raises(AlgorithmError):
+            Graph(COOMatrix(2, 3, [0], [1], [1.0]))
+
+    def test_from_edges(self):
+        g = Graph.from_edges(4, [0, 1], [1, 2], [2.0, 3.0])
+        assert g.n_vertices == 4
+        assert g.n_edges == 2
+        dense = g.adjacency.to_dense()
+        assert dense[0, 1] == 2.0 and dense[1, 2] == 3.0
+
+    def test_from_edges_default_weights(self):
+        g = Graph.from_edges(3, [0], [1])
+        assert g.adjacency.vals[0] == 1.0
+
+    def test_undirected_mirrors(self):
+        g = Graph.from_edges(3, [0], [1], [5.0], undirected=True)
+        dense = g.adjacency.to_dense()
+        assert dense[0, 1] == dense[1, 0] == 5.0
+
+    def test_duplicate_edges_sum(self):
+        g = Graph.from_edges(2, [0, 0], [1, 1], [1.0, 2.0])
+        assert g.n_edges == 1
+        assert g.adjacency.to_dense()[0, 1] == 3.0
+
+    def test_from_networkx_directed(self):
+        nx = pytest.importorskip("networkx")
+        d = nx.DiGraph()
+        d.add_edge(0, 1, weight=2.0)
+        d.add_edge(1, 2)
+        g = Graph.from_networkx(d)
+        assert g.n_edges == 2
+        assert g.adjacency.to_dense()[0, 1] == 2.0
+
+    def test_from_networkx_undirected(self):
+        nx = pytest.importorskip("networkx")
+        u = nx.Graph()
+        u.add_edge(0, 1)
+        g = Graph.from_networkx(u)
+        assert g.n_edges == 2  # mirrored
+
+
+class TestStructure:
+    def test_operand_is_transposed(self):
+        g = Graph.from_edges(3, [0], [2], [7.0])
+        # operand rows are destinations: SpMV(G.T, f)
+        assert g.operand.coo.to_dense()[2, 0] == 7.0
+
+    def test_degrees(self):
+        g = Graph.from_edges(3, [0, 0, 1], [1, 2, 2])
+        assert list(g.out_degrees()) == [2, 1, 0]
+        assert list(g.in_degrees()) == [0, 1, 2]
+
+    def test_degrees_cached(self, small_graph):
+        assert small_graph.out_degrees() is small_graph.out_degrees()
+
+    def test_check_source(self, small_graph):
+        assert small_graph.check_source(0) == 0
+        with pytest.raises(AlgorithmError):
+            small_graph.check_source(small_graph.n_vertices)
+
+    def test_density(self):
+        g = Graph.from_edges(10, [0], [1])
+        assert g.density == pytest.approx(0.01)

@@ -1,0 +1,94 @@
+"""Property-based graph-algorithm tests on random graphs."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.baselines import LigraEngine
+from repro.graphs import Graph, bfs, pagerank, sssp
+from repro.workloads import uniform_random
+
+
+@st.composite
+def random_graph(draw):
+    n = draw(st.integers(4, 60))
+    e = draw(st.integers(0, 4 * n))
+    seed = draw(st.integers(0, 10_000))
+    coo = uniform_random(n, nnz=min(e, n * n), seed=seed, remove_self_loops=True)
+    return Graph(coo, name="prop")
+
+
+class TestBFSProperties:
+    @given(random_graph(), st.integers(0, 59))
+    @settings(max_examples=40, deadline=None)
+    def test_levels_are_consistent(self, graph, source):
+        source = source % graph.n_vertices
+        levels = bfs(graph, source, geometry="1x2").values
+        # source at 0; every edge (u, v) satisfies level(v) <= level(u)+1
+        assert levels[source] == 0
+        adj = graph.adjacency
+        u, v = adj.rows, adj.cols
+        finite = np.isfinite(levels[u])
+        assert np.all(levels[v][finite] <= levels[u][finite] + 1)
+        # reached vertices (except source) have a parent one level up
+        for w in np.nonzero(np.isfinite(levels))[0]:
+            if w == source:
+                continue
+            preds = u[v == w]
+            assert np.any(levels[preds] == levels[w] - 1)
+
+    @given(random_graph(), st.integers(0, 59))
+    @settings(max_examples=30, deadline=None)
+    def test_bfs_lower_bounds_sssp_hops(self, graph, source):
+        """With unit weights, SSSP distances equal BFS levels."""
+        source = source % graph.n_vertices
+        unit = Graph(
+            type(graph.adjacency)(
+                graph.adjacency.n_rows,
+                graph.adjacency.n_cols,
+                graph.adjacency.rows,
+                graph.adjacency.cols,
+                np.ones(graph.adjacency.nnz),
+                sort=False,
+                check=False,
+            ),
+            name="unit",
+        )
+        l = bfs(unit, source, geometry="1x2").values
+        d = sssp(unit, source, geometry="1x2").values
+        assert np.allclose(np.nan_to_num(l, posinf=-1), np.nan_to_num(d, posinf=-1))
+
+
+class TestSSSPProperties:
+    @given(random_graph(), st.integers(0, 59))
+    @settings(max_examples=30, deadline=None)
+    def test_triangle_inequality_on_edges(self, graph, source):
+        source = source % graph.n_vertices
+        dist = sssp(graph, source, geometry="1x2").values
+        adj = graph.adjacency
+        u, v, w = adj.rows, adj.cols, adj.vals
+        finite = np.isfinite(dist[u])
+        assert np.all(dist[v][finite] <= dist[u][finite] + w[finite] + 1e-9)
+
+    @given(random_graph(), st.integers(0, 59))
+    @settings(max_examples=20, deadline=None)
+    def test_matches_ligra(self, graph, source):
+        source = source % graph.n_vertices
+        ours = sssp(graph, source, geometry="1x2").values
+        theirs = LigraEngine(graph).sssp(source).values
+        assert np.allclose(
+            np.nan_to_num(ours, posinf=-1), np.nan_to_num(theirs, posinf=-1)
+        )
+
+
+class TestPageRankProperties:
+    @given(random_graph())
+    @settings(max_examples=25, deadline=None)
+    def test_mass_conserved_up_to_dangling(self, graph):
+        ranks = pagerank(graph, geometry="1x2", max_iters=15).values
+        assert np.all(ranks > 0)
+        assert ranks.sum() <= 1.0 + 1e-9
+        if np.all(graph.out_degrees() > 0):
+            # no dangling vertices: mass is conserved exactly
+            assert ranks.sum() == pytest.approx(1.0, abs=1e-6)

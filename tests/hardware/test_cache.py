@@ -1,0 +1,117 @@
+"""Set-associative LRU cache simulator tests."""
+
+import numpy as np
+import pytest
+
+from repro.hardware import DEFAULT_PARAMS
+from repro.hardware.cache import BankedCache, CacheBank, interleave_round_robin
+
+
+class TestCacheBank:
+    def test_cold_miss_then_hit(self):
+        c = CacheBank(DEFAULT_PARAMS)
+        assert not c.access(0)
+        assert c.access(0)
+        assert c.access(15)  # same 16-word line
+        assert not c.access(16)  # next line
+
+    def test_capacity(self):
+        c = CacheBank(DEFAULT_PARAMS)
+        assert c.capacity_words == 1024
+
+    def test_lru_eviction_within_set(self):
+        c = CacheBank(DEFAULT_PARAMS)
+        sets = c.n_sets
+        line_words = DEFAULT_PARAMS.cache_line_words
+        # 5 lines mapping to set 0; 4 ways -> first one evicted
+        addrs = [i * sets * line_words for i in range(5)]
+        for a in addrs:
+            c.access(a)
+        assert not c.access(addrs[0])  # evicted
+        assert c.access(addrs[4])  # most recent survives
+
+    def test_lru_touch_refreshes(self):
+        c = CacheBank(DEFAULT_PARAMS)
+        sets = c.n_sets
+        lw = DEFAULT_PARAMS.cache_line_words
+        addrs = [i * sets * lw for i in range(4)]
+        for a in addrs:
+            c.access(a)
+        c.access(addrs[0])  # refresh line 0
+        c.access(4 * sets * lw)  # evicts line 1, not 0
+        assert c.access(addrs[0])
+        assert not c.access(addrs[1])
+
+    def test_writeback_counting(self):
+        c = CacheBank(DEFAULT_PARAMS)
+        sets = c.n_sets
+        lw = DEFAULT_PARAMS.cache_line_words
+        c.access(0, write=True)
+        for i in range(1, 5):
+            c.access(i * sets * lw)
+        assert c.writebacks == 1
+
+    def test_hit_rate_idle_is_one(self):
+        assert CacheBank(DEFAULT_PARAMS).hit_rate == 1.0
+
+    def test_reset_lines_keeps_counters(self):
+        c = CacheBank(DEFAULT_PARAMS)
+        c.access(0)
+        c.reset_lines()
+        assert not c.access(0)  # cold again
+        assert c.misses == 2
+
+    def test_sequential_stream_miss_rate(self):
+        c = CacheBank(DEFAULT_PARAMS)
+        n = 512
+        for a in range(n):
+            c.access(a)
+        assert c.misses == n // DEFAULT_PARAMS.cache_line_words
+
+
+class TestBankedCache:
+    def test_aggregate_capacity(self):
+        b = BankedCache(8, DEFAULT_PARAMS)
+        assert b.capacity_words == 8 * 1024
+
+    def test_run_trace_mask(self):
+        b = BankedCache(2, DEFAULT_PARAMS)
+        addrs = np.asarray([0, 0, 64, 0], dtype=np.int64)
+        writes = np.zeros(4, dtype=bool)
+        hits = b.run_trace(addrs, writes)
+        assert list(hits) == [False, True, False, True]
+        assert b.hits == 2
+        assert b.misses == 2
+
+    def test_bigger_group_holds_more(self):
+        """A footprint thrashing one bank fits comfortably in eight."""
+        foot = 2048  # words
+        addrs = np.tile(np.arange(0, foot, 1, dtype=np.int64), 4)
+        writes = np.zeros(len(addrs), dtype=bool)
+        small = BankedCache(1, DEFAULT_PARAMS)
+        big = BankedCache(8, DEFAULT_PARAMS)
+        h_small = small.run_trace(addrs, writes).mean()
+        h_big = big.run_trace(addrs, writes).mean()
+        assert h_big > h_small
+
+
+class TestInterleave:
+    def test_round_robin_order(self):
+        src, pos = interleave_round_robin([2, 2])
+        assert list(src) == [0, 1, 0, 1]
+        assert list(pos) == [0, 0, 1, 1]
+
+    def test_uneven_lengths(self):
+        src, pos = interleave_round_robin([3, 1])
+        assert len(src) == 4
+        # stream 1 exhausts after its first slot
+        assert list(src[:2]) == [0, 1]
+
+    def test_empty(self):
+        src, pos = interleave_round_robin([])
+        assert len(src) == 0
+
+    def test_program_order_preserved_per_stream(self):
+        src, pos = interleave_round_robin([5, 3, 4])
+        for s in range(3):
+            assert list(pos[src == s]) == sorted(pos[src == s])

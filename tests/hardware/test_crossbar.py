@@ -1,0 +1,62 @@
+"""RXBar model tests."""
+
+import numpy as np
+import pytest
+
+from repro.errors import SimulationError
+from repro.hardware import DEFAULT_PARAMS
+from repro.hardware.crossbar import Crossbar
+from repro.hardware.latency import shared_conflict_cycles
+
+
+class TestExpectedConflicts:
+    def test_private_is_free(self):
+        xb = Crossbar(8, 8, shared=False, params=DEFAULT_PARAMS)
+        assert xb.expected_access_extra() == 0.0
+
+    def test_shared_includes_arbitration(self):
+        xb = Crossbar(8, 8, shared=True, params=DEFAULT_PARAMS)
+        assert xb.expected_access_extra() >= DEFAULT_PARAMS.xbar_arbitration
+
+    def test_more_requesters_more_conflicts(self):
+        few = shared_conflict_cycles(4, 8, DEFAULT_PARAMS)
+        many = shared_conflict_cycles(32, 8, DEFAULT_PARAMS)
+        assert many > few
+
+    def test_more_banks_fewer_conflicts(self):
+        narrow = shared_conflict_cycles(16, 4, DEFAULT_PARAMS)
+        wide = shared_conflict_cycles(16, 32, DEFAULT_PARAMS)
+        assert wide < narrow
+
+    def test_single_requester_no_serialisation(self):
+        assert shared_conflict_cycles(1, 8, DEFAULT_PARAMS) == pytest.approx(
+            DEFAULT_PARAMS.xbar_arbitration
+        )
+
+    def test_rejects_bad_dimensions(self):
+        with pytest.raises(SimulationError):
+            Crossbar(0, 4, shared=True, params=DEFAULT_PARAMS)
+
+
+class TestReplay:
+    def test_no_conflict_trace(self):
+        xb = Crossbar(4, 4, shared=True, params=DEFAULT_PARAMS)
+        # each window of 4 hits distinct banks
+        banks = np.asarray([0, 1, 2, 3] * 5)
+        assert xb.replay_conflicts(banks) == 0.0
+
+    def test_full_conflict_trace(self):
+        xb = Crossbar(4, 4, shared=True, params=DEFAULT_PARAMS)
+        banks = np.zeros(8, dtype=np.int64)  # all to bank 0
+        # two windows of 4, each pays 3 serialisation cycles
+        assert xb.replay_conflicts(banks) == 6.0
+
+    def test_private_replay_is_free(self):
+        xb = Crossbar(4, 4, shared=False, params=DEFAULT_PARAMS)
+        assert xb.replay_conflicts(np.zeros(8, dtype=np.int64)) == 0.0
+
+    def test_record_accumulates(self):
+        xb = Crossbar(8, 8, shared=True, params=DEFAULT_PARAMS)
+        xb.record(100)
+        assert xb.traversals == 100
+        assert xb.conflict_cycles == pytest.approx(100 * xb.expected_access_extra())

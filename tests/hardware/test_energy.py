@@ -1,0 +1,75 @@
+"""Energy/power model tests."""
+
+import pytest
+
+from repro.hardware import (
+    DEFAULT_PARAMS,
+    EnergyModel,
+    Geometry,
+    MemCounters,
+    RunReport,
+)
+
+
+@pytest.fixture
+def model():
+    return EnergyModel(Geometry(4, 16), DEFAULT_PARAMS)
+
+
+class TestStatic:
+    def test_static_power_positive(self, model):
+        assert model.static_power_w > 0
+
+    def test_static_scales_with_size(self):
+        small = EnergyModel(Geometry(2, 4), DEFAULT_PARAMS)
+        big = EnergyModel(Geometry(8, 16), DEFAULT_PARAMS)
+        assert big.static_power_w > 4 * small.static_power_w
+
+    def test_array_power_far_below_cpu(self, model):
+        """The premise of the paper's energy claims: the whole array
+        draws orders of magnitude less than a 91 W desktop CPU."""
+        assert model.static_power_w < 5.0
+
+    def test_area_far_below_xeon(self, model):
+        assert model.area_mm2 < 100.0
+
+
+class TestDynamic:
+    def test_breakdown_sums(self, model):
+        c = MemCounters(
+            pe_ops=1e6,
+            spm_accesses=1e5,
+            l1_accesses=1e6,
+            l2_accesses=1e4,
+            dram_words=1e5,
+            xbar_hops=1e6,
+        )
+        b = model.breakdown(c, time_s=1e-3)
+        total = (
+            b.core_j + b.spm_j + b.l1_j + b.l2_j + b.xbar_j + b.dram_j + b.static_j
+        )
+        assert b.total_j == pytest.approx(total)
+
+    def test_dram_dominates_per_event(self, model):
+        c_dram = MemCounters(dram_words=1000)
+        c_l1 = MemCounters(l1_accesses=1000)
+        assert model.breakdown(c_dram, 0).total_j > model.breakdown(c_l1, 0).total_j
+
+    def test_spm_cheaper_than_cache(self, model):
+        c_spm = MemCounters(spm_accesses=1000)
+        c_l1 = MemCounters(l1_accesses=1000)
+        assert model.breakdown(c_spm, 0).total_j < model.breakdown(c_l1, 0).total_j
+
+    def test_attach_fills_report(self, model):
+        r = RunReport(cycles=1e6, counters=MemCounters(pe_ops=1e6))
+        model.attach(r)
+        assert r.energy_j is not None
+        assert r.energy_j > 0
+
+    def test_average_power_includes_static(self, model):
+        r = RunReport(cycles=1e6, counters=MemCounters())
+        assert model.average_power_w(r) == pytest.approx(model.static_power_w)
+
+    def test_idle_zero_time(self, model):
+        r = RunReport(cycles=0.0, counters=MemCounters())
+        assert model.average_power_w(r) == model.static_power_w

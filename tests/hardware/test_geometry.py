@@ -1,0 +1,61 @@
+"""Geometry (AxB systems) tests."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.hardware import DEFAULT_PARAMS, Geometry
+
+
+class TestParsing:
+    def test_parse(self):
+        g = Geometry.parse("8x16")
+        assert g.tiles == 8
+        assert g.pes_per_tile == 16
+
+    def test_parse_rejects_garbage(self):
+        with pytest.raises(ConfigurationError):
+            Geometry.parse("8by16")
+
+    def test_parse_rejects_none(self):
+        with pytest.raises(ConfigurationError):
+            Geometry.parse(None)
+
+    def test_name_round_trip(self):
+        assert Geometry.parse("4x32").name == "4x32"
+
+    def test_rejects_nonpositive(self):
+        with pytest.raises(ConfigurationError):
+            Geometry(0, 4)
+        with pytest.raises(ConfigurationError):
+            Geometry(4, -1)
+
+
+class TestCapacities:
+    def test_n_pes(self):
+        assert Geometry(8, 16).n_pes == 128
+
+    def test_one_bank_per_pe(self):
+        g = Geometry(4, 8)
+        assert g.l1_banks_per_tile == 8
+        assert g.l2_banks_per_tile == 8
+
+    def test_l1_tile_words(self):
+        # 16 banks x 1024 words
+        assert Geometry(4, 16).l1_tile_words(DEFAULT_PARAMS) == 16384
+
+    def test_l1_pe_words_is_one_bank(self):
+        assert Geometry(4, 16).l1_pe_words(DEFAULT_PARAMS) == 1024
+
+    def test_l2_total_words(self):
+        assert Geometry(2, 4).l2_total_words(DEFAULT_PARAMS) == 2 * 4 * 1024
+
+    def test_onchip_total_is_l1_plus_l2(self):
+        g = Geometry(2, 4)
+        assert g.onchip_total_words(DEFAULT_PARAMS) == (
+            2 * (g.l1_tile_words(DEFAULT_PARAMS) + g.l2_tile_words(DEFAULT_PARAMS))
+        )
+
+    def test_capacity_scales_with_pes(self):
+        assert Geometry(4, 32).onchip_total_words() == 2 * Geometry(
+            4, 16
+        ).onchip_total_words()

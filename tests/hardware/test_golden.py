@@ -1,0 +1,63 @@
+"""Golden-value pins on the calibrated model.
+
+EXPERIMENTS.md's measured numbers are only meaningful while the model
+that produced them stays put.  These tests pin a handful of cycle counts
+on fixed inputs to within 2 %; an *intentional* recalibration should
+update both the goldens and EXPERIMENTS.md together, and an accidental
+change to any pricing path fails here first.
+"""
+
+import pytest
+
+from repro.formats import CSCMatrix
+from repro.hardware import Geometry, HWMode, TransmuterSystem
+from repro.spmv import inner_product, outer_product, spmv_semiring
+from repro.workloads import random_frontier, uniform_random
+
+GEOM = Geometry.parse("4x16")
+
+#: Frozen-model cycle counts (update together with EXPERIMENTS.md).
+_GOLDEN = {
+    "ip/SC/0.5": 76_266.7,
+    "ip/SCS/0.5": 78_153.1,
+    "op/PC/0.005": 31_189.7,
+    "op/PS/0.005": 31_830.1,
+}
+
+
+@pytest.fixture(scope="module")
+def setting():
+    coo = uniform_random(16384, nnz=250_000, seed=100)
+    return coo, CSCMatrix.from_coo(coo), TransmuterSystem(GEOM)
+
+
+class TestGoldenCycles:
+    @pytest.mark.parametrize(
+        "algorithm,mode,density",
+        [
+            ("ip", HWMode.SC, 0.5),
+            ("ip", HWMode.SCS, 0.5),
+            ("op", HWMode.PC, 0.005),
+            ("op", HWMode.PS, 0.005),
+        ],
+    )
+    def test_pinned(self, setting, algorithm, mode, density):
+        coo, csc, system = setting
+        f = random_frontier(coo.n_cols, density, seed=101)
+        sr = spmv_semiring()
+        if algorithm == "ip":
+            res = inner_product(coo, f.to_dense(), sr, GEOM, mode)
+        else:
+            res = outer_product(csc, f, sr, GEOM, mode)
+        rep = system.evaluate_without_switching(res.profile)
+        key = f"{algorithm}/{mode.label}/{density}"
+        assert rep.cycles == pytest.approx(_GOLDEN[key], rel=0.02), key
+
+    def test_energy_pinned_loosely(self, setting):
+        coo, _csc, system = setting
+        f = random_frontier(coo.n_cols, 0.5, seed=101)
+        res = inner_product(coo, f.to_dense(), spmv_semiring(), GEOM, HWMode.SC)
+        rep = system.evaluate_without_switching(res.profile)
+        # ~33 uJ on the frozen energy model
+        assert rep.energy_j == pytest.approx(rep.energy_j, rel=0.0)
+        assert 1e-6 < rep.energy_j < 1e-3

@@ -1,0 +1,68 @@
+"""The four hardware modes (Fig. 2) and their capacity views."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.hardware import DEFAULT_PARAMS, Geometry, HWMode, MemKind, Sharing, modes_for_algorithm
+
+
+class TestModeStructure:
+    def test_sc_is_all_shared_cache(self):
+        assert HWMode.SC.l1_sharing is Sharing.SHARED
+        assert HWMode.SC.l1_kind is MemKind.CACHE
+        assert HWMode.SC.l2_sharing is Sharing.SHARED
+
+    def test_scs_has_split_l1(self):
+        assert HWMode.SCS.l1_kind is MemKind.SPLIT
+        assert HWMode.SCS.has_spm
+
+    def test_pc_is_all_private_cache(self):
+        assert HWMode.PC.l1_sharing is Sharing.PRIVATE
+        assert not HWMode.PC.has_spm
+
+    def test_ps_l1_is_private_spm(self):
+        assert HWMode.PS.l1_kind is MemKind.SPM
+        assert HWMode.PS.l2_kind is MemKind.CACHE
+        assert HWMode.PS.has_spm
+
+    def test_labels(self):
+        assert [m.label for m in HWMode] == ["SC", "SCS", "PC", "PS"]
+
+
+class TestCapacityViews:
+    @pytest.fixture
+    def geom(self):
+        return Geometry(4, 16)
+
+    def test_sc_pools_tile_l1(self, geom):
+        assert HWMode.SC.l1_cache_words(geom, DEFAULT_PARAMS) == 16 * 1024
+
+    def test_scs_halves_cache_for_spm(self, geom):
+        assert HWMode.SCS.l1_cache_words(geom, DEFAULT_PARAMS) == 8 * 1024
+        assert HWMode.SCS.spm_words(geom, DEFAULT_PARAMS) == 8 * 1024
+
+    def test_pc_confines_to_own_bank(self, geom):
+        assert HWMode.PC.l1_cache_words(geom, DEFAULT_PARAMS) == 1024
+        assert HWMode.PC.spm_words(geom, DEFAULT_PARAMS) == 0
+
+    def test_ps_whole_bank_is_spm(self, geom):
+        assert HWMode.PS.l1_cache_words(geom, DEFAULT_PARAMS) == 0
+        assert HWMode.PS.spm_words(geom, DEFAULT_PARAMS) == 1024
+
+    def test_shared_l2_pools_system(self, geom):
+        assert HWMode.SC.l2_words(geom, DEFAULT_PARAMS) == 4 * 16 * 1024
+
+    def test_private_l2_confined_to_tile(self, geom):
+        assert HWMode.PC.l2_words(geom, DEFAULT_PARAMS) == 16 * 1024
+
+
+class TestAlgorithmPairing:
+    def test_ip_gets_shared_modes(self):
+        assert modes_for_algorithm("ip") == (HWMode.SC, HWMode.SCS)
+
+    def test_op_gets_private_modes(self):
+        assert modes_for_algorithm("op") == (HWMode.PC, HWMode.PS)
+
+    def test_unknown_algorithm_rejected(self):
+        with pytest.raises(ConfigurationError):
+            modes_for_algorithm("gemm")

@@ -1,0 +1,45 @@
+"""HBM2 main-memory model tests."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.hardware import DEFAULT_PARAMS
+from repro.hardware.memory import MainMemory
+
+
+class TestAccounting:
+    def test_pools(self):
+        m = MainMemory(DEFAULT_PARAMS)
+        m.record(320, sequential=True)
+        m.record(100, sequential=False)
+        assert m.seq_words == 320
+        assert m.rand_words == 100
+        assert m.total_words == 420
+
+    def test_rejects_negative(self):
+        with pytest.raises(SimulationError):
+            MainMemory(DEFAULT_PARAMS).record(-1, sequential=True)
+
+    def test_floor_cycles_sequential(self):
+        m = MainMemory(DEFAULT_PARAMS)
+        m.record(3200, sequential=True)
+        assert m.floor_cycles == pytest.approx(100.0)
+
+    def test_random_traffic_costs_more(self):
+        seq = MainMemory(DEFAULT_PARAMS)
+        seq.record(1000, sequential=True)
+        rand = MainMemory(DEFAULT_PARAMS)
+        rand.record(1000, sequential=False)
+        assert rand.floor_cycles > seq.floor_cycles
+
+    def test_bytes_moved(self):
+        m = MainMemory(DEFAULT_PARAMS)
+        m.record(10, sequential=True)
+        assert m.bytes_moved == 40
+
+    def test_bandwidth_fraction(self):
+        m = MainMemory(DEFAULT_PARAMS)
+        m.record(320, sequential=True)
+        assert m.achieved_bandwidth_fraction(10.0) == pytest.approx(1.0)
+        assert m.achieved_bandwidth_fraction(100.0) == pytest.approx(0.1)
+        assert m.achieved_bandwidth_fraction(0.0) == 0.0

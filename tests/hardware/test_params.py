@@ -1,0 +1,56 @@
+"""Table II parameters and derived quantities."""
+
+import pytest
+
+from repro.hardware import DEFAULT_PARAMS, HardwareParams
+
+
+class TestTable2Values:
+    """The constants the paper pins down must stay pinned."""
+
+    def test_clock_is_1ghz(self):
+        assert DEFAULT_PARAMS.clock_hz == 1.0e9
+
+    def test_bank_is_4kb(self):
+        assert DEFAULT_PARAMS.bank_bytes == 4096
+
+    def test_cache_is_4way_64b_lines(self):
+        assert DEFAULT_PARAMS.cache_ways == 4
+        assert DEFAULT_PARAMS.cache_line_words * DEFAULT_PARAMS.word_bytes == 64
+
+    def test_eight_mshrs(self):
+        assert DEFAULT_PARAMS.mshrs == 8
+
+    def test_hbm_bandwidth_is_128gbps(self):
+        # 16 pseudo-channels x 8000 MB/s = 32 words/cycle at 1 GHz
+        assert DEFAULT_PARAMS.dram_words_per_cycle == 32.0
+
+    def test_dram_latency_in_80_150ns_band(self):
+        assert 80.0 <= DEFAULT_PARAMS.dram_latency <= 150.0
+
+    def test_reconfiguration_within_10_cycles(self):
+        # "The runtime hardware reconfiguration overhead is estimated to
+        # be <= 10 clock cycles."
+        assert DEFAULT_PARAMS.reconfig_cycles <= 10.0
+
+
+class TestDerived:
+    def test_bank_words(self):
+        assert DEFAULT_PARAMS.bank_words == 1024
+
+    def test_cache_sets_per_bank(self):
+        # 4096 B / (4 ways x 64 B lines) = 16 sets
+        assert DEFAULT_PARAMS.cache_sets_per_bank == 16
+
+    def test_cycle_seconds(self):
+        assert DEFAULT_PARAMS.cycle_s == pytest.approx(1e-9)
+
+    def test_with_overrides_is_copy(self):
+        p = DEFAULT_PARAMS.with_overrides(dram_latency=99.0)
+        assert p.dram_latency == 99.0
+        assert DEFAULT_PARAMS.dram_latency != 99.0
+        assert isinstance(p, HardwareParams)
+
+    def test_frozen(self):
+        with pytest.raises(Exception):
+            DEFAULT_PARAMS.clock_hz = 2e9

@@ -1,0 +1,102 @@
+"""Profile-contract tests (AccessStream / PETrace / KernelProfile)."""
+
+import numpy as np
+import pytest
+
+from repro.errors import SimulationError
+from repro.hardware import (
+    AccessStream,
+    HWMode,
+    KernelProfile,
+    PEProfile,
+    PETrace,
+    Pattern,
+    Region,
+    TileProfile,
+)
+
+
+class TestAccessStream:
+    def test_rejects_unknown_pattern(self):
+        with pytest.raises(SimulationError):
+            AccessStream(Region.MATRIX, 10, "strided", 10)
+
+    def test_rejects_negative_counts(self):
+        with pytest.raises(SimulationError):
+            AccessStream(Region.MATRIX, -1, Pattern.RANDOM, 10)
+
+    def test_defaults(self):
+        s = AccessStream(Region.HEAP, 10, Pattern.DEPENDENT, 20)
+        assert not s.in_spm
+        assert not s.shared_footprint
+        assert s.passes == 1
+        assert s.writes == 0.0
+        assert s.distinct_touches is None
+        assert s.fill_granule == 0
+
+
+class TestPETrace:
+    def test_rejects_mismatched_lengths(self):
+        with pytest.raises(SimulationError):
+            PETrace(
+                np.zeros(2, dtype=np.int8),
+                np.zeros(3, dtype=np.int64),
+                np.zeros(2, dtype=bool),
+            )
+
+    def test_concat(self):
+        a = PETrace(
+            np.zeros(2, dtype=np.int8),
+            np.asarray([1, 2], dtype=np.int64),
+            np.zeros(2, dtype=bool),
+        )
+        b = PETrace(
+            np.ones(1, dtype=np.int8),
+            np.asarray([9], dtype=np.int64),
+            np.ones(1, dtype=bool),
+        )
+        c = PETrace.concat([a, b])
+        assert c.n_accesses == 3
+        assert list(c.addrs) == [1, 2, 9]
+
+    def test_concat_empty(self):
+        assert PETrace.concat([]).n_accesses == 0
+
+
+class TestKernelProfile:
+    def make(self, algorithm="ip", mode=HWMode.SC):
+        pe = PEProfile(
+            compute_ops=5.0,
+            streams=[AccessStream(Region.MATRIX, 7, Pattern.SEQUENTIAL, 7)],
+        )
+        return KernelProfile(algorithm, mode, [TileProfile(pes=[pe, pe])])
+
+    def test_rejects_unknown_algorithm(self):
+        with pytest.raises(SimulationError):
+            self.make(algorithm="gemm")
+
+    def test_rejects_empty_tiles(self):
+        with pytest.raises(SimulationError):
+            KernelProfile("ip", HWMode.SC, [])
+
+    def test_totals(self):
+        p = self.make()
+        assert p.total_compute_ops == 10.0
+        assert p.total_accesses == 14.0
+        assert p.n_tiles == 1
+
+    def test_has_traces(self):
+        p = self.make()
+        assert not p.has_traces()
+        for pe in p.tiles[0].pes:
+            pe.trace = PETrace(
+                np.zeros(0, dtype=np.int8),
+                np.zeros(0, dtype=np.int64),
+                np.zeros(0, dtype=bool),
+            )
+        assert p.has_traces()
+
+    def test_stream_lookup(self):
+        pe = self.make().tiles[0].pes[0]
+        assert pe.stream(Region.MATRIX) is not None
+        assert pe.stream(Region.HEAP) is None

@@ -1,0 +1,59 @@
+"""Counter/report plumbing tests."""
+
+import pytest
+
+from repro.hardware import MemCounters, RunReport, TileReport
+
+
+class TestMemCounters:
+    def test_add_accumulates(self):
+        a = MemCounters(pe_ops=10, l1_accesses=100, l1_hits=80)
+        b = MemCounters(pe_ops=5, l1_accesses=50, l1_hits=50, dram_words=7)
+        a.add(b)
+        assert a.pe_ops == 15
+        assert a.l1_accesses == 150
+        assert a.l1_hits == 130
+        assert a.dram_words == 7
+
+    def test_hit_rates(self):
+        c = MemCounters(l1_accesses=200, l1_hits=150, l2_accesses=50, l2_hits=10)
+        assert c.l1_hit_rate == pytest.approx(0.75)
+        assert c.l2_hit_rate == pytest.approx(0.2)
+
+    def test_idle_hit_rates_are_one(self):
+        c = MemCounters()
+        assert c.l1_hit_rate == 1.0
+        assert c.l2_hit_rate == 1.0
+
+
+class TestTileReport:
+    def test_cycles_is_slowest_pe_plus_lcp(self):
+        t = TileReport(pe_cycles=[100.0, 250.0, 180.0], lcp_cycles=40.0)
+        assert t.cycles == 290.0
+
+    def test_imbalance(self):
+        t = TileReport(pe_cycles=[100.0, 300.0])
+        assert t.imbalance == pytest.approx(1.5)
+        assert TileReport(pe_cycles=[]).imbalance == 1.0
+
+    def test_empty_tile(self):
+        assert TileReport(pe_cycles=[], lcp_cycles=5.0).cycles == 5.0
+
+
+class TestRunReport:
+    def test_time_conversions(self):
+        r = RunReport(cycles=2e9, counters=MemCounters())
+        assert r.time_s == pytest.approx(2.0)
+        assert r.seconds(2e9) == pytest.approx(1.0)
+
+    def test_bandwidth_bound_flag(self):
+        r = RunReport(cycles=100.0, counters=MemCounters(), bandwidth_floor_cycles=100.0)
+        assert r.bandwidth_bound
+        r2 = RunReport(cycles=200.0, counters=MemCounters(), bandwidth_floor_cycles=50.0)
+        assert not r2.bandwidth_bound
+
+    def test_summary_without_energy(self):
+        r = RunReport(cycles=1000.0, counters=MemCounters())
+        assert "uJ" not in r.summary()
+        r.energy_j = 1e-6
+        assert "uJ" in r.summary()

@@ -1,0 +1,118 @@
+"""Static partitioning tests (Section III-B), incl. property-based."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import ShapeError
+from repro.spmv import (
+    build_ip_partitions,
+    equal_nnz_row_bounds,
+    equal_rows_bounds,
+    nnz_per_partition,
+    vblock_width,
+)
+
+
+def row_ptr_from_counts(counts):
+    ptr = np.zeros(len(counts) + 1, dtype=np.int64)
+    np.cumsum(counts, out=ptr[1:])
+    return ptr
+
+
+class TestEqualNnz:
+    def test_uniform_rows_split_evenly(self):
+        ptr = row_ptr_from_counts([4] * 16)
+        bounds = equal_nnz_row_bounds(ptr, 4)
+        assert list(bounds) == [0, 4, 8, 12, 16]
+
+    def test_skewed_rows_balanced_by_nnz(self):
+        counts = [100] + [1] * 99
+        ptr = row_ptr_from_counts(counts)
+        bounds = equal_nnz_row_bounds(ptr, 2)
+        parts = nnz_per_partition(ptr, bounds)
+        # the hub row forces partition 0 to hold ~it alone
+        assert parts[0] >= 100
+        assert bounds[1] <= 2
+
+    def test_rejects_nonpositive_parts(self):
+        with pytest.raises(ShapeError):
+            equal_nnz_row_bounds(row_ptr_from_counts([1, 2]), 0)
+
+    @given(
+        counts=st.lists(st.integers(0, 50), min_size=1, max_size=200),
+        parts=st.integers(1, 16),
+    )
+    @settings(max_examples=150, deadline=None)
+    def test_properties(self, counts, parts):
+        """Bounds are monotone, cover all rows, and partitions are
+        near-balanced at row granularity."""
+        ptr = row_ptr_from_counts(counts)
+        bounds = equal_nnz_row_bounds(ptr, parts)
+        assert bounds[0] == 0
+        assert bounds[-1] == len(counts)
+        assert np.all(np.diff(bounds) >= 0)
+        sizes = nnz_per_partition(ptr, bounds)
+        assert sizes.sum() == sum(counts)
+        if sum(counts) and max(counts) > 0:
+            # no partition exceeds the ideal share by more than one row
+            ideal = sum(counts) / parts
+            assert sizes.max() <= ideal + max(counts)
+
+
+class TestEqualRows:
+    def test_even_split(self):
+        assert list(equal_rows_bounds(10, 2)) == [0, 5, 10]
+
+    def test_ragged_split_covers(self):
+        b = equal_rows_bounds(10, 3)
+        assert b[0] == 0 and b[-1] == 10
+
+    def test_rejects_nonpositive(self):
+        with pytest.raises(ShapeError):
+            equal_rows_bounds(10, 0)
+
+
+class TestVblock:
+    def test_width_from_spm(self):
+        assert vblock_width(8192, 1) == 8192
+        assert vblock_width(8192, 8) == 1024
+
+    def test_width_at_least_one(self):
+        assert vblock_width(4, 8) == 1
+
+    def test_rejects_nonpositive_spm(self):
+        with pytest.raises(ShapeError):
+            vblock_width(0, 1)
+
+
+class TestTwoLevel:
+    def test_structure(self, medium_coo):
+        part = build_ip_partitions(medium_coo.row_extents(), 4, 8)
+        assert len(part.pe_bounds) == 4
+        for t in range(4):
+            lo, hi = part.tile_bounds[t], part.tile_bounds[t + 1]
+            b = part.pe_bounds[t]
+            assert b[0] == lo and b[-1] == hi
+            assert np.all(np.diff(b) >= 0)
+
+    def test_balanced_beats_naive_on_skew(self, powerlaw_coo):
+        ptr = powerlaw_coo.row_extents()
+        bal = build_ip_partitions(ptr, 2, 8, balanced=True)
+        naive = build_ip_partitions(ptr, 2, 8, balanced=False)
+
+        def worst(part):
+            w = 0
+            for t in range(2):
+                sizes = nnz_per_partition(ptr, part.pe_bounds[t])
+                w = max(w, int(sizes.max()))
+            return w
+
+        assert worst(bal) <= worst(naive)
+
+    def test_pe_row_range(self, medium_coo):
+        part = build_ip_partitions(medium_coo.row_extents(), 2, 4)
+        lo, hi = part.pe_row_range(1, 3)
+        assert lo == part.pe_bounds[1][3]
+        assert hi == part.pe_bounds[1][4]

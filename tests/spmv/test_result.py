@@ -1,0 +1,35 @@
+"""SpMVResult container tests."""
+
+import numpy as np
+import pytest
+
+from repro.formats import COOMatrix
+from repro.hardware import Geometry, HWMode
+from repro.spmv import inner_product, spmv_semiring
+
+
+@pytest.fixture
+def result(small_coo, rng):
+    v = rng.random(small_coo.n_cols)
+    return inner_product(small_coo, v, spmv_semiring(), Geometry(2, 2), HWMode.SC)
+
+
+class TestResult:
+    def test_n(self, result, small_coo):
+        assert result.n == small_coo.n_rows
+
+    def test_touched_count(self, result):
+        assert result.touched_count == int(result.touched.sum())
+
+    def test_dense_output(self, result):
+        dv = result.dense_output()
+        assert np.array_equal(dv.data, result.values)
+
+    def test_touched_sparse_round_trip(self, result):
+        sv = result.touched_sparse()
+        assert sv.nnz == result.touched_count
+        dense = sv.to_dense()
+        assert np.allclose(dense[result.touched], result.values[result.touched])
+
+    def test_semiring_attached(self, result):
+        assert result.semiring.name == "SpMV"

@@ -1,0 +1,119 @@
+"""Table I semiring tests."""
+
+import numpy as np
+import pytest
+
+from repro.errors import AlgorithmError
+from repro.spmv import (
+    bfs_semiring,
+    cf_semiring,
+    pagerank_semiring,
+    spmv_semiring,
+    sssp_semiring,
+)
+
+
+class TestSpMV:
+    def test_combine_multiplies(self):
+        sr = spmv_semiring()
+        c = sr.combine(np.asarray([2.0]), np.asarray([3.0]), None, None, None)
+        assert c[0] == 6.0
+
+    def test_identity_and_reduce(self):
+        sr = spmv_semiring()
+        assert sr.identity == 0.0
+        out = sr.init_output(3, None)
+        sr.scatter(out, np.asarray([1, 1]), np.asarray([2.0, 3.0]))
+        assert out[1] == 5.0
+
+    def test_no_vector_op(self):
+        sr = spmv_semiring()
+        x = np.asarray([1.0, 2.0])
+        assert np.array_equal(sr.apply_vector_op(x, x), x)
+
+
+class TestBFS:
+    def test_propagates_source_label(self):
+        sr = bfs_semiring()
+        c = sr.combine(np.asarray([9.0]), np.asarray([4.0]), None, None, None)
+        assert c[0] == 4.0  # edge weight ignored
+
+    def test_min_reduce(self):
+        sr = bfs_semiring()
+        out = sr.init_output(2, None)
+        assert np.all(np.isinf(out))
+        sr.scatter(out, np.asarray([0, 0]), np.asarray([3.0, 1.0]))
+        assert out[0] == 1.0
+
+    def test_absent_is_inf(self):
+        assert np.isinf(bfs_semiring().absent)
+
+
+class TestSSSP:
+    def test_relaxation(self):
+        sr = sssp_semiring()
+        c = sr.combine(np.asarray([2.5]), np.asarray([1.0]), None, None, None)
+        assert c[0] == 3.5
+
+    def test_carry_output_requires_current(self):
+        sr = sssp_semiring()
+        with pytest.raises(AlgorithmError):
+            sr.init_output(3, None)
+
+    def test_carry_output_copies(self):
+        sr = sssp_semiring()
+        cur = np.asarray([1.0, np.inf])
+        out = sr.init_output(2, cur)
+        out[0] = 0.5
+        assert cur[0] == 1.0  # untouched
+
+
+class TestPageRank:
+    def test_divides_by_source_degree(self):
+        deg = np.asarray([2.0, 4.0])
+        sr = pagerank_semiring(deg)
+        c = sr.combine(
+            np.ones(2), np.asarray([1.0, 1.0]), None, np.asarray([0, 1]), None
+        )
+        assert np.allclose(c, [0.5, 0.25])
+
+    def test_zero_degree_safe(self):
+        sr = pagerank_semiring(np.asarray([0.0]))
+        c = sr.combine(np.ones(1), np.asarray([1.0]), None, np.asarray([0]), None)
+        assert np.isfinite(c[0])
+
+    def test_vector_op(self):
+        sr = pagerank_semiring(np.ones(1), alpha=0.15)
+        out = sr.apply_vector_op(np.asarray([1.0]), np.asarray([0.0]))
+        assert out[0] == pytest.approx(0.15 + 0.85)
+
+
+class TestCF:
+    def test_vector_valued(self):
+        sr = cf_semiring(k=4)
+        assert sr.value_words == 4
+        assert sr.needs_dst
+
+    def test_rejects_bad_k(self):
+        with pytest.raises(AlgorithmError):
+            cf_semiring(k=0)
+
+    def test_gradient_direction(self):
+        """For rating > prediction the update pushes factors together."""
+        sr = cf_semiring(lambda_=0.0, k=2)
+        u = np.asarray([[1.0, 0.0]])
+        v = np.asarray([[1.0, 0.0]])
+        high = sr.combine(np.asarray([5.0]), u, v, None, None)
+        low = sr.combine(np.asarray([0.5]), u, v, None, None)
+        assert high[0, 0] > low[0, 0]
+
+    def test_init_output_shape(self):
+        sr = cf_semiring(k=3)
+        out = sr.init_output(5, None)
+        assert out.shape == (5, 3)
+
+    def test_vector_op_step(self):
+        sr = cf_semiring(beta=0.1, k=2)
+        upd = np.ones((1, 2))
+        prev = np.full((1, 2), 2.0)
+        assert np.allclose(sr.apply_vector_op(upd, prev), 2.0 + 0.1)

@@ -1,0 +1,74 @@
+"""Algebraic properties the kernels silently rely on.
+
+Both kernels scatter contributions in arbitrary per-PE order, so every
+shipped reduce must be associative and commutative with the declared
+identity; the IP activity skip relies on ``absent`` being absorbing
+under combine-then-reduce.  Hypothesis checks all of it.
+"""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.spmv import bfs_semiring, pagerank_semiring, spmv_semiring, sssp_semiring
+
+finite = st.floats(
+    min_value=-1e6, max_value=1e6, allow_nan=False, allow_infinity=False
+)
+
+SEMIRINGS = {
+    "spmv": spmv_semiring(),
+    "bfs": bfs_semiring(),
+    "sssp": sssp_semiring(),
+    "pr": pagerank_semiring(np.ones(8)),
+}
+
+
+class TestReduceAlgebra:
+    @given(a=finite, b=finite, c=finite)
+    @settings(max_examples=100, deadline=None)
+    def test_associative_commutative(self, a, b, c):
+        for name, sr in SEMIRINGS.items():
+            op = sr.reduce_op
+            left = op(op(a, b), c)
+            right = op(a, op(b, c))
+            assert np.isclose(left, right, rtol=1e-9, atol=1e-6), name
+            assert op(a, b) == op(b, a), name
+
+    @given(a=finite)
+    @settings(max_examples=100, deadline=None)
+    def test_identity_is_neutral(self, a):
+        for name, sr in SEMIRINGS.items():
+            assert sr.reduce_op(a, sr.identity) == a, name
+
+
+class TestAbsentAbsorbs:
+    @given(weight=st.floats(0.1, 100.0), order=st.permutations([0, 1, 2]))
+    @settings(max_examples=60, deadline=None)
+    def test_inactive_source_contributes_identity(self, weight, order):
+        """Reducing an inactive source's contribution changes nothing
+        (this is why the IP kernel may skip absent entries)."""
+        for name, sr in SEMIRINGS.items():
+            if sr.value_words != 1:
+                continue
+            contribs = []
+            values = [1.5, sr.absent, 3.0]
+            for i in order:
+                v = values[i]
+                c = sr.combine(
+                    np.asarray([weight]),
+                    np.asarray([v]),
+                    None,
+                    np.asarray([0]),
+                    np.asarray([0]),
+                )[0]
+                contribs.append((v, c))
+            full = sr.identity
+            skipped = sr.identity
+            for v, c in contribs:
+                full = sr.reduce_op(full, c)
+                if v != sr.absent:
+                    skipped = sr.reduce_op(skipped, c)
+            assert np.isclose(full, skipped, rtol=1e-9, atol=1e-9) or (
+                np.isinf(full) and np.isinf(skipped)
+            ), name

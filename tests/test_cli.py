@@ -1,0 +1,62 @@
+"""CLI tests."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+@pytest.fixture(autouse=True)
+def tmp_cache(tmp_path, monkeypatch):
+    monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "cache"))
+
+
+class TestParser:
+    def test_defaults(self):
+        args = build_parser().parse_args(["fig4"])
+        assert args.scale == 8
+        assert args.geometry == "16x16"
+
+    def test_out_flag(self):
+        args = build_parser().parse_args(["fig4", "--out", "x.csv"])
+        assert args.out == "x.csv"
+
+
+class TestMain:
+    def test_list(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        assert "fig4" in out and "table3" in out
+
+    def test_unknown_artifact(self, capsys):
+        assert main(["fig99"]) == 2
+        assert "unknown artifact" in capsys.readouterr().err
+
+    def test_table2(self, capsys):
+        assert main(["table2"]) == 0
+        assert "TABLE2" in capsys.readouterr().out
+
+    def test_table3_with_csv(self, capsys, tmp_path):
+        out = tmp_path / "t3.csv"
+        assert main(["table3", "--scale", "512", "--out", str(out)]) == 0
+        assert out.exists()
+        assert "pokec" in out.read_text()
+
+    def test_fig9_small(self, capsys):
+        assert main(["fig9", "--scale", "256"]) == 0
+        assert "FIG9" in capsys.readouterr().out
+
+
+class TestJsonFlag:
+    def test_json_round_trip(self, capsys, tmp_path):
+        from repro.experiments.store import load_result
+
+        out = tmp_path / "t2.json"
+        assert main(["table2", "--json", str(out)]) == 0
+        assert load_result(str(out)).experiment == "table2"
+
+    def test_svg_without_recipe_is_graceful(self, capsys, tmp_path):
+        out = tmp_path / "t2.svg"
+        assert main(["table2", "--svg", str(out)]) == 0
+        err = capsys.readouterr().err
+        assert "no chart" in err
+        assert not out.exists()

@@ -1,0 +1,33 @@
+"""Exception-hierarchy tests: one catchable root, precise subclasses."""
+
+import pytest
+
+from repro import errors
+
+
+class TestHierarchy:
+    def test_all_derive_from_root(self):
+        for exc in (
+            errors.FormatError,
+            errors.ShapeError,
+            errors.ConfigurationError,
+            errors.SimulationError,
+            errors.WorkloadError,
+            errors.AlgorithmError,
+        ):
+            assert issubclass(exc, errors.ReproError)
+
+    def test_shape_is_a_format_error(self):
+        assert issubclass(errors.ShapeError, errors.FormatError)
+
+    def test_root_catches_library_raises(self):
+        from repro.formats import COOMatrix
+
+        with pytest.raises(errors.ReproError):
+            COOMatrix(2, 2, [5], [0], [1.0])
+
+    def test_configuration_errors_catchable(self):
+        from repro.hardware import Geometry
+
+        with pytest.raises(errors.ReproError):
+            Geometry.parse("not-a-geometry")

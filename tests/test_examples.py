@@ -1,0 +1,48 @@
+"""Smoke tests: the shipped examples must actually run.
+
+Each example is executed in a subprocess (its own interpreter, like a
+user would) with a generous timeout; the slower sweep examples are
+exercised by the benchmark suite instead.
+"""
+
+import os
+import subprocess
+import sys
+
+import pytest
+
+_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+
+
+def run_example(name, *args, timeout=240):
+    return subprocess.run(
+        [sys.executable, os.path.join(_ROOT, "examples", name), *args],
+        capture_output=True,
+        text=True,
+        timeout=timeout,
+        cwd=_ROOT,
+    )
+
+
+class TestExamples:
+    def test_quickstart(self):
+        proc = run_example("quickstart.py")
+        assert proc.returncode == 0, proc.stderr
+        assert "BFS from vertex" in proc.stdout
+        assert "software (IP<->OP) switches" in proc.stdout
+
+    def test_custom_semiring(self):
+        proc = run_example("custom_semiring.py")
+        assert proc.returncode == 0, proc.stderr
+        assert "verified against Dijkstra-style reference: True" in proc.stdout
+
+    def test_sssp_case_study_small(self):
+        proc = run_example("sssp_case_study.py", "256")
+        assert proc.returncode == 0, proc.stderr
+        assert "FIG9" in proc.stdout
+        assert "net speedup" in proc.stdout
+
+    def test_extension_algorithms(self):
+        proc = run_example("extension_algorithms.py")
+        assert proc.returncode == 0, proc.stderr
+        assert "verified vs Ligra" in proc.stdout

@@ -1,0 +1,27 @@
+"""Top-level package surface tests."""
+
+import doctest
+
+import repro
+
+
+class TestPublicAPI:
+    def test_version(self):
+        assert repro.__version__ == "1.0.0"
+
+    def test_all_names_resolve(self):
+        for name in repro.__all__:
+            assert getattr(repro, name, None) is not None, name
+
+    def test_module_doctest(self):
+        results = doctest.testmod(repro, verbose=False)
+        assert results.failed == 0
+        assert results.attempted > 0
+
+    def test_core_workflow_through_top_level(self):
+        import numpy as np
+
+        graph = repro.Graph.from_edges(5, [0, 1, 2, 3], [1, 2, 3, 4])
+        rt = repro.CoSparseRuntime(graph.operand, "1x2")
+        run = repro.bfs(graph, 0, runtime=rt)
+        assert np.array_equal(run.values, [0, 1, 2, 3, 4])

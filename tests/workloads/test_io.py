@@ -1,0 +1,89 @@
+"""Matrix persistence tests."""
+
+import numpy as np
+import pytest
+
+from repro.errors import FormatError
+from repro.workloads import (
+    cached_matrix,
+    load_matrix_market,
+    load_npz,
+    save_matrix_market,
+    save_npz,
+    uniform_random,
+)
+
+
+class TestMatrixMarket:
+    def test_round_trip(self, tmp_path, small_coo):
+        path = str(tmp_path / "m.mtx")
+        save_matrix_market(path, small_coo, comment="test matrix")
+        back = load_matrix_market(path)
+        assert back.allclose(small_coo)
+
+    def test_scipy_can_read_ours(self, tmp_path, small_coo):
+        import scipy.io
+
+        path = str(tmp_path / "m.mtx")
+        save_matrix_market(path, small_coo)
+        m = scipy.io.mmread(path)
+        assert np.allclose(m.toarray(), small_coo.to_dense())
+
+    def test_we_can_read_scipys(self, tmp_path, small_coo):
+        import scipy.io
+
+        path = str(tmp_path / "m.mtx")
+        scipy.io.mmwrite(path, small_coo.to_scipy())
+        back = load_matrix_market(path)
+        assert back.allclose(small_coo)
+
+    def test_pattern_files_get_unit_values(self, tmp_path):
+        path = tmp_path / "p.mtx"
+        path.write_text(
+            "%%MatrixMarket matrix coordinate pattern general\n"
+            "2 2 2\n1 1\n2 2\n"
+        )
+        m = load_matrix_market(str(path))
+        assert np.allclose(m.to_dense(), np.eye(2))
+
+    def test_rejects_non_mm(self, tmp_path):
+        path = tmp_path / "x.mtx"
+        path.write_text("hello\n")
+        with pytest.raises(FormatError):
+            load_matrix_market(str(path))
+
+    def test_rejects_array_format(self, tmp_path):
+        path = tmp_path / "a.mtx"
+        path.write_text("%%MatrixMarket matrix array real general\n2 2\n")
+        with pytest.raises(FormatError):
+            load_matrix_market(str(path))
+
+
+class TestNpz:
+    def test_round_trip(self, tmp_path, medium_coo):
+        path = str(tmp_path / "m.npz")
+        save_npz(path, medium_coo)
+        assert load_npz(path).allclose(medium_coo)
+
+
+class TestCache:
+    def test_builds_once(self, tmp_path):
+        calls = []
+
+        def builder():
+            calls.append(1)
+            return uniform_random(50, nnz=100, seed=1)
+
+        a = cached_matrix(str(tmp_path), "k", builder)
+        b = cached_matrix(str(tmp_path), "k", builder)
+        assert len(calls) == 1
+        assert a.allclose(b)
+
+    def test_distinct_keys(self, tmp_path):
+        a = cached_matrix(
+            str(tmp_path), "a", lambda: uniform_random(50, nnz=100, seed=1)
+        )
+        b = cached_matrix(
+            str(tmp_path), "b", lambda: uniform_random(50, nnz=100, seed=2)
+        )
+        assert not a.allclose(b)

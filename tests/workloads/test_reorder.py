@@ -1,0 +1,89 @@
+"""Vertex-reordering tests."""
+
+import numpy as np
+import pytest
+
+from repro.errors import WorkloadError
+from repro.graphs import Graph, bfs, pagerank
+from repro.workloads import chung_lu
+from repro.workloads.reorder import (
+    bfs_order,
+    degree_order,
+    permute_matrix,
+    reorder_graph,
+)
+
+
+@pytest.fixture(scope="module")
+def skewed():
+    return chung_lu(1000, 10000, seed=23)
+
+
+class TestDegreeOrder:
+    def test_is_permutation(self, skewed):
+        perm = degree_order(skewed)
+        assert sorted(perm.tolist()) == list(range(skewed.n_rows))
+
+    def test_hubs_first(self, skewed):
+        perm = degree_order(skewed, by="total")
+        deg = skewed.row_counts() + skewed.col_counts()
+        hub = int(np.argmax(deg))
+        assert perm[hub] == 0
+
+    def test_degree_kinds(self, skewed):
+        for by in ("in", "out", "total"):
+            degree_order(skewed, by=by)
+        with pytest.raises(WorkloadError):
+            degree_order(skewed, by="random")
+
+
+class TestBFSOrder:
+    def test_is_permutation(self, skewed):
+        perm = bfs_order(skewed)
+        assert sorted(perm.tolist()) == list(range(skewed.n_rows))
+
+    def test_source_numbered_zero(self, skewed):
+        perm = bfs_order(skewed, source=42)
+        assert perm[42] == 0
+
+    def test_handles_disconnected(self):
+        from repro.formats import COOMatrix
+
+        m = COOMatrix(6, 6, [0, 3], [1, 4], [1.0, 1.0])
+        perm = bfs_order(m, source=0)
+        assert sorted(perm.tolist()) == list(range(6))
+
+
+class TestPermute:
+    def test_preserves_structure(self, skewed):
+        perm = degree_order(skewed)
+        out = permute_matrix(skewed, perm)
+        assert out.nnz == skewed.nnz
+        # degree multiset is invariant under relabeling
+        assert sorted(out.row_counts()) == sorted(skewed.row_counts())
+
+    def test_rejects_non_permutation(self, skewed):
+        with pytest.raises(WorkloadError):
+            permute_matrix(skewed, np.zeros(skewed.n_rows, dtype=np.int64))
+
+    def test_algorithms_invariant_under_reordering(self, skewed):
+        """Relabeling must not change results (up to the relabeling)."""
+        g = Graph(skewed, name="orig")
+        g2, perm = reorder_graph(g, "bfs")
+        src = 7
+        a = bfs(g, src, geometry="1x2").values
+        b = bfs(g2, int(perm[src]), geometry="1x2").values
+        assert np.allclose(
+            np.nan_to_num(a, posinf=-1), np.nan_to_num(b[perm], posinf=-1)
+        )
+
+    def test_pagerank_invariant(self, skewed):
+        g = Graph(skewed, name="orig")
+        g2, perm = reorder_graph(g, "degree")
+        a = pagerank(g, geometry="1x2", max_iters=5, tol=0.0).values
+        b = pagerank(g2, geometry="1x2", max_iters=5, tol=0.0).values
+        assert np.allclose(a, b[perm])
+
+    def test_unknown_method_rejected(self, skewed):
+        with pytest.raises(WorkloadError):
+            reorder_graph(Graph(skewed), "rcm2")

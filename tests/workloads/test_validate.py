@@ -1,0 +1,63 @@
+"""Skew-statistics validation of the workload generators.
+
+These tests back DESIGN.md's substitution claim: the synthesised social
+graphs must actually be heavy-tailed, and the uniform ones must not be.
+"""
+
+import numpy as np
+import pytest
+
+from repro.errors import WorkloadError
+from repro.workloads import chung_lu, load_graph, uniform_random
+from repro.workloads.validate import degree_gini, hill_tail_exponent, is_heavy_tailed
+
+
+class TestEstimators:
+    def test_pure_power_law_recovered(self, rng):
+        """Pareto(alpha) samples: the Hill estimate must land near alpha."""
+        for alpha in (2.0, 2.5, 3.0):
+            samples = (rng.pareto(alpha - 1.0, size=200_000) + 1.0) * 5.0
+            est = hill_tail_exponent(samples)
+            assert est == pytest.approx(alpha, rel=0.15)
+
+    def test_exponential_tail_rejected(self, rng):
+        samples = rng.poisson(20.0, size=100_000) + 1
+        assert hill_tail_exponent(samples) > 4.0
+
+    def test_needs_enough_samples(self):
+        with pytest.raises(WorkloadError):
+            hill_tail_exponent([1.0, 2.0])
+
+    def test_gini_bounds(self, rng):
+        equal = np.full(1000, 7.0)
+        assert degree_gini(equal) == pytest.approx(0.0, abs=1e-9)
+        concentrated = np.zeros(1000)
+        concentrated[0] = 100.0
+        assert degree_gini(concentrated) > 0.95
+
+    def test_gini_rejects_empty(self):
+        with pytest.raises(WorkloadError):
+            degree_gini([])
+
+
+class TestGenerators:
+    def test_chung_lu_is_heavy_tailed(self):
+        m = chung_lu(30_000, 300_000, seed=3)
+        deg = m.row_counts() + m.col_counts()
+        assert is_heavy_tailed(deg)
+
+    def test_uniform_is_not(self):
+        m = uniform_random(30_000, nnz=300_000, seed=4)
+        deg = m.row_counts() + m.col_counts()
+        assert not is_heavy_tailed(deg)
+        assert degree_gini(deg) < 0.45
+
+    def test_table3_social_standins_heavy_tailed(self):
+        g = load_graph("pokec", scale=64, seed=5)
+        deg = (g.in_degrees() + g.out_degrees()).astype(float)
+        assert is_heavy_tailed(deg)
+
+    def test_table3_vsp_uniform(self):
+        g = load_graph("vsp", scale=16, seed=6)
+        deg = (g.in_degrees() + g.out_degrees()).astype(float)
+        assert not is_heavy_tailed(deg)

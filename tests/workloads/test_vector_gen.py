@@ -1,0 +1,53 @@
+"""Frontier generator tests."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import WorkloadError
+from repro.workloads import FIG4_DENSITIES, FIG8_DENSITIES, density_sweep, random_frontier
+
+
+class TestRandomFrontier:
+    def test_target_density(self):
+        f = random_frontier(1000, 0.05, seed=1)
+        assert f.nnz == 50
+        assert f.density == pytest.approx(0.05)
+
+    def test_no_structural_zeros(self):
+        f = random_frontier(1000, 0.2, seed=2)
+        assert (f.values != 0).all()
+
+    def test_extremes(self):
+        assert random_frontier(100, 0.0, seed=3).nnz == 0
+        assert random_frontier(100, 1.0, seed=4).nnz == 100
+
+    def test_rejects_out_of_range(self):
+        with pytest.raises(WorkloadError):
+            random_frontier(10, 1.5)
+
+    def test_reproducible(self):
+        a = random_frontier(100, 0.3, seed=5)
+        b = random_frontier(100, 0.3, seed=5)
+        assert a.allclose(b)
+
+    @given(st.integers(1, 2000), st.floats(0.0, 1.0), st.integers(0, 100))
+    @settings(max_examples=60, deadline=None)
+    def test_density_property(self, n, d, seed):
+        f = random_frontier(n, d, seed=seed)
+        assert 0 <= f.nnz <= n
+        assert abs(f.nnz - d * n) <= 0.5 + 1e-9
+
+
+class TestSweeps:
+    def test_paper_axes(self):
+        assert FIG4_DENSITIES == (0.0025, 0.005, 0.01, 0.02, 0.04)
+        assert FIG8_DENSITIES[0] == 0.001 and FIG8_DENSITIES[-1] == 1.0
+
+    def test_density_sweep_sizes(self):
+        sweep = density_sweep(500, (0.01, 0.1), seed=6)
+        assert [f.nnz for f in sweep] == [5, 50]
+
+    def test_sweep_decorrelated(self):
+        a, b = density_sweep(500, (0.1, 0.1), seed=7)
+        assert set(a.indices.tolist()) != set(b.indices.tolist())
