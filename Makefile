@@ -2,13 +2,22 @@
 
 PYTHON ?= python
 
-.PHONY: install test bench bench-full artifacts examples clean
+.PHONY: install test test-all perf bench bench-full artifacts examples clean
 
 install:
 	$(PYTHON) -m pip install -e . || $(PYTHON) setup.py develop
 
+# Fast smoke subset (excludes tests marked `slow`); `make test-all` runs
+# everything, which is also what CI's tier-1 gate does.
 test:
-	$(PYTHON) -m pytest tests/
+	PYTHONPATH=src $(PYTHON) -m pytest tests/ -m "not slow"
+
+test-all:
+	PYTHONPATH=src $(PYTHON) -m pytest tests/
+
+# Trace-replay microbench: prints M acc/s per engine plus one JSON line.
+perf:
+	PYTHONPATH=src $(PYTHON) -c "import sys; from repro.perf import main; sys.exit(main())"
 
 bench:
 	$(PYTHON) -m pytest benchmarks/ --benchmark-only

@@ -5,9 +5,15 @@ Each benchmark regenerates one of the paper's tables/figures through
 scaled-down grids so ``pytest benchmarks/ --benchmark-only`` finishes in
 minutes; set ``REPRO_FULL=1`` for the paper-scale grids (the workload
 cache under ``REPRO_CACHE_DIR`` makes repeat runs fast).
+
+Every driver's wall-clock time is stamped into its result's ``timings``
+and persisted (with the rows) as ``artifacts/<experiment>.json``, so
+successive runs leave a perf trajectory that
+:func:`repro.experiments.store.compare_results` can diff.
 """
 
 import os
+import time
 
 import pytest
 
@@ -26,10 +32,23 @@ def full():
 
 @pytest.fixture
 def once(benchmark):
-    """Run the driver exactly once under the benchmark timer."""
+    """Run the driver exactly once under the benchmark timer.
+
+    The driver's elapsed wall-clock lands in the result's ``timings``
+    (when it returns an :class:`ExperimentResult`) so :func:`show` can
+    persist it alongside the rows.
+    """
 
     def run(fn):
-        return benchmark.pedantic(fn, rounds=1, iterations=1)
+        def timed_fn():
+            t0 = time.perf_counter()
+            result = fn()
+            elapsed = time.perf_counter() - t0
+            if hasattr(result, "timings"):
+                result.timings["driver_wall_s"] = round(elapsed, 4)
+            return result
+
+        return benchmark.pedantic(timed_fn, rounds=1, iterations=1)
 
     return run
 
@@ -37,8 +56,10 @@ def once(benchmark):
 def show(result):
     """Print a regenerated artifact and persist it under ``artifacts/``.
 
-    Every bench leaves its rows as CSV and, where a chart recipe exists,
-    a dependency-free SVG — so a full run ships the regenerated figures.
+    Every bench leaves its rows as CSV, a JSON result (rows + timings,
+    diffable via :func:`repro.experiments.store.compare_results`) and,
+    where a chart recipe exists, a dependency-free SVG — so a full run
+    ships the regenerated figures plus a perf trajectory.
     """
     print()
     print(result.table())
@@ -47,8 +68,10 @@ def show(result):
         os.makedirs(out_dir, exist_ok=True)
         result.to_csv(os.path.join(out_dir, f"{result.experiment}.csv"))
         from repro.errors import ReproError
+        from repro.experiments.store import save_result
         from repro.experiments.svg import figure_svg
 
+        save_result(result, os.path.join(out_dir, f"{result.experiment}.json"))
         try:
             figure_svg(result, os.path.join(out_dir, f"{result.experiment}.svg"))
         except ReproError:

@@ -151,6 +151,10 @@ class CoSparseRuntime:
         self._iteration = 0
         self._last_algorithm: Optional[str] = None
         self._last_mode: Optional[HWMode] = None
+        # Per-invocation frontier-conversion memo: the four oracle
+        # candidates (and the two adaptive probes) share one dense and
+        # one sparse conversion instead of redoing it per candidate.
+        self._conv_cache: dict = {}
 
     # ------------------------------------------------------------------
     # Frontier representation helpers
@@ -187,14 +191,35 @@ class CoSparseRuntime:
         sv = SparseVector(len(arr), idx, arr[idx], sort=False, check=False)
         return sv, ConversionCost(reads=len(arr), writes=2 * sv.nnz)
 
+    def _convert(self, kind: str, frontier, semiring: Semiring):
+        """Memoized frontier conversion (one per kind per invocation).
+
+        The cache is cleared at the top of every :meth:`spmv`; entries
+        pin the frontier object they were built from, so a stale entry
+        can never be served for a different frontier.
+        """
+        cached = self._conv_cache.get(kind)
+        if cached is not None and cached[0] is frontier:
+            return cached[1], cached[2]
+        fn = self._to_dense if kind == "dense" else self._to_sparse
+        converted, cost = fn(frontier, semiring)
+        self._conv_cache[kind] = (frontier, converted, cost)
+        return converted, cost
+
     # ------------------------------------------------------------------
     # Kernel dispatch
     # ------------------------------------------------------------------
     def _run_kernel(
-        self, algorithm: str, mode: HWMode, frontier, semiring, current
+        self,
+        algorithm: str,
+        mode: HWMode,
+        frontier,
+        semiring,
+        current,
+        profile_only: bool = False,
     ) -> Tuple[SpMVResult, ConversionCost]:
         if algorithm == "ip":
-            vec, cost = self._to_dense(frontier, semiring)
+            vec, cost = self._convert("dense", frontier, semiring)
             result = inner_product(
                 self.operand.coo,
                 vec,
@@ -206,9 +231,10 @@ class CoSparseRuntime:
                 partition=self.operand.ip_partition(self.geometry, self.balanced),
                 balanced=self.balanced,
                 with_trace=self.with_trace,
+                profile_only=profile_only,
             )
         else:
-            sv, cost = self._to_sparse(frontier, semiring)
+            sv, cost = self._convert("sparse", frontier, semiring)
             result = outer_product(
                 self.operand.csc,
                 sv,
@@ -218,6 +244,7 @@ class CoSparseRuntime:
                 params=self.params,
                 current=current,
                 with_trace=self.with_trace,
+                profile_only=profile_only,
             )
         return result, cost
 
@@ -228,25 +255,36 @@ class CoSparseRuntime:
         return report.cycles
 
     def _compare(self, candidates, frontier, semiring, current):
-        """Price ``candidates``; return (best algo, best mode, reports)."""
+        """Price ``candidates`` with profile-only probes.
+
+        Returns ``(best algo, best mode, reports, probe)`` where
+        ``probe`` is the winner's ``(SpMVResult, ConversionCost)``.  The
+        probe normally carries only the profile; when the kernel had to
+        execute anyway (OP under ``with_trace`` runs the exact merge),
+        its functional result rides along and :meth:`spmv` reuses it.
+        """
         alternatives = {}
         best = None
         for algorithm, mode in candidates:
-            result, _cost = self._run_kernel(
-                algorithm, mode, frontier, semiring, current
+            result, cost = self._run_kernel(
+                algorithm, mode, frontier, semiring, current, profile_only=True
             )
             report = self.system.evaluate_without_switching(result.profile)
             alternatives[f"{algorithm.upper()}/{mode.label}"] = report
             if best is None or self._score(report) < self._score(best[2]):
-                best = (algorithm, mode, report)
-        return best[0], best[1], alternatives
+                best = (algorithm, mode, report, (result, cost))
+        return best[0], best[1], alternatives, best[3]
 
     def _decide(self, density: float, semiring: Semiring, frontier, current):
-        """Pick (algorithm, mode[, alternatives]) per the active policy."""
+        """Pick (algorithm, mode, alternatives, probe) per the policy.
+
+        ``probe`` is the winning candidate's ``(result, cost)`` pair
+        when the policy priced candidates, else None.
+        """
         alternatives = {}
         if self.policy == "static":
             algorithm, mode = self.static_config
-            return algorithm, mode, alternatives
+            return algorithm, mode, alternatives, None
         if self.policy in ("tree", "adaptive") or semiring.value_words != 1:
             # Vector-valued semirings (CF) always run dense IP; the tree
             # handles them through their density (1.0 in practice).
@@ -258,7 +296,7 @@ class CoSparseRuntime:
                 and d.cvd / _ADAPT_PROBE_BAND < density < d.cvd * _ADAPT_PROBE_BAND
             ):
                 return self._adaptive_probe(d, density, frontier, semiring, current)
-            return d.algorithm, d.hw_mode, alternatives
+            return d.algorithm, d.hw_mode, alternatives, None
         # oracle: price every valid configuration and take the best
         candidates = [
             ("ip", HWMode.SC),
@@ -282,7 +320,7 @@ class CoSparseRuntime:
             ("ip", tree.hardware_ip(info, density)),
             ("op", tree.hardware_op(info, density)),
         ]
-        algorithm, mode, alternatives = self._compare(
+        algorithm, mode, alternatives, probe = self._compare(
             candidates, frontier, semiring, current
         )
         if algorithm != decision.algorithm:
@@ -293,16 +331,24 @@ class CoSparseRuntime:
                 max(t.cvd_at_8_pes * ratio, t.cvd_min), t.cvd_max
             )
             tree.thresholds = t.with_overrides(cvd_at_8_pes=float(new_at_8))
-        return algorithm, mode, alternatives
+        return algorithm, mode, alternatives, probe
 
     # ------------------------------------------------------------------
     def spmv(self, frontier, semiring: Semiring, current=None) -> SpMVResult:
         """One reconfigured SpMV invocation; logs an IterationRecord."""
+        self._conv_cache.clear()
         density = self.frontier_density(frontier, semiring)
-        algorithm, mode, alternatives = self._decide(
+        algorithm, mode, alternatives, probe = self._decide(
             density, semiring, frontier, current
         )
-        result, conv = self._run_kernel(algorithm, mode, frontier, semiring, current)
+        if probe is not None and probe[0].executed:
+            # The winning pricing probe already ran the functional
+            # kernel (exact/trace path): reuse it instead of re-running.
+            result, conv = probe
+        else:
+            result, conv = self._run_kernel(
+                algorithm, mode, frontier, semiring, current
+            )
         report = self.system.run(result.profile)
         conv_cycles = (
             conv.words * _CONV_CYCLES_PER_WORD / max(self.geometry.n_pes, 1)

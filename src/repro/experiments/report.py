@@ -61,6 +61,9 @@ class ExperimentResult:
     columns: List[str]
     rows: List[Dict] = field(default_factory=list)
     notes: str = ""
+    #: Named wall-clock measurements (seconds) attached by the bench
+    #: harness — the perf trajectory future runs diff against.
+    timings: Dict[str, float] = field(default_factory=dict)
 
     def add(self, **row) -> None:
         """Append one row."""

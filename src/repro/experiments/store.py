@@ -31,6 +31,7 @@ def save_result(result: ExperimentResult, path: str) -> None:
         "columns": result.columns,
         "notes": result.notes,
         "rows": result.rows,
+        "timings": result.timings,
     }
     with open(path, "w") as f:
         json.dump(payload, f, indent=1, default=str)
@@ -51,6 +52,7 @@ def load_result(path: str) -> ExperimentResult:
         columns=payload["columns"],
         rows=payload["rows"],
         notes=payload.get("notes", ""),
+        timings=payload.get("timings", {}),  # absent in pre-timing files
     )
 
 

@@ -44,6 +44,36 @@ def _relocate(regions: np.ndarray, addrs: np.ndarray) -> np.ndarray:
     return addrs + regions.astype(np.int64) * _REGION_STRIDE
 
 
+def _merge_streams(streams) -> Tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+    """Round-robin-interleave per-PE ``(addrs, writes)`` streams.
+
+    Returns the merged ``(addrs, writes)`` plus the ``(src, pos)``
+    bookkeeping needed to scatter per-access results back per stream.
+    """
+    streams = list(streams)
+    src, pos = interleave_round_robin(len(a) for a, _w in streams)
+    addrs = np.empty(len(src), dtype=np.int64)
+    writes = np.empty(len(src), dtype=bool)
+    for i, (a, w) in enumerate(streams):
+        sel = src == i
+        addrs[sel] = a[pos[sel]]
+        writes[sel] = w[pos[sel]]
+    return addrs, writes, src, pos
+
+
+def _split_hits(
+    hits: np.ndarray, src: np.ndarray, pos: np.ndarray, n_streams: int
+) -> List[np.ndarray]:
+    """Undo :func:`_merge_streams`: per-stream hit masks in program order."""
+    out = []
+    for i in range(n_streams):
+        sel = src == i
+        back = np.empty(int(sel.sum()), dtype=bool)
+        back[pos[sel]] = hits[sel]
+        out.append(back)
+    return out
+
+
 class TraceEngine:
     """Replays kernel traces through modelled caches."""
 
@@ -118,19 +148,11 @@ class TraceEngine:
                 if mode is HWMode.SCS:
                     banks = max(banks // 2, 1)
                 l1 = BankedCache(banks, params)
-                src, pos = interleave_round_robin(len(p[1]) for p in cache_parts)
-                addrs = np.empty(len(src), dtype=np.int64)
-                writes = np.empty(len(src), dtype=bool)
-                for i in range(n_pes):
-                    sel = src == i
-                    addrs[sel] = cache_parts[i][1][pos[sel]]
-                    writes[sel] = cache_parts[i][2][pos[sel]]
+                addrs, writes, src, pos = _merge_streams(
+                    (p[1], p[2]) for p in cache_parts
+                )
                 hits = l1.run_trace(addrs, writes)
-                for i in range(n_pes):
-                    sel = src == i
-                    back = np.empty(int(sel.sum()), dtype=bool)
-                    back[pos[sel]] = hits[sel]
-                    hit1[i] = back
+                hit1 = _split_hits(hits, src, pos, n_pes)
                 wb1 = l1.writebacks
             else:
                 wb1 = 0
@@ -152,20 +174,10 @@ class TraceEngine:
                 for p_idx, (regs, addrs, writes) in enumerate(parts):
                     miss = ~hit1[p_idx]
                     flat.append((t_idx, p_idx, regs[miss], addrs[miss], writes[miss]))
-            src, pos = interleave_round_robin(len(f[3]) for f in flat)
-            addrs = np.empty(len(src), dtype=np.int64)
-            writes = np.empty(len(src), dtype=bool)
-            for i, f in enumerate(flat):
-                sel = src == i
-                addrs[sel] = f[3][pos[sel]]
-                writes[sel] = f[4][pos[sel]]
+            addrs, writes, src, pos = _merge_streams((f[3], f[4]) for f in flat)
             hits = shared_l2.run_trace(addrs, writes)
-            hit2_of = {}
-            for i, f in enumerate(flat):
-                sel = src == i
-                back = np.empty(int(sel.sum()), dtype=bool)
-                back[pos[sel]] = hits[sel]
-                hit2_of[(f[0], f[1])] = back
+            masks = _split_hits(hits, src, pos, len(flat))
+            hit2_of = {(f[0], f[1]): m for f, m in zip(flat, masks)}
             l2_writebacks = shared_l2.writebacks
         else:
             hit2_of = {}

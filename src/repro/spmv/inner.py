@@ -34,6 +34,7 @@ from ..hardware import (
     TileProfile,
 )
 from ..hardware.params import DEFAULT_PARAMS, HardwareParams
+from ..perf import counters as _perf
 from .partition import IPPartition, build_ip_partitions, vblock_width
 from .result import SpMVResult
 from .semiring import Semiring
@@ -60,6 +61,7 @@ def inner_product(
     partition: Optional[IPPartition] = None,
     balanced: bool = True,
     with_trace: bool = False,
+    profile_only: bool = False,
 ) -> SpMVResult:
     """Run one IP SpMV: ``out = reduce(combine(A[i,j], v[j]))`` over rows.
 
@@ -88,6 +90,11 @@ def inner_product(
         (False) — the Fig. 7 ablation.
     with_trace:
         Attach exact per-PE address traces (scalar semirings only).
+    profile_only:
+        Build only the hardware profile (counts, streams and — with
+        ``with_trace`` — traces are all structural) and skip the
+        functional semiring computation; the returned result has
+        ``values is None``.  Used by the runtime's pricing probes.
     """
     if hw_mode not in (HWMode.SC, HWMode.SCS):
         raise ConfigurationError(f"IP runs under SC or SCS, not {hw_mode}")
@@ -117,28 +124,37 @@ def inner_product(
     # ------------------------------------------------------------------
     # Functional result (vectorised; identical to the per-PE schedule
     # because row partitions are disjoint and the reduce is commutative).
+    # The activity mask is needed by the profile either way; everything
+    # downstream of it is skipped on profile-only pricing probes.
     # ------------------------------------------------------------------
     if v.ndim == 1:
         active = v[cols] != semiring.absent
     else:
         active = np.ones(len(cols), dtype=bool)
-    a_rows, a_cols, a_vals = rows[active], cols[active], vals[active]
-    out = semiring.init_output(matrix.n_rows, current)
-    v_dst = None
-    if semiring.needs_dst:
-        if current is None:
-            raise ShapeError(f"semiring {semiring.name} needs current dst values")
-        v_dst = np.asarray(current, dtype=np.float64)[a_rows]
-    contrib = semiring.combine(a_vals, v[a_cols], v_dst, a_cols, a_rows)
-    semiring.scatter(out, a_rows, contrib)
-    touched = np.zeros(matrix.n_rows, dtype=bool)
-    touched[a_rows] = True
-    prev = (
-        np.asarray(current, dtype=np.float64)
-        if current is not None
-        else semiring.init_output(matrix.n_rows, None)
-    )
-    out = semiring.apply_vector_op(out, prev)
+    a_rows, a_cols = rows[active], cols[active]
+    if profile_only:
+        _perf.kernel_profile_only += 1
+        out = None
+        touched = None
+    else:
+        _perf.kernel_executions += 1
+        a_vals = vals[active]
+        out = semiring.init_output(matrix.n_rows, current)
+        v_dst = None
+        if semiring.needs_dst:
+            if current is None:
+                raise ShapeError(f"semiring {semiring.name} needs current dst values")
+            v_dst = np.asarray(current, dtype=np.float64)[a_rows]
+        contrib = semiring.combine(a_vals, v[a_cols], v_dst, a_cols, a_rows)
+        semiring.scatter(out, a_rows, contrib)
+        touched = np.zeros(matrix.n_rows, dtype=bool)
+        touched[a_rows] = True
+        prev = (
+            np.asarray(current, dtype=np.float64)
+            if current is not None
+            else semiring.init_output(matrix.n_rows, None)
+        )
+        out = semiring.apply_vector_op(out, prev)
 
     # ------------------------------------------------------------------
     # Hardware profile

@@ -40,6 +40,7 @@ from ..hardware import (
 )
 from ..hardware.params import DEFAULT_PARAMS, HardwareParams
 from ..hardware.spm import Scratchpad
+from ..perf import counters as _perf
 from .heap import MergeHeap
 from .partition import equal_nnz_row_bounds, equal_rows_bounds
 from .result import SpMVResult
@@ -70,12 +71,19 @@ def outer_product(
     exact: bool = False,
     with_trace: bool = False,
     balanced: bool = True,
+    profile_only: bool = False,
 ) -> SpMVResult:
     """Run one OP SpMV over the frontier's non-zero columns.
 
     See module docstring; parameters mirror
     :func:`repro.spmv.inner.inner_product` except that the matrix is CSC
     and the frontier sparse.  ``hw_mode`` must be ``PC`` or ``PS``.
+
+    ``profile_only=True`` skips the functional scatter/merge and returns
+    a result with ``values is None`` — unless the exact path is forced
+    (``exact``/``with_trace``), whose element-by-element merge *is* the
+    trace generator; its functional output then comes along for free and
+    the result reports ``executed``.
     """
     if hw_mode not in (HWMode.PC, HWMode.PS, HWMode.SC):
         # The decision tree only ever pairs OP with the private modes,
@@ -117,46 +125,55 @@ def outer_product(
     # ------------------------------------------------------------------
     # Functional result
     # ------------------------------------------------------------------
+    # The gathered structure (rows_g/col_of/pos_of) feeds the work
+    # statistics below whether or not the functional result is wanted.
     rows_g, vals_g, col_of = matrix.gather_columns(frontier.indices)
     pos_of = np.searchsorted(frontier.indices, col_of)
-    v_src = frontier.values[pos_of]
-    out = semiring.init_output(matrix.n_rows, current)
-    v_dst = None
-    if semiring.needs_dst:
-        if current is None:
-            raise ShapeError(f"semiring {semiring.name} needs current dst values")
-        v_dst = np.asarray(current, dtype=np.float64)[rows_g]
-    contrib = semiring.combine(vals_g, v_src, v_dst, col_of, rows_g)
-    if exact:
-        exact_out, traces, merge_stats = _exact_merge(
-            matrix,
-            frontier,
-            semiring,
-            chunks,
-            tile_bounds,
-            current,
-            with_trace,
-            T,
-            P,
-        )
-        fast = semiring.init_output(matrix.n_rows, current)
-        semiring.scatter(fast, rows_g, contrib)
-        if not np.allclose(exact_out, fast, equal_nan=True):
-            raise AssertionError(
-                "exact heap merge disagrees with the vectorised OP path"
-            )
-        out = exact_out
-    else:
-        semiring.scatter(out, rows_g, contrib)
+    if profile_only and not exact:
+        _perf.kernel_profile_only += 1
+        out = None
+        touched = None
         traces, merge_stats = None, None
-    touched = np.zeros(matrix.n_rows, dtype=bool)
-    touched[rows_g] = True
-    prev = (
-        np.asarray(current, dtype=np.float64)
-        if current is not None
-        else semiring.init_output(matrix.n_rows, None)
-    )
-    out = semiring.apply_vector_op(out, prev)
+    else:
+        _perf.kernel_executions += 1
+        v_src = frontier.values[pos_of]
+        out = semiring.init_output(matrix.n_rows, current)
+        v_dst = None
+        if semiring.needs_dst:
+            if current is None:
+                raise ShapeError(f"semiring {semiring.name} needs current dst values")
+            v_dst = np.asarray(current, dtype=np.float64)[rows_g]
+        contrib = semiring.combine(vals_g, v_src, v_dst, col_of, rows_g)
+        if exact:
+            exact_out, traces, merge_stats = _exact_merge(
+                matrix,
+                frontier,
+                semiring,
+                chunks,
+                tile_bounds,
+                current,
+                with_trace,
+                T,
+                P,
+            )
+            fast = semiring.init_output(matrix.n_rows, current)
+            semiring.scatter(fast, rows_g, contrib)
+            if not np.allclose(exact_out, fast, equal_nan=True):
+                raise AssertionError(
+                    "exact heap merge disagrees with the vectorised OP path"
+                )
+            out = exact_out
+        else:
+            semiring.scatter(out, rows_g, contrib)
+            traces, merge_stats = None, None
+        touched = np.zeros(matrix.n_rows, dtype=bool)
+        touched[rows_g] = True
+        prev = (
+            np.asarray(current, dtype=np.float64)
+            if current is not None
+            else semiring.init_output(matrix.n_rows, None)
+        )
+        out = semiring.apply_vector_op(out, prev)
 
     # ------------------------------------------------------------------
     # Per-(tile, PE) work statistics, vectorised over all touched entries

@@ -3,9 +3,11 @@
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Optional
 
 import numpy as np
 
+from ..errors import ReproError
 from ..formats import DenseVector, SparseVector
 from ..hardware.profile import KernelProfile
 from .semiring import Semiring
@@ -21,37 +23,56 @@ class SpMVResult:
     ----------
     values:
         Dense output array (``(n,)`` or ``(n, K)``) *after* the
-        semiring's Vector_Op has been applied.
+        semiring's Vector_Op has been applied — or None for a
+        ``profile_only`` pricing probe, which computes no functional
+        result.
     touched:
         Boolean mask of destinations that received at least one
-        contribution — the raw material for the next frontier.
+        contribution — the raw material for the next frontier (None on
+        profile-only probes).
     profile:
         What the hardware would have done (see
         :class:`repro.hardware.profile.KernelProfile`).
     semiring:
-        The Matrix_Op/Vector_Op pair that was executed.
+        The Matrix_Op/Vector_Op pair that was executed (or priced).
     """
 
-    values: np.ndarray
-    touched: np.ndarray
+    values: Optional[np.ndarray]
+    touched: Optional[np.ndarray]
     profile: KernelProfile
     semiring: Semiring
 
     @property
+    def executed(self) -> bool:
+        """True when the functional semiring result was computed."""
+        return self.values is not None
+
+    def _require_executed(self) -> None:
+        if self.values is None:
+            raise ReproError(
+                "profile-only SpMV result carries no functional output; "
+                "re-run the kernel without profile_only=True"
+            )
+
+    @property
     def n(self) -> int:
         """Output vector length."""
+        self._require_executed()
         return len(self.values)
 
     @property
     def touched_count(self) -> int:
         """Destinations that received a contribution."""
+        self._require_executed()
         return int(self.touched.sum())
 
     def dense_output(self) -> DenseVector:
         """Scalar output as a :class:`~repro.formats.dense.DenseVector`."""
+        self._require_executed()
         return DenseVector(self.values)
 
     def touched_sparse(self) -> SparseVector:
         """Touched entries as a sparse vector (scalar semirings only)."""
+        self._require_executed()
         idx = np.nonzero(self.touched)[0]
         return SparseVector(self.n, idx, self.values[idx], sort=False, check=False)

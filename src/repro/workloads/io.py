@@ -140,7 +140,12 @@ def cached_matrix(
     os.makedirs(cache_dir, exist_ok=True)
     path = os.path.join(cache_dir, f"{key}.npz")
     if os.path.exists(path):
-        return load_npz(path)
+        try:
+            return load_npz(path)
+        except Exception:
+            # Corrupt/truncated cache entry (e.g. an interrupted write):
+            # fall through and regenerate it.
+            os.remove(path)
     matrix = builder()
     save_npz(path, matrix)
     return matrix

@@ -70,3 +70,71 @@ class TestAdaptivePolicy:
         a = CoSparseRuntime(matrix, "2x8", policy="adaptive").spmv(f, sr)
         b = CoSparseRuntime(matrix, "2x8", policy="tree").spmv(f, sr)
         assert np.allclose(a.values, b.values)
+
+
+class TestCVDNudge:
+    """The probe-outcome nudge of the CVD threshold (extension feature)."""
+
+    def _probe_once(self, rt, density, seed):
+        sr = spmv_semiring()
+        before = rt.tree.thresholds.cvd_at_8_pes
+        rt.spmv(random_frontier(rt.operand.coo.n_cols, density, seed=seed), sr)
+        probed = len(rt.last_record.alternatives) == 2
+        return before, rt.tree.thresholds.cvd_at_8_pes, probed
+
+    def test_threshold_moves_toward_observed_boundary(self, matrix):
+        """With an 8x-too-high CVD estimate, densities between the true
+        and estimated crossover make the tree pick OP while pricing
+        favours IP — each such probe must pull the estimate down."""
+        bad = DecisionThresholds(cvd_at_8_pes=0.16, cvd_max=0.5)
+        rt = CoSparseRuntime(matrix, "2x8", policy="adaptive", thresholds=bad)
+        cvd = rt.tree.crossover_density(rt.operand.info)
+        moved = 0
+        for i in range(4):
+            before, after, probed = self._probe_once(rt, cvd * 0.7, 40 + i)
+            assert probed
+            assert after <= before  # never moves away from the boundary
+            moved += after < before
+            cvd = rt.tree.crossover_density(rt.operand.info)
+        assert moved >= 1
+
+    def test_threshold_clamped_to_bounds(self, matrix):
+        """A boundary below ``cvd_min`` keeps nudging the estimate down
+        until the clamp engages; it never leaves [cvd_min, cvd_max]."""
+        bad = DecisionThresholds(cvd_at_8_pes=0.16, cvd_min=0.05, cvd_max=0.5)
+        rt = CoSparseRuntime(matrix, "2x8", policy="adaptive", thresholds=bad)
+        rng = np.random.default_rng(8)
+        for i in range(10):
+            cvd = rt.tree.crossover_density(rt.operand.info)
+            d = cvd * float(rng.uniform(0.5, 0.95))
+            self._probe_once(rt, d, 60 + i)
+            t = rt.tree.thresholds
+            assert t.cvd_min <= t.cvd_at_8_pes <= t.cvd_max
+        # the true crossover (~0.02 here) sits below cvd_min, so the
+        # estimate must have been driven onto the clamp
+        assert rt.tree.thresholds.cvd_at_8_pes == pytest.approx(0.05)
+
+    def test_profile_only_probes_price_like_executed_kernels(self, matrix):
+        """The nudge decision depends only on the candidates' reports;
+        profile-only probes must produce the same reports as fully
+        executed kernels, so adaptive decisions are unchanged."""
+        bad = DecisionThresholds(cvd_at_8_pes=0.16, cvd_max=0.5)
+        rt = CoSparseRuntime(matrix, "2x8", policy="adaptive", thresholds=bad)
+        sr = spmv_semiring()
+        cvd = rt.tree.crossover_density(rt.operand.info)
+        f = random_frontier(matrix.n_cols, cvd * 0.7, seed=90)
+        rt.spmv(f, sr)
+        rec = rt.last_record
+        assert len(rec.alternatives) == 2
+        info = rt.operand.info
+        density = rt.frontier_density(f, sr)
+        candidates = [
+            ("ip", rt.tree.hardware_ip(info, density)),
+            ("op", rt.tree.hardware_op(info, density)),
+        ]
+        for algo, mode in candidates:
+            result, _cost = rt._run_kernel(algo, mode, f, sr, None)
+            assert result.executed
+            report = rt.system.evaluate_without_switching(result.profile)
+            priced = rec.alternatives[f"{algo.upper()}/{mode.label}"]
+            assert report.cycles == pytest.approx(priced.cycles)

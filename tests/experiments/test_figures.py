@@ -7,6 +7,8 @@ runs on a shrunken grid and the *qualitative* paper claims are asserted.
 import numpy as np
 import pytest
 
+pytestmark = pytest.mark.slow  # full driver sweeps: excluded from `make test`
+
 from repro.experiments import (
     crossover_table,
     run_fig4,

@@ -1,0 +1,159 @@
+"""Differential tests: batched cache engines vs the reference simulator.
+
+The batched numpy engine (and, where a host toolchain exists, the native
+C kernel) must be *bit-identical* to :class:`ReferenceCacheBank` — same
+per-access hit masks, same hit/miss/writeback counters, same behaviour
+across ``reset_lines`` and scalar/batch mixing — on random traces with
+mixed reads/writes over several bank counts and footprints.
+"""
+
+import numpy as np
+import pytest
+
+from repro.hardware import _native
+from repro.hardware.cache import BankedCache, CacheBank, ReferenceCacheBank
+from repro.hardware.params import DEFAULT_PARAMS
+
+ENGINES = ["numpy", "native"]
+
+
+@pytest.fixture(params=ENGINES)
+def engine(request, monkeypatch):
+    """Select which batched engine CacheBank.run_trace uses."""
+    if request.param == "native":
+        if not _native.available():
+            pytest.skip("no host C toolchain: native engine unavailable")
+    else:
+        monkeypatch.setenv("REPRO_NATIVE", "0")
+    return request.param
+
+
+def counters(cache):
+    return (cache.hits, cache.misses, cache.writebacks)
+
+
+def random_trace(rng, n, footprint, write_fraction=0.3):
+    addrs = rng.integers(0, footprint, n).astype(np.int64)
+    writes = rng.random(n) < write_fraction
+    return addrs, writes
+
+
+class TestDifferential:
+    @pytest.mark.parametrize("seed", [0, 1, 2])
+    @pytest.mark.parametrize(
+        "sets_override,footprint",
+        [
+            (0, 8_000),        # single bank, moderate reuse
+            (0, 300),          # pathological same-set reuse
+            (16 * 64, 65_536), # 16-bank shared cache
+        ],
+    )
+    def test_masks_and_counters_identical(self, engine, seed, sets_override, footprint):
+        rng = np.random.default_rng(seed)
+        ref = ReferenceCacheBank(DEFAULT_PARAMS, sets_override=sets_override)
+        vec = CacheBank(DEFAULT_PARAMS, sets_override=sets_override)
+        for _ in range(3):  # warm state carries across batches
+            addrs, writes = random_trace(rng, 1500, footprint)
+            m_ref = ref.run_trace(addrs, writes)
+            m_vec = vec.run_trace(addrs, writes)
+            np.testing.assert_array_equal(m_ref, m_vec)
+            assert counters(ref) == counters(vec)
+
+    @pytest.mark.parametrize("n_banks", [1, 2, 4, 16])
+    def test_banked_cache_all_bank_counts(self, engine, n_banks):
+        rng = np.random.default_rng(7)
+        sets = DEFAULT_PARAMS.cache_sets_per_bank * n_banks
+        ref = ReferenceCacheBank(DEFAULT_PARAMS, sets_override=sets)
+        banked = BankedCache(n_banks, DEFAULT_PARAMS)
+        addrs, writes = random_trace(rng, 4000, 4 * banked.capacity_words)
+        m_ref = ref.run_trace(addrs, writes)
+        m_vec = banked.run_trace(addrs, writes)
+        np.testing.assert_array_equal(m_ref, m_vec)
+        assert counters(ref) == counters(banked)
+
+    def test_reset_lines_mid_stream(self, engine):
+        rng = np.random.default_rng(3)
+        ref = ReferenceCacheBank(DEFAULT_PARAMS)
+        vec = CacheBank(DEFAULT_PARAMS)
+        a1, w1 = random_trace(rng, 1000, 3000)
+        ref.run_trace(a1, w1)
+        vec.run_trace(a1, w1)
+        ref.reset_lines()
+        vec.reset_lines()
+        assert counters(ref) == counters(vec)  # flush keeps counters
+        a2, w2 = random_trace(rng, 1000, 3000)
+        np.testing.assert_array_equal(ref.run_trace(a2, w2), vec.run_trace(a2, w2))
+        assert counters(ref) == counters(vec)
+
+    def test_scalar_and_batch_paths_interchangeable(self, engine):
+        rng = np.random.default_rng(11)
+        ref = ReferenceCacheBank(DEFAULT_PARAMS, sets_override=16)
+        vec = CacheBank(DEFAULT_PARAMS, sets_override=16)
+        for round_ in range(3):
+            addrs, writes = random_trace(rng, 600, 2000)
+            np.testing.assert_array_equal(
+                ref.run_trace(addrs, writes), vec.run_trace(addrs, writes)
+            )
+            for a in rng.integers(0, 2000, 40):
+                w = bool(rng.random() < 0.5)
+                assert ref.access(int(a), w) == vec.access(int(a), w)
+            assert counters(ref) == counters(vec)
+
+    def test_trace_engine_style_addresses(self, engine):
+        """Region-relocated addresses (offsets + k * 2^40) — the address
+        shape the TraceEngine feeds through the shared caches."""
+        rng = np.random.default_rng(5)
+        ref = ReferenceCacheBank(DEFAULT_PARAMS, sets_override=4 * 64)
+        vec = CacheBank(DEFAULT_PARAMS, sets_override=4 * 64)
+        region = rng.integers(0, 4, 3000).astype(np.int64)
+        addrs = region * (1 << 40) + rng.integers(0, 20_000, 3000)
+        writes = rng.random(3000) < 0.4
+        np.testing.assert_array_equal(
+            ref.run_trace(addrs, writes), vec.run_trace(addrs, writes)
+        )
+        assert counters(ref) == counters(vec)
+
+    def test_write_only_and_read_only_extremes(self, engine):
+        rng = np.random.default_rng(13)
+        for wf in (0.0, 1.0):
+            ref = ReferenceCacheBank(DEFAULT_PARAMS, sets_override=32)
+            vec = CacheBank(DEFAULT_PARAMS, sets_override=32)
+            addrs, writes = random_trace(rng, 2000, 6000, write_fraction=wf)
+            np.testing.assert_array_equal(
+                ref.run_trace(addrs, writes), vec.run_trace(addrs, writes)
+            )
+            assert counters(ref) == counters(vec)
+            if wf == 0.0:
+                assert vec.writebacks == 0  # clean lines never write back
+
+    def test_want_mask_false_returns_hit_count(self, engine):
+        rng = np.random.default_rng(17)
+        a = CacheBank(DEFAULT_PARAMS, sets_override=32)
+        b = CacheBank(DEFAULT_PARAMS, sets_override=32)
+        addrs, writes = random_trace(rng, 2000, 6000)
+        mask = a.run_trace(addrs, writes)
+        nh = b.run_trace(addrs, writes, want_mask=False)
+        assert nh == int(mask.sum())
+        assert counters(a) == counters(b)
+        np.testing.assert_array_equal(a._tags, b._tags)
+
+
+class TestEnginesAgreeWithEachOther:
+    def test_numpy_vs_native_state(self, monkeypatch):
+        """Both batched paths must leave identical tag/dirty matrices."""
+        if not _native.available():
+            pytest.skip("no host C toolchain: native engine unavailable")
+        rng = np.random.default_rng(23)
+        addrs, writes = random_trace(rng, 5000, 50_000)
+        monkeypatch.setenv("REPRO_NATIVE", "0")
+        vec = CacheBank(DEFAULT_PARAMS, sets_override=256)
+        m_numpy = vec.run_trace(addrs, writes)
+        monkeypatch.setenv("REPRO_NATIVE", "1")
+        nat = CacheBank(DEFAULT_PARAMS, sets_override=256)
+        m_native = nat.run_trace(addrs, writes)
+        np.testing.assert_array_equal(m_numpy, m_native)
+        assert counters(vec) == counters(nat)
+        np.testing.assert_array_equal(vec._tags, nat._tags)
+        np.testing.assert_array_equal(
+            vec._dirty.astype(bool), nat._dirty.astype(bool)
+        )

@@ -11,6 +11,8 @@ import sys
 
 import pytest
 
+pytestmark = pytest.mark.slow  # one subprocess per example: `make test` skips
+
 _ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
 
 
