@@ -2,15 +2,22 @@
 
 PYTHON ?= python
 
-.PHONY: install test test-all perf bench bench-full artifacts examples clean
+.PHONY: install test test-O test-all perf bench bench-full artifacts examples clean
 
 install:
 	$(PYTHON) -m pip install -e . || $(PYTHON) setup.py develop
 
 # Fast smoke subset (excludes tests marked `slow`); `make test-all` runs
 # everything, which is also what CI's tier-1 gate does.
-test:
+test: test-O
 	PYTHONPATH=src $(PYTHON) -m pytest tests/ -m "not slow"
+
+# The same fast subset under `python -O`, which strips bare `assert`
+# statements from the library: any correctness check hiding in one (the
+# OP exact-path cross-check once did) silently vanishes there, so the
+# suite must still pass — guard checks have to raise real errors.
+test-O:
+	PYTHONPATH=src $(PYTHON) -O -m pytest tests/spmv tests/core tests/formats -q -m "not slow"
 
 test-all:
 	PYTHONPATH=src $(PYTHON) -m pytest tests/

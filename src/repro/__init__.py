@@ -20,10 +20,31 @@ from .core import (
     MatrixInfo,
     SpMVOperand,
 )
-from .formats import COOMatrix, CSCMatrix, CSRMatrix, DenseVector, SparseVector
-from .graphs import Graph, bfs, collaborative_filtering, pagerank, sssp
+from .formats import (
+    COOMatrix,
+    CSCMatrix,
+    CSRMatrix,
+    DenseVector,
+    MultiVector,
+    SparseVector,
+)
+from .graphs import (
+    Graph,
+    bfs,
+    bfs_multi,
+    collaborative_filtering,
+    pagerank,
+    sssp,
+    sssp_multi,
+)
 from .hardware import Geometry, HWMode, TransmuterSystem
-from .spmv import Semiring, inner_product, outer_product
+from .spmv import (
+    Semiring,
+    inner_product,
+    inner_product_batch,
+    outer_product,
+    outer_product_batch,
+)
 
 __version__ = "1.0.0"
 
@@ -37,17 +58,22 @@ __all__ = [
     "CSCMatrix",
     "CSRMatrix",
     "DenseVector",
+    "MultiVector",
     "SparseVector",
     "Graph",
     "bfs",
+    "bfs_multi",
     "collaborative_filtering",
     "pagerank",
     "sssp",
+    "sssp_multi",
     "Geometry",
     "HWMode",
     "TransmuterSystem",
     "Semiring",
     "inner_product",
+    "inner_product_batch",
     "outer_product",
+    "outer_product_batch",
     "__version__",
 ]

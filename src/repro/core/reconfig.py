@@ -39,6 +39,11 @@ class IterationRecord:
     #: Alternative configurations priced this iteration (oracle policy):
     #: maps "IP/SC"-style labels to their hypothetical reports.
     alternatives: Dict[str, RunReport] = field(default_factory=dict)
+    #: Batched-execution provenance: which :meth:`spmv_batch` call and
+    #: which batch column produced this record (None for sequential
+    #: invocations).  The record itself is bit-identical either way.
+    batch_id: Optional[int] = None
+    batch_column: Optional[int] = None
 
     @property
     def total_cycles(self) -> float:
@@ -56,6 +61,11 @@ class ReconfigurationLog:
     """The full execution history of one algorithm run."""
 
     records: List[IterationRecord] = field(default_factory=list)
+    #: The clock the cycle counts are priced at.  Set by the runtime from
+    #: its :class:`~repro.hardware.params.HardwareParams` so downstream
+    #: wall-clock conversions (``AlgorithmRun.time_s``) track the
+    #: configured frequency instead of assuming 1 GHz.
+    clock_hz: float = 1.0e9
 
     def append(self, record: IterationRecord) -> None:
         self.records.append(record)

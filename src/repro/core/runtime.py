@@ -11,7 +11,7 @@ everything.
 
 from __future__ import annotations
 
-from typing import Optional, Tuple, Union
+from typing import List, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
@@ -21,11 +21,19 @@ from ..formats import (
     CSCMatrix,
     ConversionCost,
     DenseVector,
+    MultiVector,
     SparseVector,
 )
 from ..hardware import Geometry, HWMode, TransmuterSystem
 from ..hardware.params import DEFAULT_PARAMS, HardwareParams
-from ..spmv import SpMVResult, build_ip_partitions, inner_product, outer_product
+from ..spmv import (
+    SpMVResult,
+    build_ip_partitions,
+    inner_product,
+    inner_product_batch,
+    outer_product,
+    outer_product_batch,
+)
 from ..spmv.semiring import Semiring
 from .decision import Decision, DecisionThresholds, DecisionTree, MatrixInfo
 from .reconfig import IterationRecord, ReconfigurationLog
@@ -147,8 +155,9 @@ class CoSparseRuntime:
         self.objective = objective
         self.system = TransmuterSystem(self.geometry, params, fidelity=fidelity)
         self.tree = DecisionTree(self.geometry, params, thresholds)
-        self.log = ReconfigurationLog()
+        self.log = ReconfigurationLog(clock_hz=params.clock_hz)
         self._iteration = 0
+        self._batch_id = 0
         self._last_algorithm: Optional[str] = None
         self._last_mode: Optional[HWMode] = None
         # Per-invocation frontier-conversion memo: the four oracle
@@ -248,11 +257,28 @@ class CoSparseRuntime:
             )
         return result, cost
 
-    def _score(self, report) -> float:
-        """The quantity comparisons minimise (cycles or joules)."""
+    def _scores(self, reports) -> List[float]:
+        """The quantities one comparison minimises — in a single unit.
+
+        Under ``objective="energy"`` every candidate's joules are used,
+        but only when *every* candidate reports energy; with no energy
+        data at all the comparison falls back to cycles uniformly.  A
+        mixed set would silently rank joules against cycles on unit
+        magnitude rather than merit, so it is a configuration error.
+        """
         if self.objective == "energy":
-            return report.energy_j if report.energy_j is not None else report.cycles
-        return report.cycles
+            energies = [r.energy_j for r in reports]
+            missing = sum(1 for e in energies if e is None)
+            if missing == 0:
+                return energies
+            if missing != len(energies):
+                raise ConfigurationError(
+                    "objective='energy' but only "
+                    f"{len(energies) - missing}/{len(energies)} candidates "
+                    "report energy; joules cannot be compared against "
+                    "cycles in one ranking"
+                )
+        return [r.cycles for r in reports]
 
     def _compare(self, candidates, frontier, semiring, current):
         """Price ``candidates`` with profile-only probes.
@@ -264,15 +290,16 @@ class CoSparseRuntime:
         its functional result rides along and :meth:`spmv` reuses it.
         """
         alternatives = {}
-        best = None
+        priced = []
         for algorithm, mode in candidates:
             result, cost = self._run_kernel(
                 algorithm, mode, frontier, semiring, current, profile_only=True
             )
             report = self.system.evaluate_without_switching(result.profile)
             alternatives[f"{algorithm.upper()}/{mode.label}"] = report
-            if best is None or self._score(report) < self._score(best[2]):
-                best = (algorithm, mode, report, (result, cost))
+            priced.append((algorithm, mode, report, (result, cost)))
+        scores = self._scores([p[2] for p in priced])
+        best = priced[min(range(len(priced)), key=scores.__getitem__)]
         return best[0], best[1], alternatives, best[3]
 
     def _decide(self, density: float, semiring: Semiring, frontier, current):
@@ -377,6 +404,168 @@ class CoSparseRuntime:
         return result
 
     # ------------------------------------------------------------------
+    def spmv_batch(
+        self,
+        frontiers: Union[MultiVector, Sequence],
+        semiring: Semiring,
+        currents: Optional[Sequence] = None,
+    ) -> List[SpMVResult]:
+        """Run K frontiers through one batched (SpMM-style) superstep.
+
+        Decides ``(algorithm, hw_mode)`` per column exactly as
+        :meth:`spmv` would, groups the columns by chosen configuration in
+        first-appearance order, and runs one *batched* kernel per group —
+        sharing the matrix traversal's structural work across the group
+        while the per-column profiles, reports and
+        :class:`IterationRecord`\\ s stay bit-identical to K sequential
+        :meth:`spmv` calls issued in that same group order.  Hardware
+        switch costs are charged per group boundary (the first column of
+        a group pays the mode switch; its same-mode followers ride free),
+        which is precisely what the equivalent sequential call order pays.
+
+        Parameters
+        ----------
+        frontiers:
+            A :class:`~repro.formats.multivector.MultiVector` whose
+            ``absent`` matches the semiring's, or a sequence of frontiers
+            (one is built on the fly).
+        semiring:
+            Scalar semiring (vector-valued ones already batch internally
+            and run through :meth:`spmv`).
+        currents:
+            Optional per-column current vertex values: a length-K
+            sequence (entries may be None) or an ``(n, K)`` array.
+
+        Returns
+        -------
+        list of :class:`SpMVResult`, in the input column order.
+        """
+        if self.with_trace:
+            raise ConfigurationError(
+                "spmv_batch does not generate address traces; use "
+                "sequential spmv() for trace capture"
+            )
+        if semiring.value_words != 1:
+            raise ConfigurationError(
+                f"spmv_batch handles scalar semirings; {semiring.name} "
+                "carries vector values and runs through spmv()"
+            )
+        if not isinstance(frontiers, MultiVector):
+            frontiers = MultiVector(list(frontiers), absent=semiring.absent)
+        if frontiers.absent != semiring.absent:
+            raise ConfigurationError(
+                f"MultiVector absent={frontiers.absent} does not match "
+                f"semiring {semiring.name} absent={semiring.absent}"
+            )
+        mv = frontiers
+        if currents is None:
+            per_current: List[Optional[np.ndarray]] = [None] * mv.k
+        elif isinstance(currents, np.ndarray) and currents.ndim == 2:
+            if currents.shape != (mv.n, mv.k):
+                raise ConfigurationError(
+                    f"currents shape {currents.shape} does not match "
+                    f"batch shape {(mv.n, mv.k)}"
+                )
+            per_current = [currents[:, j] for j in range(mv.k)]
+        else:
+            per_current = list(currents)
+            if len(per_current) != mv.k:
+                raise ConfigurationError(
+                    f"{len(per_current)} current vectors for {mv.k} columns"
+                )
+
+        # Per-column decisions, in input order — the same density/tree
+        # (or pricing-probe) path the sequential invocations would take.
+        decisions = []
+        for j in range(mv.k):
+            self._conv_cache.clear()
+            frontier_j = (
+                mv.column_sparse(j)
+                if mv.native(j) == "sparse"
+                else DenseVector(mv.column_dense(j))
+            )
+            density = mv.density(j)
+            algorithm, mode, alternatives, _probe = self._decide(
+                density, semiring, frontier_j, per_current[j]
+            )
+            decisions.append((algorithm, mode, alternatives, density))
+        self._conv_cache.clear()
+
+        # Group columns by configuration, first-appearance order.
+        groups: dict = {}
+        for j, (algorithm, mode, _alts, _d) in enumerate(decisions):
+            groups.setdefault((algorithm, mode), []).append(j)
+
+        batch_id = self._batch_id
+        self._batch_id += 1
+        results: List[Optional[SpMVResult]] = [None] * mv.k
+        for (algorithm, mode), cols in groups.items():
+            group_currents = [per_current[j] for j in cols]
+            if algorithm == "ip":
+                group_results = inner_product_batch(
+                    self.operand.coo,
+                    mv,
+                    semiring,
+                    self.geometry,
+                    hw_mode=mode,
+                    params=self.params,
+                    currents=group_currents,
+                    partition=self.operand.ip_partition(
+                        self.geometry, self.balanced
+                    ),
+                    balanced=self.balanced,
+                    columns=cols,
+                )
+            else:
+                group_results = outer_product_batch(
+                    self.operand.csc,
+                    mv,
+                    semiring,
+                    self.geometry,
+                    hw_mode=mode,
+                    params=self.params,
+                    currents=group_currents,
+                    columns=cols,
+                )
+            for j, result in zip(cols, group_results):
+                _alg, _mode, alternatives, density = decisions[j]
+                report = self.system.run(result.profile)
+                conv = mv.conversion_cost(
+                    j, "dense" if algorithm == "ip" else "sparse"
+                )
+                conv_cycles = (
+                    conv.words
+                    * _CONV_CYCLES_PER_WORD
+                    / max(self.geometry.n_pes, 1)
+                )
+                record = IterationRecord(
+                    iteration=self._iteration,
+                    vector_density=density,
+                    algorithm=algorithm,
+                    hw_mode=mode,
+                    report=report,
+                    conversion_cycles=conv_cycles,
+                    conversion=conv,
+                    sw_switched=(
+                        self._last_algorithm is not None
+                        and algorithm != self._last_algorithm
+                    ),
+                    hw_switched=(
+                        self._last_mode is not None
+                        and mode is not self._last_mode
+                    ),
+                    alternatives=alternatives,
+                    batch_id=batch_id,
+                    batch_column=j,
+                )
+                self.log.append(record)
+                self._iteration += 1
+                self._last_algorithm = algorithm
+                self._last_mode = mode
+                results[j] = result
+        return results
+
+    # ------------------------------------------------------------------
     @property
     def last_record(self) -> Optional[IterationRecord]:
         """The most recent iteration's record (None before any spmv)."""
@@ -384,7 +573,8 @@ class CoSparseRuntime:
 
     def reset_log(self) -> None:
         """Start a fresh log (new algorithm run on the same operand)."""
-        self.log = ReconfigurationLog()
+        self.log = ReconfigurationLog(clock_hz=self.params.clock_hz)
         self._iteration = 0
+        self._batch_id = 0
         self._last_algorithm = None
         self._last_mode = None

@@ -11,6 +11,7 @@ from .coo import COOMatrix
 from .csc import CSCMatrix
 from .csr import CSRMatrix
 from .dense import DenseVector
+from .multivector import MultiVector
 from .sparse_vector import SparseVector
 from .convert import (
     ConversionCost,
@@ -27,6 +28,7 @@ __all__ = [
     "CSCMatrix",
     "CSRMatrix",
     "DenseVector",
+    "MultiVector",
     "SparseVector",
     "ConversionCost",
     "dense_to_sparse",

@@ -56,12 +56,15 @@ class ConversionCost:
 NO_COST = ConversionCost()
 
 
-def dense_to_sparse(vec: DenseVector):
+def dense_to_sparse(vec: DenseVector, absent: float = 0.0):
     """Compact a dense frontier into (index, value) pairs.
+
+    ``absent`` is the inactive-entry marker of the semiring the frontier
+    belongs to (0 for additive, ``+inf`` for min-plus).
 
     Cost: scan all ``n`` words, write ``2·nnz`` words (index + value).
     """
-    sv = vec.to_sparse()
+    sv = vec.to_sparse(absent=absent)
     return sv, ConversionCost(reads=vec.n, writes=2 * sv.nnz)
 
 
@@ -83,13 +86,15 @@ def ensure_dense(vec):
     return DenseVector(np.asarray(vec, dtype=np.float64)), NO_COST
 
 
-def ensure_sparse(vec):
+def ensure_sparse(vec, absent: float = 0.0):
     """Return ``(SparseVector, ConversionCost)`` whatever ``vec`` is."""
     if isinstance(vec, SparseVector):
         return vec, NO_COST
     if isinstance(vec, DenseVector):
-        return dense_to_sparse(vec)
-    return dense_to_sparse(DenseVector(np.asarray(vec, dtype=np.float64)))
+        return dense_to_sparse(vec, absent=absent)
+    return dense_to_sparse(
+        DenseVector(np.asarray(vec, dtype=np.float64)), absent=absent
+    )
 
 
 def vector_density(vec) -> float:

@@ -63,11 +63,16 @@ class DenseVector:
         """Deep copy."""
         return DenseVector(self.data.copy())
 
-    def to_sparse(self):
-        """Convert to :class:`~repro.formats.sparse_vector.SparseVector`."""
+    def to_sparse(self, absent: float = 0.0):
+        """Convert to :class:`~repro.formats.sparse_vector.SparseVector`.
+
+        ``absent`` marks inactive entries (see
+        :meth:`SparseVector.from_dense`); only entries differing from it
+        are kept.
+        """
         from .sparse_vector import SparseVector
 
-        return SparseVector.from_dense(self.data)
+        return SparseVector.from_dense(self.data, absent=absent)
 
     def to_dense(self) -> np.ndarray:
         """Return the underlying array (shared, not copied)."""

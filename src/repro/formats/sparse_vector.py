@@ -66,12 +66,19 @@ class SparseVector:
 
     # ------------------------------------------------------------------
     @classmethod
-    def from_dense(cls, dense) -> "SparseVector":
-        """Keep only the non-zero entries of a dense array."""
+    def from_dense(cls, dense, absent: float = 0.0) -> "SparseVector":
+        """Keep the entries of a dense array that differ from ``absent``.
+
+        ``absent`` is the value an *inactive* vertex holds in the dense
+        representation — 0 for additive semirings, ``+inf`` for min-plus
+        ones (BFS/SSSP).  Keying on ``!= absent`` rather than ``!= 0``
+        keeps live zero-valued entries (a source vertex at distance 0)
+        and drops truly absent ones.
+        """
         dense = np.asarray(dense, dtype=np.float64)
         if dense.ndim != 1:
             raise FormatError("from_dense expects a 1-D array")
-        idx = np.nonzero(dense)[0]
+        idx = np.nonzero(dense != absent)[0]
         return cls(len(dense), idx, dense[idx], sort=False, check=False)
 
     @classmethod

@@ -12,6 +12,7 @@ from .cf import cf_loss, collaborative_filtering
 from .common import AlgorithmRun, ensure_runtime
 from .frontier import FrontierTrace, frontier_from_mask, single_vertex_frontier
 from .graph import Graph
+from .multi import bfs_multi, sssp_multi
 from .pagerank import pagerank, pagerank_semiring_for
 from .sssp import sssp
 
@@ -19,6 +20,7 @@ __all__ = [
     "betweenness_centrality",
     "sigma_semiring",
     "bfs",
+    "bfs_multi",
     "cc_semiring",
     "connected_components",
     "cf_loss",
@@ -32,4 +34,5 @@ __all__ = [
     "pagerank",
     "pagerank_semiring_for",
     "sssp",
+    "sssp_multi",
 ]

@@ -72,8 +72,9 @@ class AlgorithmRun:
 
     @property
     def time_s(self) -> float:
-        """Wall-clock seconds at the modelled 1 GHz clock."""
-        return self.total_cycles * 1e-9
+        """Wall-clock seconds at the modelled clock (from the log's
+        ``clock_hz``, which the runtime sets from its HardwareParams)."""
+        return self.total_cycles / self.log.clock_hz
 
     def summary(self) -> str:
         """One-line digest for reports."""

@@ -42,6 +42,11 @@ class PerfCounters:
     kernel_profile_only:
         Invocations that built only the :class:`KernelProfile`
         (``profile_only=True`` pricing probes).
+    kernel_batched_columns:
+        Batch columns processed by the batched (SpMM-style) kernels.
+        Each batched column also counts once in ``kernel_executions`` /
+        ``kernel_profile_only``, so the sequential invariants still hold;
+        this counter isolates how much work went through the batch path.
     trace_accesses:
         Words replayed through the batched cache engine.
     wall_seconds:
@@ -50,6 +55,7 @@ class PerfCounters:
 
     kernel_executions: int = 0
     kernel_profile_only: int = 0
+    kernel_batched_columns: int = 0
     trace_accesses: int = 0
     wall_seconds: Dict[str, float] = field(default_factory=dict)
 
@@ -57,6 +63,7 @@ class PerfCounters:
         """Zero everything (tests bracket measurements with this)."""
         self.kernel_executions = 0
         self.kernel_profile_only = 0
+        self.kernel_batched_columns = 0
         self.trace_accesses = 0
         self.wall_seconds.clear()
 
@@ -68,6 +75,7 @@ class PerfCounters:
         return {
             "kernel_executions": self.kernel_executions,
             "kernel_profile_only": self.kernel_profile_only,
+            "kernel_batched_columns": self.kernel_batched_columns,
             "trace_accesses": self.trace_accesses,
             "wall_seconds": dict(self.wall_seconds),
         }

@@ -11,6 +11,7 @@ Both return an :class:`~repro.spmv.result.SpMVResult` carrying the
 functional output *and* the hardware profile the decision layer prices.
 """
 
+from .batch import inner_product_batch, outer_product_batch
 from .heap import MergeHeap
 from .inner import inner_product
 from .outer import outer_product
@@ -36,7 +37,9 @@ from .semiring import (
 __all__ = [
     "MergeHeap",
     "inner_product",
+    "inner_product_batch",
     "outer_product",
+    "outer_product_batch",
     "IPPartition",
     "build_ip_partitions",
     "equal_nnz_row_bounds",

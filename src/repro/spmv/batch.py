@@ -1,0 +1,330 @@
+"""Batched (SpMM-style) SpMV kernels over a :class:`MultiVector`.
+
+Multi-source traversals (BFS/SSSP from K roots, batched PageRank
+personalisation) issue K independent SpMV invocations per superstep.  The
+kernels here run one *batch* of same-config columns through a single
+matrix traversal's worth of structural precomputation:
+
+* :func:`inner_product_batch` computes the COO row-partition ownership,
+  the vblock layout, the per-PE nnz histogram and the (sorted) output
+  first-touch keys **once**, then sweeps the K dense columns;
+* :func:`outer_product_batch` gathers the CSC columns of the **union**
+  frontier once and slices each batch column's entries out of the union
+  gather, so overlapping frontiers do not re-read the matrix.
+
+Everything a column observes — functional values, touched mask, and the
+:class:`~repro.hardware.profile.KernelProfile` the pricing layer consumes
+— is **bit-identical** to running the sequential kernel on that column
+alone.  The profiles are built by the very same helpers
+(:func:`~repro.spmv.inner._build_ip_profile`,
+:func:`~repro.spmv.outer._build_op_profile`) the sequential kernels use,
+so hardware pricing stays per-query-faithful; only redundant *structural*
+work is shared.  The one algorithmic substitution — replacing
+``np.unique`` over the IP output keys with a linear distinct-scan — is
+guarded by a monotonicity check on the key stream (guaranteed by the
+COO (row, col) lexsort) and falls back to ``np.unique`` otherwise.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from ..errors import ConfigurationError, ShapeError
+from ..formats import COOMatrix, CSCMatrix, MultiVector
+from ..hardware import Geometry, HWMode
+from ..hardware.params import DEFAULT_PARAMS, HardwareParams
+from ..perf import counters as _perf
+from .inner import _build_ip_profile, _ip_layout, _ip_out_pe, _ip_part_of
+from .outer import _build_op_profile, _op_stats
+from .partition import IPPartition, build_ip_partitions, equal_nnz_row_bounds, equal_rows_bounds
+from .result import SpMVResult
+from .semiring import Semiring
+
+__all__ = ["inner_product_batch", "outer_product_batch"]
+
+
+def _check_batch_args(frontiers, matrix_cols: int, semiring: Semiring, columns, currents):
+    """Shared validation; returns the resolved (columns, currents) lists."""
+    if not isinstance(frontiers, MultiVector):
+        raise ShapeError("batched kernels expect a MultiVector frontier batch")
+    if frontiers.n != matrix_cols:
+        raise ShapeError(
+            f"frontier length {frontiers.n} incompatible with a "
+            f"{matrix_cols}-column matrix"
+        )
+    if semiring.value_words != 1:
+        raise ConfigurationError(
+            "the batched kernels handle scalar semirings; vector-valued "
+            f"semirings like {semiring.name} already batch internally"
+        )
+    if columns is None:
+        columns = list(range(frontiers.k))
+    else:
+        columns = [int(j) for j in columns]
+        for j in columns:
+            if not 0 <= j < frontiers.k:
+                raise ShapeError(f"batch column {j} outside [0, {frontiers.k})")
+    if currents is None:
+        currents = [None] * len(columns)
+    else:
+        currents = list(currents)
+        if len(currents) != len(columns):
+            raise ShapeError(
+                f"{len(currents)} current vectors for {len(columns)} columns"
+            )
+    return columns, currents
+
+
+def _distinct_sorted(keys: np.ndarray) -> np.ndarray:
+    """Distinct values of a *non-decreasing* key array (== np.unique)."""
+    if len(keys) == 0:
+        return keys
+    mask = np.empty(len(keys), dtype=bool)
+    mask[0] = True
+    np.not_equal(keys[1:], keys[:-1], out=mask[1:])
+    return keys[mask]
+
+
+# ----------------------------------------------------------------------
+# Inner product
+# ----------------------------------------------------------------------
+def inner_product_batch(
+    matrix: COOMatrix,
+    frontiers: MultiVector,
+    semiring: Semiring,
+    geometry: Geometry,
+    hw_mode: HWMode = HWMode.SC,
+    params: HardwareParams = DEFAULT_PARAMS,
+    currents: Optional[Sequence[Optional[np.ndarray]]] = None,
+    partition: Optional[IPPartition] = None,
+    balanced: bool = True,
+    columns: Optional[Sequence[int]] = None,
+    profile_only: bool = False,
+) -> List[SpMVResult]:
+    """Batched IP SpMV: one result per selected column, in ``columns`` order.
+
+    Parameters mirror :func:`~repro.spmv.inner.inner_product`, with the
+    dense vector replaced by a :class:`MultiVector` (whose ``absent``
+    must match the semiring's) plus optional per-column ``currents`` and
+    a ``columns`` selection.  Address-trace generation is sequential-only.
+    """
+    if hw_mode not in (HWMode.SC, HWMode.SCS):
+        raise ConfigurationError(f"IP runs under SC or SCS, not {hw_mode}")
+    columns, currents = _check_batch_args(
+        frontiers, matrix.n_cols, semiring, columns, currents
+    )
+    if frontiers.absent != semiring.absent:
+        raise ConfigurationError(
+            f"MultiVector absent={frontiers.absent} does not match "
+            f"semiring {semiring.name} absent={semiring.absent}"
+        )
+
+    rows, cols, vals = matrix.to_arrays()
+    row_ptr = matrix.row_extents()
+    if partition is None:
+        partition = build_ip_partitions(
+            row_ptr, geometry.tiles, geometry.pes_per_tile, balanced=balanced
+        )
+
+    # Frontier-independent structure, computed once for the whole batch.
+    width, n_vblocks = _ip_layout(matrix.n_cols, geometry, params, 1)
+    flat_bounds, part_of = _ip_part_of(rows, partition, matrix.n_rows, geometry)
+    nnz_pe = np.bincount(part_of, minlength=geometry.n_pes).astype(np.int64)
+    key_all = rows * np.int64(n_vblocks) + cols // width
+    # COOMatrix lexsorts by (row, col), which makes the (row, vblock)
+    # key stream non-decreasing — the linear distinct-scan then equals
+    # np.unique.  Verify rather than assume (a future format relaxation
+    # must not silently corrupt the profile).
+    keys_sorted = bool(np.all(key_all[1:] >= key_all[:-1])) if len(key_all) else True
+
+    results: List[SpMVResult] = []
+    _perf.kernel_batched_columns += len(columns)
+    for j, current in zip(columns, currents):
+        v = frontiers.column_dense(j)
+        active = v[cols] != semiring.absent
+        a_rows, a_cols = rows[active], cols[active]
+        if profile_only:
+            _perf.kernel_profile_only += 1
+            out = None
+            touched = None
+        else:
+            _perf.kernel_executions += 1
+            a_vals = vals[active]
+            out = semiring.init_output(matrix.n_rows, current)
+            v_dst = None
+            if semiring.needs_dst:
+                if current is None:
+                    raise ShapeError(
+                        f"semiring {semiring.name} needs current dst values"
+                    )
+                v_dst = np.asarray(current, dtype=np.float64)[a_rows]
+            contrib = semiring.combine(a_vals, v[a_cols], v_dst, a_cols, a_rows)
+            semiring.scatter(out, a_rows, contrib)
+            touched = np.zeros(matrix.n_rows, dtype=bool)
+            touched[a_rows] = True
+            prev = (
+                np.asarray(current, dtype=np.float64)
+                if current is not None
+                else semiring.init_output(matrix.n_rows, None)
+            )
+            out = semiring.apply_vector_op(out, prev)
+
+        act_pe = np.bincount(part_of[active], minlength=geometry.n_pes).astype(
+            np.int64
+        )
+        out_key = key_all[active]
+        uniq_out = (
+            _distinct_sorted(out_key) if keys_sorted else np.unique(out_key)
+        )
+        out_pe = _ip_out_pe(uniq_out, n_vblocks, flat_bounds, geometry)
+        profile = _build_ip_profile(
+            matrix,
+            semiring,
+            geometry,
+            hw_mode,
+            partition,
+            balanced,
+            width,
+            n_vblocks,
+            nnz_pe,
+            act_pe,
+            out_pe,
+            int(active.sum()),
+            1,
+        )
+        results.append(
+            SpMVResult(values=out, touched=touched, profile=profile, semiring=semiring)
+        )
+    return results
+
+
+# ----------------------------------------------------------------------
+# Outer product
+# ----------------------------------------------------------------------
+def outer_product_batch(
+    matrix: CSCMatrix,
+    frontiers: MultiVector,
+    semiring: Semiring,
+    geometry: Geometry,
+    hw_mode: HWMode = HWMode.PC,
+    params: HardwareParams = DEFAULT_PARAMS,
+    currents: Optional[Sequence[Optional[np.ndarray]]] = None,
+    balanced: bool = True,
+    columns: Optional[Sequence[int]] = None,
+    profile_only: bool = False,
+) -> List[SpMVResult]:
+    """Batched OP SpMV: one result per selected column, in ``columns`` order.
+
+    Parameters mirror :func:`~repro.spmv.outer.outer_product`; the union
+    of the selected columns' active sets is gathered from the CSC matrix
+    once, and every column's entry stream is sliced out of that union
+    gather (per-column masks) in exactly the order the sequential
+    ``gather_columns`` would produce.  The exact heap-merge path (and
+    with it trace generation) stays sequential-only.
+    """
+    if hw_mode not in (HWMode.PC, HWMode.PS, HWMode.SC):
+        raise ConfigurationError(f"OP runs under PC, PS or SC, not {hw_mode}")
+    columns, currents = _check_batch_args(
+        frontiers, matrix.n_cols, semiring, columns, currents
+    )
+
+    T, P = geometry.tiles, geometry.pes_per_tile
+    if balanced:
+        row_counts = np.bincount(matrix.indices, minlength=matrix.n_rows)
+        row_ptr = np.zeros(matrix.n_rows + 1, dtype=np.int64)
+        np.cumsum(row_counts, out=row_ptr[1:])
+        tile_bounds = equal_nnz_row_bounds(row_ptr, T)
+    else:
+        tile_bounds = equal_rows_bounds(matrix.n_rows, T)
+
+    # Union gather: each matrix column touched by *any* batch column is
+    # read once; per-column streams are segment slices of this gather.
+    sparse_cols = [frontiers.column_sparse(j) for j in columns]
+    if sparse_cols:
+        union = np.unique(np.concatenate([sv.indices for sv in sparse_cols]))
+    else:
+        union = np.zeros(0, dtype=np.int64)
+    rows_u, vals_u, col_of_u = matrix.gather_columns(union)
+    tile_of_u = np.clip(
+        np.searchsorted(tile_bounds, rows_u, side="right") - 1, 0, T - 1
+    )
+    lens_u = matrix.column_lengths(union) if len(union) else np.zeros(0, dtype=np.int64)
+    starts_u = np.zeros(len(union) + 1, dtype=np.int64)
+    np.cumsum(lens_u, out=starts_u[1:])
+
+    results: List[SpMVResult] = []
+    _perf.kernel_batched_columns += len(columns)
+    for sv, current in zip(sparse_cols, currents):
+        # Slice this column's entries out of the union gather.  Both the
+        # union and the column's index list are sorted, so concatenating
+        # the per-column segments in index order reproduces the
+        # sequential gather_columns(sv.indices) stream exactly.
+        pos_u = np.searchsorted(union, sv.indices)
+        lens = lens_u[pos_u]
+        total = int(lens.sum())
+        if total:
+            offsets = np.repeat(starts_u[pos_u], lens)
+            within = np.arange(total) - np.repeat(np.cumsum(lens) - lens, lens)
+            sel = offsets + within
+        else:
+            sel = np.zeros(0, dtype=np.int64)
+        rows_g = rows_u[sel]
+        vals_g = vals_u[sel]
+        col_of = col_of_u[sel]
+        tile_of = tile_of_u[sel]
+        pos_of = np.searchsorted(sv.indices, col_of)
+
+        chunks = sv.chunk(P)
+        chunk_starts = np.concatenate(
+            [[0], np.cumsum([len(c[0]) for c in chunks])]
+        ).astype(np.int64)
+
+        if profile_only:
+            _perf.kernel_profile_only += 1
+            out = None
+            touched = None
+        else:
+            _perf.kernel_executions += 1
+            v_src = sv.values[pos_of]
+            out = semiring.init_output(matrix.n_rows, current)
+            v_dst = None
+            if semiring.needs_dst:
+                if current is None:
+                    raise ShapeError(
+                        f"semiring {semiring.name} needs current dst values"
+                    )
+                v_dst = np.asarray(current, dtype=np.float64)[rows_g]
+            contrib = semiring.combine(vals_g, v_src, v_dst, col_of, rows_g)
+            semiring.scatter(out, rows_g, contrib)
+            touched = np.zeros(matrix.n_rows, dtype=bool)
+            touched[rows_g] = True
+            prev = (
+                np.asarray(current, dtype=np.float64)
+                if current is not None
+                else semiring.init_output(matrix.n_rows, None)
+            )
+            out = semiring.apply_vector_op(out, prev)
+
+        elems, heads, pe_out, tile_out, cols_pe = _op_stats(
+            matrix, rows_g, col_of, pos_of, tile_of, chunk_starts, chunks, T, P
+        )
+        profile = _build_op_profile(
+            matrix,
+            sv,
+            semiring,
+            geometry,
+            hw_mode,
+            params,
+            elems,
+            heads,
+            pe_out,
+            tile_out,
+            cols_pe,
+            len(rows_g),
+        )
+        results.append(
+            SpMVResult(values=out, touched=touched, profile=profile, semiring=semiring)
+        )
+    return results

@@ -159,36 +159,100 @@ def inner_product(
     # ------------------------------------------------------------------
     # Hardware profile
     # ------------------------------------------------------------------
-    T, P = geometry.tiles, geometry.pes_per_tile
-    # Both modes use the SPM-sized vertical blocking: "the vertical
-    # partition is not required for the SC mode but can still be
-    # beneficial because of the improved spatial and temporal locality of
-    # vector accesses" (Section III-B).  Keeping the width identical
-    # isolates the SCS-vs-SC contrast to where the vector segment lives:
-    # pinned in the scratchpad, or exposed to eviction in the shared L1.
-    width = vblock_width(HWMode.SCS.spm_words(geometry, params), vw)
-    n_vblocks = max(1, -(-matrix.n_cols // width))
-
-    # Per-PE entry/active counts, vectorised over all entries.
-    flat_bounds = np.concatenate(
-        [b[:-1] for b in partition.pe_bounds] + [[matrix.n_rows]]
-    ).astype(np.int64)
-    part_of = np.clip(
-        np.searchsorted(flat_bounds, rows, side="right") - 1, 0, T * P - 1
+    width, n_vblocks = _ip_layout(matrix.n_cols, geometry, params, vw)
+    flat_bounds, part_of = _ip_part_of(rows, partition, matrix.n_rows, geometry)
+    nnz_pe = np.bincount(part_of, minlength=geometry.n_pes).astype(np.int64)
+    act_pe = np.bincount(part_of[active], minlength=geometry.n_pes).astype(
+        np.int64
     )
-    nnz_pe = np.bincount(part_of, minlength=T * P).astype(np.int64)
-    act_pe = np.bincount(part_of[active], minlength=T * P).astype(np.int64)
     # Output first-touches: the row-major stream accumulates consecutive
     # same-row contributions in registers, so only distinct (row, vblock)
     # pairs are exposed to the memory system.
     out_key = rows[active] * np.int64(n_vblocks) + cols[active] // width
     uniq_out = np.unique(out_key)
+    out_pe = _ip_out_pe(uniq_out, n_vblocks, flat_bounds, geometry)
+
+    trace_builder = (
+        (lambda k: _build_ip_trace(part_of, k, rows, cols, active, width))
+        if with_trace
+        else None
+    )
+    profile = _build_ip_profile(
+        matrix,
+        semiring,
+        geometry,
+        hw_mode,
+        partition,
+        balanced,
+        width,
+        n_vblocks,
+        nnz_pe,
+        act_pe,
+        out_pe,
+        int(active.sum()),
+        vw,
+        trace_builder,
+    )
+    return SpMVResult(values=out, touched=touched, profile=profile, semiring=semiring)
+
+
+def _ip_layout(n_cols: int, geometry: Geometry, params: HardwareParams, vw: int):
+    """Vertical-blocking layout shared by the single and batched kernels.
+
+    Both modes use the SPM-sized vertical blocking: "the vertical
+    partition is not required for the SC mode but can still be
+    beneficial because of the improved spatial and temporal locality of
+    vector accesses" (Section III-B).  Keeping the width identical
+    isolates the SCS-vs-SC contrast to where the vector segment lives:
+    pinned in the scratchpad, or exposed to eviction in the shared L1.
+    """
+    width = vblock_width(HWMode.SCS.spm_words(geometry, params), vw)
+    n_vblocks = max(1, -(-n_cols // width))
+    return width, n_vblocks
+
+
+def _ip_part_of(rows: np.ndarray, partition: IPPartition, n_rows: int, geometry):
+    """Per-entry owning-PE index (frontier-independent, reusable)."""
+    flat_bounds = np.concatenate(
+        [b[:-1] for b in partition.pe_bounds] + [[n_rows]]
+    ).astype(np.int64)
+    part_of = np.clip(
+        np.searchsorted(flat_bounds, rows, side="right") - 1,
+        0,
+        geometry.n_pes - 1,
+    )
+    return flat_bounds, part_of
+
+
+def _ip_out_pe(uniq_out, n_vblocks, flat_bounds, geometry) -> np.ndarray:
+    """Per-PE distinct (row, vblock) first-touch counts."""
     uniq_rows = (uniq_out // n_vblocks).astype(np.int64)
     out_part = np.clip(
-        np.searchsorted(flat_bounds, uniq_rows, side="right") - 1, 0, T * P - 1
+        np.searchsorted(flat_bounds, uniq_rows, side="right") - 1,
+        0,
+        geometry.n_pes - 1,
     )
-    out_pe = np.bincount(out_part, minlength=T * P).astype(np.int64)
+    return np.bincount(out_part, minlength=geometry.n_pes).astype(np.int64)
 
+
+def _build_ip_profile(
+    matrix: COOMatrix,
+    semiring: Semiring,
+    geometry: Geometry,
+    hw_mode: HWMode,
+    partition: IPPartition,
+    balanced: bool,
+    width: int,
+    n_vblocks: int,
+    nnz_pe: np.ndarray,
+    act_pe: np.ndarray,
+    out_pe: np.ndarray,
+    active_entries: int,
+    vw: int,
+    trace_builder=None,
+) -> KernelProfile:
+    """Assemble the IP :class:`KernelProfile` from per-PE counts."""
+    T, P = geometry.tiles, geometry.pes_per_tile
     tiles = []
     for t in range(T):
         pes = []
@@ -231,10 +295,8 @@ def inner_product(
                 compute_ops=n_k * _OPS_PER_ENTRY + a_k * semiring.combine_flops,
                 streams=streams,
             )
-            if with_trace:
-                pe.trace = _build_ip_trace(
-                    part_of, k, rows, cols, active, width
-                )
+            if trace_builder is not None:
+                pe.trace = trace_builder(k)
             pes.append(pe)
         fill = float(matrix.n_cols * vw) if hw_mode is HWMode.SCS else 0.0
         tiles.append(
@@ -245,7 +307,7 @@ def inner_product(
             )
         )
 
-    profile = KernelProfile(
+    return KernelProfile(
         algorithm="ip",
         mode=hw_mode,
         tiles=tiles,
@@ -254,10 +316,9 @@ def inner_product(
             "n_vblocks": n_vblocks,
             "vblock_width": width,
             "balanced": balanced,
-            "active_entries": int(active.sum()),
+            "active_entries": active_entries,
         },
     )
-    return SpMVResult(values=out, touched=touched, profile=profile, semiring=semiring)
 
 
 def _build_ip_trace(

@@ -25,7 +25,7 @@ from typing import List, Optional
 
 import numpy as np
 
-from ..errors import ConfigurationError, ShapeError
+from ..errors import ConfigurationError, ShapeError, SimulationError
 from ..formats import CSCMatrix, SparseVector
 from ..hardware import (
     AccessStream,
@@ -159,7 +159,9 @@ def outer_product(
             fast = semiring.init_output(matrix.n_rows, current)
             semiring.scatter(fast, rows_g, contrib)
             if not np.allclose(exact_out, fast, equal_nan=True):
-                raise AssertionError(
+                # A real error, not an `assert`: the cross-check must
+                # survive `python -O` (assert statements are stripped).
+                raise SimulationError(
                     "exact heap merge disagrees with the vectorised OP path"
                 )
             out = exact_out
@@ -181,6 +183,42 @@ def outer_product(
     tile_of = np.clip(
         np.searchsorted(tile_bounds, rows_g, side="right") - 1, 0, T - 1
     )
+    elems, heads, pe_out, tile_out, cols_pe = _op_stats(
+        matrix, rows_g, col_of, pos_of, tile_of, chunk_starts, chunks, T, P
+    )
+
+    profile = _build_op_profile(
+        matrix,
+        frontier,
+        semiring,
+        geometry,
+        hw_mode,
+        params,
+        elems,
+        heads,
+        pe_out,
+        tile_out,
+        cols_pe,
+        len(rows_g),
+        merge_stats,
+        traces,
+        exact,
+    )
+    return SpMVResult(values=out, touched=touched, profile=profile, semiring=semiring)
+
+
+def _op_stats(
+    matrix: CSCMatrix,
+    rows_g: np.ndarray,
+    col_of: np.ndarray,
+    pos_of: np.ndarray,
+    tile_of: np.ndarray,
+    chunk_starts: np.ndarray,
+    chunks,
+    T: int,
+    P: int,
+):
+    """Per-(tile, PE) merge workload counts shared by single/batched OP."""
     pe_of = np.clip(
         np.searchsorted(chunk_starts, pos_of, side="right") - 1, 0, P - 1
     )
@@ -203,10 +241,28 @@ def outer_product(
         (np.unique(tile_row) // matrix.n_rows).astype(np.int64), minlength=T
     ).astype(np.int64)
     cols_pe = np.array([len(c[0]) for c in chunks], dtype=np.int64)
+    return elems, heads, pe_out, tile_out, cols_pe
 
-    # ------------------------------------------------------------------
-    # Hardware profile
-    # ------------------------------------------------------------------
+
+def _build_op_profile(
+    matrix: CSCMatrix,
+    frontier: SparseVector,
+    semiring: Semiring,
+    geometry: Geometry,
+    hw_mode: HWMode,
+    params: HardwareParams,
+    elems: np.ndarray,
+    heads: np.ndarray,
+    pe_out: np.ndarray,
+    tile_out: np.ndarray,
+    cols_pe: np.ndarray,
+    touched_entries: int,
+    merge_stats=None,
+    traces=None,
+    exact: bool = False,
+) -> KernelProfile:
+    """Assemble the OP :class:`KernelProfile` from per-cell counts."""
+    T, P = geometry.tiles, geometry.pes_per_tile
     spm_words = hw_mode.spm_words(geometry, params)
     tiles: List[TileProfile] = []
     for t in range(T):
@@ -278,19 +334,18 @@ def outer_product(
             )
         )
 
-    profile = KernelProfile(
+    return KernelProfile(
         algorithm="op",
         mode=hw_mode,
         tiles=tiles,
         fixed_overhead_cycles=_FIXED_OVERHEAD,
         meta={
             "touched_columns": int(frontier.nnz),
-            "touched_entries": int(len(rows_g)),
+            "touched_entries": int(touched_entries),
             "frontier_density": frontier.density,
             "exact": bool(exact),
         },
     )
-    return SpMVResult(values=out, touched=touched, profile=profile, semiring=semiring)
 
 
 def _heap_streams(

@@ -1,0 +1,95 @@
+"""Multi-source drivers over the batched SpMV path."""
+
+import dataclasses
+
+import numpy as np
+import pytest
+
+from repro.errors import AlgorithmError
+from repro.core import CoSparseRuntime
+from repro.graphs import Graph, bfs, bfs_multi, sssp, sssp_multi
+from repro.hardware.params import DEFAULT_PARAMS
+from repro.workloads import uniform_random
+
+
+@pytest.fixture
+def graph():
+    return Graph(uniform_random(400, nnz=2400, seed=9), name="multi")
+
+
+SOURCES = [0, 7, 42]
+
+
+class TestBfsMulti:
+    def test_columns_match_single_source(self, graph):
+        run = bfs_multi(graph, SOURCES, geometry="2x4")
+        for q, s in enumerate(SOURCES):
+            single = bfs(graph, s, geometry="2x4")
+            assert np.array_equal(run.values[:, q], single.values)
+        assert run.converged
+
+    def test_records_carry_batch_provenance(self, graph):
+        run = bfs_multi(graph, SOURCES, geometry="2x4")
+        assert all(r.batch_id is not None for r in run.log.records)
+        assert all(r.batch_column is not None for r in run.log.records)
+        # supersteps are distinct batches
+        assert len({r.batch_id for r in run.log.records}) == len(
+            run.frontier_trace.sizes
+        )
+
+    def test_converged_columns_retire(self, graph):
+        run = bfs_multi(graph, SOURCES, geometry="2x4")
+        per_round = {}
+        for r in run.log.records:
+            per_round.setdefault(r.batch_id, 0)
+            per_round[r.batch_id] += 1
+        # Batch width never grows and is bounded by K.
+        widths = [per_round[b] for b in sorted(per_round)]
+        assert max(widths) <= len(SOURCES)
+        assert all(a >= b for a, b in zip(widths, widths[1:]))
+
+    def test_iteration_cap(self, graph):
+        run = bfs_multi(graph, SOURCES, geometry="2x4", max_iters=1)
+        assert not run.converged
+        assert len({r.batch_id for r in run.log.records}) == 1
+
+    def test_needs_sources(self, graph):
+        with pytest.raises(AlgorithmError):
+            bfs_multi(graph, [], geometry="2x4")
+
+    def test_duplicate_sources_allowed(self, graph):
+        run = bfs_multi(graph, [3, 3], geometry="2x4")
+        assert np.array_equal(run.values[:, 0], run.values[:, 1])
+
+
+class TestSsspMulti:
+    def test_columns_match_single_source(self, graph):
+        run = sssp_multi(graph, SOURCES, geometry="2x4")
+        for q, s in enumerate(SOURCES):
+            single = sssp(graph, s, geometry="2x4")
+            assert np.array_equal(run.values[:, q], single.values)
+        assert run.converged
+
+    def test_trace_records_total_live_frontier(self, graph):
+        run = sssp_multi(graph, SOURCES, geometry="2x4")
+        assert run.frontier_trace.sizes[0] == len(SOURCES)
+        assert all(s > 0 for s in run.frontier_trace.sizes)
+
+
+class TestTimeSecondsClock:
+    """AlgorithmRun.time_s derives from the runtime's configured clock."""
+
+    def test_default_clock_is_1ghz(self, graph):
+        run = bfs(graph, 0, geometry="2x4")
+        assert run.log.clock_hz == 1.0e9
+        assert run.time_s == pytest.approx(run.total_cycles * 1e-9)
+
+    def test_custom_clock_threads_through(self, graph):
+        params = dataclasses.replace(DEFAULT_PARAMS, clock_hz=2.0e9)
+        rt = CoSparseRuntime(graph.operand, "2x4", params=params)
+        run = bfs(graph, 0, runtime=rt)
+        assert run.log.clock_hz == 2.0e9
+        assert run.time_s == pytest.approx(run.total_cycles / 2.0e9)
+        # reset_log (used by ensure_runtime) preserves the clock
+        rt.reset_log()
+        assert rt.log.clock_hz == 2.0e9
