@@ -2,22 +2,36 @@
 
 PYTHON ?= python
 
-.PHONY: install test test-O test-all perf bench bench-full artifacts examples clean
+.PHONY: install lint test test-O test-sanitize test-all perf bench bench-full artifacts examples clean
 
 install:
 	$(PYTHON) -m pip install -e . || $(PYTHON) setup.py develop
 
-# Fast smoke subset (excludes tests marked `slow`); `make test-all` runs
-# everything, which is also what CI's tier-1 gate does.
-test: test-O
-	PYTHONPATH=src $(PYTHON) -m pytest tests/ -m "not slow"
+# repro-lint: the AST-based invariant linter (R1 bare-assert, R2
+# unit-mixing, R3 magic-constant, R4 nondeterminism, R5 kernel-purity).
+# The checked-in baseline is empty: HEAD must be clean.
+lint:
+	PYTHONPATH=src $(PYTHON) -m repro.analysis src/repro --baseline repro-lint.baseline.json
 
-# The same fast subset under `python -O`, which strips bare `assert`
+# Fast smoke subset (excludes tests marked `slow`) plus the lint gate,
+# the `python -O` pass and the sanitizer-enabled subset; `make test-all`
+# runs everything, which is also what CI's tier-1 gate does.
+test: lint test-O
+	PYTHONPATH=src $(PYTHON) -m pytest tests/ -m "not slow"
+	$(MAKE) test-sanitize
+
+# The whole fast subset under `python -O`, which strips bare `assert`
 # statements from the library: any correctness check hiding in one (the
 # OP exact-path cross-check once did) silently vanishes there, so the
 # suite must still pass — guard checks have to raise real errors.
 test-O:
-	PYTHONPATH=src $(PYTHON) -O -m pytest tests/spmv tests/core tests/formats -q -m "not slow"
+	PYTHONPATH=src $(PYTHON) -O -m pytest tests/ -q -m "not slow"
+
+# The runtime sanitizer (REPRO_SANITIZE=1) cross-checks partition
+# histograms, batch provenance and counter accounting on every kernel
+# the spmv/core tests drive.
+test-sanitize:
+	REPRO_SANITIZE=1 PYTHONPATH=src $(PYTHON) -m pytest tests/spmv tests/core -q -m "not slow"
 
 test-all:
 	PYTHONPATH=src $(PYTHON) -m pytest tests/

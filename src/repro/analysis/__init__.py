@@ -1,0 +1,38 @@
+"""Static invariant linting (`repro-lint`) + runtime sanitizer mode.
+
+Two complementary layers of correctness tooling:
+
+* :mod:`repro.analysis.linter` — an AST-based linter with five rules
+  (R1 bare-assert, R2 unit-mixing, R3 magic-constant, R4 nondeterminism,
+  R5 kernel-purity), inline suppressions and a baseline file.  Run it as
+  ``python -m repro.analysis`` or ``make lint``.
+* :mod:`repro.analysis.sanitize` — ``REPRO_SANITIZE=1`` cross-checks
+  inside the runtime and the SpMV kernels (partition conservation,
+  batch provenance, counter sanity), raising
+  :class:`~repro.errors.SimulationError` on violation.
+
+This package deliberately depends only on the standard library plus
+:mod:`repro.errors`, so the instrumented hot paths import it cheaply.
+"""
+
+from __future__ import annotations
+
+from . import sanitize
+from .baseline import Baseline, BaselineError
+from .findings import JSON_SCHEMA_VERSION, Finding
+from .linter import LintResult, iter_python_files, lint_paths, package_relative
+from .rules import ALL_RULES, RULES_BY_ID
+
+__all__ = [
+    "ALL_RULES",
+    "RULES_BY_ID",
+    "Baseline",
+    "BaselineError",
+    "Finding",
+    "JSON_SCHEMA_VERSION",
+    "LintResult",
+    "iter_python_files",
+    "lint_paths",
+    "package_relative",
+    "sanitize",
+]

@@ -1,0 +1,99 @@
+"""Baseline (grandfathering) support for repro-lint.
+
+A baseline file records existing findings so a rule can be turned on
+strictly for *new* code while the recorded debt is paid down.  Entries
+are line-number free — ``(rule, path, snippet)`` with a count — so
+reformatting-neutral edits do not churn the file, while touching an
+offending line resurfaces its finding.
+
+The checked-in baseline at the repo root is ``repro-lint.baseline.json``
+and is intentionally empty for R1: no bare assert ever re-enters
+``src/repro``.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from typing import Dict, List, Tuple
+
+from .findings import Finding
+
+__all__ = ["Baseline", "BaselineError"]
+
+_FORMAT_VERSION = 1
+
+
+class BaselineError(ValueError):
+    """The baseline file is malformed."""
+
+
+@dataclass
+class Baseline:
+    """A multiset of grandfathered finding identities."""
+
+    #: (rule, path, snippet) -> allowed occurrence count.
+    entries: Dict[Tuple[str, str, str], int] = field(default_factory=dict)
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def load(cls, path: str) -> "Baseline":
+        with open(path, "r", encoding="utf-8") as fh:
+            try:
+                data = json.load(fh)
+            except json.JSONDecodeError as exc:
+                raise BaselineError(f"{path}: not valid JSON ({exc})") from exc
+        if not isinstance(data, dict) or "entries" not in data:
+            raise BaselineError(f"{path}: expected an object with 'entries'")
+        version = data.get("version")
+        if version != _FORMAT_VERSION:
+            raise BaselineError(
+                f"{path}: unsupported baseline version {version!r} "
+                f"(this tool writes version {_FORMAT_VERSION})"
+            )
+        baseline = cls()
+        for i, entry in enumerate(data["entries"]):
+            try:
+                key = (entry["rule"], entry["path"], entry["snippet"])
+                count = int(entry.get("count", 1))
+            except (TypeError, KeyError) as exc:
+                raise BaselineError(
+                    f"{path}: entry {i} missing rule/path/snippet"
+                ) from exc
+            baseline.entries[key] = baseline.entries.get(key, 0) + count
+        return baseline
+
+    @classmethod
+    def from_findings(cls, findings: List[Finding]) -> "Baseline":
+        """Baseline covering every *unsuppressed* finding given."""
+        baseline = cls()
+        for f in findings:
+            if f.suppressed:
+                continue
+            baseline.entries[f.key] = baseline.entries.get(f.key, 0) + 1
+        return baseline
+
+    # ------------------------------------------------------------------
+    def apply(self, findings: List[Finding]) -> None:
+        """Mark findings covered by this baseline, multiset-style."""
+        remaining = dict(self.entries)
+        for f in findings:
+            if f.suppressed:
+                continue
+            left = remaining.get(f.key, 0)
+            if left > 0:
+                f.baselined = True
+                remaining[f.key] = left - 1
+
+    def save(self, path: str) -> None:
+        entries = [
+            {"rule": rule, "path": p, "snippet": snippet, "count": count}
+            for (rule, p, snippet), count in sorted(self.entries.items())
+        ]
+        payload = {"version": _FORMAT_VERSION, "entries": entries}
+        with open(path, "w", encoding="utf-8") as fh:
+            json.dump(payload, fh, indent=2, sort_keys=True)
+            fh.write("\n")
+
+    def __len__(self) -> int:
+        return sum(self.entries.values())

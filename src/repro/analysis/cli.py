@@ -1,0 +1,141 @@
+"""The ``repro-lint`` command line: ``python -m repro.analysis``.
+
+Exit codes: 0 — clean (every finding suppressed or baselined);
+1 — active findings (or parse errors); 2 — usage/configuration error.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+from typing import List, Optional
+
+from .baseline import Baseline, BaselineError
+from .linter import lint_paths
+from .rules import ALL_RULES
+
+__all__ = ["main", "build_parser"]
+
+#: Baseline filename probed in the working directory when --baseline is
+#: not given.
+DEFAULT_BASELINE = "repro-lint.baseline.json"
+
+
+def _default_target() -> str:
+    """Lint the installed ``repro`` package sources by default."""
+    return os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-lint",
+        description=(
+            "AST-based invariant linter for the CoSPARSE reproduction: "
+            "R1 bare-assert, R2 unit-mixing, R3 magic-constant, "
+            "R4 nondeterminism, R5 kernel-purity."
+        ),
+    )
+    parser.add_argument(
+        "paths",
+        nargs="*",
+        help="files or directories to lint (default: the repro package)",
+    )
+    parser.add_argument(
+        "--rules",
+        help="comma-separated rule ids to run (default: all), e.g. R1,R4",
+    )
+    parser.add_argument(
+        "--format",
+        choices=("human", "json"),
+        default="human",
+        dest="fmt",
+        help="report format (default: human)",
+    )
+    parser.add_argument(
+        "--baseline",
+        help=(
+            "baseline JSON file; findings recorded there are reported but "
+            f"do not fail the run (default: ./{DEFAULT_BASELINE} if present)"
+        ),
+    )
+    parser.add_argument(
+        "--update-baseline",
+        action="store_true",
+        help="rewrite the baseline file to cover the current findings",
+    )
+    parser.add_argument(
+        "--verbose",
+        action="store_true",
+        help="also list suppressed/baselined findings in human output",
+    )
+    parser.add_argument(
+        "--list-rules",
+        action="store_true",
+        help="print the rule catalogue and exit",
+    )
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+
+    if args.list_rules:
+        for rule in ALL_RULES:
+            print(f"{rule.rule_id}  {rule.rule_name:15s} {rule.description}")
+        return 0
+
+    paths = args.paths or [_default_target()]
+    for path in paths:
+        if not os.path.exists(path):
+            print(f"repro-lint: no such path: {path}", file=sys.stderr)
+            return 2
+
+    rules = None
+    if args.rules:
+        rules = [r.strip() for r in args.rules.split(",") if r.strip()]
+
+    baseline_path = args.baseline
+    if baseline_path is None and os.path.isfile(DEFAULT_BASELINE):
+        baseline_path = DEFAULT_BASELINE
+    baseline = None
+    if baseline_path is not None and os.path.isfile(baseline_path):
+        try:
+            baseline = Baseline.load(baseline_path)
+        except BaselineError as exc:
+            print(f"repro-lint: {exc}", file=sys.stderr)
+            return 2
+    elif baseline_path is not None and not args.update_baseline:
+        print(
+            f"repro-lint: baseline file not found: {baseline_path}",
+            file=sys.stderr,
+        )
+        return 2
+
+    try:
+        result = lint_paths(paths, rules=rules, baseline=baseline)
+    except ValueError as exc:  # unknown rule ids
+        print(f"repro-lint: {exc}", file=sys.stderr)
+        return 2
+
+    if args.update_baseline:
+        if baseline_path is None:
+            baseline_path = DEFAULT_BASELINE
+        Baseline.from_findings(result.findings).save(baseline_path)
+        print(
+            f"repro-lint: wrote {baseline_path} covering "
+            f"{len(result.active)} finding(s)"
+        )
+        return 0
+
+    if args.fmt == "json":
+        print(json.dumps(result.to_json(), indent=2, sort_keys=True))
+    else:
+        print(result.format_human(verbose=args.verbose))
+    return 0 if result.ok else 1
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via __main__
+    sys.exit(main())

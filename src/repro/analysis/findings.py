@@ -1,0 +1,74 @@
+"""Finding container and identity shared by the linter, baseline and CLI.
+
+A :class:`Finding` is one rule violation at one source location.  Its
+*identity* for baseline/suppression purposes is deliberately line-number
+free: ``(rule, path, snippet)`` — moving code around a file does not
+invalidate a baseline entry, while editing the offending line does.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List
+
+__all__ = ["Finding", "JSON_SCHEMA_VERSION"]
+
+#: Bumped whenever the JSON report layout changes shape.
+JSON_SCHEMA_VERSION = 1
+
+
+@dataclass
+class Finding:
+    """One rule violation at one source location."""
+
+    rule: str  # "R1".."R5"
+    rule_name: str  # e.g. "bare-assert"
+    path: str  # package-relative posix path, e.g. "repro/spmv/inner.py"
+    line: int  # 1-based
+    col: int  # 0-based, as reported by the ast node
+    message: str
+    snippet: str = ""  # the stripped offending source line
+    suppressed: bool = False  # silenced by an inline `# repro-lint:` comment
+    baselined: bool = False  # matched an entry of the baseline file
+
+    @property
+    def key(self) -> tuple:
+        """Line-number-free identity used by the baseline file."""
+        return (self.rule, self.path, self.snippet)
+
+    @property
+    def active(self) -> bool:
+        """True when the finding should fail the lint run."""
+        return not (self.suppressed or self.baselined)
+
+    def to_json(self) -> Dict[str, object]:
+        """The JSON-report representation (schema v1)."""
+        return {
+            "rule": self.rule,
+            "rule_name": self.rule_name,
+            "path": self.path,
+            "line": self.line,
+            "col": self.col,
+            "message": self.message,
+            "snippet": self.snippet,
+            "suppressed": self.suppressed,
+            "baselined": self.baselined,
+        }
+
+    def format_human(self) -> str:
+        """``path:line:col RN message`` plus the offending line."""
+        flag = ""
+        if self.suppressed:
+            flag = " [suppressed]"
+        elif self.baselined:
+            flag = " [baselined]"
+        head = (
+            f"{self.path}:{self.line}:{self.col} {self.rule} "
+            f"({self.rule_name}){flag}: {self.message}"
+        )
+        return head + (f"\n    {self.snippet}" if self.snippet else "")
+
+
+def sort_findings(findings: List[Finding]) -> List[Finding]:
+    """Stable report order: path, then line, then rule id."""
+    return sorted(findings, key=lambda f: (f.path, f.line, f.rule))

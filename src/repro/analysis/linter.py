@@ -1,0 +1,197 @@
+"""repro-lint orchestration: file discovery, suppression, baselining.
+
+The public entry point is :func:`lint_paths`; the CLI in
+:mod:`repro.analysis.cli` is a thin argument-parsing shell around it.
+
+Suppression happens at three levels, checked in this order:
+
+1. inline — a ``# repro-lint: ignore[R2]`` (or bare ``ignore`` for all
+   rules) comment on the offending line or on its own line directly
+   above;
+2. file — ``# repro-lint: skip-file`` anywhere in the first ten lines;
+3. baseline — a matching entry in the baseline JSON file (see
+   :mod:`repro.analysis.baseline`), for grandfathered debt that new code
+   must not add to.
+"""
+
+from __future__ import annotations
+
+import os
+import re
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+from .baseline import Baseline
+from .findings import JSON_SCHEMA_VERSION, Finding, sort_findings
+from .rules import ALL_RULES, RULES_BY_ID, ModuleContext
+
+__all__ = ["LintResult", "lint_paths", "iter_python_files", "package_relative"]
+
+_IGNORE_RE = re.compile(r"#\s*repro-lint:\s*ignore(?:\[([A-Z0-9, ]+)\])?")
+_SKIP_FILE_RE = re.compile(r"#\s*repro-lint:\s*skip-file")
+
+
+# ----------------------------------------------------------------------
+@dataclass
+class LintResult:
+    """Everything one lint run produced."""
+
+    findings: List[Finding] = field(default_factory=list)
+    files_checked: int = 0
+    parse_errors: List[Tuple[str, str]] = field(default_factory=list)
+    rules_run: List[str] = field(default_factory=list)
+
+    @property
+    def active(self) -> List[Finding]:
+        """Findings that fail the run (not suppressed, not baselined)."""
+        return [f for f in self.findings if f.active]
+
+    @property
+    def ok(self) -> bool:
+        return not self.active and not self.parse_errors
+
+    def counts(self) -> Dict[str, int]:
+        by_rule: Dict[str, int] = {}
+        for f in self.active:
+            by_rule[f.rule] = by_rule.get(f.rule, 0) + 1
+        return by_rule
+
+    # ------------------------------------------------------------------
+    def to_json(self) -> Dict[str, object]:
+        """Machine-readable report (schema v1; snapshot-tested)."""
+        return {
+            "schema_version": JSON_SCHEMA_VERSION,
+            "tool": "repro-lint",
+            "files_checked": self.files_checked,
+            "rules_run": list(self.rules_run),
+            "ok": self.ok,
+            "counts": self.counts(),
+            "findings": [f.to_json() for f in sort_findings(self.findings)],
+            "parse_errors": [
+                {"path": p, "error": e} for p, e in self.parse_errors
+            ],
+        }
+
+    def format_human(self, verbose: bool = False) -> str:
+        """Multi-line human report; quiet rows are omitted unless verbose."""
+        lines = []
+        shown = sort_findings(
+            self.findings if verbose else self.active
+        )
+        for f in shown:
+            lines.append(f.format_human())
+        for path, err in self.parse_errors:
+            lines.append(f"{path}: parse error: {err}")
+        n_sup = sum(1 for f in self.findings if f.suppressed)
+        n_base = sum(1 for f in self.findings if f.baselined)
+        tail = (
+            f"repro-lint: {self.files_checked} file(s), "
+            f"{len(self.active)} finding(s)"
+        )
+        extras = []
+        if n_sup:
+            extras.append(f"{n_sup} suppressed")
+        if n_base:
+            extras.append(f"{n_base} baselined")
+        if extras:
+            tail += " (" + ", ".join(extras) + ")"
+        if self.ok:
+            tail += " — clean"
+        lines.append(tail)
+        return "\n".join(lines)
+
+
+# ----------------------------------------------------------------------
+def iter_python_files(paths: Sequence[str]) -> Iterable[str]:
+    """Yield .py files under each path (files pass through unchanged)."""
+    for path in paths:
+        if os.path.isfile(path):
+            yield path
+            continue
+        for dirpath, dirnames, filenames in os.walk(path):
+            dirnames[:] = sorted(
+                d for d in dirnames if d != "__pycache__" and not d.startswith(".")
+            )
+            for name in sorted(filenames):
+                if name.endswith(".py"):
+                    yield os.path.join(dirpath, name)
+
+
+def package_relative(file_path: str) -> str:
+    """Path relative to the root of the package the file belongs to.
+
+    Walks up while ``__init__.py`` siblings exist, so
+    ``/any/checkout/src/repro/spmv/inner.py`` always reports as
+    ``repro/spmv/inner.py`` — which keeps baseline entries portable
+    across checkouts.  Files outside any package keep their basename.
+    """
+    abs_path = os.path.abspath(file_path)
+    directory = os.path.dirname(abs_path)
+    parts = [os.path.basename(abs_path)]
+    while os.path.isfile(os.path.join(directory, "__init__.py")):
+        parts.append(os.path.basename(directory))
+        parent = os.path.dirname(directory)
+        if parent == directory:
+            break
+        directory = parent
+    return "/".join(reversed(parts))
+
+
+# ----------------------------------------------------------------------
+def _apply_suppressions(findings: List[Finding], source_lines: List[str]) -> None:
+    for f in findings:
+        for lineno in (f.line, f.line - 1):
+            if not 1 <= lineno <= len(source_lines):
+                continue
+            line = source_lines[lineno - 1]
+            if lineno == f.line - 1 and not line.lstrip().startswith("#"):
+                continue  # the line above only counts when pure comment
+            m = _IGNORE_RE.search(line)
+            if m:
+                rules = m.group(1)
+                if rules is None or f.rule in {
+                    r.strip() for r in rules.split(",")
+                }:
+                    f.suppressed = True
+                    break
+
+
+def lint_paths(
+    paths: Sequence[str],
+    rules: Optional[Sequence[str]] = None,
+    baseline: Optional[Baseline] = None,
+) -> LintResult:
+    """Run the selected rules over every .py file under ``paths``."""
+    if rules is None:
+        selected = list(ALL_RULES)
+    else:
+        unknown = [r for r in rules if r not in RULES_BY_ID]
+        if unknown:
+            raise ValueError(
+                f"unknown rule id(s) {unknown}; known: {sorted(RULES_BY_ID)}"
+            )
+        selected = [RULES_BY_ID[r] for r in rules]
+    result = LintResult(rules_run=[r.rule_id for r in selected])
+    for file_path in iter_python_files(paths):
+        result.files_checked += 1
+        rel = package_relative(file_path)
+        try:
+            with open(file_path, "r", encoding="utf-8") as fh:
+                source = fh.read()
+            ctx = ModuleContext.parse(rel, source)
+        except (SyntaxError, UnicodeDecodeError, OSError) as exc:
+            result.parse_errors.append((rel, str(exc)))
+            continue
+        if any(
+            _SKIP_FILE_RE.search(line) for line in ctx.source_lines[:10]
+        ):
+            continue
+        file_findings: List[Finding] = []
+        for rule in selected:
+            file_findings.extend(rule.check(ctx))
+        _apply_suppressions(file_findings, ctx.source_lines)
+        result.findings.extend(file_findings)
+    if baseline is not None:
+        baseline.apply(result.findings)
+    result.findings = sort_findings(result.findings)
+    return result

@@ -1,0 +1,117 @@
+"""Per-rule registries: what the invariant rules consider in/out of scope.
+
+Everything here is data, not logic, so a new hardware constant, kernel or
+allowlisted module is a one-line change reviewed next to the rule it
+feeds.  Paths are package-relative posix paths (``repro/...``) matched by
+prefix.
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "MAGIC_CONSTANTS",
+    "R3_ALLOWED_PREFIXES",
+    "R4_WALLCLOCK_ALLOWED_PREFIXES",
+    "WALLCLOCK_CALLS",
+    "SEEDED_RNG_CONSTRUCTORS",
+    "PURE_KERNELS",
+    "MUTATING_METHODS",
+    "ALIASING_NUMPY_FUNCS",
+]
+
+# ----------------------------------------------------------------------
+# R3 — hardware constants that must come from a config object
+# ----------------------------------------------------------------------
+#: Literal value -> why it is forbidden inline.  Matched by numeric
+#: equality, so ``1e9``, ``1.0e9`` and ``1_000_000_000`` all hit.
+MAGIC_CONSTANTS = {
+    1e9: (
+        "hardcoded 1 GHz clock rate; take it from HardwareParams.clock_hz "
+        "(or ReconfigurationLog.clock_hz downstream)"
+    ),
+    1e-9: (
+        "hardcoded 1 ns cycle period; use HardwareParams.cycle_s or "
+        "RunReport.seconds(clock_hz)"
+    ),
+    4096: (
+        "hardcoded 4 kB RCache bank size; use HardwareParams.bank_bytes "
+        "/ bank_words"
+    ),
+    0.005: (
+        "hardcoded crossover-vector-density threshold; use "
+        "DecisionThresholds (core.decision)"
+    ),
+}
+
+#: Modules allowed to *define* those constants: the hardware parameter
+#: tables, the decision/calibration threshold definitions, the baseline
+#: platform specs, and the linter itself.
+R3_ALLOWED_PREFIXES = (
+    "repro/hardware/",
+    "repro/core/decision.py",
+    "repro/core/calibration.py",
+    "repro/baselines/platforms.py",
+    "repro/analysis/",
+)
+
+# ----------------------------------------------------------------------
+# R4 — determinism
+# ----------------------------------------------------------------------
+#: Wall-clock sources that must not leak into model-cycle accounting.
+WALLCLOCK_CALLS = frozenset(
+    {
+        "time.time",
+        "time.time_ns",
+        "time.perf_counter",
+        "time.perf_counter_ns",
+        "time.monotonic",
+        "time.monotonic_ns",
+        "time.process_time",
+        "time.process_time_ns",
+    }
+)
+
+#: Modules whose *job* is measuring host wall-clock time (the perf
+#: microbench); everything else in the library models cycles and must
+#: not read the host clock.
+R4_WALLCLOCK_ALLOWED_PREFIXES = ("repro/perf.py",)
+
+#: numpy.random attributes that construct explicitly-seedable generators
+#: (everything else under numpy.random is the legacy global-state API).
+SEEDED_RNG_CONSTRUCTORS = frozenset(
+    {"default_rng", "Generator", "SeedSequence", "BitGenerator", "PCG64",
+     "PCG64DXSM", "Philox", "MT19937", "SFC64"}
+)
+
+# ----------------------------------------------------------------------
+# R5 — kernel purity
+# ----------------------------------------------------------------------
+#: Functions the runtime registers as pricing/profile-capable kernels.
+#: A pricing probe must be repeatable, so these must never mutate their
+#: vector/matrix arguments (DenseVector buffers, MultiVector columns,
+#: current-value arrays) in place.
+PURE_KERNELS = frozenset(
+    {
+        "inner_product",
+        "outer_product",
+        "inner_product_batch",
+        "outer_product_batch",
+    }
+)
+
+#: ndarray/container methods that mutate their receiver in place.
+MUTATING_METHODS = frozenset(
+    {"fill", "sort", "put", "resize", "setflags", "itemset", "partition"}
+)
+
+#: numpy helpers that return a view (or may return the input unchanged),
+#: so their result aliases the argument's buffer.
+ALIASING_NUMPY_FUNCS = frozenset(
+    {"asarray", "asanyarray", "ascontiguousarray", "atleast_1d", "ravel",
+     "reshape", "broadcast_to"}
+)
+
+#: numpy functions that mutate their first positional argument.
+MUTATING_NUMPY_FUNCS = frozenset({"copyto", "put", "place", "putmask"})
+
+__all__.append("MUTATING_NUMPY_FUNCS")

@@ -1,0 +1,62 @@
+"""The lightweight unit-annotation registry behind rule R2.
+
+The codebase's naming convention already *is* a unit annotation: cycle
+counts end in ``_cycles`` (or are called ``cycles``), joules in ``_j``,
+seconds in ``_s``, clock rates in ``_hz``.  This module turns that
+convention into a queryable registry so the linter can flag additive
+arithmetic or ordering comparisons whose operands carry different units
+— the bug class behind the old ``objective="energy"`` scoring defect,
+which ranked joules against cycles on magnitude.
+
+Multiplication and division are deliberately *not* checked: they are how
+units legitimately convert (``cycles / clock_hz`` is seconds,
+``watts * seconds`` is joules).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+__all__ = ["unit_of", "SUFFIX_UNITS", "EXACT_UNITS"]
+
+#: Identifier suffix -> unit.  Scaled variants are distinct units on
+#: purpose: adding microseconds to seconds is as wrong as adding cycles.
+SUFFIX_UNITS = {
+    "_cycles": "cycles",
+    "_j": "joules",
+    "_joules": "joules",
+    "_uj": "microjoules",
+    "_pj": "picojoules",
+    "_s": "seconds",
+    "_seconds": "seconds",
+    "_ms": "milliseconds",
+    "_us": "microseconds",
+    "_ns": "nanoseconds",
+    "_hz": "hertz",
+    "_ghz": "gigahertz",
+    "_w": "watts",
+    "_mw": "milliwatts",
+}
+
+#: Bare identifiers that carry a unit without a suffix.
+EXACT_UNITS = {
+    "cycles": "cycles",
+    "joules": "joules",
+    "seconds": "seconds",
+}
+
+
+def unit_of(identifier: str) -> Optional[str]:
+    """The unit an identifier is tagged with, or None.
+
+    ``identifier`` is a bare name or the final attribute segment
+    (``report.energy_j`` resolves via ``energy_j``).  Suffixes must
+    follow a non-empty stem — a variable named ``_s`` alone is not a
+    duration.
+    """
+    if identifier in EXACT_UNITS:
+        return EXACT_UNITS[identifier]
+    for suffix, unit in SUFFIX_UNITS.items():
+        if identifier.endswith(suffix) and len(identifier) > len(suffix):
+            return unit
+    return None

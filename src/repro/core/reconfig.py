@@ -14,6 +14,7 @@ from typing import Dict, List, Optional
 
 from ..formats import ConversionCost
 from ..hardware import HWMode, RunReport
+from ..hardware.params import DEFAULT_PARAMS
 
 __all__ = ["IterationRecord", "ReconfigurationLog"]
 
@@ -65,7 +66,7 @@ class ReconfigurationLog:
     #: its :class:`~repro.hardware.params.HardwareParams` so downstream
     #: wall-clock conversions (``AlgorithmRun.time_s``) track the
     #: configured frequency instead of assuming 1 GHz.
-    clock_hz: float = 1.0e9
+    clock_hz: float = DEFAULT_PARAMS.clock_hz
 
     def append(self, record: IterationRecord) -> None:
         self.records.append(record)

@@ -15,6 +15,7 @@ from typing import List, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
+from ..analysis import sanitize
 from ..errors import ConfigurationError
 from ..formats import (
     COOMatrix,
@@ -376,10 +377,15 @@ class CoSparseRuntime:
             result, conv = self._run_kernel(
                 algorithm, mode, frontier, semiring, current
             )
-        report = self.system.run(result.profile)
         conv_cycles = (
             conv.words * _CONV_CYCLES_PER_WORD / max(self.geometry.n_pes, 1)
         )
+        with sanitize.scope("spmv") as san:
+            report = self.system.run(result.profile)
+            san.check_report(f"spmv iter {self._iteration}", report)
+            san.check_conversion(
+                f"spmv iter {self._iteration}", conv, conv_cycles
+            )
         record = IterationRecord(
             iteration=self._iteration,
             vector_density=density,
@@ -499,6 +505,19 @@ class CoSparseRuntime:
         batch_id = self._batch_id
         self._batch_id += 1
         results: List[Optional[SpMVResult]] = [None] * mv.k
+        with sanitize.batch_scope(self.log, batch_id, mv.k) as san:
+            self._run_batch_groups(
+                groups, mv, semiring, per_current, decisions, batch_id,
+                results, san,
+            )
+        return results
+
+    def _run_batch_groups(
+        self, groups, mv, semiring, per_current, decisions, batch_id,
+        results, san,
+    ) -> None:
+        """Execute one batched kernel per configuration group, logging a
+        per-column :class:`IterationRecord` exactly as :meth:`spmv` would."""
         for (algorithm, mode), cols in groups.items():
             group_currents = [per_current[j] for j in cols]
             if algorithm == "ip":
@@ -530,6 +549,7 @@ class CoSparseRuntime:
             for j, result in zip(cols, group_results):
                 _alg, _mode, alternatives, density = decisions[j]
                 report = self.system.run(result.profile)
+                san.check_report(f"spmv_batch col {j}", report)
                 conv = mv.conversion_cost(
                     j, "dense" if algorithm == "ip" else "sparse"
                 )
@@ -538,6 +558,7 @@ class CoSparseRuntime:
                     * _CONV_CYCLES_PER_WORD
                     / max(self.geometry.n_pes, 1)
                 )
+                san.check_conversion(f"spmv_batch col {j}", conv, conv_cycles)
                 record = IterationRecord(
                     iteration=self._iteration,
                     vector_density=density,
@@ -563,7 +584,6 @@ class CoSparseRuntime:
                 self._last_algorithm = algorithm
                 self._last_mode = mode
                 results[j] = result
-        return results
 
     # ------------------------------------------------------------------
     @property

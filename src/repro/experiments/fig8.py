@@ -79,7 +79,7 @@ def run_fig8(
                     csc, frontier, semiring, geometry, decision.hw_mode
                 )
             rep = system.evaluate_without_switching(kern.profile)
-            co_t = rep.cycles * 1e-9
+            co_t = rep.time_s
             co_e = rep.energy_j
             dense = frontier.to_dense()
             cpu = cpu_spmv(csr, dense, compute=False)

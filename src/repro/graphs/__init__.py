@@ -9,7 +9,7 @@ from .bc import betweenness_centrality, sigma_semiring
 from .bfs import bfs
 from .cc import cc_semiring, connected_components
 from .cf import cf_loss, collaborative_filtering
-from .common import AlgorithmRun, ensure_runtime
+from .common import DEFAULT_GEOMETRY, AlgorithmRun, ensure_runtime
 from .frontier import FrontierTrace, frontier_from_mask, single_vertex_frontier
 from .graph import Graph
 from .multi import bfs_multi, sssp_multi
@@ -26,6 +26,7 @@ __all__ = [
     "cf_loss",
     "collaborative_filtering",
     "AlgorithmRun",
+    "DEFAULT_GEOMETRY",
     "ensure_runtime",
     "FrontierTrace",
     "frontier_from_mask",

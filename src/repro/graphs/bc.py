@@ -23,7 +23,7 @@ import numpy as np
 
 from ..core.runtime import CoSparseRuntime
 from ..spmv.semiring import Semiring
-from .common import AlgorithmRun, ensure_runtime
+from .common import DEFAULT_GEOMETRY, AlgorithmRun, ensure_runtime
 from .frontier import FrontierTrace, frontier_from_mask
 from .graph import Graph
 
@@ -70,7 +70,7 @@ def betweenness_centrality(
     graph: Graph,
     sources: Optional[Sequence[int]] = None,
     runtime: Optional[CoSparseRuntime] = None,
-    geometry="8x16",
+    geometry=DEFAULT_GEOMETRY,
     **runtime_kw,
 ) -> AlgorithmRun:
     """Brandes BC over ``sources`` (all vertices when omitted).

@@ -16,7 +16,7 @@ import numpy as np
 
 from ..core.runtime import CoSparseRuntime
 from ..spmv.semiring import bfs_semiring
-from .common import AlgorithmRun, ensure_runtime
+from .common import DEFAULT_GEOMETRY, AlgorithmRun, ensure_runtime
 from .frontier import FrontierTrace, frontier_from_mask, single_vertex_frontier
 from .graph import Graph
 
@@ -27,7 +27,7 @@ def bfs(
     graph: Graph,
     source: int,
     runtime: Optional[CoSparseRuntime] = None,
-    geometry="8x16",
+    geometry=DEFAULT_GEOMETRY,
     max_iters: Optional[int] = None,
     **runtime_kw,
 ) -> AlgorithmRun:

@@ -20,7 +20,7 @@ import numpy as np
 from ..core.runtime import CoSparseRuntime
 from ..formats import COOMatrix
 from ..spmv.semiring import Semiring
-from .common import AlgorithmRun, ensure_runtime
+from .common import DEFAULT_GEOMETRY, AlgorithmRun, ensure_runtime
 from .frontier import FrontierTrace, frontier_from_mask
 from .graph import Graph
 
@@ -56,7 +56,7 @@ def _symmetrised(graph: Graph) -> Graph:
 def connected_components(
     graph: Graph,
     runtime: Optional[CoSparseRuntime] = None,
-    geometry="8x16",
+    geometry=DEFAULT_GEOMETRY,
     max_iters: Optional[int] = None,
     **runtime_kw,
 ) -> AlgorithmRun:

@@ -18,7 +18,7 @@ import numpy as np
 from ..core.runtime import CoSparseRuntime
 from ..errors import AlgorithmError
 from ..spmv.semiring import cf_semiring
-from .common import AlgorithmRun, ensure_runtime
+from .common import DEFAULT_GEOMETRY, AlgorithmRun, ensure_runtime
 from .frontier import FrontierTrace
 from .graph import Graph
 
@@ -39,7 +39,7 @@ def cf_loss(graph: Graph, factors: np.ndarray, lambda_: float = 0.05) -> float:
 def collaborative_filtering(
     graph: Graph,
     runtime: Optional[CoSparseRuntime] = None,
-    geometry="8x16",
+    geometry=DEFAULT_GEOMETRY,
     k: int = 8,
     lambda_: float = 0.05,
     beta: float = 0.02,

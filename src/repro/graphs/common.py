@@ -12,11 +12,18 @@ from ..core.runtime import CoSparseRuntime
 from .frontier import FrontierTrace
 from .graph import Graph
 
-__all__ = ["AlgorithmRun", "ensure_runtime"]
+__all__ = ["AlgorithmRun", "ensure_runtime", "DEFAULT_GEOMETRY"]
+
+#: The geometry every algorithm driver defaults to (the paper's largest
+#: evaluated array).  One definition here so the drivers cannot drift.
+DEFAULT_GEOMETRY = "8x16"
 
 
 def ensure_runtime(
-    graph: Graph, runtime: Optional[CoSparseRuntime] = None, geometry="8x16", **kw
+    graph: Graph,
+    runtime: Optional[CoSparseRuntime] = None,
+    geometry=DEFAULT_GEOMETRY,
+    **kw,
 ) -> CoSparseRuntime:
     """Use the caller's runtime or build one over the graph's operand.
 

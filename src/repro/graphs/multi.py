@@ -26,7 +26,7 @@ from ..core.runtime import CoSparseRuntime
 from ..errors import AlgorithmError
 from ..formats import MultiVector
 from ..spmv.semiring import bfs_semiring, sssp_semiring
-from .common import AlgorithmRun, ensure_runtime
+from .common import DEFAULT_GEOMETRY, AlgorithmRun, ensure_runtime
 from .frontier import FrontierTrace, frontier_from_mask, single_vertex_frontier
 from .graph import Graph
 
@@ -37,7 +37,7 @@ def bfs_multi(
     graph: Graph,
     sources: Sequence[int],
     runtime: Optional[CoSparseRuntime] = None,
-    geometry="8x16",
+    geometry=DEFAULT_GEOMETRY,
     max_iters: Optional[int] = None,
     **runtime_kw,
 ) -> AlgorithmRun:
@@ -92,7 +92,7 @@ def sssp_multi(
     graph: Graph,
     sources: Sequence[int],
     runtime: Optional[CoSparseRuntime] = None,
-    geometry="8x16",
+    geometry=DEFAULT_GEOMETRY,
     max_iters: Optional[int] = None,
     **runtime_kw,
 ) -> AlgorithmRun:

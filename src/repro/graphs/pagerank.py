@@ -16,7 +16,7 @@ import numpy as np
 
 from ..core.runtime import CoSparseRuntime
 from ..spmv.semiring import Semiring, pagerank_semiring
-from .common import AlgorithmRun, ensure_runtime
+from .common import DEFAULT_GEOMETRY, AlgorithmRun, ensure_runtime
 from .frontier import FrontierTrace
 from .graph import Graph
 
@@ -48,7 +48,7 @@ def pagerank_semiring_for(graph: Graph, alpha: float = 0.15) -> Semiring:
 def pagerank(
     graph: Graph,
     runtime: Optional[CoSparseRuntime] = None,
-    geometry="8x16",
+    geometry=DEFAULT_GEOMETRY,
     alpha: float = 0.15,
     max_iters: int = 20,
     tol: float = 1e-7,

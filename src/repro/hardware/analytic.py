@@ -408,6 +408,7 @@ class AnalyticModel:
             tile_reports=tile_reports,
             bandwidth_floor_cycles=bw_cycles,
             fidelity="analytic",
+            clock_hz=params.clock_hz,
             detail={
                 "streams": verdicts,
                 "compute_cycles": compute_cycles,

@@ -10,6 +10,8 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional
 
+from .params import DEFAULT_PARAMS
+
 __all__ = ["MemCounters", "TileReport", "RunReport"]
 
 
@@ -86,13 +88,18 @@ class RunReport:
     energy_j: Optional[float] = None
     #: Which fidelity mode produced this report (``"analytic"``/``"trace"``).
     fidelity: str = "analytic"
+    #: The clock the cycle counts were priced at.  Filled in by the
+    #: fidelity backends from their :class:`HardwareParams`, so
+    #: ``time_s`` tracks the configured frequency instead of assuming
+    #: the Table II default.
+    clock_hz: float = DEFAULT_PARAMS.clock_hz
     #: Free-form details (per-stream latencies, hit-rate table, ...).
     detail: Dict[str, object] = field(default_factory=dict)
 
     @property
     def time_s(self) -> float:
-        """Wall-clock seconds at the modelled 1 GHz clock."""
-        return self.cycles * 1e-9
+        """Wall-clock seconds at the report's own clock."""
+        return self.cycles / self.clock_hz
 
     def seconds(self, clock_hz: float) -> float:
         """Wall-clock seconds at an explicit clock."""

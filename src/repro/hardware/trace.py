@@ -274,6 +274,7 @@ class TraceEngine:
             tile_reports=tile_reports,
             bandwidth_floor_cycles=bw_cycles,
             fidelity="trace",
+            clock_hz=self.params.clock_hz,
             detail={
                 "compute_cycles": compute_cycles,
                 "mode": mode.label,

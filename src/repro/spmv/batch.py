@@ -31,6 +31,7 @@ from typing import List, Optional, Sequence
 
 import numpy as np
 
+from ..analysis import sanitize
 from ..errors import ConfigurationError, ShapeError
 from ..formats import COOMatrix, CSCMatrix, MultiVector
 from ..hardware import Geometry, HWMode
@@ -139,6 +140,9 @@ def inner_product_batch(
     # must not silently corrupt the profile).
     keys_sorted = bool(np.all(key_all[1:] >= key_all[:-1])) if len(key_all) else True
 
+    _san = sanitize.active()
+    _san.check_histogram("inner_product_batch/nnz", nnz_pe, matrix.nnz)
+
     results: List[SpMVResult] = []
     _perf.kernel_batched_columns += len(columns)
     for j, current in zip(columns, currents):
@@ -173,6 +177,9 @@ def inner_product_batch(
 
         act_pe = np.bincount(part_of[active], minlength=geometry.n_pes).astype(
             np.int64
+        )
+        _san.check_histogram(
+            f"inner_product_batch/active[{j}]", act_pe, int(active.sum())
         )
         out_key = key_all[active]
         uniq_out = (
@@ -255,6 +262,7 @@ def outer_product_batch(
     np.cumsum(lens_u, out=starts_u[1:])
 
     results: List[SpMVResult] = []
+    _san = sanitize.active()
     _perf.kernel_batched_columns += len(columns)
     for sv, current in zip(sparse_cols, currents):
         # Slice this column's entries out of the union gather.  Both the
@@ -310,6 +318,8 @@ def outer_product_batch(
         elems, heads, pe_out, tile_out, cols_pe = _op_stats(
             matrix, rows_g, col_of, pos_of, tile_of, chunk_starts, chunks, T, P
         )
+        _san.check_histogram("outer_product_batch/elements", elems, len(rows_g))
+        _san.check_histogram("outer_product_batch/frontier", cols_pe, sv.nnz)
         profile = _build_op_profile(
             matrix,
             sv,

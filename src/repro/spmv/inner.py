@@ -20,6 +20,7 @@ from typing import Optional
 
 import numpy as np
 
+from ..analysis import sanitize
 from ..errors import ConfigurationError, ShapeError
 from ..formats import COOMatrix, DenseVector
 from ..hardware import (
@@ -165,6 +166,9 @@ def inner_product(
     act_pe = np.bincount(part_of[active], minlength=geometry.n_pes).astype(
         np.int64
     )
+    _san = sanitize.active()
+    _san.check_histogram("inner_product/nnz", nnz_pe, matrix.nnz)
+    _san.check_histogram("inner_product/active", act_pe, int(active.sum()))
     # Output first-touches: the row-major stream accumulates consecutive
     # same-row contributions in registers, so only distinct (row, vblock)
     # pairs are exposed to the memory system.

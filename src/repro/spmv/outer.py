@@ -25,6 +25,7 @@ from typing import List, Optional
 
 import numpy as np
 
+from ..analysis import sanitize
 from ..errors import ConfigurationError, ShapeError, SimulationError
 from ..formats import CSCMatrix, SparseVector
 from ..hardware import (
@@ -186,6 +187,9 @@ def outer_product(
     elems, heads, pe_out, tile_out, cols_pe = _op_stats(
         matrix, rows_g, col_of, pos_of, tile_of, chunk_starts, chunks, T, P
     )
+    _san = sanitize.active()
+    _san.check_histogram("outer_product/elements", elems, len(rows_g))
+    _san.check_histogram("outer_product/frontier", cols_pe, frontier.nnz)
 
     profile = _build_op_profile(
         matrix,

@@ -1,0 +1,15 @@
+"""R1 fixture: bare asserts vs typed guard errors."""
+
+
+def positive(x):
+    assert x > 0, "boom"
+
+
+def negative(x):
+    if x <= 0:
+        raise ValueError("boom")
+    return x
+
+
+def suppressed(x):
+    assert x > 0  # repro-lint: ignore[R1]

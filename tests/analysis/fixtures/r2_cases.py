@@ -1,0 +1,26 @@
+"""R2 fixture: unit-mixing arithmetic and comparisons."""
+
+
+def positive_add(busy_cycles, leak_j):
+    return busy_cycles + leak_j
+
+
+def positive_compare(total_cycles, budget_s):
+    return total_cycles > budget_s
+
+
+def negative_same_unit(compute_cycles, stall_cycles):
+    return compute_cycles + stall_cycles
+
+
+def negative_conversion(total_cycles, clock_hz):
+    # Multiplication/division is how units convert — never flagged.
+    return total_cycles / clock_hz
+
+
+def negative_unitless(alpha, beta):
+    return alpha + beta
+
+
+def suppressed(busy_cycles, leak_j):
+    return busy_cycles + leak_j  # repro-lint: ignore[R2]

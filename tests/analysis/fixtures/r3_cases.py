@@ -1,0 +1,23 @@
+"""R3 fixture: magic hardware constants."""
+
+CLOCK_HZ = 1e9  # module-level UPPER_CASE names a constant: allowed
+
+
+def positive_clock(freq_scale):
+    return freq_scale * 1e9
+
+
+def positive_period(cycles):
+    return cycles * 1e-9
+
+
+def negative_from_params(params, cycles):
+    return cycles / params.clock_hz
+
+
+def negative_other_literal():
+    return 42 * 1024
+
+
+def suppressed():
+    return 4096  # repro-lint: ignore[R3]

@@ -1,0 +1,30 @@
+"""R4 fixture: nondeterminism (RNG + wall clock)."""
+
+import random
+import time
+
+import numpy as np
+
+
+def positive_legacy_rng():
+    return np.random.rand(4)
+
+
+def positive_unseeded_generator():
+    return np.random.default_rng()
+
+
+def positive_stdlib_rng():
+    return random.random()
+
+
+def positive_wallclock():
+    return time.perf_counter()
+
+
+def negative_seeded_generator():
+    return np.random.default_rng(7)
+
+
+def suppressed():
+    return time.time()  # repro-lint: ignore[R4]

@@ -1,0 +1,29 @@
+"""R5 fixture: registered pricing kernels mutating their arguments."""
+
+import numpy as np
+
+
+def inner_product(matrix, vector, partition):
+    vector[0] = 1.0  # subscript store into a parameter
+    buf = np.asarray(vector)
+    buf += 1.0  # augmented assignment through an alias
+    out = np.zeros(4)
+    out[0] = 2.0  # fresh buffer: fine
+    return out
+
+
+def outer_product(matrix, frontier):
+    frontier.sort()  # in-place method on a parameter
+    local = frontier.copy()
+    local.sort()  # copy breaks the alias: fine
+    return local
+
+
+def helper(vector):
+    vector[0] = 1.0  # not a registered kernel: fine
+    return vector
+
+
+def inner_product_batch(matrix, vectors):
+    vectors[0] = 1.0  # repro-lint: ignore[R5]
+    return vectors

@@ -1,0 +1,157 @@
+"""repro-lint CLI: exit codes, JSON schema snapshot, baseline workflow."""
+
+import json
+import os
+
+import pytest
+
+from repro.analysis import JSON_SCHEMA_VERSION, Baseline, BaselineError
+from repro.analysis.cli import main
+
+FIXTURES = os.path.join(os.path.dirname(__file__), "fixtures")
+R1 = os.path.join(FIXTURES, "r1_cases.py")
+
+#: The machine-readable report layout is a compatibility surface: anyone
+#: piping `repro-lint --format json` into CI tooling depends on exactly
+#: these keys.  Bump JSON_SCHEMA_VERSION when changing either snapshot.
+REPORT_KEYS = [
+    "counts",
+    "files_checked",
+    "findings",
+    "ok",
+    "parse_errors",
+    "rules_run",
+    "schema_version",
+    "tool",
+]
+FINDING_KEYS = [
+    "baselined",
+    "col",
+    "line",
+    "message",
+    "path",
+    "rule",
+    "rule_name",
+    "snippet",
+    "suppressed",
+]
+
+
+@pytest.fixture(autouse=True)
+def _isolate_cwd(tmp_path, monkeypatch):
+    """Keep the repo's checked-in baseline out of the default probe."""
+    monkeypatch.chdir(tmp_path)
+
+
+class TestExitCodes:
+    def test_findings_exit_1(self, capsys):
+        assert main([R1]) == 1
+        out = capsys.readouterr().out
+        assert "R1 (bare-assert)" in out
+        assert "finding(s)" in out
+
+    def test_clean_exit_0(self, tmp_path, capsys):
+        src = tmp_path / "clean.py"
+        src.write_text("WIDTH = 4\n")
+        assert main([str(src)]) == 0
+        assert "clean" in capsys.readouterr().out
+
+    def test_missing_path_exit_2(self, capsys):
+        assert main(["no/such/dir"]) == 2
+        assert "no such path" in capsys.readouterr().err
+
+    def test_unknown_rule_exit_2(self, capsys):
+        assert main([R1, "--rules", "R1,R9"]) == 2
+        assert "unknown rule" in capsys.readouterr().err
+
+    def test_missing_baseline_exit_2(self, capsys):
+        assert main([R1, "--baseline", "nope.json"]) == 2
+        assert "baseline file not found" in capsys.readouterr().err
+
+    def test_list_rules(self, capsys):
+        assert main(["--list-rules"]) == 0
+        out = capsys.readouterr().out
+        for rule_id in ("R1", "R2", "R3", "R4", "R5"):
+            assert rule_id in out
+
+
+class TestJsonSchema:
+    def test_report_schema_snapshot(self, capsys):
+        assert main([R1, "--format", "json"]) == 1
+        report = json.loads(capsys.readouterr().out)
+        assert sorted(report) == REPORT_KEYS
+        assert report["schema_version"] == JSON_SCHEMA_VERSION == 1
+        assert report["tool"] == "repro-lint"
+        assert report["rules_run"] == ["R1", "R2", "R3", "R4", "R5"]
+        assert report["files_checked"] == 1
+        assert report["ok"] is False
+        assert report["counts"] == {"R1": 1}
+        for finding in report["findings"]:
+            assert sorted(finding) == FINDING_KEYS
+        active = [f for f in report["findings"] if not f["suppressed"]]
+        assert active[0]["rule"] == "R1"
+        assert active[0]["path"] == "r1_cases.py"
+        assert active[0]["snippet"] == 'assert x > 0, "boom"'
+
+    def test_rule_selection(self, capsys):
+        assert main([R1, "--rules", "R3", "--format", "json"]) == 0
+        report = json.loads(capsys.readouterr().out)
+        assert report["rules_run"] == ["R3"]
+        assert report["findings"] == []
+
+
+class TestBaselineWorkflow:
+    def test_update_then_clean(self, capsys):
+        assert main([R1, "--baseline", "b.json", "--update-baseline"]) == 0
+        assert os.path.isfile("b.json")
+        assert main([R1, "--baseline", "b.json"]) == 0
+        out = capsys.readouterr().out
+        assert "baselined" in out
+        assert "clean" in out
+
+    def test_baseline_is_a_ratchet(self, tmp_path, capsys):
+        # Baselined debt stays quiet; *new* findings still fail the run.
+        assert main([R1, "--baseline", "b.json", "--update-baseline"]) == 0
+        src = tmp_path / "new_debt.py"
+        src.write_text("assert False, 'fresh'\n")
+        assert main([R1, str(src), "--baseline", "b.json"]) == 1
+        out = capsys.readouterr().out
+        assert "new_debt.py" in out
+
+    def test_default_baseline_probed_in_cwd(self, capsys):
+        assert main([R1, "--update-baseline"]) == 0
+        assert os.path.isfile("repro-lint.baseline.json")
+        assert main([R1]) == 0
+
+    def test_corrupt_baseline_exit_2(self, tmp_path, capsys):
+        bad = tmp_path / "bad.json"
+        bad.write_text("{]")
+        assert main([R1, "--baseline", str(bad)]) == 2
+
+    def test_baseline_version_checked(self, tmp_path):
+        versioned = tmp_path / "v9.json"
+        versioned.write_text(json.dumps({"version": 9, "entries": []}))
+        with pytest.raises(BaselineError, match="version"):
+            Baseline.load(str(versioned))
+
+    def test_baseline_roundtrip_multiset(self, tmp_path):
+        from repro.analysis import lint_paths
+
+        result = lint_paths([R1], rules=["R1"])
+        path = tmp_path / "round.json"
+        Baseline.from_findings(result.findings).save(str(path))
+        reloaded = Baseline.load(str(path))
+        unsuppressed = [f for f in result.findings if not f.suppressed]
+        assert len(reloaded) == len(unsuppressed) == 1
+        again = lint_paths([R1], rules=["R1"], baseline=reloaded)
+        assert again.active == []
+
+
+class TestVerboseOutput:
+    def test_suppressed_rows_only_with_verbose(self, capsys):
+        main([R1])
+        quiet = capsys.readouterr().out
+        assert "[suppressed]" not in quiet
+        main([R1, "--verbose"])
+        loud = capsys.readouterr().out
+        assert "[suppressed]" in loud

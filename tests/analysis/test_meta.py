@@ -1,0 +1,31 @@
+"""Meta-test: repro-lint must run clean on its own package at HEAD.
+
+This is the in-suite twin of the `make lint` CI gate: every invariant
+rule over every module under ``src/repro``, against the checked-in
+(empty-for-R1) baseline semantics — i.e. with no baseline at all.
+"""
+
+import os
+
+import repro
+from repro.analysis import lint_paths
+
+
+def _package_dir():
+    return os.path.dirname(os.path.abspath(repro.__file__))
+
+
+def test_lint_clean_on_head():
+    result = lint_paths([_package_dir()])
+    assert result.parse_errors == []
+    assert result.rules_run == ["R1", "R2", "R3", "R4", "R5"]
+    assert result.files_checked > 80  # the whole package, not a subtree
+    details = "\n".join(f.format_human() for f in result.active)
+    assert result.active == [], f"repro-lint regressions:\n{details}"
+
+
+def test_no_bare_asserts_even_suppressed():
+    # The R1 baseline is intentionally empty and the rule tolerates no
+    # inline suppression debt either: guard paths raise typed errors.
+    result = lint_paths([_package_dir()], rules=["R1"])
+    assert result.findings == []

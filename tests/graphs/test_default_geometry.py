@@ -1,0 +1,44 @@
+"""Regression for the duplicated `"8x16"` geometry literal (repro-lint
+R3 bug class): every algorithm driver defaults to the single
+``DEFAULT_GEOMETRY`` constant instead of its own copy of the string."""
+
+import inspect
+
+from repro.graphs import (
+    DEFAULT_GEOMETRY,
+    betweenness_centrality,
+    bfs,
+    bfs_multi,
+    collaborative_filtering,
+    connected_components,
+    pagerank,
+    sssp,
+    sssp_multi,
+)
+from repro.graphs.common import ensure_runtime
+
+DRIVERS = [
+    betweenness_centrality,
+    bfs,
+    bfs_multi,
+    collaborative_filtering,
+    connected_components,
+    pagerank,
+    sssp,
+    sssp_multi,
+]
+
+
+def test_default_geometry_is_the_paper_array():
+    assert DEFAULT_GEOMETRY == "8x16"
+
+
+def test_every_driver_shares_the_constant():
+    for driver in DRIVERS:
+        default = inspect.signature(driver).parameters["geometry"].default
+        assert default is DEFAULT_GEOMETRY, driver.__name__
+
+
+def test_ensure_runtime_shares_the_constant():
+    default = inspect.signature(ensure_runtime).parameters["geometry"].default
+    assert default is DEFAULT_GEOMETRY

@@ -1,0 +1,56 @@
+"""Regressions for the 1 GHz hardcode class (repro-lint R3).
+
+``RunReport.time_s`` and ``ReconfigurationLog.clock_hz`` once assumed the
+Table II 1 GHz clock regardless of the configured ``HardwareParams``;
+these tests pin the fixed behaviour: every wall-clock conversion tracks
+the params that priced the cycles.
+"""
+
+from dataclasses import replace
+
+import pytest
+
+from repro.core import CoSparseRuntime, SpMVOperand
+from repro.core.reconfig import ReconfigurationLog
+from repro.hardware.params import DEFAULT_PARAMS
+from repro.hardware.stats import MemCounters, RunReport
+from repro.spmv import bfs_semiring
+from repro.workloads import random_frontier
+
+
+class TestRunReportClock:
+    def test_time_tracks_report_clock(self):
+        rep = RunReport(cycles=4.0e9, counters=MemCounters(), clock_hz=2.0e9)
+        assert rep.time_s == pytest.approx(2.0)
+        assert rep.seconds(1.0e9) == pytest.approx(4.0)
+
+    def test_default_clock_is_table_ii(self):
+        rep = RunReport(cycles=1.0, counters=MemCounters())
+        assert rep.clock_hz == DEFAULT_PARAMS.clock_hz
+        assert rep.time_s == pytest.approx(1.0 / DEFAULT_PARAMS.clock_hz)
+
+
+class TestReconfigurationLogClock:
+    def test_default_follows_params_table(self):
+        assert ReconfigurationLog().clock_hz == DEFAULT_PARAMS.clock_hz
+
+
+class TestRuntimeClockPlumbs:
+    def test_overclocked_params_reach_reports_and_log(self, medium_coo):
+        params = replace(DEFAULT_PARAMS, clock_hz=2.0e9)
+        rt = CoSparseRuntime(SpMVOperand(medium_coo), "2x8", params=params)
+        assert rt.log.clock_hz == 2.0e9
+        rt.spmv(random_frontier(medium_coo.n_cols, 0.01, seed=5), bfs_semiring())
+        rep = rt.log.records[-1].report
+        assert rep.clock_hz == 2.0e9
+        assert rep.time_s == pytest.approx(rep.cycles / 2.0e9)
+
+    def test_halving_the_clock_doubles_seconds(self, medium_coo):
+        f = random_frontier(medium_coo.n_cols, 0.01, seed=5)
+        times = {}
+        for hz in (1.0e9, 0.5e9):
+            params = replace(DEFAULT_PARAMS, clock_hz=hz)
+            rt = CoSparseRuntime(SpMVOperand(medium_coo), "2x8", params=params)
+            rt.spmv(f, bfs_semiring())
+            times[hz] = rt.log.records[-1].report.time_s
+        assert times[0.5e9] == pytest.approx(2.0 * times[1.0e9])
