@@ -2,7 +2,7 @@
 
 PYTHON ?= python
 
-.PHONY: install lint test test-O test-sanitize test-all perf bench bench-full artifacts examples clean
+.PHONY: install lint test test-O test-sanitize test-all perf bench bench-full artifacts examples trace-demo clean
 
 install:
 	$(PYTHON) -m pip install -e . || $(PYTHON) setup.py develop
@@ -53,6 +53,12 @@ artifacts:
 
 examples:
 	for ex in examples/*.py; do echo "== $$ex"; $(PYTHON) $$ex || exit 1; done
+
+# Small traced BFS through repro.obs: exports artifacts/trace_demo.jsonl
+# plus a Chrome/Perfetto trace, schema-validates every record, and
+# cross-checks the exported decision sequence against the live log.
+trace-demo:
+	PYTHONPATH=src $(PYTHON) -m repro.obs demo --out artifacts/trace_demo
 
 clean:
 	rm -rf .repro_cache .benchmarks artifacts .pytest_cache

@@ -37,7 +37,11 @@ def main():
         f"in {run.iterations} iterations"
     )
     print(f"modelled time   : {run.time_s * 1e6:,.1f} us at 1 GHz")
-    print(f"modelled energy : {run.total_energy_j * 1e6:,.2f} uJ")
+    energy_j = run.total_energy_j  # None when no energy model priced the run
+    if energy_j is not None:
+        print(f"modelled energy : {energy_j * 1e6:,.2f} uJ")
+    else:
+        print("modelled energy : n/a (no energy model attached)")
 
     # 4. The per-iteration reconfiguration decisions.
     print("\niter  frontier-density  config   cycles")

@@ -72,9 +72,11 @@ WALLCLOCK_CALLS = frozenset(
 )
 
 #: Modules whose *job* is measuring host wall-clock time (the perf
-#: microbench); everything else in the library models cycles and must
-#: not read the host clock.
-R4_WALLCLOCK_ALLOWED_PREFIXES = ("repro/perf.py",)
+#: microbench, and the span tracer whose wall times annotate
+#: observability output without ever feeding the cycle model);
+#: everything else in the library models cycles and must not read the
+#: host clock.
+R4_WALLCLOCK_ALLOWED_PREFIXES = ("repro/perf.py", "repro/obs/")
 
 #: numpy.random attributes that construct explicitly-seedable generators
 #: (everything else under numpy.random is the legacy global-state API).

@@ -69,6 +69,14 @@ def override(value: bool):
 
 
 def _fail(label: str, message: str) -> None:
+    # Late import: obs depends on nothing here, but keeping the hook
+    # lazy means sanitize stays importable in any partial-init state.
+    from ..obs.events import SanitizerViolationEvent
+    from ..obs.tracer import active as _obs_active
+
+    tracer = _obs_active()
+    if tracer.enabled:
+        tracer.event(SanitizerViolationEvent(label=label, message=message))
     raise SimulationError(f"[sanitizer] {label}: {message}")
 
 

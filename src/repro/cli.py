@@ -102,11 +102,39 @@ def build_parser() -> argparse.ArgumentParser:
         help="also persist the result as JSON (diffable with "
         "repro.experiments.store.compare_results)",
     )
+    parser.add_argument(
+        "--trace-out",
+        metavar="PATH",
+        help="trace the run with repro.obs and write PATH (Chrome "
+        "trace-event JSON, load in Perfetto) plus PATH + '.jsonl' "
+        "(the schema-v1 span/event stream)",
+    )
     return parser
 
 
 def _run_one(name: str, args) -> int:
+    trace_out = getattr(args, "trace_out", None)
+    if trace_out:
+        return _run_traced(name, args, trace_out)
     result = _DRIVERS[name](args.scale, args.geometry)
+    return _emit(name, args, result)
+
+
+def _run_traced(name: str, args, trace_out: str) -> int:
+    """Run one artifact under a live tracer and export both formats."""
+    from .obs import Tracer, override, write_chrome_trace, write_jsonl
+
+    with override(Tracer(label=f"{name}-scale{args.scale}")) as tracer:
+        with tracer.span(f"artifact.{name}", scale=args.scale):
+            result = _DRIVERS[name](args.scale, args.geometry)
+    write_chrome_trace(tracer, trace_out)
+    write_jsonl(tracer, trace_out + ".jsonl")
+    code = _emit(name, args, result)
+    print(f"trace written to {trace_out} (+ .jsonl)")
+    return code
+
+
+def _emit(name: str, args, result) -> int:
     print(result.table())
     if name == "fig4":
         print()

@@ -15,6 +15,8 @@ from typing import Dict, List, Optional
 from ..formats import ConversionCost
 from ..hardware import HWMode, RunReport
 from ..hardware.params import DEFAULT_PARAMS
+from ..obs.events import WarningEvent
+from ..obs.tracer import active as _obs_active
 
 __all__ = ["IterationRecord", "ReconfigurationLog"]
 
@@ -84,10 +86,31 @@ class ReconfigurationLog:
         return sum(r.total_cycles for r in self.records)
 
     @property
-    def total_energy_j(self) -> float:
+    def total_energy_j(self) -> Optional[float]:
         """Whole-run energy (kernels only; conversion energy is folded
-        into the kernel pricing of the following iteration's traffic)."""
-        return sum(r.report.energy_j or 0.0 for r in self.records)
+        into the kernel pricing of the following iteration's traffic).
+
+        ``None`` when the run has records but *none* carries energy —
+        "no energy model was attached" must stay distinguishable from
+        "zero joules".  Records that do carry energy are summed, with
+        energy-less ones contributing nothing (partial pricing).
+        """
+        energies = [r.report.energy_j for r in self.records]
+        if energies and all(e is None for e in energies):
+            tracer = _obs_active()
+            if tracer.enabled:
+                tracer.event(
+                    WarningEvent(
+                        source="ReconfigurationLog",
+                        message=(
+                            f"total_energy_j over {len(energies)} records "
+                            "is None: no record carries energy (no energy "
+                            "model attached)"
+                        ),
+                    )
+                )
+            return None
+        return sum(e or 0.0 for e in energies)
 
     @property
     def sw_switches(self) -> int:

@@ -15,8 +15,18 @@ from typing import List, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
+from dataclasses import asdict
+
 from ..analysis import sanitize
 from ..errors import ConfigurationError
+from ..obs.events import (
+    DecisionEvent,
+    ProbeDiscardedEvent,
+    ReconfigEvent,
+    serialize_alternatives,
+)
+from ..obs.tracer import active as _obs_active
+from ..perf import counters as _perf
 from ..formats import (
     COOMatrix,
     CSCMatrix,
@@ -212,7 +222,8 @@ class CoSparseRuntime:
         if cached is not None and cached[0] is frontier:
             return cached[1], cached[2]
         fn = self._to_dense if kind == "dense" else self._to_sparse
-        converted, cost = fn(frontier, semiring)
+        with _obs_active().span("convert", kind=kind):
+            converted, cost = fn(frontier, semiring)
         self._conv_cache[kind] = (frontier, converted, cost)
         return converted, cost
 
@@ -290,13 +301,17 @@ class CoSparseRuntime:
         execute anyway (OP under ``with_trace`` runs the exact merge),
         its functional result rides along and :meth:`spmv` reuses it.
         """
+        tracer = _obs_active()
         alternatives = {}
         priced = []
         for algorithm, mode in candidates:
-            result, cost = self._run_kernel(
-                algorithm, mode, frontier, semiring, current, profile_only=True
-            )
-            report = self.system.evaluate_without_switching(result.profile)
+            with tracer.span("probe", algorithm=algorithm, hw_mode=mode) as sp:
+                result, cost = self._run_kernel(
+                    algorithm, mode, frontier, semiring, current,
+                    profile_only=True,
+                )
+                report = self.system.evaluate_without_switching(result.profile)
+                sp.set(cycles=report.cycles)
             alternatives[f"{algorithm.upper()}/{mode.label}"] = report
             priced.append((algorithm, mode, report, (result, cost)))
         scores = self._scores([p[2] for p in priced])
@@ -362,51 +377,116 @@ class CoSparseRuntime:
         return algorithm, mode, alternatives, probe
 
     # ------------------------------------------------------------------
+    # Decision audit (repro.obs)
+    # ------------------------------------------------------------------
+    def _shadow_decision(self, density: float):
+        """The Fig. 2 tree's walk for this invocation, computed for the
+        decision-audit event regardless of the active policy (so
+        tree-vs-oracle disagreement is always measurable).  Only called
+        when a tracer is live."""
+        return self.tree.decide(self.operand.info, density)
+
+    def _emit_decision_events(
+        self, tracer, record, shadow, alternatives, probe_reused: bool
+    ) -> None:
+        """Decision-audit (and, on a switch, reconfiguration) events for
+        one IterationRecord.  Must run before ``_last_*`` are updated."""
+        tracer.event(
+            DecisionEvent(
+                iteration=record.iteration,
+                policy=self.policy,
+                vector_density=record.vector_density,
+                algorithm=record.algorithm,
+                hw_mode=record.hw_mode.label,
+                tree_algorithm=shadow.algorithm if shadow else None,
+                tree_hw_mode=shadow.hw_mode.label if shadow else None,
+                cvd=shadow.cvd if shadow else None,
+                thresholds=asdict(self.tree.thresholds),
+                alternatives=serialize_alternatives(alternatives),
+                probe_reused=probe_reused,
+                batch_id=record.batch_id,
+                batch_column=record.batch_column,
+            )
+        )
+        if record.sw_switched or record.hw_switched:
+            tracer.event(
+                ReconfigEvent(
+                    iteration=record.iteration,
+                    from_config=(
+                        f"{self._last_algorithm.upper()}"
+                        f"/{self._last_mode.label}"
+                    ),
+                    to_config=record.config_label,
+                    sw_switched=record.sw_switched,
+                    hw_switched=record.hw_switched,
+                    reconfig_cycles=record.report.reconfig_cycles,
+                )
+            )
+
+    # ------------------------------------------------------------------
     def spmv(self, frontier, semiring: Semiring, current=None) -> SpMVResult:
         """One reconfigured SpMV invocation; logs an IterationRecord."""
-        self._conv_cache.clear()
-        density = self.frontier_density(frontier, semiring)
-        algorithm, mode, alternatives, probe = self._decide(
-            density, semiring, frontier, current
-        )
-        if probe is not None and probe[0].executed:
-            # The winning pricing probe already ran the functional
-            # kernel (exact/trace path): reuse it instead of re-running.
-            result, conv = probe
-        else:
-            result, conv = self._run_kernel(
-                algorithm, mode, frontier, semiring, current
+        tracer = _obs_active()
+        with tracer.span(
+            "spmv", iteration=self._iteration, policy=self.policy
+        ) as root:
+            self._conv_cache.clear()
+            density = self.frontier_density(frontier, semiring)
+            shadow = self._shadow_decision(density) if tracer.enabled else None
+            with tracer.span("decide", policy=self.policy):
+                algorithm, mode, alternatives, probe = self._decide(
+                    density, semiring, frontier, current
+                )
+            probe_reused = probe is not None and probe[0].executed
+            if probe_reused:
+                # The winning pricing probe already ran the functional
+                # kernel (exact/trace path): reuse it instead of re-running.
+                result, conv = probe
+            else:
+                with tracer.span("kernel", algorithm=algorithm, hw_mode=mode):
+                    result, conv = self._run_kernel(
+                        algorithm, mode, frontier, semiring, current
+                    )
+            conv_cycles = (
+                conv.words * _CONV_CYCLES_PER_WORD / max(self.geometry.n_pes, 1)
             )
-        conv_cycles = (
-            conv.words * _CONV_CYCLES_PER_WORD / max(self.geometry.n_pes, 1)
-        )
-        with sanitize.scope("spmv") as san:
-            report = self.system.run(result.profile)
-            san.check_report(f"spmv iter {self._iteration}", report)
-            san.check_conversion(
-                f"spmv iter {self._iteration}", conv, conv_cycles
+            with sanitize.scope("spmv") as san, tracer.span("price") as priced:
+                report = self.system.run(result.profile)
+                priced.set(cycles=report.cycles)
+                san.check_report(f"spmv iter {self._iteration}", report)
+                san.check_conversion(
+                    f"spmv iter {self._iteration}", conv, conv_cycles
+                )
+            record = IterationRecord(
+                iteration=self._iteration,
+                vector_density=density,
+                algorithm=algorithm,
+                hw_mode=mode,
+                report=report,
+                conversion_cycles=conv_cycles,
+                conversion=conv,
+                sw_switched=(
+                    self._last_algorithm is not None
+                    and algorithm != self._last_algorithm
+                ),
+                hw_switched=(
+                    self._last_mode is not None and mode is not self._last_mode
+                ),
+                alternatives=alternatives,
             )
-        record = IterationRecord(
-            iteration=self._iteration,
-            vector_density=density,
-            algorithm=algorithm,
-            hw_mode=mode,
-            report=report,
-            conversion_cycles=conv_cycles,
-            conversion=conv,
-            sw_switched=(
-                self._last_algorithm is not None
-                and algorithm != self._last_algorithm
-            ),
-            hw_switched=(
-                self._last_mode is not None and mode is not self._last_mode
-            ),
-            alternatives=alternatives,
-        )
-        self.log.append(record)
-        self._iteration += 1
-        self._last_algorithm = algorithm
-        self._last_mode = mode
+            self.log.append(record)
+            if tracer.enabled:
+                root.set(
+                    config=record.config_label,
+                    vector_density=density,
+                    cycles=record.total_cycles,
+                )
+                self._emit_decision_events(
+                    tracer, record, shadow, alternatives, probe_reused
+                )
+            self._iteration += 1
+            self._last_algorithm = algorithm
+            self._last_mode = mode
         return result
 
     # ------------------------------------------------------------------
@@ -480,36 +560,61 @@ class CoSparseRuntime:
                     f"{len(per_current)} current vectors for {mv.k} columns"
                 )
 
-        # Per-column decisions, in input order — the same density/tree
-        # (or pricing-probe) path the sequential invocations would take.
-        decisions = []
-        for j in range(mv.k):
-            self._conv_cache.clear()
-            frontier_j = (
-                mv.column_sparse(j)
-                if mv.native(j) == "sparse"
-                else DenseVector(mv.column_dense(j))
-            )
-            density = mv.density(j)
-            algorithm, mode, alternatives, _probe = self._decide(
-                density, semiring, frontier_j, per_current[j]
-            )
-            decisions.append((algorithm, mode, alternatives, density))
-        self._conv_cache.clear()
-
-        # Group columns by configuration, first-appearance order.
-        groups: dict = {}
-        for j, (algorithm, mode, _alts, _d) in enumerate(decisions):
-            groups.setdefault((algorithm, mode), []).append(j)
-
+        tracer = _obs_active()
         batch_id = self._batch_id
         self._batch_id += 1
-        results: List[Optional[SpMVResult]] = [None] * mv.k
-        with sanitize.batch_scope(self.log, batch_id, mv.k) as san:
-            self._run_batch_groups(
-                groups, mv, semiring, per_current, decisions, batch_id,
-                results, san,
-            )
+        with tracer.span(
+            "spmv_batch", batch_id=batch_id, k=mv.k, policy=self.policy
+        ):
+            # Per-column decisions, in input order — the same density/tree
+            # (or pricing-probe) path the sequential invocations would take.
+            decisions = []
+            for j in range(mv.k):
+                self._conv_cache.clear()
+                frontier_j = (
+                    mv.column_sparse(j)
+                    if mv.native(j) == "sparse"
+                    else DenseVector(mv.column_dense(j))
+                )
+                density = mv.density(j)
+                shadow = (
+                    self._shadow_decision(density) if tracer.enabled else None
+                )
+                with tracer.span("decide", policy=self.policy, column=j):
+                    algorithm, mode, alternatives, probe = self._decide(
+                        density, semiring, frontier_j, per_current[j]
+                    )
+                if probe is not None:
+                    # Unlike spmv()'s reuse path, the batch kernel always
+                    # recomputes the winner: the probe's result is wasted.
+                    _perf.kernel_probe_discarded += 1
+                    if tracer.enabled:
+                        tracer.event(
+                            ProbeDiscardedEvent(
+                                batch_id=batch_id,
+                                batch_column=j,
+                                algorithm=algorithm,
+                                hw_mode=mode.label,
+                                executed=probe[0].executed,
+                            )
+                        )
+                decisions.append((algorithm, mode, alternatives, density,
+                                  shadow))
+            self._conv_cache.clear()
+
+            # Group columns by configuration, first-appearance order.
+            groups: dict = {}
+            for j, (algorithm, mode, _alts, _d, _shadow) in enumerate(
+                decisions
+            ):
+                groups.setdefault((algorithm, mode), []).append(j)
+
+            results: List[Optional[SpMVResult]] = [None] * mv.k
+            with sanitize.batch_scope(self.log, batch_id, mv.k) as san:
+                self._run_batch_groups(
+                    groups, mv, semiring, per_current, decisions, batch_id,
+                    results, san,
+                )
         return results
 
     def _run_batch_groups(
@@ -518,37 +623,48 @@ class CoSparseRuntime:
     ) -> None:
         """Execute one batched kernel per configuration group, logging a
         per-column :class:`IterationRecord` exactly as :meth:`spmv` would."""
+        tracer = _obs_active()
         for (algorithm, mode), cols in groups.items():
+            group_span = tracer.span(
+                "batch_group",
+                algorithm=algorithm,
+                hw_mode=mode,
+                columns=cols,
+                batch_id=batch_id,
+            )
             group_currents = [per_current[j] for j in cols]
-            if algorithm == "ip":
-                group_results = inner_product_batch(
-                    self.operand.coo,
-                    mv,
-                    semiring,
-                    self.geometry,
-                    hw_mode=mode,
-                    params=self.params,
-                    currents=group_currents,
-                    partition=self.operand.ip_partition(
-                        self.geometry, self.balanced
-                    ),
-                    balanced=self.balanced,
-                    columns=cols,
-                )
-            else:
-                group_results = outer_product_batch(
-                    self.operand.csc,
-                    mv,
-                    semiring,
-                    self.geometry,
-                    hw_mode=mode,
-                    params=self.params,
-                    currents=group_currents,
-                    columns=cols,
-                )
+            with group_span:
+                if algorithm == "ip":
+                    group_results = inner_product_batch(
+                        self.operand.coo,
+                        mv,
+                        semiring,
+                        self.geometry,
+                        hw_mode=mode,
+                        params=self.params,
+                        currents=group_currents,
+                        partition=self.operand.ip_partition(
+                            self.geometry, self.balanced
+                        ),
+                        balanced=self.balanced,
+                        columns=cols,
+                    )
+                else:
+                    group_results = outer_product_batch(
+                        self.operand.csc,
+                        mv,
+                        semiring,
+                        self.geometry,
+                        hw_mode=mode,
+                        params=self.params,
+                        currents=group_currents,
+                        columns=cols,
+                    )
             for j, result in zip(cols, group_results):
-                _alg, _mode, alternatives, density = decisions[j]
-                report = self.system.run(result.profile)
+                _alg, _mode, alternatives, density, shadow = decisions[j]
+                with tracer.span("price", column=j) as priced:
+                    report = self.system.run(result.profile)
+                    priced.set(cycles=report.cycles)
                 san.check_report(f"spmv_batch col {j}", report)
                 conv = mv.conversion_cost(
                     j, "dense" if algorithm == "ip" else "sparse"
@@ -580,6 +696,11 @@ class CoSparseRuntime:
                     batch_column=j,
                 )
                 self.log.append(record)
+                if tracer.enabled:
+                    self._emit_decision_events(
+                        tracer, record, shadow, alternatives,
+                        probe_reused=False,
+                    )
                 self._iteration += 1
                 self._last_algorithm = algorithm
                 self._last_mode = mode

@@ -15,6 +15,7 @@ import numpy as np
 
 from ..formats import SparseVector
 from ..hardware import Geometry, HWMode, TransmuterSystem
+from ..obs.tracer import active as _obs_active
 from ..spmv import inner_product, outer_product, sssp_semiring
 from ..spmv.semiring import Semiring
 from .common import table3_graph
@@ -98,16 +99,26 @@ def run_fig9(
     baseline_total = 0.0
     switches = 0
     prev_best = None
+    tracer = _obs_active()
     for it in range(max_iters):
         if frontier.nnz == 0:
             break
         cycles = {}
         kern_best = None
-        for config in _CONFIGS:
-            kern, rep = _price(config, operand, frontier, semiring, dist, geometry, system)
-            cycles[config] = rep.cycles
-            if kern_best is None:
-                kern_best = kern  # functional result identical across configs
+        with tracer.span(
+            "fig9.iteration", iteration=it, vector_density=frontier.density
+        ) as sp:
+            for config in _CONFIGS:
+                kern, rep = _price(config, operand, frontier, semiring, dist, geometry, system)
+                cycles[config] = rep.cycles
+                if kern_best is None:
+                    kern_best = kern  # functional result identical across configs
+            sp.set(
+                **{
+                    f"{alg.upper()}/{mode.label}": c
+                    for (alg, mode), c in cycles.items()
+                }
+            )
         base = cycles[("ip", HWMode.SC)]
         best = min(cycles, key=cycles.get)
         # The paper's runtime only ever *selects* the Fig. 2 configs

@@ -23,7 +23,12 @@ import numpy as np
 
 from ..core.runtime import CoSparseRuntime
 from ..spmv.semiring import Semiring
-from .common import DEFAULT_GEOMETRY, AlgorithmRun, ensure_runtime
+from .common import (
+    DEFAULT_GEOMETRY,
+    AlgorithmRun,
+    algorithm_span,
+    ensure_runtime,
+)
 from .frontier import FrontierTrace, frontier_from_mask
 from .graph import Graph
 
@@ -89,7 +94,8 @@ def betweenness_centrality(
     semiring = sigma_semiring()
     for source in sources:
         graph.check_source(source)
-        levels, sigma, level_sets = _forward(graph, rt, source, trace)
+        with algorithm_span("bc", graph, source=int(source)):
+            levels, sigma, level_sets = _forward(graph, rt, source, trace)
         # Backward sweep: delta[u] += sum over successors w one level
         # deeper of sigma[u]/sigma[w] * (1 + delta[w]).  The forward
         # phase (the SpMV-heavy part) runs through — and is priced by —

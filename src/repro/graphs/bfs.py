@@ -16,7 +16,12 @@ import numpy as np
 
 from ..core.runtime import CoSparseRuntime
 from ..spmv.semiring import bfs_semiring
-from .common import DEFAULT_GEOMETRY, AlgorithmRun, ensure_runtime
+from .common import (
+    DEFAULT_GEOMETRY,
+    AlgorithmRun,
+    algorithm_span,
+    ensure_runtime,
+)
 from .frontier import FrontierTrace, frontier_from_mask, single_vertex_frontier
 from .graph import Graph
 
@@ -48,18 +53,19 @@ def bfs(
     cap = max_iters if max_iters is not None else n
     level = 0.0
     converged = False
-    for _ in range(cap):
-        if frontier.nnz == 0:
-            converged = True
-            break
-        trace.record(frontier)
-        result = rt.spmv(frontier, semiring)
-        newly = result.touched & np.isinf(levels)
-        level += 1.0
-        levels[newly] = level
-        frontier = frontier_from_mask(newly, levels)
-    else:
-        converged = frontier.nnz == 0
+    with algorithm_span("bfs", graph, source=source):
+        for _ in range(cap):
+            if frontier.nnz == 0:
+                converged = True
+                break
+            trace.record(frontier)
+            result = rt.spmv(frontier, semiring)
+            newly = result.touched & np.isinf(levels)
+            level += 1.0
+            levels[newly] = level
+            frontier = frontier_from_mask(newly, levels)
+        else:
+            converged = frontier.nnz == 0
     return AlgorithmRun(
         algorithm="bfs",
         values=levels,

@@ -20,7 +20,12 @@ import numpy as np
 from ..core.runtime import CoSparseRuntime
 from ..formats import COOMatrix
 from ..spmv.semiring import Semiring
-from .common import DEFAULT_GEOMETRY, AlgorithmRun, ensure_runtime
+from .common import (
+    DEFAULT_GEOMETRY,
+    AlgorithmRun,
+    algorithm_span,
+    ensure_runtime,
+)
 from .frontier import FrontierTrace, frontier_from_mask
 from .graph import Graph
 
@@ -74,17 +79,18 @@ def connected_components(
     trace = FrontierTrace(n, [])
     cap = max_iters if max_iters is not None else n
     converged = False
-    for _ in range(cap):
-        if frontier.nnz == 0:
-            converged = True
-            break
-        trace.record(frontier)
-        result = rt.spmv(frontier, semiring, current=labels)
-        improved = result.values < labels
-        labels = result.values
-        frontier = frontier_from_mask(improved, labels)
-    else:
-        converged = frontier.nnz == 0
+    with algorithm_span("cc", graph):
+        for _ in range(cap):
+            if frontier.nnz == 0:
+                converged = True
+                break
+            trace.record(frontier)
+            result = rt.spmv(frontier, semiring, current=labels)
+            improved = result.values < labels
+            labels = result.values
+            frontier = frontier_from_mask(improved, labels)
+        else:
+            converged = frontier.nnz == 0
     return AlgorithmRun(
         algorithm="cc",
         values=labels,

@@ -18,7 +18,12 @@ import numpy as np
 from ..core.runtime import CoSparseRuntime
 from ..errors import AlgorithmError
 from ..spmv.semiring import cf_semiring
-from .common import DEFAULT_GEOMETRY, AlgorithmRun, ensure_runtime
+from .common import (
+    DEFAULT_GEOMETRY,
+    AlgorithmRun,
+    algorithm_span,
+    ensure_runtime,
+)
 from .frontier import FrontierTrace
 from .graph import Graph
 
@@ -61,10 +66,11 @@ def collaborative_filtering(
     rng = np.random.default_rng(seed)
     factors = rng.normal(scale=0.1, size=(n, k))
     trace = FrontierTrace(n, [])
-    for _ in range(iterations):
-        trace.sizes.append(n)  # CF's frontier is always every vertex
-        result = rt.spmv(factors, semiring, current=factors)
-        factors = result.values
+    with algorithm_span("cf", graph, k=k, iterations=iterations):
+        for _ in range(iterations):
+            trace.sizes.append(n)  # CF's frontier is always every vertex
+            result = rt.spmv(factors, semiring, current=factors)
+            factors = result.values
     return AlgorithmRun(
         algorithm="cf",
         values=factors,

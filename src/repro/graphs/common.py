@@ -9,10 +9,31 @@ import numpy as np
 
 from ..core.reconfig import ReconfigurationLog
 from ..core.runtime import CoSparseRuntime
+from ..obs.tracer import active as _obs_active
 from .frontier import FrontierTrace
 from .graph import Graph
 
-__all__ = ["AlgorithmRun", "ensure_runtime", "DEFAULT_GEOMETRY"]
+__all__ = [
+    "AlgorithmRun",
+    "algorithm_span",
+    "ensure_runtime",
+    "DEFAULT_GEOMETRY",
+]
+
+
+def algorithm_span(name: str, graph: Graph, **attrs):
+    """The root span of one algorithm run (a no-op when tracing is off).
+
+    Every driver wraps its iteration loop in one of these, so an
+    exported trace groups each run's spmv/decide/kernel spans under
+    ``algorithm.<name>`` with the graph's identity attached.
+    """
+    return _obs_active().span(
+        f"algorithm.{name}",
+        graph=graph.name,
+        n_vertices=graph.n_vertices,
+        **attrs,
+    )
 
 #: The geometry every algorithm driver defaults to (the paper's largest
 #: evaluated array).  One definition here so the drivers cannot drift.
@@ -73,8 +94,9 @@ class AlgorithmRun:
         return self.log.total_cycles
 
     @property
-    def total_energy_j(self) -> float:
-        """Whole-run modelled energy."""
+    def total_energy_j(self) -> Optional[float]:
+        """Whole-run modelled energy (None when no record was priced
+        with an energy model — distinguishable from zero joules)."""
         return self.log.total_energy_j
 
     @property

@@ -26,7 +26,12 @@ from ..core.runtime import CoSparseRuntime
 from ..errors import AlgorithmError
 from ..formats import MultiVector
 from ..spmv.semiring import bfs_semiring, sssp_semiring
-from .common import DEFAULT_GEOMETRY, AlgorithmRun, ensure_runtime
+from .common import (
+    DEFAULT_GEOMETRY,
+    AlgorithmRun,
+    algorithm_span,
+    ensure_runtime,
+)
 from .frontier import FrontierTrace, frontier_from_mask, single_vertex_frontier
 from .graph import Graph
 
@@ -62,23 +67,24 @@ def bfs_multi(
     live = list(range(k))
     level = 0.0
     converged = False
-    for _ in range(cap):
-        live = [q for q in live if frontiers[q].nnz > 0]
-        if not live:
-            converged = True
-            break
-        mv = MultiVector(
-            [frontiers[q] for q in live], absent=semiring.absent, n=n
-        )
-        trace.record(mv)
-        results = rt.spmv_batch(mv, semiring)
-        level += 1.0
-        for i, q in enumerate(live):
-            newly = results[i].touched & np.isinf(levels[:, q])
-            levels[newly, q] = level
-            frontiers[q] = frontier_from_mask(newly, levels[:, q])
-    else:
-        converged = all(f.nnz == 0 for f in frontiers)
+    with algorithm_span("bfs_multi", graph, k=k):
+        for _ in range(cap):
+            live = [q for q in live if frontiers[q].nnz > 0]
+            if not live:
+                converged = True
+                break
+            mv = MultiVector(
+                [frontiers[q] for q in live], absent=semiring.absent, n=n
+            )
+            trace.record(mv)
+            results = rt.spmv_batch(mv, semiring)
+            level += 1.0
+            for i, q in enumerate(live):
+                newly = results[i].touched & np.isinf(levels[:, q])
+                levels[newly, q] = level
+                frontiers[q] = frontier_from_mask(newly, levels[:, q])
+        else:
+            converged = all(f.nnz == 0 for f in frontiers)
     return AlgorithmRun(
         algorithm="bfs_multi",
         values=levels,
@@ -121,24 +127,25 @@ def sssp_multi(
     cap = max_iters if max_iters is not None else n
     live = list(range(k))
     converged = False
-    for _ in range(cap):
-        live = [q for q in live if frontiers[q].nnz > 0]
-        if not live:
-            converged = True
-            break
-        mv = MultiVector(
-            [frontiers[q] for q in live], absent=semiring.absent, n=n
-        )
-        trace.record(mv)
-        results = rt.spmv_batch(
-            mv, semiring, currents=[dists[q] for q in live]
-        )
-        for i, q in enumerate(live):
-            improved = results[i].values < dists[q]
-            dists[q] = results[i].values
-            frontiers[q] = frontier_from_mask(improved, dists[q])
-    else:
-        converged = all(f.nnz == 0 for f in frontiers)
+    with algorithm_span("sssp_multi", graph, k=k):
+        for _ in range(cap):
+            live = [q for q in live if frontiers[q].nnz > 0]
+            if not live:
+                converged = True
+                break
+            mv = MultiVector(
+                [frontiers[q] for q in live], absent=semiring.absent, n=n
+            )
+            trace.record(mv)
+            results = rt.spmv_batch(
+                mv, semiring, currents=[dists[q] for q in live]
+            )
+            for i, q in enumerate(live):
+                improved = results[i].values < dists[q]
+                dists[q] = results[i].values
+                frontiers[q] = frontier_from_mask(improved, dists[q])
+        else:
+            converged = all(f.nnz == 0 for f in frontiers)
     return AlgorithmRun(
         algorithm="sssp_multi",
         values=np.stack(dists, axis=1),

@@ -16,7 +16,12 @@ import numpy as np
 
 from ..core.runtime import CoSparseRuntime
 from ..spmv.semiring import Semiring, pagerank_semiring
-from .common import DEFAULT_GEOMETRY, AlgorithmRun, ensure_runtime
+from .common import (
+    DEFAULT_GEOMETRY,
+    AlgorithmRun,
+    algorithm_span,
+    ensure_runtime,
+)
 from .frontier import FrontierTrace
 from .graph import Graph
 
@@ -65,14 +70,15 @@ def pagerank(
     ranks = np.full(n, 1.0 / n)
     trace = FrontierTrace(n, [])
     converged = False
-    for _ in range(max_iters):
-        trace.sizes.append(n)  # PR's frontier is always every vertex
-        result = rt.spmv(ranks, semiring)
-        delta = float(np.abs(result.values - ranks).sum())
-        ranks = result.values
-        if delta < tol:
-            converged = True
-            break
+    with algorithm_span("pagerank", graph, alpha=alpha):
+        for _ in range(max_iters):
+            trace.sizes.append(n)  # PR's frontier is always every vertex
+            result = rt.spmv(ranks, semiring)
+            delta = float(np.abs(result.values - ranks).sum())
+            ranks = result.values
+            if delta < tol:
+                converged = True
+                break
     return AlgorithmRun(
         algorithm="pr",
         values=ranks,

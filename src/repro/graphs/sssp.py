@@ -16,7 +16,12 @@ import numpy as np
 from ..core.runtime import CoSparseRuntime
 from ..errors import AlgorithmError
 from ..spmv.semiring import sssp_semiring
-from .common import DEFAULT_GEOMETRY, AlgorithmRun, ensure_runtime
+from .common import (
+    DEFAULT_GEOMETRY,
+    AlgorithmRun,
+    algorithm_span,
+    ensure_runtime,
+)
 from .frontier import FrontierTrace, frontier_from_mask, single_vertex_frontier
 from .graph import Graph
 
@@ -49,17 +54,18 @@ def sssp(
     trace = FrontierTrace(n, [])
     cap = max_iters if max_iters is not None else n
     converged = False
-    for _ in range(cap):
-        if frontier.nnz == 0:
-            converged = True
-            break
-        trace.record(frontier)
-        result = rt.spmv(frontier, semiring, current=dist)
-        improved = result.values < dist
-        dist = result.values
-        frontier = frontier_from_mask(improved, dist)
-    else:
-        converged = frontier.nnz == 0
+    with algorithm_span("sssp", graph, source=source):
+        for _ in range(cap):
+            if frontier.nnz == 0:
+                converged = True
+                break
+            trace.record(frontier)
+            result = rt.spmv(frontier, semiring, current=dist)
+            improved = result.values < dist
+            dist = result.values
+            frontier = frontier_from_mask(improved, dist)
+        else:
+            converged = frontier.nnz == 0
     return AlgorithmRun(
         algorithm="sssp",
         values=dist,

@@ -35,6 +35,7 @@ from typing import Iterable, List, Tuple
 import numpy as np
 
 from ..errors import SimulationError
+from ..obs.tracer import active as _obs_active
 from ..perf import counters as _perf
 from . import _native
 from .params import HardwareParams
@@ -504,7 +505,15 @@ class BankedCache:
         The caller aggregates the mask per stream (``np.add.at``) and
         forwards the missing addresses to the next memory level.
         """
-        return self._cache.run_trace(addrs, writes)
+        tracer = _obs_active()
+        if not tracer.enabled:
+            return self._cache.run_trace(addrs, writes)
+        with tracer.span(
+            "cache.run_trace", n_banks=self.n_banks, accesses=len(addrs)
+        ) as sp:
+            mask = self._cache.run_trace(addrs, writes)
+            sp.set(hits=int(mask.sum()))
+            return mask
 
 
 def interleave_round_robin(

@@ -1,0 +1,86 @@
+"""Observability for the CoSPARSE reproduction (``repro.obs``).
+
+The runtime *decides* — per SpMV invocation it picks a software
+algorithm and a hardware mode from the frontier density and the CVD —
+and this package makes those decisions observable: a hierarchical span
+tracer (wall time, modelled cycles and perf-counter deltas per region),
+a typed decision-audit/reconfiguration/sanitizer event stream, a
+metrics registry, and exporters (JSONL run logs, Chrome trace-event
+JSON, human summaries) plus the ``python -m repro.obs`` CLI to
+summarize, diff and audit exported runs.
+
+Tracing is **off by default**: the instrumented paths talk to a shared
+null-object tracer and pay one function call.  Enable it with
+``REPRO_TRACE=1``, with ``python -m repro <artifact> --trace-out PATH``,
+or programmatically::
+
+    from repro.obs import Tracer, override, write_jsonl
+
+    tracer = Tracer(label="my-run")
+    with override(tracer):
+        run = bfs(graph, 0, geometry="8x16")
+    write_jsonl(tracer, "run.jsonl")
+
+See docs/model.md §6d for the span model, the event schema and the
+overhead budget.
+"""
+
+from .events import (
+    SCHEMA_VERSION,
+    DecisionEvent,
+    ProbeDiscardedEvent,
+    ReconfigEvent,
+    SanitizerViolationEvent,
+    WarningEvent,
+    validate_record,
+)
+from .export import (
+    TraceData,
+    agreement,
+    decision_sequence,
+    diff,
+    read_jsonl,
+    summarize,
+    validate_file,
+    write_chrome_trace,
+    write_jsonl,
+)
+from .metrics import MetricsRegistry
+from .tracer import (
+    NullTracer,
+    Span,
+    Tracer,
+    active,
+    enabled,
+    install,
+    override,
+    traced,
+)
+
+__all__ = [
+    "SCHEMA_VERSION",
+    "DecisionEvent",
+    "ReconfigEvent",
+    "ProbeDiscardedEvent",
+    "SanitizerViolationEvent",
+    "WarningEvent",
+    "validate_record",
+    "TraceData",
+    "agreement",
+    "decision_sequence",
+    "diff",
+    "read_jsonl",
+    "summarize",
+    "validate_file",
+    "write_chrome_trace",
+    "write_jsonl",
+    "MetricsRegistry",
+    "NullTracer",
+    "Span",
+    "Tracer",
+    "active",
+    "enabled",
+    "install",
+    "override",
+    "traced",
+]

@@ -1,0 +1,166 @@
+"""``python -m repro.obs`` — work with exported trace runs.
+
+Subcommands
+-----------
+``summarize FILE``
+    Human digest of one JSONL export (spans, decisions, agreement).
+``diff A B``
+    Compare two JSONL exports (decision sequences, span timings).
+``agreement FILE``
+    Tree-vs-chosen and tree-vs-oracle disagreement rates from the
+    decision-audit events.
+``validate FILE``
+    Schema-v1 check over every record; exit 1 on any problem.
+``demo [--out BASE] [--n N] [--policy P]``
+    Run a small traced BFS (the ``make trace-demo`` target), export
+    JSONL + Chrome trace, validate the export, print the summary.
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import sys
+
+from .export import (
+    agreement,
+    diff,
+    read_jsonl,
+    summarize,
+    validate_file,
+    write_chrome_trace,
+    write_jsonl,
+)
+from .tracer import Tracer, override
+
+__all__ = ["main"]
+
+
+def _cmd_summarize(args) -> int:
+    print(summarize(read_jsonl(args.file)))
+    return 0
+
+
+def _cmd_diff(args) -> int:
+    print(diff(read_jsonl(args.a), read_jsonl(args.b)))
+    return 0
+
+
+def _cmd_agreement(args) -> int:
+    ag = agreement(read_jsonl(args.file))
+    print(
+        f"decisions audited: {ag['audited']}/{ag['decisions']}"
+        f" ({ag['priced']} priced alternatives)"
+    )
+    print(
+        f"tree vs chosen: {ag['tree_vs_chosen_disagree']}/{ag['audited']}"
+        f" disagree ({ag['tree_vs_chosen_rate']:.1%})"
+    )
+    print(
+        f"tree vs oracle: {ag['tree_vs_oracle_disagree']}/{ag['priced']}"
+        f" disagree ({ag['tree_vs_oracle_rate']:.1%})"
+    )
+    return 0
+
+
+def _cmd_validate(args) -> int:
+    problems = validate_file(args.file)
+    if problems:
+        for p in problems:
+            print(f"{args.file}: {p}", file=sys.stderr)
+        return 1
+    print(f"{args.file}: schema v1 OK")
+    return 0
+
+
+def _cmd_demo(args) -> int:
+    from ..core.runtime import CoSparseRuntime
+    from ..graphs import Graph, bfs
+    from ..workloads import chung_lu
+
+    out_dir = os.path.dirname(args.out)
+    if out_dir:
+        os.makedirs(out_dir, exist_ok=True)
+    graph = Graph(
+        chung_lu(args.n, args.n * 8, seed=7), name="trace-demo"
+    )
+    tracer = Tracer(label=f"demo-bfs-{args.policy}")
+    with override(tracer):
+        runtime = CoSparseRuntime(
+            graph.operand, "4x8", policy=args.policy
+        )
+        run = bfs(graph, source=0, runtime=runtime)
+    jsonl_path = args.out + ".jsonl"
+    chrome_path = args.out + ".trace.json"
+    write_jsonl(tracer, jsonl_path)
+    write_chrome_trace(tracer, chrome_path)
+    problems = validate_file(jsonl_path)
+    if problems:
+        for p in problems:
+            print(f"{jsonl_path}: {p}", file=sys.stderr)
+        return 1
+    data = read_jsonl(jsonl_path)
+    # The exported audit must mirror the live log record-for-record.
+    live = [
+        (r.algorithm, r.hw_mode.label, r.vector_density)
+        for r in run.log.records
+    ]
+    exported = [
+        (e["algorithm"], e["hw_mode"], e["vector_density"])
+        for e in data.events_of("decision")
+    ]
+    if live != exported:
+        print("exported decision sequence diverges from the live log",
+              file=sys.stderr)
+        return 1
+    print(summarize(data))
+    print(f"\nwrote {jsonl_path} (schema v1 OK, decision sequence matches "
+          f"the live ReconfigurationLog)")
+    print(f"wrote {chrome_path} (load in chrome://tracing or Perfetto)")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.obs",
+        description="Summarize, diff and validate exported trace runs.",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p = sub.add_parser("summarize", help="digest one JSONL export")
+    p.add_argument("file")
+    p.set_defaults(fn=_cmd_summarize)
+
+    p = sub.add_parser("diff", help="compare two JSONL exports")
+    p.add_argument("a")
+    p.add_argument("b")
+    p.set_defaults(fn=_cmd_diff)
+
+    p = sub.add_parser(
+        "agreement", help="tree-vs-oracle disagreement from decision events"
+    )
+    p.add_argument("file")
+    p.set_defaults(fn=_cmd_agreement)
+
+    p = sub.add_parser("validate", help="schema-check a JSONL export")
+    p.add_argument("file")
+    p.set_defaults(fn=_cmd_validate)
+
+    p = sub.add_parser("demo", help="run a small traced BFS and export it")
+    p.add_argument(
+        "--out",
+        default=os.path.join("artifacts", "trace_demo"),
+        help="output basename (writes BASE.jsonl and BASE.trace.json)",
+    )
+    p.add_argument("--n", type=int, default=2000,
+                   help="demo graph vertices (default 2000)")
+    p.add_argument("--policy", default="oracle",
+                   choices=("tree", "oracle", "static", "adaptive"),
+                   help="runtime policy (oracle prices every alternative)")
+    p.set_defaults(fn=_cmd_demo)
+    return parser
+
+
+def main(argv=None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.fn(args)

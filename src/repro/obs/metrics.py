@@ -1,0 +1,57 @@
+"""The observability metrics registry.
+
+Generalises the ad-hoc ``PerfCounters.wall_seconds`` dict: named
+monotonic **counters** (:meth:`MetricsRegistry.inc`) and named
+**observations** (:meth:`MetricsRegistry.observe`, keeping
+count/total/min/max so a summary can report means and extremes without
+storing every sample).  :func:`repro.perf.timed` forwards its measured
+block durations here whenever a tracer is live, so one exported run
+carries both the modelled quantities and the host-side costs of
+producing them.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+__all__ = ["MetricsRegistry"]
+
+
+class MetricsRegistry:
+    """Named counters and summary observations for one traced run."""
+
+    def __init__(self):
+        self.counters: Dict[str, float] = {}
+        self.observations: Dict[str, Dict[str, float]] = {}
+
+    # ------------------------------------------------------------------
+    def inc(self, name: str, value: float = 1.0) -> None:
+        """Add ``value`` to the monotonic counter ``name``."""
+        self.counters[name] = self.counters.get(name, 0.0) + value
+
+    def observe(self, name: str, value: float) -> None:
+        """Record one sample of ``name`` (count/total/min/max digest)."""
+        value = float(value)
+        digest = self.observations.get(name)
+        if digest is None:
+            self.observations[name] = {
+                "count": 1.0,
+                "total": value,
+                "min": value,
+                "max": value,
+            }
+            return
+        digest["count"] += 1.0
+        digest["total"] += value
+        if value < digest["min"]:
+            digest["min"] = value
+        if value > digest["max"]:
+            digest["max"] = value
+
+    # ------------------------------------------------------------------
+    def snapshot(self) -> dict:
+        """Plain-dict copy: ``{"counters": ..., "observations": ...}``."""
+        return {
+            "counters": dict(self.counters),
+            "observations": {k: dict(v) for k, v in self.observations.items()},
+        }

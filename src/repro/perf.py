@@ -47,6 +47,12 @@ class PerfCounters:
         Each batched column also counts once in ``kernel_executions`` /
         ``kernel_profile_only``, so the sequential invariants still hold;
         this counter isolates how much work went through the batch path.
+    kernel_probe_discarded:
+        Pricing probes whose winning result was thrown away instead of
+        reused.  ``spmv_batch`` runs oracle/adaptive probes per column
+        but the batched kernel always recomputes the winner (a known
+        inefficiency, docs/model.md §6b); sequential ``spmv`` reuses the
+        winner when it executed, so this isolates the wasted probes.
     trace_accesses:
         Words replayed through the batched cache engine.
     wall_seconds:
@@ -56,6 +62,7 @@ class PerfCounters:
     kernel_executions: int = 0
     kernel_profile_only: int = 0
     kernel_batched_columns: int = 0
+    kernel_probe_discarded: int = 0
     trace_accesses: int = 0
     wall_seconds: Dict[str, float] = field(default_factory=dict)
 
@@ -64,6 +71,7 @@ class PerfCounters:
         self.kernel_executions = 0
         self.kernel_profile_only = 0
         self.kernel_batched_columns = 0
+        self.kernel_probe_discarded = 0
         self.trace_accesses = 0
         self.wall_seconds.clear()
 
@@ -76,6 +84,7 @@ class PerfCounters:
             "kernel_executions": self.kernel_executions,
             "kernel_profile_only": self.kernel_profile_only,
             "kernel_batched_columns": self.kernel_batched_columns,
+            "kernel_probe_discarded": self.kernel_probe_discarded,
             "trace_accesses": self.trace_accesses,
             "wall_seconds": dict(self.wall_seconds),
         }
@@ -87,13 +96,24 @@ counters = PerfCounters()
 
 @contextmanager
 def timed(name: str, store: Optional[PerfCounters] = None):
-    """Accumulate the block's wall-clock time under ``name``."""
+    """Accumulate the block's wall-clock time under ``name``.
+
+    When a tracer is live (:mod:`repro.obs`) the measured duration is
+    also recorded as a ``wall.<name>`` observation in its metrics
+    registry, so exported runs subsume these accumulators.
+    """
+    from .obs.tracer import active as _obs_active  # late: avoids a cycle
+
     store = store if store is not None else counters
     t0 = time.perf_counter()
     try:
         yield
     finally:
-        store.add_time(name, time.perf_counter() - t0)
+        dt = time.perf_counter() - t0
+        store.add_time(name, dt)
+        tracer = _obs_active()
+        if tracer.enabled:
+            tracer.metrics.observe(f"wall.{name}", dt)
 
 
 # ----------------------------------------------------------------------

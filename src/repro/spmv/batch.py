@@ -36,6 +36,7 @@ from ..errors import ConfigurationError, ShapeError
 from ..formats import COOMatrix, CSCMatrix, MultiVector
 from ..hardware import Geometry, HWMode
 from ..hardware.params import DEFAULT_PARAMS, HardwareParams
+from ..obs.tracer import traced
 from ..perf import counters as _perf
 from .inner import _build_ip_profile, _ip_layout, _ip_out_pe, _ip_part_of
 from .outer import _build_op_profile, _op_stats
@@ -91,6 +92,7 @@ def _distinct_sorted(keys: np.ndarray) -> np.ndarray:
 # ----------------------------------------------------------------------
 # Inner product
 # ----------------------------------------------------------------------
+@traced("kernel.inner_product_batch", capture=("hw_mode", "columns", "profile_only"))
 def inner_product_batch(
     matrix: COOMatrix,
     frontiers: MultiVector,
@@ -210,6 +212,7 @@ def inner_product_batch(
 # ----------------------------------------------------------------------
 # Outer product
 # ----------------------------------------------------------------------
+@traced("kernel.outer_product_batch", capture=("hw_mode", "columns", "profile_only"))
 def outer_product_batch(
     matrix: CSCMatrix,
     frontiers: MultiVector,

@@ -35,6 +35,7 @@ from ..hardware import (
     TileProfile,
 )
 from ..hardware.params import DEFAULT_PARAMS, HardwareParams
+from ..obs.tracer import traced
 from ..perf import counters as _perf
 from .partition import IPPartition, build_ip_partitions, vblock_width
 from .result import SpMVResult
@@ -51,6 +52,7 @@ _FIXED_OVERHEAD = 150.0
 _VBLOCK_SYNC = 12.0
 
 
+@traced("kernel.inner_product", capture=("hw_mode", "profile_only"))
 def inner_product(
     matrix: COOMatrix,
     vector,

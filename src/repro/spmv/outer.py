@@ -41,6 +41,7 @@ from ..hardware import (
 )
 from ..hardware.params import DEFAULT_PARAMS, HardwareParams
 from ..hardware.spm import Scratchpad
+from ..obs.tracer import traced
 from ..perf import counters as _perf
 from .heap import MergeHeap
 from .partition import equal_nnz_row_bounds, equal_rows_bounds
@@ -61,6 +62,7 @@ _HEAP_SLOT_WORDS = 2
 _HEAP_PE_STRIDE = 1 << 22
 
 
+@traced("kernel.outer_product", capture=("hw_mode", "profile_only"))
 def outer_product(
     matrix: CSCMatrix,
     frontier: SparseVector,

@@ -1,17 +1,24 @@
 """Reconfiguration log tests."""
 
+import pytest
+
 from repro.core import IterationRecord, ReconfigurationLog
 from repro.formats import ConversionCost
 from repro.hardware import HWMode, MemCounters, RunReport
 
 
-def record(i, density, algo, mode, cycles, sw=False, hw=False, conv=0.0):
+def record(
+    i, density, algo, mode, cycles, sw=False, hw=False, conv=0.0,
+    energy_j=1e-6,
+):
     return IterationRecord(
         iteration=i,
         vector_density=density,
         algorithm=algo,
         hw_mode=mode,
-        report=RunReport(cycles=cycles, counters=MemCounters(), energy_j=1e-6),
+        report=RunReport(
+            cycles=cycles, counters=MemCounters(), energy_j=energy_j
+        ),
         conversion_cycles=conv,
         conversion=ConversionCost(),
         sw_switched=sw,
@@ -60,3 +67,28 @@ class TestLog:
 
     def test_iterable(self):
         assert [r.iteration for r in self.build()] == [0, 1, 2]
+
+
+class TestEnergyAccounting:
+    """'No energy model' (None) must stay distinguishable from 0 J."""
+
+    def test_all_energyless_records_gives_none(self):
+        log = ReconfigurationLog()
+        log.append(record(0, 0.1, "ip", HWMode.SC, 100.0, energy_j=None))
+        log.append(record(1, 0.2, "ip", HWMode.SC, 100.0, energy_j=None))
+        assert log.total_energy_j is None
+
+    def test_empty_log_sums_to_zero(self):
+        assert ReconfigurationLog().total_energy_j == 0.0
+
+    def test_mixed_records_sum_priced_energy_only(self):
+        log = ReconfigurationLog()
+        log.append(record(0, 0.1, "ip", HWMode.SC, 100.0, energy_j=2e-6))
+        log.append(record(1, 0.2, "ip", HWMode.SC, 100.0, energy_j=None))
+        log.append(record(2, 0.3, "ip", HWMode.SC, 100.0, energy_j=3e-6))
+        assert log.total_energy_j == pytest.approx(5e-6)
+
+    def test_zero_joules_is_not_none(self):
+        log = ReconfigurationLog()
+        log.append(record(0, 0.1, "ip", HWMode.SC, 100.0, energy_j=0.0))
+        assert log.total_energy_j == 0.0

@@ -1,0 +1,14 @@
+"""Obs-test hygiene: never leak a live tracer into other test modules."""
+
+import pytest
+
+from repro.obs.tracer import install
+
+
+@pytest.fixture(autouse=True)
+def _reset_tracer_state():
+    """Clear the installed tracer and the cached REPRO_TRACE decision
+    after every test (monkeypatch restores the env var itself, but the
+    tracer module caches its first read)."""
+    yield
+    install(None)

@@ -1,0 +1,83 @@
+"""CLI coverage: ``python -m repro.obs`` and ``python -m repro --trace-out``."""
+
+import json
+import os
+
+import pytest
+
+from repro.cli import main as repro_main
+from repro.obs.cli import main as obs_main
+
+
+@pytest.fixture
+def demo_base(tmp_path):
+    return str(tmp_path / "demo")
+
+
+@pytest.fixture
+def demo_export(demo_base, capsys):
+    assert obs_main(["demo", "--out", demo_base, "--n", "600"]) == 0
+    capsys.readouterr()
+    return demo_base
+
+
+class TestDemo:
+    def test_demo_writes_both_formats(self, demo_export):
+        assert os.path.exists(demo_export + ".jsonl")
+        assert os.path.exists(demo_export + ".trace.json")
+        with open(demo_export + ".trace.json") as fh:
+            payload = json.load(fh)
+        assert payload["traceEvents"]
+
+    def test_demo_output_mentions_validation(self, demo_base, capsys):
+        assert obs_main(["demo", "--out", demo_base, "--n", "600"]) == 0
+        out = capsys.readouterr().out
+        assert "schema v1 OK" in out
+        assert "decision sequence matches" in out
+
+
+class TestSubcommands:
+    def test_summarize(self, demo_export, capsys):
+        assert obs_main(["summarize", demo_export + ".jsonl"]) == 0
+        out = capsys.readouterr().out
+        assert "spans" in out and "decisions:" in out
+
+    def test_diff_self(self, demo_export, capsys):
+        jsonl = demo_export + ".jsonl"
+        assert obs_main(["diff", jsonl, jsonl]) == 0
+        assert "identical" in capsys.readouterr().out
+
+    def test_agreement(self, demo_export, capsys):
+        assert obs_main(["agreement", demo_export + ".jsonl"]) == 0
+        assert "tree vs oracle" in capsys.readouterr().out
+
+    def test_validate_clean(self, demo_export, capsys):
+        assert obs_main(["validate", demo_export + ".jsonl"]) == 0
+        assert "OK" in capsys.readouterr().out
+
+    def test_validate_flags_garbage(self, tmp_path, capsys):
+        bad = tmp_path / "bad.jsonl"
+        bad.write_text('{"type": "mystery"}\n')
+        assert obs_main(["validate", str(bad)]) == 1
+
+
+class TestReproTraceOut:
+    def test_artifact_with_trace_out(self, tmp_path, capsys):
+        trace = str(tmp_path / "fig4.trace.json")
+        assert repro_main(["fig4", "--scale", "64", "--trace-out", trace]) == 0
+        out = capsys.readouterr().out
+        assert "trace written" in out
+        with open(trace) as fh:
+            payload = json.load(fh)
+        names = {e["name"] for e in payload["traceEvents"]}
+        assert "artifact.fig4" in names
+        assert any(n.startswith("kernel.") for n in names)
+        assert os.path.exists(trace + ".jsonl")
+
+    def test_trace_out_does_not_leak_tracer(self, tmp_path, capsys):
+        from repro.obs import active
+
+        trace = str(tmp_path / "t.json")
+        assert repro_main(["fig4", "--scale", "64", "--trace-out", trace]) == 0
+        capsys.readouterr()
+        assert not active().enabled

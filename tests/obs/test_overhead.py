@@ -1,0 +1,64 @@
+"""The disabled tracer must be (nearly) free on the SpMV hot path.
+
+ISSUE budget: tracing off may cost at most 2% of an spmv invocation.
+The instrumentation a disabled run pays per invocation is a handful of
+``active()`` lookups and null-span context entries, so the test measures
+that hook cost directly — at a generous 100 hooks per invocation, far
+above the real count — and compares it against the measured wall time of
+one real ``spmv`` call.
+"""
+
+import time
+
+import numpy as np
+
+from repro.core import CoSparseRuntime
+from repro.obs.tracer import active, install
+from repro.spmv import spmv_semiring
+from repro.workloads import random_frontier
+
+#: Null hooks charged per spmv invocation (real count is well under 40:
+#: a few spans in spmv/decide/kernel/price, the traced kernel wrappers,
+#: and the convert spans).
+_HOOKS_PER_SPMV = 100
+#: The ISSUE's overhead budget for disabled tracing.
+_MAX_OVERHEAD_FRACTION = 0.02
+
+
+def _null_hook_seconds(hooks: int) -> float:
+    """Wall time of ``hooks`` disabled active()+span() round trips."""
+    best = float("inf")
+    for _ in range(3):
+        t0 = time.perf_counter()
+        for _ in range(hooks):
+            tracer = active()
+            if tracer.enabled:  # the guard the hot paths use
+                raise AssertionError("tracer must be disabled here")
+            with tracer.span("overhead", x=1):
+                pass
+        best = min(best, time.perf_counter() - t0)
+    return best
+
+
+def test_disabled_tracer_within_budget(medium_coo, monkeypatch):
+    monkeypatch.delenv("REPRO_TRACE", raising=False)
+    install(None)
+    assert not active().enabled
+
+    rt = CoSparseRuntime(medium_coo, "2x8", policy="oracle")
+    semiring = spmv_semiring()
+    frontier = random_frontier(medium_coo.n_cols, 0.01, seed=5)
+    rt.spmv(frontier, semiring)  # warm caches/partitions
+
+    spmv_s = float("inf")
+    for _ in range(3):
+        t0 = time.perf_counter()
+        rt.spmv(frontier, semiring)
+        spmv_s = min(spmv_s, time.perf_counter() - t0)
+
+    hook_s = _null_hook_seconds(_HOOKS_PER_SPMV)
+    assert hook_s < _MAX_OVERHEAD_FRACTION * spmv_s, (
+        f"{_HOOKS_PER_SPMV} disabled-tracer hooks cost {hook_s * 1e6:.1f} us "
+        f"vs spmv {spmv_s * 1e6:.1f} us — over the "
+        f"{_MAX_OVERHEAD_FRACTION:.0%} budget"
+    )
