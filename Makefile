@@ -2,7 +2,7 @@
 
 PYTHON ?= python
 
-.PHONY: install lint test test-O test-sanitize test-all perf bench bench-full artifacts examples trace-demo clean
+.PHONY: install lint test test-O test-sanitize test-all perf bench bench-parallel bench-full artifacts examples trace-demo clean
 
 install:
 	$(PYTHON) -m pip install -e . || $(PYTHON) setup.py develop
@@ -18,6 +18,7 @@ lint:
 # runs everything, which is also what CI's tier-1 gate does.
 test: lint test-O
 	PYTHONPATH=src $(PYTHON) -m pytest tests/ -m "not slow"
+	REPRO_JOBS=2 PYTHONPATH=src $(PYTHON) -m pytest tests/parallel -q -m "not slow"
 	$(MAKE) test-sanitize
 
 # The whole fast subset under `python -O`, which strips bare `assert`
@@ -42,6 +43,12 @@ perf:
 
 bench:
 	$(PYTHON) -m pytest benchmarks/ --benchmark-only
+
+# Parallel sweep engine: serial-vs-pool speedup, bit-identity, and
+# pricing-cache hit rate on the Fig. 4 quick grid (REPRO_JOBS governs
+# the drivers elsewhere; this bench pins its own worker counts).
+bench-parallel:
+	$(PYTHON) -m pytest benchmarks/test_bench_parallel.py --benchmark-only -s
 
 # The paper-scale grids (first run generates ~minutes of workloads into
 # .repro_cache/; artifacts land under artifacts/).

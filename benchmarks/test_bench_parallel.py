@@ -1,0 +1,95 @@
+"""Parallel sweep engine bench: speedup, bit-identity, cache hit rate.
+
+Times the Fig. 4 quick grid serially (``jobs=1``) and through a 4-worker
+process pool on identical warm workload caches, then prices the same
+grid twice more with the persistent pricing cache enabled to measure the
+warm-run hit rate.  The measured worker count, speedup and hit rate land
+in the persisted bench JSON (``artifacts/fig4.json``) so successive runs
+leave a perf trajectory.
+
+The >= 2x speedup assertion only fires on machines that can actually
+host four workers (``os.sched_getaffinity``); the measurements are
+recorded either way.
+"""
+
+import os
+import time
+
+from conftest import show
+
+from repro.experiments import run_fig4
+from repro.experiments.common import fig4_matrix
+from repro.experiments.fig4 import FULL_GEOMETRIES, QUICK_GEOMETRIES
+from repro.perf import counters
+
+WORKERS = 4
+
+
+def test_fig4_parallel_sweep(once, full, monkeypatch, tmp_path):
+    if full:
+        kw = dict(scale=1, geometries=FULL_GEOMETRIES, matrices=(0, 1, 2, 3))
+    else:
+        kw = dict(scale=8, geometries=QUICK_GEOMETRIES, matrices=(0, 3))
+    monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path))
+    monkeypatch.delenv("REPRO_JOBS", raising=False)
+    out = {}
+
+    def run_all():
+        # Warm the workload cache so matrix generation is outside the
+        # timed region of both runs.
+        for mi in kw["matrices"]:
+            fig4_matrix(mi, scale=kw["scale"])
+
+        # --- serial vs pool, pricing cache off (cold every time) ------
+        monkeypatch.setenv("REPRO_PRICING_CACHE", "0")
+        t0 = time.perf_counter()
+        serial = run_fig4(jobs=1, **kw)
+        out["serial_wall_s"] = time.perf_counter() - t0
+        t0 = time.perf_counter()
+        pooled = run_fig4(jobs=WORKERS, **kw)
+        out["parallel_wall_s"] = time.perf_counter() - t0
+        out["bit_identical"] = pooled.rows == serial.rows
+
+        # --- persistent pricing cache: cold write run + warm read run -
+        monkeypatch.setenv("REPRO_PRICING_CACHE", "1")
+        run_fig4(jobs=1, **kw)  # populate
+        counters.reset()
+        cached = run_fig4(jobs=1, **kw)
+        out["cached_rows_identical"] = cached.rows == serial.rows
+        out["warm_kernels"] = (
+            counters.kernel_executions + counters.kernel_profile_only
+        )
+        out["cache_hit_rate"] = (
+            counters.pricing_cache_hits / counters.pricing_tasks
+            if counters.pricing_tasks
+            else 0.0
+        )
+
+        pooled.timings["workers"] = WORKERS
+        pooled.timings["serial_wall_s"] = round(out["serial_wall_s"], 4)
+        pooled.timings["parallel_wall_s"] = round(out["parallel_wall_s"], 4)
+        pooled.timings["parallel_speedup"] = round(
+            out["serial_wall_s"] / out["parallel_wall_s"], 4
+        )
+        pooled.timings["cache_hit_rate"] = round(out["cache_hit_rate"], 4)
+        return pooled
+
+    result = once(run_all)
+    show(result)
+
+    # --- engine guarantees, asserted unconditionally ------------------
+    assert out["bit_identical"], "pool rows must match serial bit-exactly"
+    assert out["cached_rows_identical"], "cached rows must match serial"
+    assert out["warm_kernels"] == 0, "warm cache run must price nothing"
+    assert out["cache_hit_rate"] == 1.0
+
+    # --- the speedup claim, where the machine can host the workers ----
+    speedup = result.timings["parallel_speedup"]
+    print(
+        f"\nworkers={WORKERS} speedup={speedup:.2f}x "
+        f"cache_hit_rate={out['cache_hit_rate']:.0%}"
+    )
+    if len(os.sched_getaffinity(0)) >= WORKERS:
+        assert speedup >= 2.0, (
+            f"expected >= 2x with {WORKERS} workers, got {speedup:.2f}x"
+        )

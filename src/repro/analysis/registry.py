@@ -72,11 +72,17 @@ WALLCLOCK_CALLS = frozenset(
 )
 
 #: Modules whose *job* is measuring host wall-clock time (the perf
-#: microbench, and the span tracer whose wall times annotate
-#: observability output without ever feeding the cycle model);
-#: everything else in the library models cycles and must not read the
-#: host clock.
-R4_WALLCLOCK_ALLOWED_PREFIXES = ("repro/perf.py", "repro/obs/")
+#: microbench, the span tracer whose wall times annotate observability
+#: output without ever feeding the cycle model, and the parallel sweep
+#: engine whose clock reads feed only worker-utilization stats and pool
+#: timeouts — REPRO_JOBS is determinism-neutral: results are
+#: bit-identical for any worker count); everything else in the library
+#: models cycles and must not read the host clock.
+R4_WALLCLOCK_ALLOWED_PREFIXES = (
+    "repro/perf.py",
+    "repro/obs/",
+    "repro/parallel/",
+)
 
 #: numpy.random attributes that construct explicitly-seedable generators
 #: (everything else under numpy.random is the legacy global-state API).

@@ -17,6 +17,7 @@ Examples
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 from typing import Callable, Dict
 
@@ -85,6 +86,14 @@ def build_parser() -> argparse.ArgumentParser:
         "--geometry",
         default="16x16",
         help="system for the graph-suite artifacts (default 16x16)",
+    )
+    parser.add_argument(
+        "--jobs",
+        type=int,
+        metavar="N",
+        help="pricing worker processes (default: REPRO_JOBS, else the "
+        "machine's cpu count; 1 = in-process serial). Results are "
+        "bit-identical for any value.",
     )
     parser.add_argument(
         "--out",
@@ -162,6 +171,9 @@ def _emit(name: str, args, result) -> int:
 def main(argv=None) -> int:
     """Entry point; returns a process exit code."""
     args = build_parser().parse_args(argv)
+    if args.jobs is not None:
+        # One knob for every driver: the schedulers resolve REPRO_JOBS.
+        os.environ["REPRO_JOBS"] = str(max(1, args.jobs))
     if args.artifact == "list":
         print("available artifacts:")
         for name in _DRIVERS:

@@ -15,9 +15,8 @@ from typing import Dict, List, Optional, Sequence, Tuple
 import numpy as np
 
 from ..formats import COOMatrix, CSCMatrix, SparseVector
-from ..hardware import Geometry, HWMode, TransmuterSystem
+from ..hardware import Geometry, HWMode
 from ..hardware.params import DEFAULT_PARAMS, HardwareParams
-from ..spmv import inner_product, outer_product, spmv_semiring
 from .decision import DecisionThresholds
 
 __all__ = [
@@ -47,10 +46,6 @@ class SweepPoint:
         )
 
 
-def _time(system: TransmuterSystem, profile) -> float:
-    return system.evaluate_without_switching(profile).cycles
-
-
 def sweep_op_vs_ip(
     coo: COOMatrix,
     geometry: Geometry,
@@ -59,29 +54,63 @@ def sweep_op_vs_ip(
     ip_mode: HWMode = HWMode.SC,
     op_mode: HWMode = HWMode.PC,
     seed: int = 7,
+    jobs: Optional[int] = None,
 ) -> List[SweepPoint]:
-    """The Fig. 4 experiment: OP-vs-IP cycles across frontier densities."""
+    """The Fig. 4 experiment: OP-vs-IP cycles across frontier densities.
+
+    Frontier draws come from one *sequential* generator (each density's
+    sample depends on the previous draws), so tasks carry the explicit
+    index/value arrays rather than a per-task seed; everything else
+    rides the :class:`~repro.parallel.scheduler.SweepScheduler` like the
+    figure sweeps.
+    """
+    import dataclasses
+
+    from ..parallel import PricingTask, SweepScheduler
+    from ..parallel.work import coo_arrays, csc_arrays
+
     rng = np.random.default_rng(seed)
     csc = CSCMatrix.from_coo(coo)
-    system = TransmuterSystem(geometry, params)
-    semiring = spmv_semiring()
-    points = []
+    params_spec = (
+        None if params is DEFAULT_PARAMS else dataclasses.asdict(params)
+    )
+    tasks = []
     for d in densities:
         nnz = max(1, int(round(d * coo.n_cols)))
         idx = rng.choice(coo.n_cols, size=min(nnz, coo.n_cols), replace=False)
         vals = rng.random(len(idx)) + 0.1
         sv = SparseVector(coo.n_cols, idx, vals)
-        dense = sv.to_dense()
-        ip = inner_product(coo, dense, semiring, geometry, ip_mode, params)
-        op = outer_product(csc, sv, semiring, geometry, op_mode, params)
-        points.append(
-            SweepPoint(
-                vector_density=d,
-                baseline_cycles=_time(system, ip.profile),
-                candidate_cycles=_time(system, op.profile),
+        f_arrays = {"frontier_idx": sv.indices, "frontier_vals": sv.values}
+        base = {
+            "geometry": geometry.name,
+            "shape": [coo.n_rows, coo.n_cols],
+            "frontier": {"n": coo.n_cols},
+        }
+        if params_spec is not None:
+            base["params"] = params_spec
+        tasks.append(
+            PricingTask(
+                "repro.parallel.work:price_config",
+                {**base, "algorithm": "ip", "mode": ip_mode.name},
+                {**coo_arrays(coo), **f_arrays},
             )
         )
-    return points
+        tasks.append(
+            PricingTask(
+                "repro.parallel.work:price_config",
+                {**base, "algorithm": "op", "mode": op_mode.name},
+                {**csc_arrays(csc), **f_arrays},
+            )
+        )
+    reports = SweepScheduler(jobs=jobs, label="calibration").map(tasks)
+    return [
+        SweepPoint(
+            vector_density=d,
+            baseline_cycles=ip["cycles"],
+            candidate_cycles=op["cycles"],
+        )
+        for d, ip, op in zip(densities, reports[0::2], reports[1::2])
+    ]
 
 
 def find_crossover_density(points: Sequence[SweepPoint]) -> Optional[float]:

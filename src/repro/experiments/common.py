@@ -10,10 +10,15 @@ default and the full paper grid when ``REPRO_FULL=1``.
 from __future__ import annotations
 
 import os
-from typing import List, Optional
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
 
 from ..formats import COOMatrix
 from ..graphs import Graph
+from ..parallel import PricingTask, SweepScheduler
+from ..parallel.work import coo_arrays, csc_arrays, semiring_for, system_for
+from ..spmv import inner_product, outer_product
 from ..workloads import (
     FIG4_DIMENSIONS,
     TABLE3_GRAPHS,
@@ -29,7 +34,10 @@ __all__ = [
     "fig4_matrix",
     "fig7_matrix",
     "table3_graph",
+    "price_task",
+    "sweep_tasks",
     "FIG7_DIMENSIONS",
+    "PRICE_FN",
 ]
 
 #: Fig. 7's (N, density) captions.
@@ -41,25 +49,72 @@ FIG7_DIMENSIONS = (
 )
 
 
-def run_config(coo, csc, frontier, algorithm: str, mode, geometry, system=None):
-    """Price one (algorithm, mode) configuration on one input.
+#: The generic matrix-pricing task function (see repro.parallel.work).
+PRICE_FN = "repro.parallel.work:price_config"
 
-    Shared by the Figs. 4-6 sweep drivers: runs the kernel functionally,
-    prices its profile, and returns the
+
+def run_config(coo, csc, frontier, algorithm: str, mode, geometry, system=None):
+    """Price one (algorithm, mode) configuration on one input, in-process.
+
+    Runs the kernel functionally, prices its profile, and returns the
     :class:`~repro.hardware.stats.RunReport`.  ``csc`` is the matrix's
     CSC copy (built once per matrix by the caller, as the real runtime
-    does).
-    """
-    from ..hardware import TransmuterSystem
-    from ..spmv import inner_product, outer_product, spmv_semiring
+    does).  The semiring and :class:`TransmuterSystem` come from the
+    process-wide memos in :mod:`repro.parallel.work`, so repeated calls
+    share one instance per algebra/geometry instead of rebuilding them
+    per innermost loop iteration.
 
-    semiring = spmv_semiring()
-    system = system or TransmuterSystem(geometry)
+    The sweep drivers now decompose their grids into
+    :func:`price_task` units instead; this stays as the one-off pricing
+    entry point (examples, tests, ad-hoc exploration).
+    """
+    semiring = semiring_for("spmv")
+    system = system or system_for(geometry)
     if algorithm == "ip":
         result = inner_product(coo, frontier.to_dense(), semiring, geometry, mode)
     else:
         result = outer_product(csc, frontier, semiring, geometry, mode)
     return system.evaluate_without_switching(result.profile)
+
+
+def price_task(
+    algorithm: str,
+    mode,
+    geometry_name: str,
+    matrix,
+    frontier_spec: Dict[str, object],
+    frontier_arrays: Optional[Dict[str, np.ndarray]] = None,
+    **extra,
+) -> PricingTask:
+    """One ``price_config`` task of a sweep grid.
+
+    ``matrix`` is the COO matrix for ``"ip"`` or the CSC matrix for
+    ``"op"``; ``frontier_spec`` is either the seeded form
+    ``{"n", "density", "seed"}`` (regenerated bit-exactly in the worker)
+    or ``{"n"}`` with explicit ``frontier_arrays``
+    (``frontier_idx``/``frontier_vals``).  Extra keywords land in the
+    payload verbatim (``balanced``, ``profile_only``, ``semiring``,
+    ``use_partition``/``token``, ``params``).
+    """
+    payload = {
+        "algorithm": algorithm,
+        "mode": mode.name,
+        "geometry": geometry_name,
+        "shape": [matrix.n_rows, matrix.n_cols],
+        "frontier": frontier_spec,
+        **extra,
+    }
+    arrays = coo_arrays(matrix) if algorithm == "ip" else csc_arrays(matrix)
+    if frontier_arrays:
+        arrays = {**arrays, **frontier_arrays}
+    return PricingTask(PRICE_FN, payload, arrays)
+
+
+def sweep_tasks(
+    tasks: Sequence[PricingTask], label: str, jobs: Optional[int] = None
+) -> List[dict]:
+    """Run a driver's task grid through one :class:`SweepScheduler`."""
+    return SweepScheduler(jobs=jobs, label=label).map(tasks)
 
 
 def cache_dir() -> str:

@@ -9,17 +9,20 @@ average energy-efficiency gain.
 
 from __future__ import annotations
 
-from typing import Dict, Sequence
+from typing import Dict, Optional, Sequence
 
 import numpy as np
 
 from ..baselines import LigraEngine
 from ..graphs import bfs, collaborative_filtering, pagerank, sssp
-from ..hardware import Geometry
-from .common import table3_graph
+from ..parallel import PricingTask
+from .common import sweep_tasks, table3_graph
 from .report import ExperimentResult, geomean
 
 __all__ = ["run_fig10", "FIG10_WORKLOADS"]
+
+#: The whole-case task function (see repro.parallel.work.fig10_case).
+_FIG10_FN = "repro.parallel.work:fig10_case"
 
 #: (algorithm, graphs) pairs exactly as the Fig. 10 x-axis lists them.
 FIG10_WORKLOADS: Dict[str, Sequence[str]] = {
@@ -63,6 +66,7 @@ def run_fig10(
     geometry_name: str = "16x16",
     workloads: Dict[str, Sequence[str]] = None,
     check: bool = True,
+    jobs: Optional[int] = None,
 ) -> ExperimentResult:
     """Regenerate Fig. 10; one row per (algorithm, graph) + geomean."""
     workloads = workloads or FIG10_WORKLOADS
@@ -81,22 +85,37 @@ def run_fig10(
         ],
         notes=f"CoSPARSE {geometry_name} vs Ligra/Xeon, graphs at scale=1/{scale}",
     )
+    tasks, meta = [], []
     for algorithm, names in workloads.items():
         for name in names:
-            graph = table3_graph(name, scale=scale)
-            co, li = _run_pair(algorithm, graph, geometry_name, check)
-            co_t = co.time_s
-            co_e = co.total_energy_j
-            result.add(
-                algorithm=algorithm.upper(),
-                graph=name,
-                cosparse_ms=co_t * 1e3,
-                ligra_ms=li.time_s * 1e3,
-                speedup=li.time_s / co_t,
-                effgain=li.energy_j / co_e if co_e else float("nan"),
-                iters=co.iterations,
-                sw_switches=co.log.sw_switches,
+            table3_graph(name, scale=scale)  # warm the workload cache
+            tasks.append(
+                PricingTask(
+                    _FIG10_FN,
+                    {
+                        "algorithm": algorithm,
+                        "graph": name,
+                        "scale": scale,
+                        "geometry": geometry_name,
+                        "check": check,
+                    },
+                )
             )
+            meta.append((algorithm, name))
+    reports = sweep_tasks(tasks, "fig10", jobs)
+    for (algorithm, name), rep in zip(meta, reports):
+        co_t = rep["cosparse_s"]
+        co_e = rep["cosparse_energy_j"]
+        result.add(
+            algorithm=algorithm.upper(),
+            graph=name,
+            cosparse_ms=co_t * 1e3,
+            ligra_ms=rep["ligra_s"] * 1e3,
+            speedup=rep["ligra_s"] / co_t,
+            effgain=rep["ligra_energy_j"] / co_e if co_e else float("nan"),
+            iters=rep["iters"],
+            sw_switches=rep["sw_switches"],
+        )
     result.add(
         algorithm="geomean",
         graph="",

@@ -13,9 +13,9 @@ from typing import Optional, Sequence
 
 from ..core.calibration import SweepPoint, find_crossover_density
 from ..formats import CSCMatrix
-from ..hardware import Geometry, HWMode, TransmuterSystem
-from ..workloads import FIG4_DENSITIES, random_frontier
-from .common import FIG4_DIMENSIONS, fig4_matrix, run_config
+from ..hardware import HWMode
+from ..workloads import FIG4_DENSITIES
+from .common import fig4_matrix, price_task, sweep_tasks
 from .report import ExperimentResult
 
 __all__ = ["run_fig4", "crossover_table", "FULL_GEOMETRIES", "QUICK_GEOMETRIES"]
@@ -30,8 +30,15 @@ def run_fig4(
     densities: Sequence[float] = FIG4_DENSITIES,
     matrices: Sequence[int] = (0, 1, 2, 3),
     seed: int = 7,
+    jobs: Optional[int] = None,
 ) -> ExperimentResult:
-    """Regenerate the Fig. 4 sweep; one row per (matrix, system, d_v)."""
+    """Regenerate the Fig. 4 sweep; one row per (matrix, system, d_v).
+
+    The grid is decomposed into pure pricing tasks and executed by a
+    :class:`~repro.parallel.scheduler.SweepScheduler` (``jobs`` /
+    ``REPRO_JOBS`` workers, persistent pricing cache); rows are
+    assembled in grid order, bit-identical for any worker count.
+    """
     result = ExperimentResult(
         experiment="fig4",
         title="Speedup of OP (PC) vs. IP (SC)",
@@ -46,25 +53,29 @@ def run_fig4(
         ],
         notes=f"uniform matrices, scale=1/{scale}",
     )
+    tasks, meta = [], []
     for mi in matrices:
         coo = fig4_matrix(mi, scale=scale)
         csc = CSCMatrix.from_coo(coo)
         for geom_name in geometries:
-            geometry = Geometry.parse(geom_name)
-            system = TransmuterSystem(geometry)
             for i, d in enumerate(densities):
-                frontier = random_frontier(coo.n_cols, d, seed=seed + 13 * i)
-                ip = run_config(coo, csc, frontier, "ip", HWMode.SC, geometry, system)
-                op = run_config(coo, csc, frontier, "op", HWMode.PC, geometry, system)
-                result.add(
-                    N=coo.n_cols,
-                    matrix_density=coo.density,
-                    system=geom_name,
-                    vector_density=d,
-                    ip_cycles=ip.cycles,
-                    op_cycles=op.cycles,
-                    op_vs_ip_speedup=ip.cycles / op.cycles,
-                )
+                spec = {"n": coo.n_cols, "density": d, "seed": seed + 13 * i}
+                tasks.append(price_task("ip", HWMode.SC, geom_name, coo, spec))
+                tasks.append(price_task("op", HWMode.PC, geom_name, csc, spec))
+                meta.append((coo.n_cols, coo.density, geom_name, d))
+    reports = sweep_tasks(tasks, "fig4", jobs)
+    for (n, m_density, geom_name, d), ip, op in zip(
+        meta, reports[0::2], reports[1::2]
+    ):
+        result.add(
+            N=n,
+            matrix_density=m_density,
+            system=geom_name,
+            vector_density=d,
+            ip_cycles=ip["cycles"],
+            op_cycles=op["cycles"],
+            op_vs_ip_speedup=ip["cycles"] / op["cycles"],
+        )
     return result
 
 

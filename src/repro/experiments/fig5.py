@@ -13,13 +13,11 @@ is the prefix.
 
 from __future__ import annotations
 
-from typing import Sequence
+from typing import Optional, Sequence
 
 from ..core.decision import DecisionTree, MatrixInfo
-from ..formats import CSCMatrix
-from ..hardware import Geometry, HWMode, TransmuterSystem
-from ..workloads import random_frontier
-from .common import fig4_matrix, run_config
+from ..hardware import Geometry, HWMode
+from .common import fig4_matrix, price_task, sweep_tasks
 from .report import ExperimentResult
 
 __all__ = ["run_fig5", "FIG5_GEOMETRIES", "FIG5_DENSITIES"]
@@ -34,6 +32,7 @@ def run_fig5(
     densities: Sequence[float] = FIG5_DENSITIES,
     matrices: Sequence[int] = (0, 1, 2, 3),
     seed: int = 9,
+    jobs: Optional[int] = None,
 ) -> ExperimentResult:
     """Regenerate the Fig. 5 sweep; one row per (matrix, system, d_v)."""
     result = ExperimentResult(
@@ -50,25 +49,28 @@ def run_fig5(
         ],
         notes=f"uniform matrices, scale=1/{scale}; paper sweeps d_v<=0.04",
     )
+    tasks, meta = [], []
     for mi in matrices:
         coo = fig4_matrix(mi, scale=scale)
-        csc = CSCMatrix.from_coo(coo)
         info = MatrixInfo.of(coo)
         for geom_name in geometries:
-            geometry = Geometry.parse(geom_name)
-            system = TransmuterSystem(geometry)
-            nreuse = DecisionTree(geometry).nreuse(info)
+            nreuse = DecisionTree(Geometry.parse(geom_name)).nreuse(info)
             for i, d in enumerate(densities):
-                frontier = random_frontier(coo.n_cols, d, seed=seed + 17 * i)
-                sc = run_config(coo, csc, frontier, "ip", HWMode.SC, geometry, system)
-                scs = run_config(coo, csc, frontier, "ip", HWMode.SCS, geometry, system)
-                result.add(
-                    N=coo.n_cols,
-                    nreuse=nreuse,
-                    system=geom_name,
-                    vector_density=d,
-                    sc_cycles=sc.cycles,
-                    scs_cycles=scs.cycles,
-                    scs_gain_pct=100.0 * (sc.cycles / scs.cycles - 1.0),
-                )
+                spec = {"n": coo.n_cols, "density": d, "seed": seed + 17 * i}
+                tasks.append(price_task("ip", HWMode.SC, geom_name, coo, spec))
+                tasks.append(price_task("ip", HWMode.SCS, geom_name, coo, spec))
+                meta.append((coo.n_cols, nreuse, geom_name, d))
+    reports = sweep_tasks(tasks, "fig5", jobs)
+    for (n, nreuse, geom_name, d), sc, scs in zip(
+        meta, reports[0::2], reports[1::2]
+    ):
+        result.add(
+            N=n,
+            nreuse=nreuse,
+            system=geom_name,
+            vector_density=d,
+            sc_cycles=sc["cycles"],
+            scs_cycles=scs["cycles"],
+            scs_gain_pct=100.0 * (sc["cycles"] / scs["cycles"] - 1.0),
+        )
     return result

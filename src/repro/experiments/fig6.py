@@ -8,12 +8,12 @@ private L1 bank.
 
 from __future__ import annotations
 
-from typing import Sequence
+from typing import Optional, Sequence
 
 from ..formats import CSCMatrix
-from ..hardware import Geometry, HWMode, TransmuterSystem
-from ..workloads import FIG4_DENSITIES, random_frontier
-from .common import fig4_matrix, run_config
+from ..hardware import Geometry, HWMode
+from ..workloads import FIG4_DENSITIES
+from .common import fig4_matrix, price_task, sweep_tasks
 from .report import ExperimentResult
 
 __all__ = ["run_fig6", "FIG6_GEOMETRIES"]
@@ -27,6 +27,7 @@ def run_fig6(
     densities: Sequence[float] = FIG4_DENSITIES,
     matrices: Sequence[int] = (0, 1, 2, 3),
     seed: int = 5,
+    jobs: Optional[int] = None,
 ) -> ExperimentResult:
     """Regenerate the Fig. 6 sweep; one row per (matrix, system, d_v)."""
     result = ExperimentResult(
@@ -43,24 +44,29 @@ def run_fig6(
         ],
         notes=f"uniform matrices, scale=1/{scale}",
     )
+    tasks, meta = [], []
     for mi in matrices:
         coo = fig4_matrix(mi, scale=scale)
         csc = CSCMatrix.from_coo(coo)
         for geom_name in geometries:
             geometry = Geometry.parse(geom_name)
-            system = TransmuterSystem(geometry)
             for i, d in enumerate(densities):
-                frontier = random_frontier(coo.n_cols, d, seed=seed + 19 * i)
-                pc = run_config(coo, csc, frontier, "op", HWMode.PC, geometry, system)
-                ps = run_config(coo, csc, frontier, "op", HWMode.PS, geometry, system)
+                spec = {"n": coo.n_cols, "density": d, "seed": seed + 19 * i}
+                tasks.append(price_task("op", HWMode.PC, geom_name, csc, spec))
+                tasks.append(price_task("op", HWMode.PS, geom_name, csc, spec))
                 heap_words = 2.0 * coo.n_cols * d / geometry.pes_per_tile
-                result.add(
-                    N=coo.n_cols,
-                    system=geom_name,
-                    vector_density=d,
-                    heap_words_per_pe=heap_words,
-                    pc_cycles=pc.cycles,
-                    ps_cycles=ps.cycles,
-                    ps_gain_pct=100.0 * (pc.cycles / ps.cycles - 1.0),
-                )
+                meta.append((coo.n_cols, geom_name, d, heap_words))
+    reports = sweep_tasks(tasks, "fig6", jobs)
+    for (n, geom_name, d, heap_words), pc, ps in zip(
+        meta, reports[0::2], reports[1::2]
+    ):
+        result.add(
+            N=n,
+            system=geom_name,
+            vector_density=d,
+            heap_words_per_pe=heap_words,
+            pc_cycles=pc["cycles"],
+            ps_cycles=ps["cycles"],
+            ps_gain_pct=100.0 * (pc["cycles"] / ps["cycles"] - 1.0),
+        )
     return result

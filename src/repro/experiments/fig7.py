@@ -13,14 +13,19 @@ the merge), and OP's partitioning gains are within ~10 %.
 
 from __future__ import annotations
 
-from typing import Sequence
+from typing import Optional, Sequence
 
 from ..formats import CSCMatrix
-from ..hardware import Geometry, HWMode, TransmuterSystem
-from ..spmv import inner_product, outer_product, spmv_semiring
-from ..workloads import random_frontier, uniform_random
-from .common import FIG7_DIMENSIONS, cache_dir, fig7_matrix
+from ..hardware import HWMode
+from ..workloads import uniform_random
 from ..workloads.io import cached_matrix
+from .common import (
+    FIG7_DIMENSIONS,
+    cache_dir,
+    fig7_matrix,
+    price_task,
+    sweep_tasks,
+)
 from .report import ExperimentResult
 
 __all__ = ["run_fig7"]
@@ -46,11 +51,9 @@ def run_fig7(
     geometry_name: str = "8x16",
     matrices: Sequence[int] = (0, 1, 2, 3),
     seed: int = 23,
+    jobs: Optional[int] = None,
 ) -> ExperimentResult:
     """Regenerate Fig. 7; one row per (matrix, config, partitioning)."""
-    geometry = Geometry.parse(geometry_name)
-    system = TransmuterSystem(geometry)
-    semiring = spmv_semiring()
     result = ExperimentResult(
         experiment="fig7",
         title="Power-law SpMV time normalised to uniform (workload balancing)",
@@ -68,51 +71,46 @@ def run_fig7(
         ),
     )
 
-    def price_ip(coo, mode, balanced, frontier):
-        r = inner_product(
-            coo,
-            frontier.to_dense(),
-            semiring,
-            geometry,
-            mode,
-            balanced=balanced,
-        )
-        return system.evaluate_without_switching(r.profile).cycles
-
-    def price_op(csc, mode, balanced, frontier):
-        r = outer_product(
-            csc, frontier, semiring, geometry, mode, balanced=balanced
-        )
-        return system.evaluate_without_switching(r.profile).cycles
-
+    tasks, meta = [], []
     for mi in matrices:
         pl = fig7_matrix(mi, scale=scale)
         uni = _uniform_twin(mi, scale=scale)
-        ip_frontier = random_frontier(pl.n_cols, _IP_DENSITY, seed=seed)
-        op_frontier = random_frontier(pl.n_cols, _OP_DENSITY, seed=seed + 1)
+        ip_spec = {"n": pl.n_cols, "density": _IP_DENSITY, "seed": seed}
+        op_spec = {"n": pl.n_cols, "density": _OP_DENSITY, "seed": seed + 1}
         for mode in (HWMode.SC, HWMode.SCS):
             for balanced in (False, True):
-                p = price_ip(pl, mode, balanced, ip_frontier)
-                u = price_ip(uni, mode, balanced, ip_frontier)
-                result.add(
-                    N=pl.n_cols,
-                    config=mode.label,
-                    partitioned=balanced,
-                    powerlaw_cycles=p,
-                    uniform_cycles=u,
-                    normalized_time=p / u,
+                tasks.append(
+                    price_task("ip", mode, geometry_name, pl, ip_spec,
+                               balanced=balanced)
                 )
+                tasks.append(
+                    price_task("ip", mode, geometry_name, uni, ip_spec,
+                               balanced=balanced)
+                )
+                meta.append((pl.n_cols, mode.label, balanced))
         pl_csc, uni_csc = CSCMatrix.from_coo(pl), CSCMatrix.from_coo(uni)
         for mode in (HWMode.PC, HWMode.PS):
             for balanced in (False, True):
-                p = price_op(pl_csc, mode, balanced, op_frontier)
-                u = price_op(uni_csc, mode, balanced, op_frontier)
-                result.add(
-                    N=pl.n_cols,
-                    config=mode.label,
-                    partitioned=balanced,
-                    powerlaw_cycles=p,
-                    uniform_cycles=u,
-                    normalized_time=p / u,
+                tasks.append(
+                    price_task("op", mode, geometry_name, pl_csc, op_spec,
+                               balanced=balanced)
                 )
+                tasks.append(
+                    price_task("op", mode, geometry_name, uni_csc, op_spec,
+                               balanced=balanced)
+                )
+                meta.append((pl.n_cols, mode.label, balanced))
+    reports = sweep_tasks(tasks, "fig7", jobs)
+    for (n, config, balanced), pl_rep, uni_rep in zip(
+        meta, reports[0::2], reports[1::2]
+    ):
+        p, u = pl_rep["cycles"], uni_rep["cycles"]
+        result.add(
+            N=n,
+            config=config,
+            partitioned=balanced,
+            powerlaw_cycles=p,
+            uniform_cycles=u,
+            normalized_time=p / u,
+        )
     return result

@@ -11,15 +11,14 @@ d_v = 0.01 except for pokec (largest dimension), which switches only at
 
 from __future__ import annotations
 
-from typing import Sequence
+from typing import Optional, Sequence
 
 from ..baselines import cpu_spmv, gpu_spmv
 from ..core.decision import DecisionTree, MatrixInfo
-from ..formats import CSCMatrix, CSRMatrix
-from ..hardware import Geometry, TransmuterSystem
-from ..spmv import inner_product, outer_product, spmv_semiring
+from ..formats import CSRMatrix
+from ..hardware import Geometry
 from ..workloads import FIG8_DENSITIES, random_frontier
-from .common import table3_graph
+from .common import price_task, sweep_tasks, table3_graph
 from .report import ExperimentResult, geomean
 
 __all__ = ["run_fig8", "FIG8_GRAPHS"]
@@ -33,10 +32,10 @@ def run_fig8(
     graphs: Sequence[str] = FIG8_GRAPHS,
     densities: Sequence[float] = FIG8_DENSITIES,
     seed: int = 31,
+    jobs: Optional[int] = None,
 ) -> ExperimentResult:
     """Regenerate Fig. 8; one row per (graph, density) plus an average."""
     geometry = Geometry.parse(geometry_name)
-    semiring = spmv_semiring()
     result = ExperimentResult(
         experiment="fig8",
         title="SpMV speedup / energy-efficiency gain over CPU and GPU",
@@ -54,48 +53,49 @@ def run_fig8(
         ],
         notes=f"CoSPARSE {geometry_name}, Table III graphs at scale=1/{scale}",
     )
+    tasks, meta = [], []
     for name in graphs:
         graph = table3_graph(name, scale=scale)
         coo = graph.operand.coo  # G.T, the SpMV operand
         csc = graph.operand.csc
         csr = CSRMatrix.from_coo(coo)  # baselines stream the same operand
-        system = TransmuterSystem(geometry)
         tree = DecisionTree(geometry)
         info = MatrixInfo.of(coo)
+        token = f"fig8:{name}@{scale}"
         for i, d in enumerate(densities):
             frontier = random_frontier(coo.n_cols, d, seed=seed + 7 * i)
             decision = tree.decide(info, frontier.density)
+            spec = {"n": coo.n_cols, "density": d, "seed": seed + 7 * i}
             if decision.algorithm == "ip":
-                kern = inner_product(
-                    coo,
-                    frontier.to_dense(),
-                    semiring,
-                    geometry,
-                    decision.hw_mode,
-                    partition=graph.operand.ip_partition(geometry),
+                tasks.append(
+                    price_task("ip", decision.hw_mode, geometry_name, coo,
+                               spec, use_partition=True, token=token)
                 )
             else:
-                kern = outer_product(
-                    csc, frontier, semiring, geometry, decision.hw_mode
+                tasks.append(
+                    price_task("op", decision.hw_mode, geometry_name, csc,
+                               spec)
                 )
-            rep = system.evaluate_without_switching(kern.profile)
-            co_t = rep.time_s
-            co_e = rep.energy_j
             dense = frontier.to_dense()
             cpu = cpu_spmv(csr, dense, compute=False)
             gpu = gpu_spmv(csr, dense, compute=False)
-            result.add(
-                graph=graph.name,
-                vector_density=d,
-                config=f"{decision.algorithm.upper()}/{decision.hw_mode.label}",
-                cosparse_us=co_t * 1e6,
-                cpu_us=cpu.time_s * 1e6,
-                gpu_us=gpu.time_s * 1e6,
-                speedup_vs_cpu=cpu.time_s / co_t,
-                speedup_vs_gpu=gpu.time_s / co_t,
-                effgain_vs_cpu=cpu.energy_j / co_e,
-                effgain_vs_gpu=gpu.energy_j / co_e,
-            )
+            meta.append((graph.name, d, decision, cpu, gpu))
+    reports = sweep_tasks(tasks, "fig8", jobs)
+    for (graph_name, d, decision, cpu, gpu), rep in zip(meta, reports):
+        co_t = rep["cycles"] / rep["clock_hz"]
+        co_e = rep["energy_j"]
+        result.add(
+            graph=graph_name,
+            vector_density=d,
+            config=f"{decision.algorithm.upper()}/{decision.hw_mode.label}",
+            cosparse_us=co_t * 1e6,
+            cpu_us=cpu.time_s * 1e6,
+            gpu_us=gpu.time_s * 1e6,
+            speedup_vs_cpu=cpu.time_s / co_t,
+            speedup_vs_gpu=gpu.time_s / co_t,
+            effgain_vs_cpu=cpu.energy_j / co_e,
+            effgain_vs_gpu=gpu.energy_j / co_e,
+        )
     result.add(
         graph="average",
         vector_density=float("nan"),

@@ -11,14 +11,17 @@ of up to 2.0x across different algorithms and input graphs".
 
 from __future__ import annotations
 
+from typing import Optional
+
 import numpy as np
 
 from ..formats import SparseVector
 from ..hardware import Geometry, HWMode, TransmuterSystem
 from ..obs.tracer import active as _obs_active
-from ..spmv import inner_product, outer_product, sssp_semiring
-from ..spmv.semiring import Semiring
-from .common import table3_graph
+from ..parallel import PricingTask, SweepScheduler
+from ..parallel.work import coo_arrays, csc_arrays
+from ..spmv import inner_product, sssp_semiring
+from .common import PRICE_FN, table3_graph
 from .report import ExperimentResult
 
 __all__ = ["run_fig9"]
@@ -33,25 +36,37 @@ _CONFIGS = (
 )
 
 
-def _price(config, operand, frontier: SparseVector, semiring: Semiring, dist, geometry, system):
-    algorithm, mode = config
-    if algorithm == "ip":
-        dense = np.full(frontier.n, semiring.absent)
-        dense[frontier.indices] = frontier.values
-        kern = inner_product(
-            operand.coo,
-            dense,
-            semiring,
-            geometry,
-            mode,
-            current=dist,
-            partition=operand.ip_partition(geometry),
-        )
-    else:
-        kern = outer_product(
-            operand.csc, frontier, semiring, geometry, mode, current=dist
-        )
-    return kern, system.evaluate_without_switching(kern.profile)
+def _iteration_tasks(operand, frontier, dist, geometry_name, token):
+    """The five profile-only pricing tasks of one SSSP iteration.
+
+    Pricing rides the scheduler (cacheable, profile-only — cycle parity
+    with the executed kernel is pinned by tests/core/test_profile_only);
+    the functional frontier advance happens once, driver-side.
+    """
+    coo = operand.coo
+    f_arrays = {
+        "frontier_idx": frontier.indices,
+        "frontier_vals": frontier.values,
+        "current": dist,
+    }
+    tasks = []
+    for algorithm, mode in _CONFIGS:
+        payload = {
+            "algorithm": algorithm,
+            "mode": mode.name,
+            "geometry": geometry_name,
+            "shape": [coo.n_rows, coo.n_cols],
+            "frontier": {"n": frontier.n},
+            "semiring": "sssp",
+            "profile_only": True,
+        }
+        if algorithm == "ip":
+            payload.update(use_partition=True, token=token)
+            arrays = {**coo_arrays(coo), **f_arrays}
+        else:
+            arrays = {**csc_arrays(operand.csc), **f_arrays}
+        tasks.append(PricingTask(PRICE_FN, payload, arrays))
+    return tasks
 
 
 def run_fig9(
@@ -60,6 +75,7 @@ def run_fig9(
     graph_name: str = "pokec",
     source: int = 0,
     max_iters: int = 40,
+    jobs: Optional[int] = None,
 ) -> ExperimentResult:
     """Regenerate the Fig. 9 table; one row per SSSP iteration.
 
@@ -100,19 +116,31 @@ def run_fig9(
     switches = 0
     prev_best = None
     tracer = _obs_active()
+    scheduler = SweepScheduler(jobs=jobs, label="fig9")
+    token = f"fig9:{graph_name}@{scale}"
     for it in range(max_iters):
         if frontier.nnz == 0:
             break
-        cycles = {}
-        kern_best = None
         with tracer.span(
             "fig9.iteration", iteration=it, vector_density=frontier.density
         ) as sp:
-            for config in _CONFIGS:
-                kern, rep = _price(config, operand, frontier, semiring, dist, geometry, system)
-                cycles[config] = rep.cycles
-                if kern_best is None:
-                    kern_best = kern  # functional result identical across configs
+            reports = scheduler.map(
+                _iteration_tasks(operand, frontier, dist, geometry_name, token)
+            )
+            cycles = {c: r["cycles"] for c, r in zip(_CONFIGS, reports)}
+            # One functional execution advances the SSSP state (the
+            # result is identical under every config, so IP/SC serves).
+            dense = np.full(n, semiring.absent)
+            dense[frontier.indices] = frontier.values
+            kern_best = inner_product(
+                operand.coo,
+                dense,
+                semiring,
+                geometry,
+                HWMode.SC,
+                current=dist,
+                partition=operand.ip_partition(geometry),
+            )
             sp.set(
                 **{
                     f"{alg.upper()}/{mode.label}": c

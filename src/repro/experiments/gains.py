@@ -11,14 +11,10 @@ policy, once pinned to ``("ip", SC)`` — on the same operand.
 
 from __future__ import annotations
 
-from typing import Dict, Sequence
+from typing import Dict, Optional, Sequence
 
-import numpy as np
-
-from ..core.runtime import CoSparseRuntime
-from ..graphs import bfs, connected_components, sssp
-from ..hardware import Geometry, HWMode
-from .common import table3_graph
+from ..parallel import PricingTask
+from .common import sweep_tasks, table3_graph
 from .report import ExperimentResult
 
 __all__ = ["run_reconfiguration_gains", "GAINS_WORKLOADS"]
@@ -29,21 +25,19 @@ GAINS_WORKLOADS: Dict[str, Sequence[str]] = {
     "cc": ("twitter", "youtube"),
 }
 
-_DRIVERS = {
-    "bfs": lambda graph, rt, src: bfs(graph, src, runtime=rt),
-    "sssp": lambda graph, rt, src: sssp(graph, src, runtime=rt),
-    "cc": lambda graph, rt, src: connected_components(graph, runtime=rt),
-}
+#: The whole-case task function (loads the graph from the workload
+#: cache worker-side, runs tree vs static IP/SC, checks agreement).
+_GAINS_FN = "repro.parallel.work:gains_case"
 
 
 def run_reconfiguration_gains(
     scale: int = 16,
     geometry_name: str = "16x16",
     workloads: Dict[str, Sequence[str]] = None,
+    jobs: Optional[int] = None,
 ) -> ExperimentResult:
     """Tree-policy vs static-IP/SC cost per (algorithm, graph)."""
     workloads = workloads or GAINS_WORKLOADS
-    geometry = Geometry.parse(geometry_name)
     result = ExperimentResult(
         experiment="gains",
         title="Net speedup of co-reconfiguration over static IP/SC",
@@ -57,49 +51,32 @@ def run_reconfiguration_gains(
         ],
         notes=f"{geometry_name}, Table III stand-ins at scale=1/{scale}",
     )
+    tasks, meta = [], []
     for algorithm, names in workloads.items():
-        driver = _DRIVERS[algorithm]
         for name in names:
-            graph = table3_graph(name, scale=scale)
-            src = int(np.argmax(graph.out_degrees()))
-            if algorithm == "cc":
-                # CC builds its own symmetrised operand internally.
-                dynamic = connected_components(graph, geometry=geometry_name)
-                static = connected_components(
-                    graph,
-                    geometry=geometry_name,
-                    policy="static",
-                    static_config=("ip", HWMode.SC),
+            # Warm the on-disk workload cache driver-side so pool
+            # workers only ever read it (writes are atomic regardless).
+            table3_graph(name, scale=scale)
+            tasks.append(
+                PricingTask(
+                    _GAINS_FN,
+                    {
+                        "algorithm": algorithm,
+                        "graph": name,
+                        "scale": scale,
+                        "geometry": geometry_name,
+                    },
                 )
-            else:
-                dynamic = driver(
-                    graph,
-                    CoSparseRuntime(graph.operand, geometry, policy="tree"),
-                    src,
-                )
-                static = driver(
-                    graph,
-                    CoSparseRuntime(
-                        graph.operand,
-                        geometry,
-                        policy="static",
-                        static_config=("ip", HWMode.SC),
-                    ),
-                    src,
-                )
-            if not np.allclose(
-                np.nan_to_num(dynamic.values, posinf=-1.0),
-                np.nan_to_num(static.values, posinf=-1.0),
-            ):
-                raise AssertionError(
-                    f"policies disagree on {algorithm}/{name}"
-                )
-            result.add(
-                algorithm=algorithm.upper(),
-                graph=name,
-                reconfigured_cycles=dynamic.total_cycles,
-                static_cycles=static.total_cycles,
-                net_speedup=static.total_cycles / dynamic.total_cycles,
-                sw_switches=dynamic.log.sw_switches,
             )
+            meta.append((algorithm, name))
+    reports = sweep_tasks(tasks, "gains", jobs)
+    for (algorithm, name), rep in zip(meta, reports):
+        result.add(
+            algorithm=algorithm.upper(),
+            graph=name,
+            reconfigured_cycles=rep["reconfigured_cycles"],
+            static_cycles=rep["static_cycles"],
+            net_speedup=rep["static_cycles"] / rep["reconfigured_cycles"],
+            sw_switches=rep["sw_switches"],
+        )
     return result

@@ -13,13 +13,14 @@ thresholds rest on:
 
 from __future__ import annotations
 
-from typing import Sequence
+from typing import Optional, Sequence
 
 from ..core.decision import DecisionTree, MatrixInfo
 from ..formats import CSCMatrix
-from ..hardware import Geometry, HWMode, TransmuterSystem
-from ..workloads import random_frontier, uniform_random
-from .common import run_config
+from ..hardware import Geometry, HWMode
+from ..parallel.work import system_for
+from ..workloads import uniform_random
+from .common import price_task, sweep_tasks
 from .report import ExperimentResult
 
 __all__ = ["run_scaling", "SCALING_GEOMETRIES"]
@@ -40,6 +41,7 @@ def run_scaling(
     geometries: Sequence[str] = SCALING_GEOMETRIES,
     densities: Sequence[float] = (0.002, 0.02, 0.5),
     seed: int = 13,
+    jobs: Optional[int] = None,
 ) -> ExperimentResult:
     """Sweep geometries; one row per (system, density) with the best
     configuration, its cycles/energy, and whether the decision tree
@@ -61,30 +63,43 @@ def run_scaling(
             "tree_agrees",
         ],
     )
+    tasks, meta = [], []
     for name in geometries:
-        geometry = Geometry.parse(name)
-        system = TransmuterSystem(geometry)
-        tree = DecisionTree(geometry)
         for i, d in enumerate(densities):
-            frontier = random_frontier(matrix.n_cols, d, seed=seed + 7 * i)
-            best = None
+            spec = {"n": matrix.n_cols, "density": d, "seed": seed + 7 * i}
             for algorithm, mode in _CONFIGS:
-                rep = run_config(
-                    matrix, csc, frontier, algorithm, mode, geometry, system
+                tasks.append(
+                    price_task(algorithm, mode, name,
+                               matrix if algorithm == "ip" else csc, spec)
                 )
-                label = f"{algorithm.upper()}/{mode.label}"
-                if best is None or rep.cycles < best[0].cycles:
-                    best = (rep, label)
-            rep, label = best
-            picked = tree.decide(info, frontier.density)
-            result.add(
-                system=name,
-                n_pes=geometry.n_pes,
-                vector_density=d,
-                best_config=label,
-                cycles=rep.cycles,
-                energy_uj=(rep.energy_j or 0.0) * 1e6,
-                power_w=system.static_power_w,
-                tree_agrees=str(picked) == label,
-            )
+            meta.append((name, d))
+    reports = sweep_tasks(tasks, "scaling", jobs)
+    n_cfg = len(_CONFIGS)
+    for (name, d), group in zip(
+        meta, (reports[i:i + n_cfg] for i in range(0, len(reports), n_cfg))
+    ):
+        geometry = Geometry.parse(name)
+        system = system_for(geometry)
+        tree = DecisionTree(geometry)
+        best = None
+        for (algorithm, mode), rep in zip(_CONFIGS, group):
+            label = f"{algorithm.upper()}/{mode.label}"
+            if best is None or rep["cycles"] < best[0]["cycles"]:
+                best = (rep, label)
+        rep, label = best
+        # tree.decide keys off the realised frontier density
+        # (round(d*n)/n, the same quantity random_frontier produces).
+        nnz = max(0, min(int(round(d * matrix.n_cols)), matrix.n_cols))
+        realised = nnz / matrix.n_cols
+        picked = tree.decide(info, realised)
+        result.add(
+            system=name,
+            n_pes=geometry.n_pes,
+            vector_density=d,
+            best_config=label,
+            cycles=rep["cycles"],
+            energy_uj=(rep["energy_j"] or 0.0) * 1e6,
+            power_w=system.static_power_w,
+            tree_agrees=str(picked) == label,
+        )
     return result

@@ -54,6 +54,21 @@ __all__ = [
 _ENV_VAR = "REPRO_TRACE"
 _FALSEY = {"", "0", "false", "off", "no"}
 
+#: Perf counters whose per-span deltas are recorded (only non-zero
+#: deltas land in the span record, so extending this list is free for
+#: spans that never touch the new subsystems).
+_SPAN_COUNTER_KEYS = (
+    "kernel_executions",
+    "kernel_profile_only",
+    "kernel_batched_columns",
+    "kernel_probe_discarded",
+    "trace_accesses",
+    "pricing_tasks",
+    "pricing_cache_hits",
+    "pricing_cache_misses",
+    "pricing_fallbacks",
+)
+
 
 def _perf_counters():
     """The process-global perf counters (late import keeps this module
@@ -142,13 +157,7 @@ class Span:
         self.parent_id = tr._stack[-1].span_id if tr._stack else None
         tr._stack.append(self)
         c = _perf_counters()
-        self._c0 = (
-            c.kernel_executions,
-            c.kernel_profile_only,
-            c.kernel_batched_columns,
-            c.kernel_probe_discarded,
-            c.trace_accesses,
-        )
+        self._c0 = tuple(getattr(c, key) for key in _SPAN_COUNTER_KEYS)
         self._start_s = time.perf_counter()
         return self
 
@@ -159,12 +168,7 @@ class Span:
             tr._stack.pop()
         c = _perf_counters()
         deltas = {}
-        for key, before in zip(
-            ("kernel_executions", "kernel_profile_only",
-             "kernel_batched_columns", "kernel_probe_discarded",
-             "trace_accesses"),
-            self._c0,
-        ):
+        for key, before in zip(_SPAN_COUNTER_KEYS, self._c0):
             diff = getattr(c, key) - before
             if diff:
                 deltas[key] = diff

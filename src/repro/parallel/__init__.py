@@ -1,0 +1,27 @@
+"""Deterministic parallel execution of pricing sweeps.
+
+The experiment drivers decompose their grids into pure
+:class:`PricingTask` units; :class:`SweepScheduler` executes them —
+serially, on a ``REPRO_JOBS``-sized process pool with shared-memory
+workloads, or straight out of the persistent content-addressed pricing
+cache — and merges results in submission order so every
+``ExperimentResult`` is bit-identical to the serial run.
+
+See docs/model.md §6e for the full design: determinism guarantee,
+cache key scheme, the ``REPRO_JOBS`` / ``--jobs`` /
+``REPRO_PRICING_CACHE`` knobs, and the worker-death fallback.
+"""
+
+from .cache import PricingCache, pricing_cache_enabled
+from .scheduler import SweepScheduler, resolve_jobs
+from .tasks import PricingTask, array_digest, task_key
+
+__all__ = [
+    "PricingCache",
+    "PricingTask",
+    "SweepScheduler",
+    "array_digest",
+    "pricing_cache_enabled",
+    "resolve_jobs",
+    "task_key",
+]

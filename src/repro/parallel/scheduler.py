@@ -1,0 +1,311 @@
+"""Deterministic fan-out execution of pricing task grids.
+
+:class:`SweepScheduler` takes the flat list of
+:class:`~repro.parallel.tasks.PricingTask` an experiment driver
+decomposed its grid into and returns one result dict per task, **in
+task-submission order** — the contract that makes every driver's rows
+bit-identical regardless of worker count or completion order:
+
+* results land in a slot array indexed by submission position, never
+  appended in completion order;
+* each task re-derives its randomness from the seeds in its own
+  payload (per-worker RNG discipline: no generator state crosses a
+  task boundary);
+* cached results were produced by the same pure functions and
+  round-trip through JSON bit-exactly.
+
+Execution strategy, in order:
+
+1. **Persistent cache** — every cacheable task's content key is looked
+   up in the :class:`~repro.parallel.cache.PricingCache`; hits skip
+   execution entirely.
+2. **Serial in-process** — when the resolved worker count is 1 (or too
+   few misses remain to amortise a pool), misses run right here.  This
+   path imports neither :mod:`multiprocessing` nor
+   :mod:`concurrent.futures`.
+3. **Process pool** — misses are shipped to a
+   ``ProcessPoolExecutor``; large arrays travel as shared-memory views
+   (:mod:`repro.parallel.shm`), small ones inline.  A worker death
+   (``BrokenProcessPool``) or a per-task timeout triggers **graceful
+   degradation**: the event is logged as an ``obs`` warning and every
+   unfinished task re-runs on the serial path.
+
+Worker count resolution: explicit ``jobs=`` argument, else the
+``REPRO_JOBS`` environment variable, else ``os.cpu_count()``.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from ..obs.tracer import active as _obs_active
+from ..perf import counters as _perf
+from .cache import PricingCache, pricing_cache_enabled
+from .tasks import PricingTask, array_digest, task_key
+from .work import execute
+
+__all__ = ["SweepScheduler", "resolve_jobs"]
+
+#: Arrays at or above this many bytes ride shared memory; smaller ones
+#: are pickled inline with the task (a segment per tiny frontier would
+#: cost more in syscalls than the copy it saves).
+SHM_MIN_BYTES = 1 << 20
+
+#: Pools only pay off with enough independent work; below this many
+#: cache misses the scheduler stays serial even when jobs > 1.
+MIN_TASKS_FOR_POOL = 2
+
+
+def resolve_jobs(explicit: Optional[int] = None) -> int:
+    """Worker count: explicit arg beats ``REPRO_JOBS`` beats cpu count."""
+    if explicit is not None:
+        return max(1, int(explicit))
+    env = os.environ.get("REPRO_JOBS", "").strip()
+    if env:
+        try:
+            return max(1, int(env))
+        except ValueError:
+            raise ValueError(
+                f"REPRO_JOBS must be an integer, got {env!r}"
+            ) from None
+    return os.cpu_count() or 1
+
+
+class SweepScheduler:
+    """Executes pricing tasks with caching, fan-out, and ordered merge.
+
+    Parameters
+    ----------
+    jobs:
+        Worker count override (default: :func:`resolve_jobs`).
+    timeout_s:
+        Per-result collection timeout in seconds; ``None`` (default)
+        waits forever.  On expiry the pool is torn down and the
+        stragglers re-run serially.
+    use_cache:
+        Override for the persistent pricing cache (default: the
+        ``REPRO_PRICING_CACHE`` switch).
+    label:
+        Name stamped on the scheduler's obs span and metrics.
+    """
+
+    def __init__(
+        self,
+        jobs: Optional[int] = None,
+        timeout_s: Optional[float] = None,
+        use_cache: Optional[bool] = None,
+        label: str = "sweep",
+    ):
+        self.jobs = resolve_jobs(jobs)
+        self.timeout_s = timeout_s
+        self.label = label
+        enabled = (
+            pricing_cache_enabled() if use_cache is None else bool(use_cache)
+        )
+        self.cache = PricingCache() if enabled else None
+        #: Filled by :meth:`map`: dispatch/cache/fallback accounting of
+        #: the most recent run (mirrored into perf counters and obs).
+        self.last_stats: Dict[str, float] = {}
+
+    # ------------------------------------------------------------------
+    def map(self, tasks: Sequence[PricingTask]) -> List[dict]:
+        """Run every task; results in task order, bit-identical to serial."""
+        tasks = list(tasks)
+        tracer = _obs_active()
+        with tracer.span(
+            "parallel.sweep", label=self.label, jobs=self.jobs,
+            tasks=len(tasks),
+        ) as span:
+            results = self._map_inner(tasks)
+            span.set(**self.last_stats)
+            if tracer.enabled:
+                for name, value in self.last_stats.items():
+                    tracer.metrics.inc(f"parallel.{name}", value)
+        return results
+
+    def _map_inner(self, tasks: List[PricingTask]) -> List[dict]:
+        results: List[Optional[dict]] = [None] * len(tasks)
+        digests = _DigestMemo()
+        keys: List[Optional[str]] = [None] * len(tasks)
+        pending: List[int] = []
+        hits = 0
+        for i, task in enumerate(tasks):
+            _perf.pricing_tasks += 1
+            if self.cache is not None and task.cacheable:
+                keys[i] = task_key(task, digests.for_task(task))
+                cached = self.cache.get(keys[i])
+                if cached is not None:
+                    results[i] = cached
+                    hits += 1
+                    _perf.pricing_cache_hits += 1
+                    continue
+            _perf.pricing_cache_misses += 1
+            pending.append(i)
+        stats = {
+            "dispatched": len(pending),
+            "cache_hits": hits,
+            "fallback_tasks": 0,
+        }
+        use_pool = self.jobs > 1 and len(pending) >= MIN_TASKS_FOR_POOL
+        if pending:
+            if use_pool:
+                self._run_pool(tasks, keys, pending, results, stats)
+            else:
+                for i in pending:
+                    results[i] = self._run_local(tasks[i], keys[i])
+        self.last_stats = stats
+        return results  # type: ignore[return-value]
+
+    # ------------------------------------------------------------------
+    def _run_local(self, task: PricingTask, key: Optional[str]) -> dict:
+        result = execute(task.fn, task.payload, task.arrays)
+        if key is not None and self.cache is not None:
+            self.cache.put(key, task.fn, result)
+        return result
+
+    def _run_pool(
+        self,
+        tasks: List[PricingTask],
+        keys: List[Optional[str]],
+        pending: List[int],
+        results: List[Optional[dict]],
+        stats: Dict[str, float],
+    ) -> None:
+        """Fan pending tasks out to a process pool; degrade serially."""
+        # Lazy imports: the serial path must not pull these in.
+        import concurrent.futures as cf
+        import time
+        from concurrent.futures.process import BrokenProcessPool
+
+        from .shm import ShmArena
+        from .work import pool_init
+
+        workers = min(self.jobs, len(pending))
+        unfinished = list(pending)
+        busy_s = 0.0
+        t_pool0 = time.perf_counter()
+        with ShmArena() as arena:
+            executor = cf.ProcessPoolExecutor(
+                max_workers=workers, initializer=pool_init
+            )
+            try:
+                futures = {}
+                for i in pending:
+                    spec = (
+                        i,
+                        tasks[i].fn,
+                        tasks[i].payload,
+                        self._ship_arrays(arena, tasks[i].arrays),
+                    )
+                    futures[i] = executor.submit(_pool_entry_trampoline, spec)
+                failure: Optional[str] = None
+                for i in pending:
+                    try:
+                        index, result, task_s = futures[i].result(
+                            timeout=self.timeout_s
+                        )
+                    except BrokenProcessPool:
+                        failure = "a pricing worker died (BrokenProcessPool)"
+                        break
+                    except cf.TimeoutError:
+                        failure = (
+                            f"pricing task timed out after {self.timeout_s}s"
+                        )
+                        break
+                    busy_s += task_s
+                    results[index] = result
+                    unfinished.remove(index)
+                    if keys[index] is not None and self.cache is not None:
+                        self.cache.put(keys[index], tasks[index].fn, result)
+            finally:
+                if unfinished:
+                    # Hung/dead workers: cancel what never started and
+                    # terminate the rest so shutdown cannot block.
+                    for fut in futures.values():
+                        fut.cancel()
+                    try:
+                        for proc in list(
+                            getattr(executor, "_processes", {}).values()
+                        ):
+                            proc.terminate()
+                    except Exception:  # pragma: no cover - best effort
+                        pass
+                executor.shutdown(wait=not unfinished, cancel_futures=True)
+        wall_s = time.perf_counter() - t_pool0
+        if wall_s > 0:
+            stats["worker_utilization"] = round(
+                busy_s / (workers * wall_s), 4
+            )
+        if unfinished:
+            self._fall_back(tasks, keys, unfinished, results, stats, failure)
+
+    def _fall_back(
+        self,
+        tasks: List[PricingTask],
+        keys: List[Optional[str]],
+        unfinished: List[int],
+        results: List[Optional[dict]],
+        stats: Dict[str, float],
+        reason: Optional[str],
+    ) -> None:
+        """Graceful degradation: finish the sweep on the serial path."""
+        message = (
+            f"{reason or 'pool failure'}; rerunning "
+            f"{len(unfinished)} task(s) serially"
+        )
+        _perf.pricing_fallbacks += 1
+        stats["fallback_tasks"] = len(unfinished)
+        tracer = _obs_active()
+        if tracer.enabled:
+            from ..obs.events import WarningEvent
+
+            tracer.event(
+                WarningEvent(source=f"parallel.{self.label}", message=message)
+            )
+        for i in unfinished:
+            results[i] = self._run_local(tasks[i], keys[i])
+
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _ship_arrays(arena, arrays: Dict[str, np.ndarray]) -> Dict[str, object]:
+        """Large arrays -> shared-memory refs, small ones stay inline."""
+        shipped: Dict[str, object] = {}
+        for name, arr in arrays.items():
+            if arr.nbytes >= SHM_MIN_BYTES:
+                shipped[name] = arena.publish(arr)
+            else:
+                shipped[name] = arr
+        return shipped
+
+
+def _pool_entry_trampoline(spec):
+    """Top-level picklable pool entry (fork ships it by reference)."""
+    from .work import pool_entry
+
+    return pool_entry(spec)
+
+
+class _DigestMemo:
+    """Per-run array-digest memo keyed by buffer identity.
+
+    Matrices are shared (by reference) across hundreds of tasks in one
+    sweep; hashing each buffer once caps the cache-key cost at one pass
+    over each distinct array.  Array references are retained so a
+    recycled ``id()`` can never alias a stale digest.
+    """
+
+    def __init__(self):
+        self._by_id: Dict[int, tuple] = {}
+
+    def for_task(self, task: PricingTask) -> Dict[str, str]:
+        out = {}
+        for name, arr in task.arrays.items():
+            entry = self._by_id.get(id(arr))
+            if entry is None:
+                entry = (arr, array_digest(arr))
+                self._by_id[id(arr)] = entry
+            out[name] = entry[1]
+        return out

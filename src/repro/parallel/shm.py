@@ -1,0 +1,113 @@
+"""Shared-memory transport for the sweep workloads.
+
+The matrices an experiment grid prices are by far its largest payload
+(the full Fig. 4 suite carries 4M-nnz COO/CSC triples); pickling them
+into every pool task would copy hundreds of megabytes per sweep.  The
+:class:`ShmArena` instead publishes each distinct array **once** into a
+``multiprocessing.shared_memory`` segment; tasks then carry a tiny
+:class:`SharedArrayRef` and workers map a zero-copy, read-only numpy
+view over the same physical pages.
+
+Lifecycle: the scheduler owns the arena for the duration of one pool
+run — publish before submit, ``close()`` (which unlinks) after the last
+future resolves.  Workers keep their attachments cached per segment
+name for the life of the process; they never unlink.
+
+This module is imported lazily by the scheduler: the ``REPRO_JOBS=1``
+serial path never touches :mod:`multiprocessing`.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass
+from multiprocessing import shared_memory
+from typing import Dict, Tuple
+
+import numpy as np
+
+__all__ = ["SharedArrayRef", "ShmArena", "attach"]
+
+
+@dataclass(frozen=True)
+class SharedArrayRef:
+    """Picklable descriptor of one array published to shared memory."""
+
+    segment: str
+    dtype: str
+    shape: Tuple[int, ...]
+
+
+class ShmArena:
+    """Publishes numpy arrays into shared memory, once per buffer."""
+
+    def __init__(self):
+        self._segments = []
+        #: id(array) -> (array, ref).  The array reference is retained
+        #: so a garbage-collected buffer cannot recycle the id and
+        #: alias a stale cache entry.
+        self._published: Dict[int, Tuple[np.ndarray, SharedArrayRef]] = {}
+
+    def publish(self, arr: np.ndarray) -> SharedArrayRef:
+        """Copy ``arr`` into a segment (memoised per buffer identity)."""
+        hit = self._published.get(id(arr))
+        if hit is not None:
+            return hit[1]
+        contiguous = np.ascontiguousarray(arr)
+        seg = shared_memory.SharedMemory(
+            create=True, size=max(contiguous.nbytes, 1)
+        )
+        view = np.ndarray(contiguous.shape, contiguous.dtype, buffer=seg.buf)
+        view[...] = contiguous
+        ref = SharedArrayRef(seg.name, str(contiguous.dtype), contiguous.shape)
+        self._segments.append(seg)
+        self._published[id(arr)] = (arr, ref)
+        return ref
+
+    def close(self) -> None:
+        """Release and unlink every published segment."""
+        for seg in self._segments:
+            try:
+                seg.close()
+                seg.unlink()
+            except (FileNotFoundError, OSError):  # already gone
+                pass
+        self._segments.clear()
+        self._published.clear()
+
+    def __enter__(self) -> "ShmArena":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        self.close()
+        return False
+
+
+#: Worker-side attachment cache: segment name -> (SharedMemory, view).
+#: Attachments live for the worker process's lifetime; the parent is
+#: the only unlinker.
+_attached: Dict[str, Tuple[object, np.ndarray]] = {}
+
+
+def attach(ref: SharedArrayRef) -> np.ndarray:
+    """A read-only numpy view over the referenced segment (cached)."""
+    hit = _attached.get(ref.segment)
+    if hit is not None:
+        return hit[1]
+    seg = shared_memory.SharedMemory(name=ref.segment)
+    if os.environ.get("REPRO_POOL_WORKER") == "1":
+        try:
+            # Attaching registers the segment with the worker's resource
+            # tracker, which would try to clean it up (and warn) at exit
+            # even though the parent owns the unlink.  Hand ownership
+            # back.  Same-process attaches (tests) skip this: the
+            # creator's own registration must survive until unlink.
+            from multiprocessing import resource_tracker
+
+            resource_tracker.unregister(seg._name, "shared_memory")
+        except Exception:  # pragma: no cover - tracker internals moved
+            pass
+    view = np.ndarray(ref.shape, np.dtype(ref.dtype), buffer=seg.buf)
+    view.flags.writeable = False
+    _attached[ref.segment] = (seg, view)
+    return view

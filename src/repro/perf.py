@@ -55,6 +55,18 @@ class PerfCounters:
         winner when it executed, so this isolates the wasted probes.
     trace_accesses:
         Words replayed through the batched cache engine.
+    pricing_tasks:
+        :class:`~repro.parallel.tasks.PricingTask` units submitted to a
+        :class:`~repro.parallel.scheduler.SweepScheduler`.
+    pricing_cache_hits / pricing_cache_misses:
+        Persistent pricing-cache outcomes per submitted task.  A fully
+        warm sweep shows ``hits == tasks`` and zero
+        ``kernel_executions`` — the invariant the cache round-trip test
+        pins.
+    pricing_fallbacks:
+        Pool runs that degraded to the serial path (worker death or
+        timeout); each increments once regardless of how many tasks
+        were re-run.
     wall_seconds:
         Named wall-clock accumulators fed by :func:`timed`.
     """
@@ -64,6 +76,10 @@ class PerfCounters:
     kernel_batched_columns: int = 0
     kernel_probe_discarded: int = 0
     trace_accesses: int = 0
+    pricing_tasks: int = 0
+    pricing_cache_hits: int = 0
+    pricing_cache_misses: int = 0
+    pricing_fallbacks: int = 0
     wall_seconds: Dict[str, float] = field(default_factory=dict)
 
     def reset(self) -> None:
@@ -73,6 +89,10 @@ class PerfCounters:
         self.kernel_batched_columns = 0
         self.kernel_probe_discarded = 0
         self.trace_accesses = 0
+        self.pricing_tasks = 0
+        self.pricing_cache_hits = 0
+        self.pricing_cache_misses = 0
+        self.pricing_fallbacks = 0
         self.wall_seconds.clear()
 
     def add_time(self, name: str, seconds: float) -> None:
@@ -86,6 +106,10 @@ class PerfCounters:
             "kernel_batched_columns": self.kernel_batched_columns,
             "kernel_probe_discarded": self.kernel_probe_discarded,
             "trace_accesses": self.trace_accesses,
+            "pricing_tasks": self.pricing_tasks,
+            "pricing_cache_hits": self.pricing_cache_hits,
+            "pricing_cache_misses": self.pricing_cache_misses,
+            "pricing_fallbacks": self.pricing_fallbacks,
             "wall_seconds": dict(self.wall_seconds),
         }
 

@@ -63,14 +63,30 @@ def load_matrix_market(path: str) -> COOMatrix:
 
 
 def save_npz(path: str, matrix: COOMatrix) -> None:
-    """Binary cache of a COO matrix."""
-    np.savez_compressed(
-        path,
-        shape=np.asarray(matrix.shape, dtype=np.int64),
-        rows=matrix.rows,
-        cols=matrix.cols,
-        vals=matrix.vals,
-    )
+    """Binary cache of a COO matrix (atomic: tmp file + rename).
+
+    Concurrent writers — e.g. parallel pricing workers warming the same
+    workload — each write a private tmp file and race on the final
+    ``os.replace``, so readers only ever see complete files.
+    """
+    # np.savez_compressed appends ".npz" when the name lacks it, so the
+    # tmp name must already end in ".npz" for the rename to find it.
+    tmp = f"{path}.{os.getpid()}.tmp.npz"
+    try:
+        np.savez_compressed(
+            tmp,
+            shape=np.asarray(matrix.shape, dtype=np.int64),
+            rows=matrix.rows,
+            cols=matrix.cols,
+            vals=matrix.vals,
+        )
+        os.replace(tmp, path)
+    finally:
+        if os.path.exists(tmp):
+            try:
+                os.remove(tmp)
+            except OSError:
+                pass
 
 
 def load_npz(path: str) -> COOMatrix:
@@ -144,8 +160,12 @@ def cached_matrix(
             return load_npz(path)
         except Exception:
             # Corrupt/truncated cache entry (e.g. an interrupted write):
-            # fall through and regenerate it.
-            os.remove(path)
+            # fall through and regenerate it.  Another process may have
+            # removed or replaced it already.
+            try:
+                os.remove(path)
+            except OSError:
+                pass
     matrix = builder()
     save_npz(path, matrix)
     return matrix

@@ -62,6 +62,14 @@ class TestSubcommands:
 
 
 class TestReproTraceOut:
+    @pytest.fixture(autouse=True)
+    def hermetic_caches(self, tmp_path, monkeypatch):
+        # A warm pricing cache would legitimately price the grid with
+        # zero kernel executions — no kernel spans.  These tests assert
+        # on the traced kernels, so they must run cold.
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "cache"))
+        monkeypatch.setenv("REPRO_PRICING_CACHE", "0")
+
     def test_artifact_with_trace_out(self, tmp_path, capsys):
         trace = str(tmp_path / "fig4.trace.json")
         assert repro_main(["fig4", "--scale", "64", "--trace-out", trace]) == 0

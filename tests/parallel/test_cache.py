@@ -1,0 +1,70 @@
+"""Persistent pricing cache: round trips, corruption, switches."""
+
+import json
+import os
+
+from repro.parallel import PricingCache, pricing_cache_enabled
+
+
+class TestSwitch:
+    def test_default_on(self, monkeypatch):
+        monkeypatch.delenv("REPRO_PRICING_CACHE", raising=False)
+        assert pricing_cache_enabled()
+
+    def test_falsey_values_disable(self, monkeypatch):
+        for value in ("0", "false", "off", "no", ""):
+            monkeypatch.setenv("REPRO_PRICING_CACHE", value)
+            assert not pricing_cache_enabled()
+
+    def test_truthy_values_enable(self, monkeypatch):
+        monkeypatch.setenv("REPRO_PRICING_CACHE", "1")
+        assert pricing_cache_enabled()
+
+
+class TestPricingCache:
+    def test_round_trip(self, tmp_path):
+        cache = PricingCache(root=str(tmp_path))
+        result = {"cycles": 123.456, "energy_j": 7.89e-6, "clock_hz": 1e9}
+        cache.put("abc", "mod:fn", result)
+        assert cache.get("abc") == result
+
+    def test_float_repr_survives_bit_exact(self, tmp_path):
+        cache = PricingCache(root=str(tmp_path))
+        value = 0.1 + 0.2  # a float with no short decimal form
+        cache.put("k", "mod:fn", {"cycles": value})
+        assert cache.get("k")["cycles"] == value
+
+    def test_miss_returns_none(self, tmp_path):
+        assert PricingCache(root=str(tmp_path)).get("nope") is None
+
+    def test_corrupt_entry_is_dropped(self, tmp_path):
+        cache = PricingCache(root=str(tmp_path))
+        cache.put("k", "mod:fn", {"cycles": 1.0})
+        path = os.path.join(cache.dir, "k.json")
+        with open(path, "w") as f:
+            f.write("{not json")
+        assert cache.get("k") is None
+        assert not os.path.exists(path)  # deleted, not retried forever
+
+    def test_entry_records_fn(self, tmp_path):
+        cache = PricingCache(root=str(tmp_path))
+        cache.put("k", "repro.parallel.work:price_config", {"cycles": 1.0})
+        with open(os.path.join(cache.dir, "k.json")) as f:
+            entry = json.load(f)
+        assert entry["fn"] == "repro.parallel.work:price_config"
+
+    def test_default_root_is_cache_dir(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path))
+        cache = PricingCache()
+        assert cache.dir == os.path.join(str(tmp_path), "pricing")
+
+    def test_unwritable_dir_degrades_silently(self, tmp_path):
+        # A plain file where the cache directory should be makes every
+        # write path fail with OSError (chmod tricks don't stop root).
+        root = tmp_path / "ro"
+        root.mkdir()
+        cache = PricingCache(root=str(root))
+        with open(cache.dir, "w") as f:
+            f.write("not a directory")
+        cache.put("k", "mod:fn", {"cycles": 1.0})  # must not raise
+        assert cache.get("k") is None

@@ -1,0 +1,52 @@
+"""Shared-memory arena: publish/attach round trips and lifecycle."""
+
+import numpy as np
+import pytest
+
+from repro.parallel.shm import ShmArena, attach
+
+
+class TestArena:
+    def test_publish_attach_round_trip(self):
+        arr = np.linspace(0.0, 1.0, 4096)
+        with ShmArena() as arena:
+            ref = arena.publish(arr)
+            view = attach(ref)
+            assert np.array_equal(view, arr)
+            assert not view.flags.writeable
+
+    def test_publish_memoised_per_buffer(self):
+        arr = np.arange(1024, dtype=np.int64)
+        with ShmArena() as arena:
+            assert arena.publish(arr) is arena.publish(arr)
+
+    def test_distinct_arrays_get_distinct_segments(self):
+        with ShmArena() as arena:
+            a = arena.publish(np.zeros(128))
+            b = arena.publish(np.ones(128))
+            assert a.segment != b.segment
+
+    def test_ref_is_picklable_metadata(self):
+        import pickle
+
+        with ShmArena() as arena:
+            ref = arena.publish(np.zeros((4, 8), dtype=np.float32))
+            clone = pickle.loads(pickle.dumps(ref))
+            assert clone == ref
+            assert clone.shape == (4, 8)
+            assert clone.dtype == "float32"
+
+    def test_close_unlinks_segments(self):
+        arena = ShmArena()
+        ref = arena.publish(np.zeros(256))
+        arena.close()
+        from multiprocessing import shared_memory
+
+        with pytest.raises(FileNotFoundError):
+            shared_memory.SharedMemory(name=ref.segment)
+
+    def test_close_is_idempotent(self):
+        arena = ShmArena()
+        arena.publish(np.zeros(16))
+        arena.close()
+        arena.close()
