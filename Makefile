@@ -2,7 +2,7 @@
 
 PYTHON ?= python
 
-.PHONY: install lint test test-O test-sanitize test-all perf bench bench-parallel bench-full artifacts examples trace-demo clean
+.PHONY: install lint test test-O test-sanitize test-all perf bench bench-parallel bench-tune bench-full artifacts examples trace-demo clean
 
 install:
 	$(PYTHON) -m pip install -e . || $(PYTHON) setup.py develop
@@ -19,6 +19,7 @@ lint:
 test: lint test-O
 	PYTHONPATH=src $(PYTHON) -m pytest tests/ -m "not slow"
 	REPRO_JOBS=2 PYTHONPATH=src $(PYTHON) -m pytest tests/parallel -q -m "not slow"
+	PYTHONPATH=src $(PYTHON) -m repro.tune smoke
 	$(MAKE) test-sanitize
 
 # The whole fast subset under `python -O`, which strips bare `assert`
@@ -49,6 +50,12 @@ bench:
 # the drivers elsewhere; this bench pins its own worker counts).
 bench-parallel:
 	$(PYTHON) -m pytest benchmarks/test_bench_parallel.py --benchmark-only -s
+
+# Locality autotuner: tuned-vs-identity hit rate and functional
+# speedup on the big-vector suite matrices, warm plan-cache path, and
+# tuned-driver bit-identity (artifacts/ablation-tune.{csv,json}).
+bench-tune:
+	$(PYTHON) -m pytest benchmarks/test_bench_tune.py --benchmark-only -s
 
 # The paper-scale grids (first run generates ~minutes of workloads into
 # .repro_cache/; artifacts land under artifacts/).

@@ -48,6 +48,8 @@ from .spmv import (
 
 __version__ = "1.0.0"
 
+from .tune import TuningPlan, autotune  # noqa: E402  (needs __version__)
+
 __all__ = [
     "CoSparseRuntime",
     "DecisionThresholds",
@@ -75,5 +77,7 @@ __all__ = [
     "inner_product_batch",
     "outer_product",
     "outer_product_batch",
+    "TuningPlan",
+    "autotune",
     "__version__",
 ]

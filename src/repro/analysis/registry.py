@@ -82,6 +82,10 @@ R4_WALLCLOCK_ALLOWED_PREFIXES = (
     "repro/perf.py",
     "repro/obs/",
     "repro/parallel/",
+    # The autotuner's functional wall-clock probe times host SpMV
+    # gathers; its measurements score candidate layouts and never feed
+    # the cycle model.
+    "repro/tune/",
 )
 
 #: numpy.random attributes that construct explicitly-seedable generators

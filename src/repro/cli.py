@@ -96,6 +96,13 @@ def build_parser() -> argparse.ArgumentParser:
         "bit-identical for any value.",
     )
     parser.add_argument(
+        "--tune",
+        action="store_true",
+        help="autotune each graph operand's layout (plan-cache backed; "
+        "see `python -m repro.tune`). Results are bit-identical to "
+        "untuned runs in original vertex ids.",
+    )
+    parser.add_argument(
         "--out",
         metavar="CSV",
         help="also write the rows to this CSV file",
@@ -174,6 +181,9 @@ def main(argv=None) -> int:
     if args.jobs is not None:
         # One knob for every driver: the schedulers resolve REPRO_JOBS.
         os.environ["REPRO_JOBS"] = str(max(1, args.jobs))
+    if args.tune:
+        # The drivers' ensure_runtime() checks REPRO_TUNE.
+        os.environ["REPRO_TUNE"] = "1"
     if args.artifact == "list":
         print("available artifacts:")
         for name in _DRIVERS:

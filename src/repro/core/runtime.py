@@ -135,6 +135,17 @@ class CoSparseRuntime:
         :class:`~repro.hardware.system.TransmuterSystem`).
     with_trace:
         Generate exact address traces (small inputs only).
+    plan:
+        A :class:`~repro.tune.plan.TuningPlan` to apply: the operand is
+        permuted into the plan's schedule-stable vertex order and the
+        plan's vblock width overrides the kernels' SPM-fit default.
+        The runtime then works in *execution* vertex space —
+        :attr:`vertex_perm` / :attr:`vertex_inverse` map between
+        original and execution ids (both None for identity plans).
+    auto_tune:
+        Tune the operand on construction (plan-cache backed; a warm
+        cache makes this a single JSON read) and apply the result.
+        Ignored when ``plan`` is given.
     """
 
     def __init__(
@@ -149,15 +160,30 @@ class CoSparseRuntime:
         balanced: bool = True,
         with_trace: bool = False,
         objective: str = "time",
+        plan=None,
+        auto_tune: bool = False,
     ):
         if policy not in _POLICIES:
             raise ConfigurationError(f"policy must be one of {_POLICIES}")
         if objective not in _OBJECTIVES:
             raise ConfigurationError(f"objective must be one of {_OBJECTIVES}")
-        self.operand = SpMVOperand.from_any(matrix)
         self.geometry = (
             Geometry.parse(geometry) if isinstance(geometry, str) else geometry
         )
+        operand = SpMVOperand.from_any(matrix)
+        self.plan = None
+        self.vertex_perm: Optional[np.ndarray] = None
+        self.vertex_inverse: Optional[np.ndarray] = None
+        self._vblock_width: Optional[int] = None
+        if auto_tune and plan is None:
+            # Lazy import: repro.tune pulls in the parallel engine and
+            # the reorder module, neither of which the core path needs.
+            from ..tune import autotune
+
+            plan = autotune(operand.coo, self.geometry, params=params)
+        if plan is not None:
+            operand = self._apply_plan(plan, operand)
+        self.operand = operand
         self.params = params
         self.policy = policy
         self.static_config = static_config
@@ -175,6 +201,29 @@ class CoSparseRuntime:
         # candidates (and the two adaptive probes) share one dense and
         # one sparse conversion instead of redoing it per candidate.
         self._conv_cache: dict = {}
+
+    # ------------------------------------------------------------------
+    def _apply_plan(self, plan, operand: SpMVOperand) -> SpMVOperand:
+        """Permute the operand into ``plan``'s layout; record the maps.
+
+        The permutation is *schedule-stable* (rows re-sorted, each
+        row's original within-row entry order preserved), so additive
+        semirings reduce in the same stored order and results mapped
+        back through :attr:`vertex_perm` are bit-identical to the
+        untuned run.
+        """
+        self.plan = plan
+        width = int(plan.vblock_width)
+        self._vblock_width = width if width > 0 else None
+        permuted, perm = plan.apply(operand.coo)
+        _perf.tuning_plans_applied += 1
+        if perm is None:
+            return operand
+        self.vertex_perm = perm
+        inverse = np.empty_like(perm)
+        inverse[perm] = np.arange(len(perm))
+        self.vertex_inverse = inverse
+        return SpMVOperand(permuted)
 
     # ------------------------------------------------------------------
     # Frontier representation helpers
@@ -253,6 +302,7 @@ class CoSparseRuntime:
                 balanced=self.balanced,
                 with_trace=self.with_trace,
                 profile_only=profile_only,
+                vblock_width=self._vblock_width,
             )
         else:
             sv, cost = self._convert("sparse", frontier, semiring)
@@ -648,6 +698,7 @@ class CoSparseRuntime:
                         ),
                         balanced=self.balanced,
                         columns=cols,
+                        vblock_width=self._vblock_width,
                     )
                 else:
                     group_results = outer_product_batch(

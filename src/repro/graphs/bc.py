@@ -26,6 +26,7 @@ from ..spmv.semiring import Semiring
 from .common import (
     DEFAULT_GEOMETRY,
     AlgorithmRun,
+    VertexMap,
     algorithm_span,
     ensure_runtime,
 )
@@ -44,17 +45,30 @@ def sigma_semiring() -> Semiring:
     return Semiring("BC-sigma", combine, np.add, 0.0, combine_flops=1)
 
 
-def _forward(graph: Graph, rt: CoSparseRuntime, source: int, trace: FrontierTrace):
-    """Level-synchronous BFS accumulating shortest-path counts sigma."""
+def _forward(
+    graph: Graph,
+    rt: CoSparseRuntime,
+    source: int,
+    trace: FrontierTrace,
+    vm: VertexMap,
+):
+    """Level-synchronous BFS accumulating shortest-path counts sigma.
+
+    Runs in the runtime's execution vertex space (``source`` is an
+    original id, mapped in here); the caller maps ``levels``/``sigma``
+    back.  Sigma values are integer path counts, so the additive
+    reduction is order-independent and exact under any vertex order.
+    """
     n = graph.n_vertices
     semiring = sigma_semiring()
+    src = vm.vertex(source)
     levels = np.full(n, np.inf)
     sigma = np.zeros(n)
-    levels[source] = 0.0
-    sigma[source] = 1.0
-    level_sets = [np.asarray([source], dtype=np.int64)]
+    levels[src] = 0.0
+    sigma[src] = 1.0
+    level_sets = [np.asarray([src], dtype=np.int64)]
     frontier_mask = np.zeros(n, dtype=bool)
-    frontier_mask[source] = True
+    frontier_mask[src] = True
     while True:
         frontier = frontier_from_mask(frontier_mask, sigma)
         if frontier.nnz == 0:
@@ -89,13 +103,18 @@ def betweenness_centrality(
     if sources is None:
         sources = range(n)
     adj = graph.adjacency
+    vm = VertexMap(rt)
     bc = np.zeros(n)
     trace = FrontierTrace(n, [])
     semiring = sigma_semiring()
     for source in sources:
         graph.check_source(source)
         with algorithm_span("bc", graph, source=int(source)):
-            levels, sigma, level_sets = _forward(graph, rt, source, trace)
+            levels, sigma, level_sets = _forward(graph, rt, source, trace, vm)
+        # The backward sweep walks the ORIGINAL adjacency, so bring the
+        # forward results back to original vertex ids first.
+        levels = vm.to_original(levels)
+        sigma = vm.to_original(sigma)
         # Backward sweep: delta[u] += sum over successors w one level
         # deeper of sigma[u]/sigma[w] * (1 + delta[w]).  The forward
         # phase (the SpMV-heavy part) runs through — and is priced by —

@@ -19,6 +19,7 @@ from ..spmv.semiring import bfs_semiring
 from .common import (
     DEFAULT_GEOMETRY,
     AlgorithmRun,
+    VertexMap,
     algorithm_span,
     ensure_runtime,
 )
@@ -46,9 +47,13 @@ def bfs(
     rt = ensure_runtime(graph, runtime, geometry, **runtime_kw)
     n = graph.n_vertices
     semiring = bfs_semiring()
+    # A tuned runtime permutes its operand: run in execution vertex
+    # space and map the levels back to original ids at the end.
+    vm = VertexMap(rt)
+    src = vm.vertex(source)
     levels = np.full(n, np.inf)
-    levels[source] = 0.0
-    frontier = single_vertex_frontier(n, source, value=0.0)
+    levels[src] = 0.0
+    frontier = single_vertex_frontier(n, src, value=0.0)
     trace = FrontierTrace(n, [])
     cap = max_iters if max_iters is not None else n
     level = 0.0
@@ -68,7 +73,7 @@ def bfs(
             converged = frontier.nnz == 0
     return AlgorithmRun(
         algorithm="bfs",
-        values=levels,
+        values=vm.to_original(levels),
         log=rt.log,
         frontier_trace=trace,
         converged=converged,

@@ -23,6 +23,7 @@ from ..spmv.semiring import Semiring
 from .common import (
     DEFAULT_GEOMETRY,
     AlgorithmRun,
+    VertexMap,
     algorithm_span,
     ensure_runtime,
 )
@@ -74,7 +75,10 @@ def connected_components(
     rt = ensure_runtime(sym, runtime, geometry, **runtime_kw)
     n = graph.n_vertices
     semiring = cc_semiring()
-    labels = np.arange(n, dtype=np.float64)
+    # Labels are ORIGINAL vertex ids even in execution space, so the
+    # propagated minima stay meaningful after mapping back.
+    vm = VertexMap(rt)
+    labels = vm.to_execution(np.arange(n, dtype=np.float64))
     frontier = frontier_from_mask(np.ones(n, dtype=bool), labels)
     trace = FrontierTrace(n, [])
     cap = max_iters if max_iters is not None else n
@@ -93,7 +97,7 @@ def connected_components(
             converged = frontier.nnz == 0
     return AlgorithmRun(
         algorithm="cc",
-        values=labels,
+        values=vm.to_original(labels),
         log=rt.log,
         frontier_trace=trace,
         converged=converged,

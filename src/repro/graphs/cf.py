@@ -21,6 +21,7 @@ from ..spmv.semiring import cf_semiring
 from .common import (
     DEFAULT_GEOMETRY,
     AlgorithmRun,
+    VertexMap,
     algorithm_span,
     ensure_runtime,
 )
@@ -64,7 +65,11 @@ def collaborative_filtering(
     n = graph.n_vertices
     semiring = cf_semiring(lambda_=lambda_, beta=beta, k=k)
     rng = np.random.default_rng(seed)
-    factors = rng.normal(scale=0.1, size=(n, k))
+    # Draw the initial factors in ORIGINAL vertex order (so the same
+    # seed means the same model regardless of tuning), then carry them
+    # into execution space for the epochs.
+    vm = VertexMap(rt)
+    factors = vm.to_execution(rng.normal(scale=0.1, size=(n, k)))
     trace = FrontierTrace(n, [])
     with algorithm_span("cf", graph, k=k, iterations=iterations):
         for _ in range(iterations):
@@ -73,7 +78,7 @@ def collaborative_filtering(
             factors = result.values
     return AlgorithmRun(
         algorithm="cf",
-        values=factors,
+        values=vm.to_original(factors),
         log=rt.log,
         frontier_trace=trace,
         converged=True,

@@ -2,6 +2,7 @@
 
 from __future__ import annotations
 
+import os
 from dataclasses import dataclass
 from typing import Optional
 
@@ -15,10 +16,22 @@ from .graph import Graph
 
 __all__ = [
     "AlgorithmRun",
+    "VertexMap",
     "algorithm_span",
     "ensure_runtime",
+    "tune_requested",
     "DEFAULT_GEOMETRY",
 ]
+
+#: Environment switch (``python -m repro --tune`` sets it): every driver
+#: -built runtime autotunes its operand.
+_TUNE_ENV = "REPRO_TUNE"
+_FALSEY = ("", "0", "false", "off", "no")
+
+
+def tune_requested() -> bool:
+    """Whether ``REPRO_TUNE`` asks driver-built runtimes to autotune."""
+    return os.environ.get(_TUNE_ENV, "").strip().lower() not in _FALSEY
 
 
 def algorithm_span(name: str, graph: Graph, **attrs):
@@ -52,9 +65,53 @@ def ensure_runtime(
     cover exactly one algorithm execution.
     """
     if runtime is None:
+        if (
+            tune_requested()
+            and "plan" not in kw
+            and "auto_tune" not in kw
+        ):
+            kw["auto_tune"] = True
         return CoSparseRuntime(graph.operand, geometry, **kw)
     runtime.reset_log()
     return runtime
+
+
+class VertexMap:
+    """Original-id ↔ execution-id mapping for a (possibly tuned) runtime.
+
+    A tuned runtime permutes its operand, so the drivers run entirely in
+    *execution* vertex space and translate at the boundaries: sources
+    and initial values map in (:meth:`vertex`, :meth:`to_execution`),
+    final values map out (:meth:`to_original`).  For untuned runtimes
+    every method is the identity, so drivers use the map unconditionally.
+
+    With ``perm[old] = new``: execution-space input is ``orig[inverse]``
+    and original-space output is ``exec[perm]`` — both exact inverses,
+    so round-tripping is bit-identical.
+    """
+
+    def __init__(self, runtime: CoSparseRuntime):
+        self.perm = getattr(runtime, "vertex_perm", None)
+        self.inverse = getattr(runtime, "vertex_inverse", None)
+
+    @property
+    def identity(self) -> bool:
+        """True when the runtime runs in original vertex order."""
+        return self.perm is None
+
+    def vertex(self, v: int) -> int:
+        """Execution id of original vertex ``v``."""
+        return int(v) if self.perm is None else int(self.perm[v])
+
+    def to_execution(self, values: np.ndarray) -> np.ndarray:
+        """Per-vertex array from original to execution order."""
+        arr = np.asarray(values)
+        return arr if self.perm is None else arr[self.inverse]
+
+    def to_original(self, values: np.ndarray) -> np.ndarray:
+        """Per-vertex array from execution back to original order."""
+        arr = np.asarray(values)
+        return arr if self.perm is None else arr[self.perm]
 
 
 @dataclass

@@ -29,6 +29,7 @@ from ..spmv.semiring import bfs_semiring, sssp_semiring
 from .common import (
     DEFAULT_GEOMETRY,
     AlgorithmRun,
+    VertexMap,
     algorithm_span,
     ensure_runtime,
 )
@@ -57,11 +58,14 @@ def bfs_multi(
     rt = ensure_runtime(graph, runtime, geometry, **runtime_kw)
     n, k = graph.n_vertices, len(sources)
     semiring = bfs_semiring()
+    # Execution vertex space per column; map the matrix back at the end.
+    vm = VertexMap(rt)
     levels = np.full((n, k), np.inf)
     frontiers = []
     for q, s in enumerate(sources):
-        levels[s, q] = 0.0
-        frontiers.append(single_vertex_frontier(n, s, value=0.0))
+        src = vm.vertex(s)
+        levels[src, q] = 0.0
+        frontiers.append(single_vertex_frontier(n, src, value=0.0))
     trace = FrontierTrace(n, [])
     cap = max_iters if max_iters is not None else n
     live = list(range(k))
@@ -87,7 +91,7 @@ def bfs_multi(
             converged = all(f.nnz == 0 for f in frontiers)
     return AlgorithmRun(
         algorithm="bfs_multi",
-        values=levels,
+        values=vm.to_original(levels),
         log=rt.log,
         frontier_trace=trace,
         converged=converged,
@@ -116,13 +120,15 @@ def sssp_multi(
     rt = ensure_runtime(graph, runtime, geometry, **runtime_kw)
     n, k = graph.n_vertices, len(sources)
     semiring = sssp_semiring()
+    vm = VertexMap(rt)
     dists = []
     frontiers = []
     for s in sources:
+        src = vm.vertex(s)
         d = np.full(n, np.inf)
-        d[s] = 0.0
+        d[src] = 0.0
         dists.append(d)
-        frontiers.append(single_vertex_frontier(n, s, value=0.0))
+        frontiers.append(single_vertex_frontier(n, src, value=0.0))
     trace = FrontierTrace(n, [])
     cap = max_iters if max_iters is not None else n
     live = list(range(k))
@@ -148,7 +154,7 @@ def sssp_multi(
             converged = all(f.nnz == 0 for f in frontiers)
     return AlgorithmRun(
         algorithm="sssp_multi",
-        values=np.stack(dists, axis=1),
+        values=vm.to_original(np.stack(dists, axis=1)),
         log=rt.log,
         frontier_trace=trace,
         converged=converged,

@@ -19,6 +19,7 @@ from ..spmv.semiring import Semiring, pagerank_semiring
 from .common import (
     DEFAULT_GEOMETRY,
     AlgorithmRun,
+    VertexMap,
     algorithm_span,
     ensure_runtime,
 )
@@ -28,13 +29,24 @@ from .graph import Graph
 __all__ = ["pagerank", "pagerank_semiring_for"]
 
 
-def pagerank_semiring_for(graph: Graph, alpha: float = 0.15) -> Semiring:
+def pagerank_semiring_for(
+    graph: Graph,
+    alpha: float = 0.15,
+    vertex_map: Optional[VertexMap] = None,
+) -> Semiring:
     """The Table I PR semiring with the teleport term normalised by n.
 
     ``Vector_Op = alpha/n + (1-alpha) * x`` keeps ``sum(ranks) <= 1``
     (strictly less when dangling vertices absorb mass, matching Ligra).
+
+    The combine closes over per-source out-degrees, which index the
+    kernel's vertex space — pass the runtime's ``vertex_map`` so a tuned
+    (permuted) runtime divides by the right degree.
     """
-    base = pagerank_semiring(graph.out_degrees(), alpha)
+    degrees = graph.out_degrees()
+    if vertex_map is not None:
+        degrees = vertex_map.to_execution(degrees)
+    base = pagerank_semiring(degrees, alpha)
     n = graph.n_vertices
 
     def vector_op(updated, previous):
@@ -66,7 +78,10 @@ def pagerank(
     """
     rt = ensure_runtime(graph, runtime, geometry, **runtime_kw)
     n = graph.n_vertices
-    semiring = pagerank_semiring_for(graph, alpha)
+    vm = VertexMap(rt)
+    semiring = pagerank_semiring_for(graph, alpha, vertex_map=vm)
+    # The uniform start is permutation-invariant; the whole iteration
+    # runs in execution space and the final ranks map back.
     ranks = np.full(n, 1.0 / n)
     trace = FrontierTrace(n, [])
     converged = False
@@ -81,7 +96,7 @@ def pagerank(
                 break
     return AlgorithmRun(
         algorithm="pr",
-        values=ranks,
+        values=vm.to_original(ranks),
         log=rt.log,
         frontier_trace=trace,
         converged=converged,

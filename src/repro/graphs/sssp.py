@@ -19,6 +19,7 @@ from ..spmv.semiring import sssp_semiring
 from .common import (
     DEFAULT_GEOMETRY,
     AlgorithmRun,
+    VertexMap,
     algorithm_span,
     ensure_runtime,
 )
@@ -48,9 +49,12 @@ def sssp(
     rt = ensure_runtime(graph, runtime, geometry, **runtime_kw)
     n = graph.n_vertices
     semiring = sssp_semiring()
+    # Execution vertex space throughout; map distances back at the end.
+    vm = VertexMap(rt)
+    src = vm.vertex(source)
     dist = np.full(n, np.inf)
-    dist[source] = 0.0
-    frontier = single_vertex_frontier(n, source, value=0.0)
+    dist[src] = 0.0
+    frontier = single_vertex_frontier(n, src, value=0.0)
     trace = FrontierTrace(n, [])
     cap = max_iters if max_iters is not None else n
     converged = False
@@ -68,7 +72,7 @@ def sssp(
             converged = frontier.nnz == 0
     return AlgorithmRun(
         algorithm="sssp",
-        values=dist,
+        values=vm.to_original(dist),
         log=rt.log,
         frontier_trace=trace,
         converged=converged,

@@ -41,6 +41,7 @@ __all__ = [
     "DecisionEvent",
     "ReconfigEvent",
     "ProbeDiscardedEvent",
+    "TuningEvent",
     "SanitizerViolationEvent",
     "WarningEvent",
     "serialize_alternatives",
@@ -113,6 +114,29 @@ class ProbeDiscardedEvent:
 
 
 @dataclass
+class TuningEvent:
+    """One :func:`repro.tune.autotune` outcome (cold or warm)."""
+
+    matrix_key: str
+    geometry: str
+    ordering: str
+    vblock_width: int
+    storage: str
+    #: Candidates evaluated (0 on a plan-cache hit).
+    candidates: int = 0
+    #: Whether the plan came straight from the persistent plan cache.
+    plan_cache_hit: bool = False
+    #: Winner's modelled cache hit rate / functional wall clock, and the
+    #: identity baseline's, for the speedup audit.
+    hit_rate: Optional[float] = None
+    baseline_hit_rate: Optional[float] = None
+    wall_s: Optional[float] = None
+    baseline_wall_s: Optional[float] = None
+
+    kind = "tuning"
+
+
+@dataclass
 class SanitizerViolationEvent:
     """A runtime-sanitizer invariant failed (SimulationError follows)."""
 
@@ -173,6 +197,15 @@ _EVENT_KEYS = {
         "algorithm",
         "hw_mode",
         "executed",
+    ),
+    "tuning": (
+        "matrix_key",
+        "geometry",
+        "ordering",
+        "vblock_width",
+        "storage",
+        "candidates",
+        "plan_cache_hit",
     ),
     "sanitizer_violation": ("label", "message"),
     "warning": ("source", "message"),

@@ -67,6 +67,11 @@ _SPAN_COUNTER_KEYS = (
     "pricing_cache_hits",
     "pricing_cache_misses",
     "pricing_fallbacks",
+    "tuning_runs",
+    "tuning_candidates",
+    "tuning_plan_cache_hits",
+    "tuning_plan_cache_misses",
+    "tuning_plans_applied",
 )
 
 

@@ -73,16 +73,14 @@ class PricingCache:
 
     def put(self, key: str, fn: str, result: dict) -> None:
         """Persist ``result`` under ``key`` (atomic, last writer wins)."""
+        from ..workloads.io import atomic_write
+
         path = self._path(key)
-        tmp = f"{path}.tmp.{os.getpid()}"
         try:
             os.makedirs(self.dir, exist_ok=True)
-            with open(tmp, "w") as f:
-                json.dump({"fn": fn, "result": result}, f)
-            os.replace(tmp, path)
+            with atomic_write(path) as tmp:
+                with open(tmp, "w") as f:
+                    json.dump({"fn": fn, "result": result}, f)
         except OSError:
             # A read-only cache directory degrades to "no persistence".
-            try:
-                os.remove(tmp)
-            except OSError:
-                pass
+            pass

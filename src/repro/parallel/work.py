@@ -251,7 +251,8 @@ def price_config(payload: dict, arrays: Dict[str, np.ndarray]) -> dict:
     (seeded spec or explicit-array marker), optional ``semiring``
     ("spmv"/"sssp"), ``balanced``, ``profile_only``, ``use_partition``
     + ``token`` (equal-nnz IP partition memo key), ``params``
-    (HardwareParams overrides).  Arrays: the matrix in the format the
+    (HardwareParams overrides), ``vblock_width`` (IP blocking override,
+    the autotuner's candidate widths).  Arrays: the matrix in the format the
     algorithm streams (COO for IP, CSC for OP), optional
     ``frontier_idx``/``frontier_vals``/``current``.
     """
@@ -275,6 +276,7 @@ def price_config(payload: dict, arrays: Dict[str, np.ndarray]) -> dict:
         else:
             dense = np.full(frontier.n, semiring.absent)
             dense[frontier.indices] = frontier.values
+        vb = payload.get("vblock_width")
         kern = inner_product(
             coo,
             dense,
@@ -285,6 +287,7 @@ def price_config(payload: dict, arrays: Dict[str, np.ndarray]) -> dict:
             partition=partition,
             balanced=balanced,
             profile_only=profile_only,
+            vblock_width=None if vb is None else int(vb),
             **kw,
         )
     else:

@@ -67,6 +67,20 @@ class PerfCounters:
         Pool runs that degraded to the serial path (worker death or
         timeout); each increments once regardless of how many tasks
         were re-run.
+    tuning_runs:
+        :func:`repro.tune.autotune` invocations (plan-cache hits
+        included).
+    tuning_candidates:
+        Candidate configurations actually evaluated (zero on a warm
+        plan-cache hit).
+    tuning_plan_cache_hits / tuning_plan_cache_misses:
+        Persistent tuning-plan cache outcomes.  A warm second tune of
+        the same matrix shows one hit and zero ``tuning_candidates`` /
+        ``pricing_tasks`` / ``kernel_executions`` — the OSKI
+        "tune once, reuse forever" invariant the tune tests pin.
+    tuning_plans_applied:
+        Non-identity :class:`~repro.tune.TuningPlan`\\ s wired into a
+        :class:`~repro.core.runtime.CoSparseRuntime` operand.
     wall_seconds:
         Named wall-clock accumulators fed by :func:`timed`.
     """
@@ -80,6 +94,11 @@ class PerfCounters:
     pricing_cache_hits: int = 0
     pricing_cache_misses: int = 0
     pricing_fallbacks: int = 0
+    tuning_runs: int = 0
+    tuning_candidates: int = 0
+    tuning_plan_cache_hits: int = 0
+    tuning_plan_cache_misses: int = 0
+    tuning_plans_applied: int = 0
     wall_seconds: Dict[str, float] = field(default_factory=dict)
 
     def reset(self) -> None:
@@ -93,6 +112,11 @@ class PerfCounters:
         self.pricing_cache_hits = 0
         self.pricing_cache_misses = 0
         self.pricing_fallbacks = 0
+        self.tuning_runs = 0
+        self.tuning_candidates = 0
+        self.tuning_plan_cache_hits = 0
+        self.tuning_plan_cache_misses = 0
+        self.tuning_plans_applied = 0
         self.wall_seconds.clear()
 
     def add_time(self, name: str, seconds: float) -> None:
@@ -110,6 +134,11 @@ class PerfCounters:
             "pricing_cache_hits": self.pricing_cache_hits,
             "pricing_cache_misses": self.pricing_cache_misses,
             "pricing_fallbacks": self.pricing_fallbacks,
+            "tuning_runs": self.tuning_runs,
+            "tuning_candidates": self.tuning_candidates,
+            "tuning_plan_cache_hits": self.tuning_plan_cache_hits,
+            "tuning_plan_cache_misses": self.tuning_plan_cache_misses,
+            "tuning_plans_applied": self.tuning_plans_applied,
             "wall_seconds": dict(self.wall_seconds),
         }
 

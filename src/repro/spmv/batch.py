@@ -105,6 +105,7 @@ def inner_product_batch(
     balanced: bool = True,
     columns: Optional[Sequence[int]] = None,
     profile_only: bool = False,
+    vblock_width: Optional[int] = None,
 ) -> List[SpMVResult]:
     """Batched IP SpMV: one result per selected column, in ``columns`` order.
 
@@ -132,7 +133,9 @@ def inner_product_batch(
         )
 
     # Frontier-independent structure, computed once for the whole batch.
-    width, n_vblocks = _ip_layout(matrix.n_cols, geometry, params, 1)
+    width, n_vblocks = _ip_layout(
+        matrix.n_cols, geometry, params, 1, override=vblock_width
+    )
     flat_bounds, part_of = _ip_part_of(rows, partition, matrix.n_rows, geometry)
     nnz_pe = np.bincount(part_of, minlength=geometry.n_pes).astype(np.int64)
     key_all = rows * np.int64(n_vblocks) + cols // width

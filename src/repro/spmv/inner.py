@@ -65,6 +65,7 @@ def inner_product(
     balanced: bool = True,
     with_trace: bool = False,
     profile_only: bool = False,
+    vblock_width: Optional[int] = None,
 ) -> SpMVResult:
     """Run one IP SpMV: ``out = reduce(combine(A[i,j], v[j]))`` over rows.
 
@@ -98,6 +99,11 @@ def inner_product(
         ``with_trace`` — traces are all structural) and skip the
         functional semiring computation; the returned result has
         ``values is None``.  Used by the runtime's pricing probes.
+    vblock_width:
+        Override the SPM-derived vertical-block width (a tuning plan's
+        blocking choice).  Clamped to the SPM-fit width so SCS pinning
+        stays feasible; affects only the modelled profile, never the
+        functional values.
     """
     if hw_mode not in (HWMode.SC, HWMode.SCS):
         raise ConfigurationError(f"IP runs under SC or SCS, not {hw_mode}")
@@ -162,7 +168,9 @@ def inner_product(
     # ------------------------------------------------------------------
     # Hardware profile
     # ------------------------------------------------------------------
-    width, n_vblocks = _ip_layout(matrix.n_cols, geometry, params, vw)
+    width, n_vblocks = _ip_layout(
+        matrix.n_cols, geometry, params, vw, override=vblock_width
+    )
     flat_bounds, part_of = _ip_part_of(rows, partition, matrix.n_rows, geometry)
     nnz_pe = np.bincount(part_of, minlength=geometry.n_pes).astype(np.int64)
     act_pe = np.bincount(part_of[active], minlength=geometry.n_pes).astype(
@@ -202,7 +210,13 @@ def inner_product(
     return SpMVResult(values=out, touched=touched, profile=profile, semiring=semiring)
 
 
-def _ip_layout(n_cols: int, geometry: Geometry, params: HardwareParams, vw: int):
+def _ip_layout(
+    n_cols: int,
+    geometry: Geometry,
+    params: HardwareParams,
+    vw: int,
+    override: Optional[int] = None,
+):
     """Vertical-blocking layout shared by the single and batched kernels.
 
     Both modes use the SPM-sized vertical blocking: "the vertical
@@ -211,8 +225,18 @@ def _ip_layout(n_cols: int, geometry: Geometry, params: HardwareParams, vw: int)
     vector accesses" (Section III-B).  Keeping the width identical
     isolates the SCS-vs-SC contrast to where the vector segment lives:
     pinned in the scratchpad, or exposed to eviction in the shared L1.
+
+    ``override`` narrows the width below the SPM-fit maximum (a tuning
+    plan trading more per-vblock synchronisation for tighter vector
+    locality); it can never widen past what the scratchpad holds.
     """
     width = vblock_width(HWMode.SCS.spm_words(geometry, params), vw)
+    if override is not None:
+        if override <= 0:
+            raise ConfigurationError(
+                f"vblock width override must be positive, got {override}"
+            )
+        width = min(width, int(override))
     n_vblocks = max(1, -(-n_cols // width))
     return width, n_vblocks
 

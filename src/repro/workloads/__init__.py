@@ -3,6 +3,7 @@ suites (Table III stand-ins, the Figs. 4-6 uniform suite, the Fig. 7
 power-law suite)."""
 
 from .io import (
+    atomic_write,
     cached_matrix,
     load_snap_edgelist,
     load_matrix_market,
@@ -18,12 +19,22 @@ from .suite import (
     fig7_matrices,
     load_graph,
 )
-from .reorder import bfs_order, degree_order, permute_matrix, reorder_graph
+from .reorder import (
+    ORDERING_METHODS,
+    bfs_order,
+    block_order,
+    degree_order,
+    permute_matrix,
+    rcm_order,
+    reorder_graph,
+    reorder_matrix,
+)
 from .synthetic import chung_lu, power_law_degrees, rmat, uniform_random
 from .validate import degree_gini, hill_tail_exponent, is_heavy_tailed
 from .vectors import FIG4_DENSITIES, FIG8_DENSITIES, density_sweep, random_frontier
 
 __all__ = [
+    "atomic_write",
     "cached_matrix",
     "load_snap_edgelist",
     "load_matrix_market",
@@ -36,10 +47,14 @@ __all__ = [
     "fig4_matrices",
     "fig7_matrices",
     "load_graph",
+    "ORDERING_METHODS",
     "bfs_order",
+    "block_order",
     "degree_order",
     "permute_matrix",
+    "rcm_order",
     "reorder_graph",
+    "reorder_matrix",
     "chung_lu",
     "power_law_degrees",
     "rmat",

@@ -8,6 +8,7 @@ multi-minute generation of the full-scale suites happens once.
 from __future__ import annotations
 
 import os
+from contextlib import contextmanager
 from typing import Callable
 
 import numpy as np
@@ -16,6 +17,7 @@ from ..errors import FormatError
 from ..formats import COOMatrix
 
 __all__ = [
+    "atomic_write",
     "save_matrix_market",
     "load_matrix_market",
     "save_npz",
@@ -23,6 +25,34 @@ __all__ = [
     "cached_matrix",
     "load_snap_edgelist",
 ]
+
+
+@contextmanager
+def atomic_write(path: str, suffix: str = ""):
+    """Write ``path`` atomically: yield a private tmp name, then rename.
+
+    Concurrent writers — parallel pricing workers warming one cache
+    entry, two tuning runs racing on the same plan — each write their
+    own pid-tagged tmp file and race only on the final ``os.replace``,
+    so readers never observe a half-written file.  The caller writes to
+    the yielded tmp path; on a clean exit it is renamed over ``path``
+    (last writer wins), on an exception it is removed.
+
+    ``suffix`` forces the tmp name's extension when the writer appends
+    one itself (``np.savez_compressed`` adds ``.npz`` to bare names, so
+    the tmp name must already end in ``.npz`` for the rename to find
+    the file the writer produced).
+    """
+    tmp = f"{path}.{os.getpid()}.tmp{suffix}"
+    try:
+        yield tmp
+        os.replace(tmp, path)
+    finally:
+        if os.path.exists(tmp):
+            try:
+                os.remove(tmp)
+            except OSError:
+                pass
 
 
 def save_matrix_market(path: str, matrix: COOMatrix, comment: str = "") -> None:
@@ -69,10 +99,7 @@ def save_npz(path: str, matrix: COOMatrix) -> None:
     workload — each write a private tmp file and race on the final
     ``os.replace``, so readers only ever see complete files.
     """
-    # np.savez_compressed appends ".npz" when the name lacks it, so the
-    # tmp name must already end in ".npz" for the rename to find it.
-    tmp = f"{path}.{os.getpid()}.tmp.npz"
-    try:
+    with atomic_write(path, suffix=".npz") as tmp:
         np.savez_compressed(
             tmp,
             shape=np.asarray(matrix.shape, dtype=np.int64),
@@ -80,13 +107,6 @@ def save_npz(path: str, matrix: COOMatrix) -> None:
             cols=matrix.cols,
             vals=matrix.vals,
         )
-        os.replace(tmp, path)
-    finally:
-        if os.path.exists(tmp):
-            try:
-                os.remove(tmp)
-            except OSError:
-                pass
 
 
 def load_npz(path: str) -> COOMatrix:

@@ -5,12 +5,16 @@ import pytest
 
 from repro.errors import WorkloadError
 from repro.graphs import Graph, bfs, pagerank
-from repro.workloads import chung_lu
+from repro.workloads import chung_lu, uniform_random
 from repro.workloads.reorder import (
+    ORDERING_METHODS,
     bfs_order,
+    block_order,
     degree_order,
     permute_matrix,
+    rcm_order,
     reorder_graph,
+    reorder_matrix,
 )
 
 
@@ -87,3 +91,141 @@ class TestPermute:
     def test_unknown_method_rejected(self, skewed):
         with pytest.raises(WorkloadError):
             reorder_graph(Graph(skewed), "rcm2")
+
+    def test_all_methods_via_reorder_graph(self, skewed):
+        g = Graph(skewed)
+        for method in ORDERING_METHODS:
+            g2, perm = reorder_graph(g, method)
+            assert g2.n_edges == g.n_edges
+            assert sorted(perm.tolist()) == list(range(skewed.n_rows))
+
+
+class TestRCMOrder:
+    def test_is_permutation(self, skewed):
+        perm = rcm_order(skewed)
+        assert sorted(perm.tolist()) == list(range(skewed.n_rows))
+
+    def test_starts_at_lowest_degree(self, skewed):
+        """RCM seeds at a minimum-degree vertex; reversal puts the seed
+        LAST in the new numbering."""
+        perm = rcm_order(skewed)
+        deg = skewed.row_counts() + skewed.col_counts()
+        seed = int(np.argmin(deg))
+        assert perm[seed] == skewed.n_rows - 1
+
+    def test_reverses_discovery_order(self):
+        """On a path graph from the low-degree end, plain CM discovery is
+        0,1,2,...; RCM must number it in reverse."""
+        from repro.formats import COOMatrix
+
+        n = 8
+        m = COOMatrix(
+            n, n, np.arange(n - 1), np.arange(1, n), np.ones(n - 1)
+        )
+        perm = rcm_order(m, source=0)
+        assert perm.tolist() == list(range(n - 1, -1, -1))
+
+    def test_reduces_bandwidth(self):
+        """RCM exists to shrink bandwidth; check it does on a shuffled
+        banded matrix."""
+        from repro.formats import COOMatrix
+
+        n = 200
+        rows = np.arange(n - 1)
+        cols = np.arange(1, n)
+        m = COOMatrix(n, n, rows, cols, np.ones(n - 1))
+        shuffle = np.random.default_rng(5).permutation(n)
+        shuffled = permute_matrix(m, shuffle)
+        perm = rcm_order(shuffled)
+        out = permute_matrix(shuffled, perm)
+
+        def bandwidth(coo):
+            return int(np.abs(coo.rows - coo.cols).max())
+
+        assert bandwidth(out) < bandwidth(shuffled)
+
+    def test_distinct_from_bfs(self, skewed):
+        assert not np.array_equal(rcm_order(skewed), bfs_order(skewed))
+
+
+class TestBlockOrder:
+    def test_is_permutation(self, skewed):
+        perm = block_order(skewed)
+        assert sorted(perm.tolist()) == list(range(skewed.n_rows))
+
+    def test_single_block_is_degree_like(self, skewed):
+        """With one block every vertex has the same owner, so the order
+        is hubs-first."""
+        perm = block_order(skewed, n_blocks=1)
+        deg = skewed.row_counts() + skewed.col_counts()
+        hub = int(np.argmax(deg))
+        assert perm[hub] == 0
+
+
+class TestRectangular:
+    @pytest.fixture(scope="class")
+    def rect(self):
+        return uniform_random(300, n_cols=120, nnz=2400, seed=9)
+
+    def test_square_perm_rejected_without_col_perm(self, rect):
+        with pytest.raises(WorkloadError):
+            permute_matrix(rect, np.arange(rect.n_rows))
+
+    def test_separate_perms_roundtrip(self, rect):
+        rng = np.random.default_rng(0)
+        rp = rng.permutation(rect.n_rows)
+        cp = rng.permutation(rect.n_cols)
+        out = permute_matrix(rect, rp, col_perm=cp)
+        # inverse perms restore the original coordinate multiset
+        inv_r = np.empty_like(rp)
+        inv_r[rp] = np.arange(len(rp))
+        inv_c = np.empty_like(cp)
+        inv_c[cp] = np.arange(len(cp))
+        back = permute_matrix(out, inv_r, col_perm=inv_c)
+        assert sorted(zip(back.rows.tolist(), back.cols.tolist())) == sorted(
+            zip(rect.rows.tolist(), rect.cols.tolist())
+        )
+
+    def test_wrong_length_col_perm_rejected(self, rect):
+        with pytest.raises(WorkloadError):
+            permute_matrix(
+                rect, np.arange(rect.n_rows), col_perm=np.arange(5)
+            )
+
+    @pytest.mark.parametrize("method", ORDERING_METHODS)
+    def test_reorder_matrix_rectangular(self, rect, method):
+        out, rp, cp = reorder_matrix(rect, method)
+        assert out.shape == rect.shape
+        assert out.nnz == rect.nnz
+        assert sorted(rp.tolist()) == list(range(rect.n_rows))
+        assert sorted(cp.tolist()) == list(range(rect.n_cols))
+        # degree multisets per axis are invariant under relabeling
+        assert sorted(out.row_counts()) == sorted(rect.row_counts())
+        assert sorted(out.col_counts()) == sorted(rect.col_counts())
+
+    def test_reorder_matrix_square_uses_one_perm(self, skewed):
+        _, rp, cp = reorder_matrix(skewed, "degree")
+        assert rp is cp
+
+
+class TestScheduleStablePermute:
+    def test_preserves_within_row_entry_order(self, skewed):
+        """stable=True keeps each row's original entry sequence."""
+        perm = degree_order(skewed)
+        out = permute_matrix(skewed, perm, stable=True)
+        # Walk the permuted rows back: within each new row, the entries
+        # must appear in the original stored order.
+        for new_row in (0, 1, int(perm[5])):
+            sel_new = out.rows == new_row
+            old_row = int(np.nonzero(perm == new_row)[0][0])
+            sel_old = skewed.rows == old_row
+            np.testing.assert_array_equal(
+                out.cols[sel_new], perm[skewed.cols[sel_old]]
+            )
+            np.testing.assert_array_equal(
+                out.vals[sel_new], skewed.vals[sel_old]
+            )
+
+    def test_rows_nondecreasing(self, skewed):
+        out = permute_matrix(skewed, degree_order(skewed), stable=True)
+        assert bool(np.all(np.diff(out.rows) >= 0))
