@@ -2,7 +2,7 @@
 
 PYTHON ?= python
 
-.PHONY: install lint test test-O test-sanitize test-all perf bench bench-parallel bench-tune bench-full artifacts examples trace-demo clean
+.PHONY: install lint test test-O test-sanitize test-all serve-smoke perf bench bench-parallel bench-tune bench-serve bench-full artifacts examples trace-demo clean
 
 install:
 	$(PYTHON) -m pip install -e . || $(PYTHON) setup.py develop
@@ -20,6 +20,7 @@ test: lint test-O
 	PYTHONPATH=src $(PYTHON) -m pytest tests/ -m "not slow"
 	REPRO_JOBS=2 PYTHONPATH=src $(PYTHON) -m pytest tests/parallel -q -m "not slow"
 	PYTHONPATH=src $(PYTHON) -m repro.tune smoke
+	$(MAKE) serve-smoke
 	$(MAKE) test-sanitize
 
 # The whole fast subset under `python -O`, which strips bare `assert`
@@ -37,6 +38,12 @@ test-sanitize:
 
 test-all:
 	PYTHONPATH=src $(PYTHON) -m pytest tests/
+
+# Query-service end-to-end: in-process server, 20 mixed queries from
+# concurrent clients (coalesced + cached), every answer bit-compared
+# against the direct driver call.
+serve-smoke:
+	PYTHONPATH=src $(PYTHON) -m repro.serve smoke
 
 # Trace-replay microbench: prints M acc/s per engine plus one JSON line.
 perf:
@@ -56,6 +63,12 @@ bench-parallel:
 # tuned-driver bit-identity (artifacts/ablation-tune.{csv,json}).
 bench-tune:
 	$(PYTHON) -m pytest benchmarks/test_bench_tune.py --benchmark-only -s
+
+# Query service under bursty multi-client load: coalesced vs sequential
+# throughput (target >= 2x), latency percentiles, bit-identity spot
+# check (artifacts/serve_loadgen.{csv,json}).
+bench-serve:
+	$(PYTHON) -m pytest benchmarks/test_bench_serve.py --benchmark-only -s
 
 # The paper-scale grids (first run generates ~minutes of workloads into
 # .repro_cache/; artifacts land under artifacts/).

@@ -1,0 +1,67 @@
+"""Query-service bench: coalescing throughput gain under bursty load.
+
+Replays one seeded bursty multi-client workload against two in-process
+servers — coalescing on vs off, result caches disabled in both — and
+persists the latency percentiles plus the throughput gain to
+``artifacts/serve_loadgen.json``.  A sample of served answers from each
+replay is bit-compared against direct driver calls inside the load
+generator, so the speedup can never come from drifted results.
+
+The >= 2x gain assertion only fires on machines with enough cores to
+host the service's worker pool; the measurements persist either way.
+"""
+
+import os
+
+from conftest import show
+
+from repro.serve.loadgen import LoadgenConfig, run_loadgen
+
+MIN_GAIN = 2.0
+WORKERS = 4
+
+
+def test_serve_coalescing_throughput(once, full):
+    config = LoadgenConfig(
+        graphs=("vsp",) if not full else ("vsp", "twitter"),
+        scale=16,
+        n_clients=8,
+        queries_per_client=12 if not full else 24,
+        concurrency=WORKERS,
+    )
+
+    def run_all():
+        return run_loadgen(config)
+
+    result = once(run_all)
+    show(result)
+
+    rows = {row["mode"]: row for row in result.rows}
+    assert set(rows) == {"sequential", "coalesced", "gain"}
+
+    # Percentiles persisted for both replay modes.
+    for mode in ("sequential", "coalesced"):
+        for column in ("p50_ms", "p95_ms", "p99_ms", "qps"):
+            assert rows[mode][column] > 0
+    assert result.timings["sequential_wall_s"] > 0
+    assert result.timings["coalesced_wall_s"] > 0
+
+    # Both replays answered the full workload.
+    total = config.n_clients * config.queries_per_client
+    assert rows["sequential"]["queries"] == total
+    assert rows["coalesced"]["queries"] == total
+
+    # Coalescing actually happened and the spot check ran.
+    assert rows["coalesced"]["batches"] > 0
+    assert rows["coalesced"]["mean_width"] > 1.0
+    verified = rows["gain"]["queries"]
+    assert verified > 0, "bit-identity verification must sample answers"
+
+    gain = rows["gain"]["qps"]
+    print(f"\ncoalescing throughput gain: {gain:.2f}x ({verified} verified)")
+    # Coalesced must never lose to sequential, anywhere.
+    assert gain >= 1.0
+    if len(os.sched_getaffinity(0)) >= WORKERS:
+        assert gain >= MIN_GAIN, (
+            f"expected >= {MIN_GAIN}x coalescing gain, got {gain:.2f}x"
+        )

@@ -86,6 +86,10 @@ R4_WALLCLOCK_ALLOWED_PREFIXES = (
     # gathers; its measurements score candidate layouts and never feed
     # the cycle model.
     "repro/tune/",
+    # The query service measures *service latency* (per-query response
+    # times, coalescing windows, burst pacing); none of it touches the
+    # modelled cycle counts, which stay bit-identical to direct calls.
+    "repro/serve/",
 )
 
 #: numpy.random attributes that construct explicitly-seedable generators

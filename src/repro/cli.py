@@ -73,7 +73,9 @@ def build_parser() -> argparse.ArgumentParser:
     )
     parser.add_argument(
         "artifact",
-        help="one of: list, all, report, " + ", ".join(_DRIVERS),
+        help="one of: list, all, report, serve, " + ", ".join(_DRIVERS)
+        + " ('serve' runs the query service; see `python -m repro serve "
+        "--help`)",
     )
     parser.add_argument(
         "--scale",
@@ -177,6 +179,14 @@ def _emit(name: str, args, result) -> int:
 
 def main(argv=None) -> int:
     """Entry point; returns a process exit code."""
+    if argv is None:
+        argv = sys.argv[1:]
+    if argv and argv[0] == "serve":
+        # The query service has its own sub-CLI (serve/smoke/loadgen
+        # options differ from the artifact flags): hand the rest over.
+        from .serve.__main__ import main as serve_main
+
+        return serve_main(argv[1:])
     args = build_parser().parse_args(argv)
     if args.jobs is not None:
         # One knob for every driver: the schedulers resolve REPRO_JOBS.

@@ -758,6 +758,31 @@ class CoSparseRuntime:
                 results[j] = result
 
     # ------------------------------------------------------------------
+    def describe(self) -> dict:
+        """Stable, JSON-able summary of this runtime's configuration.
+
+        The serving layer keys per-graph result caches on it (two
+        runtimes with equal descriptions produce bit-identical results
+        for the same query) and reports it from ``list``/``stats``.
+        """
+        return {
+            "geometry": self.geometry.name,
+            "policy": self.policy,
+            "objective": self.objective,
+            "fidelity": self.system.fidelity,
+            "balanced": self.balanced,
+            "static_config": [
+                self.static_config[0],
+                self.static_config[1].label,
+            ],
+            "thresholds": asdict(self.tree.thresholds),
+            "tuned": self.plan is not None,
+            "vblock_width": self._vblock_width,
+            "n_vertices": self.operand.coo.n_rows,
+            "nnz": self.operand.coo.nnz,
+        }
+
+    # ------------------------------------------------------------------
     @property
     def last_record(self) -> Optional[IterationRecord]:
         """The most recent iteration's record (None before any spmv)."""

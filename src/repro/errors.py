@@ -56,3 +56,12 @@ class AlgorithmError(ReproError):
     Examples: SSSP with negative edge weights, a source vertex out of range,
     or collaborative filtering on a non-bipartite rating matrix.
     """
+
+
+class ServeError(ReproError):
+    """The query service was driven incorrectly or answered with an error.
+
+    Examples: a malformed or oversized protocol frame, a query against a
+    graph the server never loaded, or a server-side failure relayed to
+    the client as an error response.
+    """

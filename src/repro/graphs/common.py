@@ -4,7 +4,7 @@ from __future__ import annotations
 
 import os
 from dataclasses import dataclass
-from typing import Optional
+from typing import List, Optional
 
 import numpy as np
 
@@ -132,6 +132,10 @@ class AlgorithmRun:
     converged:
         Whether the run reached its own stopping criterion (vs. hitting
         the iteration cap).
+    column_converged:
+        For the multi-source drivers: per-column convergence flags (the
+        serving layer reports them per coalesced query).  ``None`` for
+        single-result runs.
     """
 
     algorithm: str
@@ -139,6 +143,7 @@ class AlgorithmRun:
     log: ReconfigurationLog
     frontier_trace: FrontierTrace
     converged: bool = True
+    column_converged: Optional[List[bool]] = None
 
     @property
     def iterations(self) -> int:

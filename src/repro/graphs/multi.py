@@ -70,12 +70,10 @@ def bfs_multi(
     cap = max_iters if max_iters is not None else n
     live = list(range(k))
     level = 0.0
-    converged = False
     with algorithm_span("bfs_multi", graph, k=k):
         for _ in range(cap):
             live = [q for q in live if frontiers[q].nnz > 0]
             if not live:
-                converged = True
                 break
             mv = MultiVector(
                 [frontiers[q] for q in live], absent=semiring.absent, n=n
@@ -87,14 +85,16 @@ def bfs_multi(
                 newly = results[i].touched & np.isinf(levels[:, q])
                 levels[newly, q] = level
                 frontiers[q] = frontier_from_mask(newly, levels[:, q])
-        else:
-            converged = all(f.nnz == 0 for f in frontiers)
+    # A column converged iff its frontier drained before the cap; the
+    # serving coalescer reports the per-query flag to each client.
+    column_converged = [f.nnz == 0 for f in frontiers]
     return AlgorithmRun(
         algorithm="bfs_multi",
         values=vm.to_original(levels),
         log=rt.log,
         frontier_trace=trace,
-        converged=converged,
+        converged=all(column_converged),
+        column_converged=column_converged,
     )
 
 
@@ -132,12 +132,10 @@ def sssp_multi(
     trace = FrontierTrace(n, [])
     cap = max_iters if max_iters is not None else n
     live = list(range(k))
-    converged = False
     with algorithm_span("sssp_multi", graph, k=k):
         for _ in range(cap):
             live = [q for q in live if frontiers[q].nnz > 0]
             if not live:
-                converged = True
                 break
             mv = MultiVector(
                 [frontiers[q] for q in live], absent=semiring.absent, n=n
@@ -150,12 +148,12 @@ def sssp_multi(
                 improved = results[i].values < dists[q]
                 dists[q] = results[i].values
                 frontiers[q] = frontier_from_mask(improved, dists[q])
-        else:
-            converged = all(f.nnz == 0 for f in frontiers)
+    column_converged = [f.nnz == 0 for f in frontiers]
     return AlgorithmRun(
         algorithm="sssp_multi",
         values=vm.to_original(np.stack(dists, axis=1)),
         log=rt.log,
         frontier_trace=trace,
-        converged=converged,
+        converged=all(column_converged),
+        column_converged=column_converged,
     )

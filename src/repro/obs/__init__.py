@@ -31,6 +31,7 @@ from .events import (
     ProbeDiscardedEvent,
     ReconfigEvent,
     SanitizerViolationEvent,
+    ServeQueryEvent,
     WarningEvent,
     validate_record,
 )
@@ -63,6 +64,7 @@ __all__ = [
     "ReconfigEvent",
     "ProbeDiscardedEvent",
     "SanitizerViolationEvent",
+    "ServeQueryEvent",
     "WarningEvent",
     "validate_record",
     "TraceData",

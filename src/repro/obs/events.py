@@ -42,6 +42,7 @@ __all__ = [
     "ReconfigEvent",
     "ProbeDiscardedEvent",
     "TuningEvent",
+    "ServeQueryEvent",
     "SanitizerViolationEvent",
     "WarningEvent",
     "serialize_alternatives",
@@ -137,6 +138,29 @@ class TuningEvent:
 
 
 @dataclass
+class ServeQueryEvent:
+    """One answered query of the long-running service (:mod:`repro.serve`).
+
+    Emitted by the server after the response is computed; the latency is
+    host wall clock (protocol + queueing + execution), never model
+    cycles.
+    """
+
+    graph: str
+    algorithm: str
+    source: Optional[int] = None
+    #: How many queries the coalescer answered with one batched
+    #: execution (1 = ran alone; 0 = answered from the result cache).
+    coalesced_width: int = 1
+    cache_hit: bool = False
+    latency_s: float = 0.0
+    #: Admission-queue depth observed when the query was accepted.
+    queue_depth: int = 0
+
+    kind = "serve_query"
+
+
+@dataclass
 class SanitizerViolationEvent:
     """A runtime-sanitizer invariant failed (SimulationError follows)."""
 
@@ -206,6 +230,13 @@ _EVENT_KEYS = {
         "storage",
         "candidates",
         "plan_cache_hit",
+    ),
+    "serve_query": (
+        "graph",
+        "algorithm",
+        "coalesced_width",
+        "cache_hit",
+        "latency_s",
     ),
     "sanitizer_violation": ("label", "message"),
     "warning": ("source", "message"),

@@ -13,7 +13,10 @@ Durability rules:
 
 * writes are atomic (temp file + ``os.replace``) so a concurrent reader
   never observes a half-written entry;
-* corrupt or unparseable entries are treated as misses and deleted;
+* genuinely corrupt entries (unparseable JSON, missing ``result`` key)
+  are treated as misses and deleted; a *transient* ``OSError`` on open
+  or read (EACCES, EMFILE, EIO) is a plain miss — the entry on disk may
+  be perfectly good and must survive;
 * floats survive the JSON round trip bit-exactly (``repr`` shortest
   round-trip encoding), which the parallel-vs-serial bit-identity tests
   rely on.
@@ -62,7 +65,12 @@ class PricingCache:
             return entry["result"]
         except FileNotFoundError:
             return None
-        except (OSError, ValueError, KeyError):
+        except OSError:
+            # Transient open/read failure (permission flip, fd
+            # exhaustion, I/O error): the stored entry may be intact,
+            # so treat it as a miss and leave it for the next reader.
+            return None
+        except (ValueError, KeyError):
             # Corrupt entry (interrupted write on a filesystem without
             # atomic replace, manual truncation): drop and re-price.
             try:

@@ -60,17 +60,28 @@ MIN_TASKS_FOR_POOL = 2
 
 
 def resolve_jobs(explicit: Optional[int] = None) -> int:
-    """Worker count: explicit arg beats ``REPRO_JOBS`` beats cpu count."""
+    """Worker count: explicit arg beats ``REPRO_JOBS`` beats cpu count.
+
+    An explicit argument is a programmatic override and is floored at 1
+    (the CLI already clamps); the ``REPRO_JOBS`` environment variable is
+    user configuration, so a non-positive value is rejected as loudly as
+    a non-integer one instead of being silently clamped.
+    """
     if explicit is not None:
         return max(1, int(explicit))
     env = os.environ.get("REPRO_JOBS", "").strip()
     if env:
         try:
-            return max(1, int(env))
+            jobs = int(env)
         except ValueError:
             raise ValueError(
                 f"REPRO_JOBS must be an integer, got {env!r}"
             ) from None
+        if jobs <= 0:
+            raise ValueError(
+                f"REPRO_JOBS must be a positive integer, got {env!r}"
+            )
+        return jobs
     return os.cpu_count() or 1
 
 
@@ -82,9 +93,10 @@ class SweepScheduler:
     jobs:
         Worker count override (default: :func:`resolve_jobs`).
     timeout_s:
-        Per-result collection timeout in seconds; ``None`` (default)
-        waits forever.  On expiry the pool is torn down and the
-        stragglers re-run serially.
+        Maximum seconds to wait for the *next* task completion;
+        ``None`` (default) waits forever.  On expiry the pool is torn
+        down and only the tasks that never finished re-run serially —
+        results collected before the straggler stalled are kept.
     use_cache:
         Override for the persistent pricing cache (default: the
         ``REPRO_PRICING_CACHE`` switch).
@@ -201,25 +213,41 @@ class SweepScheduler:
                         self._ship_arrays(arena, tasks[i].arrays),
                     )
                     futures[i] = executor.submit(_pool_entry_trampoline, spec)
+                # Collect in *completion* order: a straggler must not
+                # block — or worse, discard — results that finished
+                # behind it in submission order.  The timeout bounds the
+                # wait for the next completion; whatever already landed
+                # is kept, and only tasks that truly never finished
+                # re-run on the serial fallback path.
                 failure: Optional[str] = None
-                for i in pending:
-                    try:
-                        index, result, task_s = futures[i].result(
-                            timeout=self.timeout_s
-                        )
-                    except BrokenProcessPool:
-                        failure = "a pricing worker died (BrokenProcessPool)"
-                        break
-                    except cf.TimeoutError:
+                remaining = {futures[i]: i for i in pending}
+                while remaining and failure is None:
+                    done, _ = cf.wait(
+                        remaining,
+                        timeout=self.timeout_s,
+                        return_when=cf.FIRST_COMPLETED,
+                    )
+                    if not done:
                         failure = (
                             f"pricing task timed out after {self.timeout_s}s"
                         )
                         break
-                    busy_s += task_s
-                    results[index] = result
-                    unfinished.remove(index)
-                    if keys[index] is not None and self.cache is not None:
-                        self.cache.put(keys[index], tasks[index].fn, result)
+                    for fut in done:
+                        remaining.pop(fut)
+                        try:
+                            index, result, task_s = fut.result()
+                        except BrokenProcessPool:
+                            failure = (
+                                "a pricing worker died (BrokenProcessPool)"
+                            )
+                            break
+                        busy_s += task_s
+                        results[index] = result
+                        unfinished.remove(index)
+                        if keys[index] is not None and self.cache is not None:
+                            self.cache.put(
+                                keys[index], tasks[index].fn, result
+                            )
             finally:
                 if unfinished:
                     # Hung/dead workers: cancel what never started and

@@ -1,0 +1,57 @@
+"""Graph-analytics query service over the CoSPARSE runtime.
+
+``repro.serve`` turns the one-shot algorithm drivers into a
+long-running service: graphs load once into a registry (runtime +
+tuning plan resident), concurrent single-source BFS/SSSP queries
+coalesce into batched ``spmv_batch`` executions, repeated queries hit
+a per-graph result cache, and an admission semaphore bounds
+concurrency.  Every served answer is bit-identical to the direct
+driver call.
+
+Entry points:
+
+* ``python -m repro.serve`` — run a server;
+* ``python -m repro.serve smoke`` — in-process end-to-end check;
+* ``python -m repro.serve.loadgen`` — replay bursty multi-client
+  traffic and measure the coalescing throughput gain.
+"""
+
+from .client import ServeClient
+from .coalesce import CoalescedResult, Coalescer
+from .protocol import (
+    MAX_FRAME_BYTES,
+    decode_payload,
+    encode_frame,
+    error_response,
+    ok_response,
+)
+from .registry import GraphRegistry, LoadedGraph, ResultCache, params_key
+from .server import (
+    ALGORITHMS,
+    QueryService,
+    ServeConfig,
+    ServerHandle,
+    ServeServer,
+    run_in_thread,
+)
+
+__all__ = [
+    "ALGORITHMS",
+    "MAX_FRAME_BYTES",
+    "CoalescedResult",
+    "Coalescer",
+    "GraphRegistry",
+    "LoadedGraph",
+    "QueryService",
+    "ResultCache",
+    "ServeClient",
+    "ServeConfig",
+    "ServeServer",
+    "ServerHandle",
+    "decode_payload",
+    "encode_frame",
+    "error_response",
+    "ok_response",
+    "params_key",
+    "run_in_thread",
+]

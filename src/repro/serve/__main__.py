@@ -1,0 +1,211 @@
+"""Entry point: ``python -m repro.serve [serve|smoke] [options]``.
+
+``serve`` (the default) runs a server in the foreground until a client
+sends ``shutdown`` (or Ctrl-C).  ``smoke`` stands up an in-process
+server, fires a burst of mixed queries at it from concurrent clients,
+bit-compares every answer against the direct driver calls, and prints
+``PASS`` — the end-to-end check ``make serve-smoke`` gates on.
+"""
+
+from __future__ import annotations
+
+import argparse
+import asyncio
+import threading
+from typing import Optional, Sequence
+
+from .server import ServeConfig, ServeServer, run_in_thread
+
+__all__ = ["main"]
+
+#: Queries the smoke test fires (mixed algorithms, concurrent clients).
+SMOKE_QUERIES = 20
+
+#: Small, fast suite workload for the smoke test.
+SMOKE_GRAPH = "twitter"
+SMOKE_SCALE = 96
+
+
+def _add_server_args(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--host", default="127.0.0.1")
+    parser.add_argument("--port", type=int, default=7077,
+                        help="0 binds an ephemeral port")
+    parser.add_argument("--graphs", default="",
+                        help="comma-separated suite graphs to preload, "
+                             "each optionally name@scale")
+    parser.add_argument("--scale", type=int, default=64,
+                        help="default scale for preloads and load ops")
+    parser.add_argument("--geometry", default="8x16")
+    parser.add_argument("--policy", default="tree")
+    parser.add_argument("--tune", action="store_true",
+                        help="autotune each loaded graph's layout")
+    parser.add_argument("--concurrency", type=int, default=4)
+    parser.add_argument("--window-ms", type=float, default=2.0,
+                        help="coalescing window in ms; negative disables")
+    parser.add_argument("--max-width", type=int, default=64)
+
+
+def _config_from(args: argparse.Namespace) -> ServeConfig:
+    return ServeConfig(
+        host=args.host,
+        port=args.port,
+        geometry=args.geometry,
+        policy=args.policy,
+        tune=args.tune,
+        concurrency=args.concurrency,
+        coalesce_window_s=args.window_ms / 1e3,
+        coalesce_max_width=args.max_width,
+        preload=tuple(g for g in args.graphs.split(",") if g),
+        scale=args.scale,
+    )
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    config = _config_from(args)
+
+    async def run() -> None:
+        server = ServeServer(config)
+        port = await server.start()
+        names = ", ".join(server.service.registry.names()) or "none"
+        print(
+            f"repro.serve listening on {config.host}:{port} "
+            f"(graphs: {names}); send a 'shutdown' op or Ctrl-C to stop"
+        )
+        await server.serve_until_stopped()
+
+    try:
+        asyncio.run(run())
+    except KeyboardInterrupt:
+        print("repro.serve: interrupted, shutting down")
+    return 0
+
+
+def _cmd_smoke(args: argparse.Namespace) -> int:
+    from ..experiments.common import table3_graph
+    from ..graphs import bfs, collaborative_filtering, pagerank, sssp
+    from .client import ServeClient
+
+    graph = table3_graph(SMOKE_GRAPH, scale=SMOKE_SCALE, seed=42)
+    config = ServeConfig(
+        port=0,
+        concurrency=args.concurrency,
+        coalesce_window_s=args.window_ms / 1e3,
+        scale=SMOKE_SCALE,
+        preload=(f"{SMOKE_GRAPH}@{SMOKE_SCALE}",),
+    )
+    with run_in_thread(config) as handle:
+        with ServeClient(port=handle.port) as admin:
+            assert_ping = admin.ping()
+            if not assert_ping:
+                print("FAIL: ping did not pong")
+                return 1
+            key = admin.list_graphs()[0]["name"]
+
+        # 20 mixed queries: concurrent traversals (coalescable, with a
+        # repeated hot source), whole-graph queries, and a repeat that
+        # must hit the result cache.
+        plan = []
+        for i in range(SMOKE_QUERIES - 4):
+            algorithm = "bfs" if i % 2 == 0 else "sssp"
+            source = (i // 2) % graph.n_vertices if i % 3 else 3
+            plan.append((algorithm, source, None))
+        plan.append(("pagerank", None, {"max_iters": 5}))
+        plan.append(("cf", None, {"iterations": 1, "k": 4}))
+        # Fired after the wave settles, so they must hit the result cache.
+        plan.append(("bfs", 3, None))
+        plan.append(("sssp", 5, None))
+        concurrent = len(plan) - 2
+
+        responses: list = [None] * len(plan)
+
+        def fire(index: int) -> None:
+            algorithm, source, params = plan[index]
+            with ServeClient(port=handle.port) as client:
+                responses[index] = client.query(
+                    key, algorithm, source=source, params=params
+                )
+
+        threads = [
+            threading.Thread(target=fire, args=(i,), daemon=True)
+            for i in range(concurrent)
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        for i in range(concurrent, len(plan)):
+            fire(i)
+
+        with ServeClient(port=handle.port) as admin:
+            stats = admin.stats()
+            admin.shutdown()
+
+    failures = 0
+    for (algorithm, source, params), response in zip(plan, responses):
+        if response is None:
+            print(f"FAIL: {algorithm} source={source} got no response")
+            failures += 1
+            continue
+        if algorithm == "bfs":
+            direct = bfs(graph, source)
+        elif algorithm == "sssp":
+            direct = sssp(graph, source)
+        elif algorithm == "pagerank":
+            direct = pagerank(graph, **params)
+        else:
+            direct = collaborative_filtering(graph, **params)
+        if response["values"] != direct.values.tolist():
+            print(
+                f"FAIL: {algorithm} source={source} not bit-identical "
+                "to the direct driver call"
+            )
+            failures += 1
+    coal = stats["coalescer"]
+    print(
+        f"smoke: {len(plan)} queries, {coal['batches']} batches "
+        f"(mean width {coal['mean_width']}), "
+        f"{stats['result_cache_hits']} cache hits, "
+        f"{stats['errors']} errors"
+    )
+    if stats["result_cache_hits"] < 1:
+        print("FAIL: repeated queries never hit the result cache")
+        failures += 1
+    if failures or stats["errors"]:
+        print(f"FAIL ({failures} mismatches, {stats['errors']} errors)")
+        return 1
+    print("PASS: all answers bit-identical to direct driver calls")
+    return 0
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    import sys
+
+    parser = argparse.ArgumentParser(
+        prog="repro.serve",
+        description="Graph-analytics query service over the CoSPARSE "
+                    "runtime.",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+    serve_parser = sub.add_parser("serve", help="run a server (default)")
+    _add_server_args(serve_parser)
+    smoke_parser = sub.add_parser(
+        "smoke", help="in-process end-to-end bit-identity check"
+    )
+    smoke_parser.add_argument("--concurrency", type=int, default=4)
+    smoke_parser.add_argument("--window-ms", type=float, default=5.0)
+
+    argv = list(argv) if argv is not None else sys.argv[1:]
+    # Bare ``python -m repro.serve [options]`` means ``serve [options]``
+    # (but let ``--help``/``-h`` reach the top-level parser).
+    if not argv or (
+        argv[0] not in ("serve", "smoke") and argv[0] not in ("-h", "--help")
+    ):
+        argv = ["serve"] + argv
+    args = parser.parse_args(argv)
+    if args.command == "smoke":
+        return _cmd_smoke(args)
+    return _cmd_serve(args)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

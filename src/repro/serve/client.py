@@ -1,0 +1,115 @@
+"""Blocking client for the query service.
+
+A thin, dependency-free wrapper over the wire protocol: open a socket,
+frame requests, unwrap response envelopes.  Error envelopes re-raise as
+:class:`~repro.errors.ServeError` so callers handle one exception type
+whether the failure happened client-side or server-side.
+
+    with ServeClient(port=port) as client:
+        client.load("twitter", scale=64)
+        run = client.query("twitter@1/64#42", "bfs", source=3)
+        levels = run["values"]
+"""
+
+from __future__ import annotations
+
+import itertools
+import socket
+from typing import Optional
+
+from ..errors import ServeError
+from .protocol import read_frame_sync, write_frame_sync
+
+__all__ = ["ServeClient"]
+
+#: Default per-request timeout.  Whole-graph algorithms on large scales
+#: plus a cold load can take a while; queries answer in milliseconds.
+DEFAULT_TIMEOUT_S = 120.0
+
+
+class ServeClient:
+    """One blocking connection to a :class:`~repro.serve.server.ServeServer`."""
+
+    def __init__(
+        self,
+        host: str = "127.0.0.1",
+        port: int = 7077,
+        timeout_s: float = DEFAULT_TIMEOUT_S,
+    ):
+        self.host = host
+        self.port = int(port)
+        self._sock = socket.create_connection(
+            (host, self.port), timeout=timeout_s
+        )
+        self._ids = itertools.count(1)
+
+    # ------------------------------------------------------------------
+    def request(self, op: str, **args) -> dict:
+        """Send one request, block for its response, unwrap the envelope."""
+        request_id = next(self._ids)
+        message = {"id": request_id, "op": op}
+        message.update(args)
+        write_frame_sync(self._sock, message)
+        response = read_frame_sync(self._sock)
+        if response.get("id") not in (request_id, None):
+            raise ServeError(
+                f"response id {response.get('id')!r} does not match "
+                f"request id {request_id}"
+            )
+        if not response.get("ok"):
+            raise ServeError(response.get("error", "unknown server error"))
+        return response["result"]
+
+    # ------------------------------------------------------------------
+    # Convenience ops
+    # ------------------------------------------------------------------
+    def ping(self) -> bool:
+        return bool(self.request("ping").get("pong"))
+
+    def load(self, graph: str, scale: Optional[int] = None,
+             seed: Optional[int] = None) -> dict:
+        """Load a suite graph server-side; returns its metadata."""
+        args = {"graph": graph}
+        if scale is not None:
+            args["scale"] = int(scale)
+        if seed is not None:
+            args["seed"] = int(seed)
+        return self.request("load", **args)
+
+    def list_graphs(self) -> list:
+        return self.request("list")["graphs"]
+
+    def query(
+        self,
+        graph: str,
+        algorithm: str,
+        source: Optional[int] = None,
+        params: Optional[dict] = None,
+    ) -> dict:
+        """Run one query; returns the per-query response dict."""
+        args = {"graph": graph, "algorithm": algorithm}
+        if source is not None:
+            args["source"] = int(source)
+        if params:
+            args["params"] = params
+        return self.request("query", **args)
+
+    def stats(self) -> dict:
+        return self.request("stats")
+
+    def shutdown(self) -> None:
+        """Ask the server to stop (acknowledged before it exits)."""
+        self.request("shutdown")
+
+    # ------------------------------------------------------------------
+    def close(self) -> None:
+        try:
+            self._sock.close()
+        except OSError:
+            pass
+
+    def __enter__(self) -> "ServeClient":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()

@@ -1,0 +1,377 @@
+"""Load generator: bursty multi-client traffic against the service.
+
+Replays the *same* seeded workload against two in-process servers —
+one with coalescing enabled, one without — and reports the latency
+percentiles and the coalescing throughput gain.  The workload is
+bursty on purpose: graph-analytics query streams arrive in waves
+(trending vertices, dashboard refreshes), and a burst of same-graph
+traversals is exactly what the coalescer converts into one
+``spmv_batch`` execution.
+
+Fairness rules baked in:
+
+* both servers run with the **result cache disabled** — the comparison
+  measures execution throughput, not memoisation;
+* both replays use the identical query sequence, burst timing and
+  client count (one seeded RNG, generated once);
+* a sample of served answers is checked **bit-identical** against
+  direct driver calls, so the speedup is never purchased with drift.
+
+Run it: ``python -m repro.serve.loadgen --graphs twitter,vsp``.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from ..experiments.report import ExperimentResult
+from .client import ServeClient
+from .server import ServeConfig, run_in_thread
+
+__all__ = ["LoadgenConfig", "run_loadgen", "main"]
+
+#: Traversal share of the query mix; the remainder splits between the
+#: whole-graph algorithms (which never coalesce, keeping the mix honest).
+TRAVERSAL_FRACTION = 0.9
+
+#: Mean pause between bursts, seconds (exponentially distributed).
+DEFAULT_GAP_MEAN_S = 0.01
+
+#: Share of a traversal burst's queries that hit its trending source.
+#: A wave about one vertex is the workload request coalescing is for;
+#: the no-coalescing baseline executes every duplicate in full.
+HOT_FRACTION = 0.6
+
+#: Fraction of served queries re-checked against direct driver calls.
+VERIFY_FRACTION = 0.25
+
+#: A burst that cannot assemble within this long means a client died;
+#: break the barrier instead of hanging the campaign.
+_BURST_TIMEOUT_S = 120.0
+
+
+@dataclass
+class LoadgenConfig:
+    """One load-generation campaign."""
+
+    graphs: Sequence[str] = ("vsp",)
+    scale: int = 16
+    seed: int = 7
+    n_clients: int = 8
+    queries_per_client: int = 12
+    #: Queries per burst (all clients fire together within a burst).
+    burst_width: int = 8
+    gap_mean_s: float = DEFAULT_GAP_MEAN_S
+    concurrency: int = 4
+    coalesce_window_s: float = 0.01
+    coalesce_max_width: int = 64
+    verify: bool = True
+
+
+@dataclass
+class _Replay:
+    """Measurements from one full workload replay."""
+
+    label: str
+    latencies_s: List[float] = field(default_factory=list)
+    wall_s: float = 0.0
+    stats: Dict = field(default_factory=dict)
+    responses: List[dict] = field(default_factory=list)
+
+    @property
+    def qps(self) -> float:
+        return len(self.latencies_s) / self.wall_s if self.wall_s else 0.0
+
+    def percentile(self, q: float) -> float:
+        return float(np.percentile(np.array(self.latencies_s), q))
+
+
+def _build_workload(config: LoadgenConfig, graph_names, n_vertices):
+    """The seeded query schedule: (client, burst, graph, alg, source).
+
+    Bursts are the unit of arrival: every query in burst ``b`` is
+    released at the same instant, after an exponential inter-burst gap.
+    A burst models one *wave* — a trending vertex neighbourhood, a
+    dashboard refresh — so graph and algorithm are drawn per burst and
+    only the sources vary within it.  Each traversal burst has a
+    *trending* source that :data:`HOT_FRACTION` of its queries hit
+    (the thundering-herd shape request coalescing exists for); the
+    coalescer answers all of them with one executed column while the
+    baseline runs every duplicate in full.
+    """
+    rng = np.random.default_rng(config.seed)
+    total = config.n_clients * config.queries_per_client
+    # A burst never spans more clients than exist: one client issues at
+    # most one query per burst (two would deadlock its own barrier).
+    burst_width = max(1, min(config.burst_width, config.n_clients))
+    queries = []
+    b = 0
+    while len(queries) < total:
+        name = graph_names[int(rng.integers(len(graph_names)))]
+        roll = float(rng.random())
+        if roll < TRAVERSAL_FRACTION:
+            algorithm = "bfs" if rng.random() < 0.5 else "sssp"
+            params: Optional[dict] = None
+            width = burst_width
+        elif roll < TRAVERSAL_FRACTION + (1 - TRAVERSAL_FRACTION) / 2:
+            # A whole-graph wave is one refresh, not a herd of clones.
+            algorithm, params, width = "pagerank", {"max_iters": 10}, 1
+        else:
+            algorithm, params, width = "cf", {"iterations": 2, "k": 4}, 1
+        trending = int(rng.integers(n_vertices[name]))
+        for slot in range(min(width, total - len(queries))):
+            if algorithm not in ("bfs", "sssp"):
+                source = None
+            elif float(rng.random()) < HOT_FRACTION:
+                source = trending
+            else:
+                source = int(rng.integers(n_vertices[name]))
+            queries.append(
+                {
+                    "client": (b + slot) % config.n_clients,
+                    "burst": b,
+                    "graph": name,
+                    "algorithm": algorithm,
+                    "source": source,
+                    "params": params,
+                }
+            )
+        b += 1
+    gaps = rng.exponential(config.gap_mean_s, size=b).tolist()
+    return queries, gaps
+
+
+def _replay(config: LoadgenConfig, queries, gaps, coalesce: bool) -> _Replay:
+    """Run the workload against a fresh server; returns measurements."""
+    server_config = ServeConfig(
+        port=0,
+        concurrency=config.concurrency,
+        coalesce_window_s=(
+            config.coalesce_window_s if coalesce else -1.0
+        ),
+        coalesce_max_width=config.coalesce_max_width,
+        result_cache_size=0,  # measure execution, not memoisation
+        scale=config.scale,
+        preload=tuple(f"{g}@{config.scale}" for g in config.graphs),
+    )
+    label = "coalesced" if coalesce else "sequential"
+    replay = _Replay(label=label)
+    with run_in_thread(server_config) as handle:
+        by_client: Dict[int, List[dict]] = {}
+        for q in queries:
+            by_client.setdefault(q["client"], []).append(q)
+        # One barrier per burst; the pacer is the +1 party, so a burst
+        # releases only once every member arrived AND the seeded
+        # inter-burst gap elapsed — that's what makes the load bursty.
+        barriers = [
+            threading.Barrier(
+                sum(1 for q in queries if q["burst"] == b) + 1
+            )
+            for b in range(len(gaps))
+        ]
+        lock = threading.Lock()
+
+        def client_loop(client_id: int, mine: List[dict]) -> None:
+            with ServeClient(port=handle.port) as client:
+                for q in mine:
+                    barriers[q["burst"]].wait(timeout=_BURST_TIMEOUT_S)
+                    t0 = time.perf_counter()
+                    response = client.query(
+                        q["key"], q["algorithm"],
+                        source=q["source"], params=q["params"],
+                    )
+                    dt = time.perf_counter() - t0
+                    with lock:
+                        replay.latencies_s.append(dt)
+                        replay.responses.append(response)
+
+        def pacer() -> None:
+            for burst, gap in enumerate(gaps):
+                time.sleep(gap)
+                barriers[burst].wait(timeout=_BURST_TIMEOUT_S)
+
+        with ServeClient(port=handle.port) as admin:
+            key_by_suite = {
+                meta["name"].split("@")[0]: meta["name"]
+                for meta in admin.list_graphs()
+            }
+            for q in queries:
+                q["key"] = key_by_suite[q["graph"]]
+            threads = [
+                threading.Thread(
+                    target=client_loop, args=(cid, mine), daemon=True
+                )
+                for cid, mine in sorted(by_client.items())
+            ]
+            threads.append(
+                threading.Thread(target=pacer, daemon=True)
+            )
+            t_start = time.perf_counter()
+            for t in threads:
+                t.start()
+            for t in threads:
+                t.join()
+            replay.wall_s = time.perf_counter() - t_start
+            replay.stats = admin.stats()
+            admin.shutdown()
+    return replay
+
+
+def _verify_sample(config: LoadgenConfig, replay: _Replay) -> int:
+    """Bit-compare a seeded sample of served answers to direct calls.
+
+    Returns the number of verified responses; raises on any mismatch.
+    """
+    from ..experiments.common import table3_graph
+    from ..graphs import bfs, collaborative_filtering, pagerank, sssp
+
+    rng = np.random.default_rng(config.seed + 1)
+    n = max(1, int(len(replay.responses) * VERIFY_FRACTION))
+    picks = rng.choice(len(replay.responses), size=n, replace=False)
+    graphs = {
+        g: table3_graph(g, scale=config.scale, seed=42)
+        for g in config.graphs
+    }
+    for index in picks:
+        response = replay.responses[int(index)]
+        graph = graphs[response["graph"].split("@")[0]]
+        algorithm = response["algorithm"]
+        if algorithm == "bfs":
+            direct = bfs(graph, response["source"])
+        elif algorithm == "sssp":
+            direct = sssp(graph, response["source"])
+        elif algorithm == "pagerank":
+            direct = pagerank(graph, max_iters=10)
+        else:
+            direct = collaborative_filtering(graph, iterations=2, k=4)
+        if response["values"] != direct.values.tolist():
+            raise AssertionError(
+                f"served {algorithm} answer on {response['graph']} "
+                f"(source={response['source']}) is not bit-identical "
+                "to the direct driver call"
+            )
+    return n
+
+
+def run_loadgen(config: Optional[LoadgenConfig] = None) -> ExperimentResult:
+    """The full campaign: replay twice, compare, verify, report."""
+    config = config or LoadgenConfig()
+    from ..experiments.common import table3_graph
+
+    n_vertices = {
+        g: table3_graph(g, scale=config.scale, seed=42).n_vertices
+        for g in config.graphs
+    }
+    queries, gaps = _build_workload(
+        config, list(config.graphs), n_vertices
+    )
+    result = ExperimentResult(
+        experiment="serve_loadgen",
+        title="Query service: coalescing throughput under bursty load",
+        columns=[
+            "mode", "queries", "wall_s", "qps",
+            "p50_ms", "p95_ms", "p99_ms",
+            "batches", "mean_width",
+        ],
+        notes=(
+            f"{config.n_clients} clients x {config.queries_per_client} "
+            f"queries, burst width {config.burst_width}, graphs "
+            f"{','.join(config.graphs)}@1/{config.scale}, seed "
+            f"{config.seed}; result cache disabled in both modes"
+        ),
+    )
+    replays = {}
+    for coalesce in (False, True):
+        replay = _replay(config, queries, gaps, coalesce)
+        replays[replay.label] = replay
+        coal = replay.stats["coalescer"]
+        result.add(
+            mode=replay.label,
+            queries=len(replay.latencies_s),
+            wall_s=round(replay.wall_s, 4),
+            qps=round(replay.qps, 2),
+            p50_ms=round(replay.percentile(50) * 1e3, 3),
+            p95_ms=round(replay.percentile(95) * 1e3, 3),
+            p99_ms=round(replay.percentile(99) * 1e3, 3),
+            batches=coal["batches"],
+            mean_width=coal["mean_width"],
+        )
+    gain = (
+        replays["coalesced"].qps / replays["sequential"].qps
+        if replays["sequential"].qps
+        else 0.0
+    )
+    verified = 0
+    if config.verify:
+        verified = _verify_sample(config, replays["coalesced"])
+        verified += _verify_sample(config, replays["sequential"])
+    result.timings["sequential_wall_s"] = replays["sequential"].wall_s
+    result.timings["coalesced_wall_s"] = replays["coalesced"].wall_s
+    result.add(
+        mode="gain",
+        queries=verified,
+        wall_s=0.0,
+        qps=round(gain, 3),
+        p50_ms=0.0, p95_ms=0.0, p99_ms=0.0,
+        batches=replays["coalesced"].stats["coalescer"]["batches"],
+        mean_width=replays["coalesced"].stats["coalescer"]["mean_width"],
+    )
+    result.notes += (
+        f"; throughput gain {gain:.2f}x, {verified} answers verified "
+        "bit-identical"
+    )
+    return result
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """CLI: ``python -m repro.serve.loadgen [--graphs ...] [--out ...]``."""
+    import argparse
+
+    from ..experiments.store import save_result
+
+    parser = argparse.ArgumentParser(
+        prog="repro.serve.loadgen",
+        description="Bursty multi-client load against the query service.",
+    )
+    parser.add_argument("--graphs", default="vsp",
+                        help="comma-separated suite graph names")
+    parser.add_argument("--scale", type=int, default=16)
+    parser.add_argument("--seed", type=int, default=7)
+    parser.add_argument("--clients", type=int, default=8)
+    parser.add_argument("--queries", type=int, default=12,
+                        help="queries per client")
+    parser.add_argument("--burst-width", type=int, default=8)
+    parser.add_argument("--concurrency", type=int, default=4)
+    parser.add_argument("--window-ms", type=float, default=10.0,
+                        help="coalescing window, milliseconds")
+    parser.add_argument("--no-verify", action="store_true",
+                        help="skip the bit-identity spot check")
+    parser.add_argument("--out", default=None,
+                        help="write the result JSON here")
+    args = parser.parse_args(argv)
+    config = LoadgenConfig(
+        graphs=tuple(g for g in args.graphs.split(",") if g),
+        scale=args.scale,
+        seed=args.seed,
+        n_clients=args.clients,
+        queries_per_client=args.queries,
+        burst_width=args.burst_width,
+        concurrency=args.concurrency,
+        coalesce_window_s=args.window_ms / 1e3,
+        verify=not args.no_verify,
+    )
+    result = run_loadgen(config)
+    print(result.table())
+    if args.out:
+        save_result(result, args.out)
+        print(f"wrote {args.out}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

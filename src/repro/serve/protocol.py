@@ -1,0 +1,158 @@
+"""Length-prefixed JSON framing for the query service.
+
+One frame is a 4-byte big-endian payload length followed by that many
+bytes of UTF-8 JSON.  The format is deliberately minimal: any client
+that can write four bytes and a JSON object can talk to the server,
+and Python's ``json`` round-trips floats through ``repr`` (shortest
+round-trip encoding), so served vertex values compare **bit-exactly**
+against direct driver calls — the same property the pricing cache
+relies on.  Non-finite floats (BFS/SSSP's unreachable ``inf``) use the
+``json`` module's ``Infinity``/``NaN`` literals, which both ends of
+this protocol parse.
+
+Requests and responses are plain dicts:
+
+* request — ``{"id": <any>, "op": <str>, ...op arguments}``
+* success — ``{"id": <any>, "ok": true, "result": {...}}``
+* failure — ``{"id": <any>, "ok": false, "error": <message>}``
+
+The async helpers serve :mod:`repro.serve.server`; the ``_sync``
+variants serve the blocking :mod:`repro.serve.client`.
+"""
+
+from __future__ import annotations
+
+import json
+import struct
+from typing import Optional
+
+from ..errors import ServeError
+
+__all__ = [
+    "MAX_FRAME_BYTES",
+    "encode_frame",
+    "decode_payload",
+    "read_frame",
+    "write_frame",
+    "read_frame_sync",
+    "write_frame_sync",
+    "ok_response",
+    "error_response",
+]
+
+#: Upper bound on one frame's JSON payload.  A full vertex-value vector
+#: for a million-vertex graph fits comfortably; anything larger is a
+#: corrupt or hostile length prefix, not a query.
+MAX_FRAME_BYTES = 256 * 1024 * 1024
+
+_LEN = struct.Struct(">I")
+
+
+def encode_frame(message: dict) -> bytes:
+    """One wire frame: big-endian length prefix + UTF-8 JSON payload."""
+    payload = json.dumps(message, separators=(",", ":")).encode("utf-8")
+    if len(payload) > MAX_FRAME_BYTES:
+        raise ServeError(
+            f"frame payload of {len(payload)} bytes exceeds the "
+            f"{MAX_FRAME_BYTES}-byte protocol limit"
+        )
+    return _LEN.pack(len(payload)) + payload
+
+
+def decode_payload(payload: bytes) -> dict:
+    """Parse one frame's JSON payload into a message dict."""
+    try:
+        message = json.loads(payload.decode("utf-8"))
+    except (UnicodeDecodeError, ValueError) as exc:
+        raise ServeError(f"unparseable frame payload: {exc}") from None
+    if not isinstance(message, dict):
+        raise ServeError(
+            f"frame payload must be a JSON object, got "
+            f"{type(message).__name__}"
+        )
+    return message
+
+
+def _check_length(length: int) -> None:
+    if length > MAX_FRAME_BYTES:
+        raise ServeError(
+            f"frame length {length} exceeds the {MAX_FRAME_BYTES}-byte "
+            "protocol limit"
+        )
+
+
+# ----------------------------------------------------------------------
+# Async (server) side
+# ----------------------------------------------------------------------
+async def read_frame(reader) -> Optional[dict]:
+    """Read one frame from an ``asyncio.StreamReader``.
+
+    Returns ``None`` on a clean EOF (the peer closed between frames);
+    raises :class:`~repro.errors.ServeError` on a truncated or
+    oversized frame.
+    """
+    import asyncio
+
+    try:
+        header = await reader.readexactly(_LEN.size)
+    except asyncio.IncompleteReadError as exc:
+        if not exc.partial:
+            return None
+        raise ServeError("connection closed mid-frame header") from None
+    (length,) = _LEN.unpack(header)
+    _check_length(length)
+    try:
+        payload = await reader.readexactly(length)
+    except asyncio.IncompleteReadError:
+        raise ServeError("connection closed mid-frame payload") from None
+    return decode_payload(payload)
+
+
+async def write_frame(writer, message: dict) -> None:
+    """Write one frame to an ``asyncio.StreamWriter`` and drain."""
+    writer.write(encode_frame(message))
+    await writer.drain()
+
+
+# ----------------------------------------------------------------------
+# Blocking (client) side
+# ----------------------------------------------------------------------
+def _recv_exactly(sock, n: int) -> bytes:
+    chunks = []
+    got = 0
+    while got < n:
+        chunk = sock.recv(n - got)
+        if not chunk:
+            raise ServeError(
+                "connection closed mid-frame"
+                if chunks or got
+                else "connection closed"
+            )
+        chunks.append(chunk)
+        got += len(chunk)
+    return b"".join(chunks)
+
+
+def read_frame_sync(sock) -> dict:
+    """Read one frame from a blocking socket."""
+    (length,) = _LEN.unpack(_recv_exactly(sock, _LEN.size))
+    _check_length(length)
+    return decode_payload(_recv_exactly(sock, length))
+
+
+def write_frame_sync(sock, message: dict) -> None:
+    """Write one frame to a blocking socket."""
+    sock.sendall(encode_frame(message))
+
+
+# ----------------------------------------------------------------------
+# Response shapes
+# ----------------------------------------------------------------------
+def ok_response(request_id, result: dict) -> dict:
+    """The success envelope for one answered request."""
+    return {"id": request_id, "ok": True, "result": result}
+
+
+def error_response(request_id, message: str) -> dict:
+    """The failure envelope; the client re-raises it as ServeError."""
+    return {"id": request_id, "ok": False, "error": str(message)}

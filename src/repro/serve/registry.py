@@ -1,0 +1,186 @@
+"""The server's graph registry: load once, reuse across a query stream.
+
+OSKI's amortization argument, applied to serving: building a
+:class:`~repro.core.runtime.CoSparseRuntime` — two resident matrix
+formats, partitions, (optionally) an autotuned layout — is expensive,
+so the registry pays it once per graph and every subsequent query
+reuses the same operand, runtime and tuning plan.  Each loaded graph
+also carries a bounded per-graph **result cache** keyed on
+``(algorithm, source, params)``: a repeated query is answered without
+touching the runtime at all.
+
+Everything here is synchronous and unlocked; the server serialises
+access per graph with an :mod:`asyncio` lock (one runtime is stateful
+across a driver call) and runs driver calls in its worker pool.
+"""
+
+from __future__ import annotations
+
+import json
+from collections import OrderedDict
+from typing import Dict, List, Optional, Tuple
+
+from ..core.runtime import CoSparseRuntime
+from ..errors import ServeError
+from ..graphs import Graph
+
+__all__ = ["LoadedGraph", "GraphRegistry", "ResultCache", "params_key"]
+
+#: Result-cache entries kept per graph (LRU beyond this).  A cache hit
+#: returns the *same* response dict the first execution produced, so
+#: repeats are bit-identical by construction.
+DEFAULT_RESULT_CACHE_SIZE = 256
+
+
+def params_key(params: Optional[dict]) -> str:
+    """Canonical string for a query's parameter dict (cache-key part)."""
+    return json.dumps(params or {}, sort_keys=True, separators=(",", ":"))
+
+
+class ResultCache:
+    """Bounded LRU of finished query responses for one graph."""
+
+    def __init__(self, maxsize: int = DEFAULT_RESULT_CACHE_SIZE):
+        self.maxsize = int(maxsize)
+        self._entries: "OrderedDict[Tuple, dict]" = OrderedDict()
+        self.hits = 0
+        self.misses = 0
+
+    def key(
+        self, algorithm: str, source: Optional[int], params: Optional[dict]
+    ) -> Tuple:
+        return (algorithm, source, params_key(params))
+
+    def get(self, key: Tuple) -> Optional[dict]:
+        if self.maxsize <= 0:
+            return None
+        entry = self._entries.get(key)
+        if entry is None:
+            self.misses += 1
+            return None
+        self._entries.move_to_end(key)
+        self.hits += 1
+        return entry
+
+    def put(self, key: Tuple, response: dict) -> None:
+        if self.maxsize <= 0:
+            return
+        self._entries[key] = response
+        self._entries.move_to_end(key)
+        while len(self._entries) > self.maxsize:
+            self._entries.popitem(last=False)
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+
+class LoadedGraph:
+    """One resident graph: operand, runtime, result cache, counters."""
+
+    def __init__(
+        self,
+        name: str,
+        graph: Graph,
+        runtime: CoSparseRuntime,
+        result_cache_size: int = DEFAULT_RESULT_CACHE_SIZE,
+    ):
+        self.name = name
+        self.graph = graph
+        self.runtime = runtime
+        self.results = ResultCache(result_cache_size)
+        self.queries = 0
+        self.batched_queries = 0
+        self.batches = 0
+
+    def meta(self) -> dict:
+        """The ``load``/``list`` description of this graph."""
+        return {
+            "name": self.name,
+            "graph": self.graph.name,
+            "n_vertices": int(self.graph.n_vertices),
+            "n_edges": int(self.graph.n_edges),
+            "runtime": self.runtime.describe(),
+        }
+
+    def stats(self) -> dict:
+        return {
+            "queries": self.queries,
+            "batches": self.batches,
+            "batched_queries": self.batched_queries,
+            "result_cache_hits": self.results.hits,
+            "result_cache_misses": self.results.misses,
+            "result_cache_entries": len(self.results),
+        }
+
+
+class GraphRegistry:
+    """Name -> :class:`LoadedGraph`, with suite-backed loading.
+
+    ``load`` accepts either a Table III suite name (synthesised at the
+    requested scale through the on-disk workload cache) or a
+    pre-built :class:`~repro.graphs.Graph` via :meth:`register` (tests
+    and embedded servers).
+    """
+
+    def __init__(
+        self,
+        geometry: str = "8x16",
+        policy: str = "tree",
+        tune: bool = False,
+        result_cache_size: int = DEFAULT_RESULT_CACHE_SIZE,
+    ):
+        self.geometry = geometry
+        self.policy = policy
+        self.tune = tune
+        self.result_cache_size = int(result_cache_size)
+        self._graphs: Dict[str, LoadedGraph] = {}
+
+    # ------------------------------------------------------------------
+    def register(self, name: str, graph: Graph) -> LoadedGraph:
+        """Adopt a pre-built graph under ``name`` (idempotent per name)."""
+        entry = self._graphs.get(name)
+        if entry is not None:
+            return entry
+        runtime = CoSparseRuntime(
+            graph.operand,
+            self.geometry,
+            policy=self.policy,
+            auto_tune=self.tune,
+        )
+        entry = LoadedGraph(name, graph, runtime, self.result_cache_size)
+        self._graphs[name] = entry
+        return entry
+
+    def load(self, name: str, scale: int = 64, seed: int = 42) -> LoadedGraph:
+        """Load a Table III stand-in (cached workload) under ``name``.
+
+        The registry key carries the scale/seed so two differently
+        scaled loads of the same suite graph coexist.
+        """
+        key = f"{name}@1/{int(scale)}#{int(seed)}"
+        entry = self._graphs.get(key)
+        if entry is not None:
+            return entry
+        from ..experiments.common import table3_graph
+
+        graph = table3_graph(name, scale=int(scale), seed=int(seed))
+        return self.register(key, graph)
+
+    # ------------------------------------------------------------------
+    def get(self, name: str) -> LoadedGraph:
+        entry = self._graphs.get(name)
+        if entry is None:
+            raise ServeError(
+                f"graph {name!r} is not loaded; loaded: "
+                f"{sorted(self._graphs) or 'none'}"
+            )
+        return entry
+
+    def names(self) -> List[str]:
+        return sorted(self._graphs)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._graphs
+
+    def __len__(self) -> int:
+        return len(self._graphs)

@@ -58,6 +58,36 @@ class TestPricingCache:
         cache = PricingCache()
         assert cache.dir == os.path.join(str(tmp_path), "pricing")
 
+    def test_transient_oserror_keeps_entry(self, tmp_path, monkeypatch):
+        # A failed *open* (EACCES, EMFILE, EIO) says nothing about the
+        # entry's content: it must be a plain miss, never a delete.
+        import builtins
+
+        cache = PricingCache(root=str(tmp_path))
+        cache.put("k", "mod:fn", {"cycles": 42.0})
+        path = os.path.join(cache.dir, "k.json")
+        real_open = builtins.open
+
+        def flaky_open(file, *args, **kwargs):
+            if file == path:
+                raise PermissionError(13, "transient EACCES", file)
+            return real_open(file, *args, **kwargs)
+
+        monkeypatch.setattr(builtins, "open", flaky_open)
+        assert cache.get("k") is None  # miss while unreadable...
+        monkeypatch.setattr(builtins, "open", real_open)
+        assert os.path.exists(path)  # ...but the entry survived
+        assert cache.get("k") == {"cycles": 42.0}
+
+    def test_missing_result_key_is_dropped(self, tmp_path):
+        cache = PricingCache(root=str(tmp_path))
+        path = os.path.join(cache.dir, "k.json")
+        os.makedirs(cache.dir, exist_ok=True)
+        with open(path, "w") as f:
+            json.dump({"fn": "mod:fn"}, f)  # parseable but schema-broken
+        assert cache.get("k") is None
+        assert not os.path.exists(path)
+
     def test_unwritable_dir_degrades_silently(self, tmp_path):
         # A plain file where the cache directory should be makes every
         # write path fail with OSError (chmod tricks don't stop root).

@@ -53,6 +53,13 @@ class TestResolveJobs:
         with pytest.raises(ValueError):
             resolve_jobs()
 
+    def test_nonpositive_env_raises(self, monkeypatch):
+        # REPRO_JOBS=0 is user misconfiguration, not a request for 1.
+        for value in ("0", "-3"):
+            monkeypatch.setenv("REPRO_JOBS", value)
+            with pytest.raises(ValueError, match="positive"):
+                resolve_jobs()
+
 
 class TestBitIdentity:
     def test_pool_matches_serial(self, cold_cache):
@@ -121,6 +128,27 @@ class TestFallback:
         )
         results = sched.map(_poison_tasks("hang", n=2))
         assert all(r["ok"] == 1 for r in results)
+        assert counters.pricing_fallbacks == 1
+
+    def test_straggler_keeps_completed_results(self):
+        # One hung worker must not discard (and serially re-run) the
+        # tasks that other workers already finished: only the straggler
+        # itself lands in the fallback count.
+        counters.reset()
+        tasks = [
+            PricingTask(
+                "repro.parallel.work:poison",
+                {"mode": "hang", "i": 0},
+                cacheable=False,
+            )
+        ] + _poison_tasks("ok", n=3)
+        sched = SweepScheduler(
+            jobs=2, timeout_s=2.0, use_cache=False, label="straggler"
+        )
+        results = sched.map(tasks)
+        assert [r["ok"] for r in results] == [1, 1, 1, 1]
+        assert results[0]["mode"] == "hang"  # serial fallback ran it
+        assert sched.last_stats["fallback_tasks"] == 1
         assert counters.pricing_fallbacks == 1
 
     def test_task_exception_propagates(self):

@@ -1,0 +1,138 @@
+"""Coalescer mechanics: grouping, dedup fan-out, sealing, failures."""
+
+import asyncio
+
+import pytest
+
+from repro.serve.coalesce import Coalescer
+
+
+def run(coro):
+    return asyncio.run(coro)
+
+
+def make_runner(calls):
+    async def run_batch(sources):
+        calls.append(list(sources))
+        return [{"source": s, "tag": len(calls)} for s in sources]
+
+    return run_batch
+
+
+class TestGrouping:
+    def test_single_query_runs_alone(self):
+        calls = []
+
+        async def scenario():
+            c = Coalescer(window_s=0.0)
+            return await c.submit(("g", "bfs"), 3, make_runner(calls))
+
+        result = run(scenario())
+        assert result.width == 1
+        assert result.response["source"] == 3
+        assert calls == [[3]]
+
+    def test_concurrent_same_key_coalesce(self):
+        calls = []
+
+        async def scenario():
+            c = Coalescer(window_s=0.01)
+            results = await asyncio.gather(
+                *(c.submit(("g", "bfs"), s, make_runner(calls))
+                  for s in [5, 6, 7])
+            )
+            return c, results
+
+        c, results = run(scenario())
+        assert calls == [[5, 6, 7]]
+        assert [r.width for r in results] == [3, 3, 3]
+        assert [r.response["source"] for r in results] == [5, 6, 7]
+        assert c.stats()["batches"] == 1
+        assert c.stats()["coalesced_queries"] == 3
+
+    def test_different_keys_do_not_mix(self):
+        calls = []
+
+        async def scenario():
+            c = Coalescer(window_s=0.01)
+            return await asyncio.gather(
+                c.submit(("g", "bfs"), 1, make_runner(calls)),
+                c.submit(("g", "sssp"), 1, make_runner(calls)),
+            )
+
+        run(scenario())
+        assert sorted(calls) == [[1], [1]]
+
+    def test_duplicate_sources_fan_out(self):
+        calls = []
+
+        async def scenario():
+            c = Coalescer(window_s=0.01)
+            return await asyncio.gather(
+                *(c.submit(("g", "bfs"), s, make_runner(calls))
+                  for s in [9, 9, 9, 4])
+            )
+
+        results = run(scenario())
+        # One executed batch with two distinct sources...
+        assert calls == [[9, 4]]
+        # ...but every duplicate waiter got its answer.
+        assert [r.response["source"] for r in results] == [9, 9, 9, 4]
+        assert all(r.width == 2 for r in results)
+
+    def test_max_width_seals_batch(self):
+        calls = []
+
+        async def scenario():
+            c = Coalescer(window_s=0.01, max_width=2)
+            return await asyncio.gather(
+                *(c.submit(("g", "bfs"), s, make_runner(calls))
+                  for s in [1, 2, 3])
+            )
+
+        results = run(scenario())
+        assert sorted(len(batch) for batch in calls) == [1, 2]
+        assert sorted(r.response["source"] for r in results) == [1, 2, 3]
+
+
+class TestFailures:
+    def test_batch_failure_reaches_every_waiter(self):
+        async def run_batch(sources):
+            raise RuntimeError("kernel exploded")
+
+        async def scenario():
+            c = Coalescer(window_s=0.01)
+            return await asyncio.gather(
+                c.submit(("g", "bfs"), 1, run_batch),
+                c.submit(("g", "bfs"), 2, run_batch),
+                return_exceptions=True,
+            )
+
+        results = run(scenario())
+        assert all(isinstance(r, RuntimeError) for r in results)
+
+    def test_wrong_response_count_raises(self):
+        async def run_batch(sources):
+            return [{"source": sources[0]}] * (len(sources) + 1)
+
+        async def scenario():
+            c = Coalescer(window_s=0.0)
+            return await c.submit(("g", "bfs"), 1, run_batch)
+
+        with pytest.raises(RuntimeError, match="responses"):
+            run(scenario())
+
+    def test_failed_batch_not_counted_in_stats(self):
+        async def run_batch(sources):
+            raise ValueError("nope")
+
+        async def scenario():
+            c = Coalescer(window_s=0.0)
+            try:
+                await c.submit(("g", "bfs"), 1, run_batch)
+            except ValueError:
+                pass
+            return c.stats()
+
+        stats = run(scenario())
+        assert stats["batches"] == 0

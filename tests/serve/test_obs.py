@@ -1,0 +1,66 @@
+"""Serving observability: per-query spans, events, metrics."""
+
+import asyncio
+
+from repro.graphs import Graph
+from repro.obs import Tracer, override
+from repro.obs.events import validate_record
+from repro.serve import ServeConfig
+from repro.serve.server import QueryService
+from repro.workloads import chung_lu
+
+
+def serve_one_query_traced():
+    service = QueryService(ServeConfig(port=0))
+    service.registry.register(
+        "g", Graph(chung_lu(400, 2500, seed=3), name="g")
+    )
+    tracer = Tracer(label="serve-test")
+    with override(tracer):
+        try:
+            response = asyncio.run(
+                service.handle(
+                    {"id": 1, "op": "query", "graph": "g",
+                     "algorithm": "bfs", "source": 2}
+                )
+            )
+        finally:
+            service.close()
+    assert response["ok"]
+    return tracer, response
+
+
+class TestServeTracing:
+    def test_query_emits_span_event_and_metrics(self):
+        tracer, response = serve_one_query_traced()
+        spans = [
+            r for r in tracer.records
+            if r.get("type") == "span" and r.get("name") == "serve.query"
+        ]
+        assert len(spans) == 1
+        assert spans[0]["attrs"]["graph"] == "g"
+        assert spans[0]["attrs"]["cache_hit"] is False
+        events = [
+            r for r in tracer.records
+            if r.get("type") == "event" and r.get("event") == "serve_query"
+        ]
+        assert len(events) == 1
+        event = events[0]
+        assert event["algorithm"] == "bfs"
+        assert event["coalesced_width"] == 1
+        assert event["latency_s"] > 0
+        # The serve_query record satisfies the schema validator.
+        assert validate_record(event) == []
+        assert "serve.latency_s" in tracer.metrics.observations
+        assert "serve.queue_depth" in tracer.metrics.observations
+        assert "serve.coalesce_width" in tracer.metrics.observations
+
+    def test_latency_never_reaches_cycle_records(self):
+        """Serving wall-clock stays in obs; modelled cycles in the
+        response equal the tracer-free direct run's cycles."""
+        from repro.graphs import bfs
+
+        tracer, response = serve_one_query_traced()
+        graph = Graph(chung_lu(400, 2500, seed=3), name="g")
+        direct = bfs(graph, 2)
+        assert response["result"]["cycles"] == direct.log.total_cycles

@@ -1,0 +1,110 @@
+"""Wire-protocol framing: round trips, bad frames, envelopes."""
+
+import socket
+import struct
+import threading
+
+import pytest
+
+from repro.errors import ServeError
+from repro.serve.protocol import (
+    MAX_FRAME_BYTES,
+    decode_payload,
+    encode_frame,
+    error_response,
+    ok_response,
+    read_frame_sync,
+    write_frame_sync,
+)
+
+
+def _roundtrip(message):
+    frame = encode_frame(message)
+    (length,) = struct.unpack(">I", frame[:4])
+    assert length == len(frame) - 4
+    return decode_payload(frame[4:])
+
+
+class TestFraming:
+    def test_roundtrip_basic(self):
+        message = {"id": 1, "op": "query", "graph": "g", "source": 3}
+        assert _roundtrip(message) == message
+
+    def test_roundtrip_floats_bit_exact(self):
+        # json uses repr (shortest round-trip) for floats: the decoded
+        # values must be the same doubles, including awkward ones.
+        values = [0.1, 1 / 3, 1e-300, 2**53 + 1.0, 6.02e23]
+        assert _roundtrip({"values": values})["values"] == values
+
+    def test_roundtrip_infinity(self):
+        # BFS/SSSP mark unreachable vertices with inf; the json module's
+        # Infinity literal must survive the trip.
+        out = _roundtrip({"values": [0.0, float("inf"), 2.0]})
+        assert out["values"][1] == float("inf")
+
+    def test_oversized_payload_rejected(self, monkeypatch):
+        monkeypatch.setattr(
+            "repro.serve.protocol.MAX_FRAME_BYTES", 64
+        )
+        with pytest.raises(ServeError, match="exceeds"):
+            encode_frame({"blob": "x" * 128})
+
+    def test_unparseable_payload_rejected(self):
+        with pytest.raises(ServeError, match="unparseable"):
+            decode_payload(b"{nope")
+
+    def test_non_object_payload_rejected(self):
+        with pytest.raises(ServeError, match="JSON object"):
+            decode_payload(b"[1,2,3]")
+
+    def test_frame_limit_is_sane(self):
+        assert MAX_FRAME_BYTES >= 2**20
+
+
+class TestSyncSocket:
+    def test_socket_roundtrip(self):
+        server, client = socket.socketpair()
+        try:
+            message = {"id": 7, "op": "ping"}
+
+            def echo():
+                write_frame_sync(server, read_frame_sync(server))
+
+            thread = threading.Thread(target=echo)
+            thread.start()
+            write_frame_sync(client, message)
+            assert read_frame_sync(client) == message
+            thread.join()
+        finally:
+            server.close()
+            client.close()
+
+    def test_truncated_frame_raises(self):
+        server, client = socket.socketpair()
+        try:
+            client.sendall(struct.pack(">I", 100) + b"short")
+            client.close()
+            with pytest.raises(ServeError, match="mid-frame"):
+                read_frame_sync(server)
+        finally:
+            server.close()
+
+    def test_closed_before_frame_raises(self):
+        server, client = socket.socketpair()
+        try:
+            client.close()
+            with pytest.raises(ServeError, match="closed"):
+                read_frame_sync(server)
+        finally:
+            server.close()
+
+
+class TestEnvelopes:
+    def test_ok_envelope(self):
+        response = ok_response(5, {"pong": True})
+        assert response == {"id": 5, "ok": True, "result": {"pong": True}}
+
+    def test_error_envelope(self):
+        response = error_response(None, "boom")
+        assert response["ok"] is False
+        assert response["error"] == "boom"

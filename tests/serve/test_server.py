@@ -1,0 +1,278 @@
+"""Query service end-to-end: protocol, coalescing bit-identity,
+admission limits, result caching, error envelopes."""
+
+import asyncio
+import threading
+
+import pytest
+
+from repro.errors import ServeError
+from repro.graphs import Graph, bfs, pagerank, sssp
+from repro.serve import ServeClient, ServeConfig, run_in_thread
+from repro.serve.server import QueryService
+from repro.workloads import chung_lu
+
+
+@pytest.fixture(scope="module")
+def served_graph():
+    return Graph(chung_lu(800, 6000, seed=21), name="served")
+
+
+def make_service(graph=None, **overrides):
+    config = ServeConfig(port=0, **overrides)
+    service = QueryService(config)
+    if graph is not None:
+        service.registry.register("g", graph)
+    return service
+
+
+def run_ops(service, *requests):
+    """Drive handle() for several requests on one event loop."""
+
+    async def scenario():
+        return [await service.handle(r) for r in requests]
+
+    try:
+        return asyncio.run(scenario())
+    finally:
+        service.close()
+
+
+class TestOps:
+    def test_ping(self, served_graph):
+        (response,) = run_ops(make_service(), {"id": 1, "op": "ping"})
+        assert response == {"id": 1, "ok": True, "result": {"pong": True}}
+
+    def test_unknown_op_is_error_envelope(self):
+        (response,) = run_ops(make_service(), {"id": 2, "op": "frobnicate"})
+        assert response["ok"] is False
+        assert "unknown op" in response["error"]
+
+    def test_unknown_graph_is_error(self, served_graph):
+        (response,) = run_ops(
+            make_service(served_graph),
+            {"id": 3, "op": "query", "graph": "missing", "algorithm": "bfs",
+             "source": 0},
+        )
+        assert response["ok"] is False
+        assert "not loaded" in response["error"]
+
+    def test_unknown_algorithm_is_error(self, served_graph):
+        (response,) = run_ops(
+            make_service(served_graph),
+            {"id": 4, "op": "query", "graph": "g", "algorithm": "dijkstra",
+             "source": 0},
+        )
+        assert "unknown algorithm" in response["error"]
+
+    def test_unknown_param_is_error(self, served_graph):
+        (response,) = run_ops(
+            make_service(served_graph),
+            {"id": 5, "op": "query", "graph": "g", "algorithm": "bfs",
+             "source": 0, "params": {"alpha": 0.2}},
+        )
+        assert "does not take params" in response["error"]
+
+    def test_traversal_without_source_is_error(self, served_graph):
+        (response,) = run_ops(
+            make_service(served_graph),
+            {"id": 6, "op": "query", "graph": "g", "algorithm": "bfs"},
+        )
+        assert "need a 'source'" in response["error"]
+
+    def test_stats_shape(self, served_graph):
+        ok, stats = run_ops(
+            make_service(served_graph),
+            {"id": 7, "op": "query", "graph": "g", "algorithm": "bfs",
+             "source": 1},
+            {"id": 8, "op": "stats"},
+        )
+        assert ok["ok"]
+        result = stats["result"]
+        assert result["queries"] == 1
+        assert result["graphs"]["g"]["queries"] == 1
+        assert result["coalescer"]["batches"] >= 0
+
+
+class TestServedAnswers:
+    def test_bfs_bit_identical_to_direct(self, served_graph):
+        (response,) = run_ops(
+            make_service(served_graph),
+            {"id": 1, "op": "query", "graph": "g", "algorithm": "bfs",
+             "source": 5},
+        )
+        direct = bfs(served_graph, 5)
+        assert response["result"]["values"] == direct.values.tolist()
+        assert response["result"]["converged"] == direct.converged
+
+    def test_sssp_bit_identical_to_direct(self, served_graph):
+        (response,) = run_ops(
+            make_service(served_graph),
+            {"id": 1, "op": "query", "graph": "g", "algorithm": "sssp",
+             "source": 2},
+        )
+        assert (
+            response["result"]["values"]
+            == sssp(served_graph, 2).values.tolist()
+        )
+
+    def test_pagerank_bit_identical_to_direct(self, served_graph):
+        (response,) = run_ops(
+            make_service(served_graph),
+            {"id": 1, "op": "query", "graph": "g", "algorithm": "pagerank",
+             "params": {"max_iters": 4}},
+        )
+        direct = pagerank(served_graph, max_iters=4)
+        assert response["result"]["values"] == direct.values.tolist()
+
+    def test_coalesced_columns_bit_identical(self, served_graph):
+        """Concurrent queries answered by ONE batch == sequential runs."""
+        service = make_service(served_graph, coalesce_window_s=0.05)
+        sources = [1, 2, 3, 4]
+
+        async def scenario():
+            return await asyncio.gather(
+                *(
+                    service.handle(
+                        {"id": s, "op": "query", "graph": "g",
+                         "algorithm": "bfs", "source": s}
+                    )
+                    for s in sources
+                )
+            )
+
+        try:
+            responses = asyncio.run(scenario())
+        finally:
+            service.close()
+        widths = [r["result"]["coalesced_width"] for r in responses]
+        assert widths == [4, 4, 4, 4]  # one batch answered all four
+        assert service.coalescer.stats()["batches"] == 1
+        for s, response in zip(sources, responses):
+            assert (
+                response["result"]["values"]
+                == bfs(served_graph, s).values.tolist()
+            )
+
+    def test_result_cache_hit_runs_no_kernel(self, served_graph):
+        service = make_service(served_graph)
+        query = {"id": 1, "op": "query", "graph": "g", "algorithm": "bfs",
+                 "source": 9}
+        first, second = run_ops(service, query, dict(query, id=2))
+        assert first["result"]["cached"] is False
+        assert second["result"]["cached"] is True
+        # Identical payload, and no second execution happened.
+        assert second["result"]["values"] == first["result"]["values"]
+        entry = service.registry.get("g")
+        assert entry.batches == 1
+        assert entry.results.hits == 1
+
+    def test_result_cache_disabled(self, served_graph):
+        service = make_service(served_graph, result_cache_size=0)
+        query = {"id": 1, "op": "query", "graph": "g", "algorithm": "bfs",
+                 "source": 9}
+        first, second = run_ops(service, query, dict(query, id=2))
+        assert second["result"]["cached"] is False
+        assert service.registry.get("g").batches == 2
+
+
+class TestAdmission:
+    def test_concurrency_limit_enforced(self):
+        """More graphs than slots: in-flight executions never exceed
+        the admission limit even though queries arrive together."""
+        service = make_service(concurrency=2)
+        for i in range(5):
+            service.registry.register(
+                f"g{i}", Graph(chung_lu(600, 4000, seed=30 + i), name=f"g{i}")
+            )
+
+        async def scenario():
+            return await asyncio.gather(
+                *(
+                    service.handle(
+                        {"id": i, "op": "query", "graph": f"g{i}",
+                         "algorithm": "bfs", "source": 1}
+                    )
+                    for i in range(5)
+                )
+            )
+
+        try:
+            responses = asyncio.run(scenario())
+        finally:
+            service.close()
+        assert all(r["ok"] for r in responses)
+        assert service.max_in_flight <= 2
+        assert service.max_queue_depth >= 3  # the rest actually queued
+
+    def test_per_graph_lock_serialises_one_graph(self, served_graph):
+        service = make_service(served_graph, concurrency=4,
+                               coalesce_window_s=-1.0)
+
+        async def scenario():
+            return await asyncio.gather(
+                *(
+                    service.handle(
+                        {"id": s, "op": "query", "graph": "g",
+                         "algorithm": "bfs", "source": s}
+                    )
+                    for s in [1, 2, 3]
+                )
+            )
+
+        try:
+            responses = asyncio.run(scenario())
+        finally:
+            service.close()
+        assert all(r["ok"] for r in responses)
+        # One stateful runtime per graph: never two executions at once.
+        assert service.max_in_flight == 1
+
+
+class TestSocketServer:
+    def test_thread_hosted_roundtrip(self, served_graph):
+        with run_in_thread(ServeConfig(port=0)) as handle:
+            handle.service.registry.register("g", served_graph)
+            with ServeClient(port=handle.port) as client:
+                assert client.ping()
+                response = client.query("g", "bfs", source=3)
+                assert (
+                    response["values"] == bfs(served_graph, 3).values.tolist()
+                )
+                assert client.stats()["queries"] == 1
+                with pytest.raises(ServeError, match="not loaded"):
+                    client.query("missing", "bfs", source=0)
+
+    def test_concurrent_clients_coalesce(self, served_graph):
+        config = ServeConfig(port=0, coalesce_window_s=0.05)
+        with run_in_thread(config) as handle:
+            handle.service.registry.register("g", served_graph)
+            responses = [None] * 4
+
+            def fire(i):
+                with ServeClient(port=handle.port) as client:
+                    responses[i] = client.query("g", "sssp", source=i + 1)
+
+            threads = [
+                threading.Thread(target=fire, args=(i,)) for i in range(4)
+            ]
+            for t in threads:
+                t.start()
+            for t in threads:
+                t.join()
+            stats = handle.service.coalescer.stats()
+        assert all(r is not None for r in responses)
+        assert stats["coalesced_queries"] == 4
+        assert stats["max_width"] >= 2  # at least some landed together
+        for i, response in enumerate(responses):
+            assert (
+                response["values"]
+                == sssp(served_graph, i + 1).values.tolist()
+            )
+
+    def test_shutdown_op_stops_server(self, served_graph):
+        handle = run_in_thread(ServeConfig(port=0))
+        with ServeClient(port=handle.port) as client:
+            client.shutdown()
+        handle._thread.join(timeout=10)
+        assert not handle._thread.is_alive()

@@ -14,6 +14,7 @@ class TestHierarchy:
             errors.SimulationError,
             errors.WorkloadError,
             errors.AlgorithmError,
+            errors.ServeError,
         ):
             assert issubclass(exc, errors.ReproError)
 
