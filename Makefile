@@ -2,22 +2,31 @@
 
 PYTHON ?= python
 
-.PHONY: install lint test test-O test-sanitize test-all serve-smoke perf bench bench-parallel bench-tune bench-serve bench-full artifacts examples trace-demo clean
+.PHONY: install lint lint-cold test test-O test-sanitize test-all serve-smoke perf bench bench-parallel bench-tune bench-serve bench-full artifacts examples trace-demo clean
 
 install:
 	$(PYTHON) -m pip install -e . || $(PYTHON) setup.py develop
 
-# repro-lint: the AST-based invariant linter (R1 bare-assert, R2
-# unit-mixing, R3 magic-constant, R4 nondeterminism, R5 kernel-purity).
-# The checked-in baseline is empty: HEAD must be clean.
+# repro-lint: the whole-program invariant linter (R1 bare-assert, R2
+# unit-mixing, R3 magic-constant, R4 nondeterminism, R5 kernel-purity,
+# R6 async-discipline, R7 shm-lifecycle, R8 task-purity, R9
+# cache-key-completeness, R10 obs-schema-drift).  The checked-in
+# baseline is empty: HEAD must be clean.  Warm runs rehydrate per-file
+# summaries from .repro_cache/lint-model.json (content-hashed).
 lint:
-	PYTHONPATH=src $(PYTHON) -m repro.analysis src/repro --baseline repro-lint.baseline.json
+	PYTHONPATH=src $(PYTHON) -m repro.analysis src/repro --baseline repro-lint.baseline.json --stats
+
+# Same gate with the program-model cache disabled: every file is
+# re-parsed.  Use it to rule the cache out when a finding looks stale.
+lint-cold:
+	PYTHONPATH=src $(PYTHON) -m repro.analysis src/repro --baseline repro-lint.baseline.json --stats --no-model-cache
 
 # Fast smoke subset (excludes tests marked `slow`) plus the lint gate,
 # the `python -O` pass and the sanitizer-enabled subset; `make test-all`
 # runs everything, which is also what CI's tier-1 gate does.
 test: lint test-O
 	PYTHONPATH=src $(PYTHON) -m pytest tests/ -m "not slow"
+	PYTHONPATH=src $(PYTHON) -m pytest tests/analysis -q
 	REPRO_JOBS=2 PYTHONPATH=src $(PYTHON) -m pytest tests/parallel -q -m "not slow"
 	PYTHONPATH=src $(PYTHON) -m repro.tune smoke
 	$(MAKE) serve-smoke

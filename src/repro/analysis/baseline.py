@@ -7,8 +7,12 @@ reformatting-neutral edits do not churn the file, while touching an
 offending line resurfaces its finding.
 
 The checked-in baseline at the repo root is ``repro-lint.baseline.json``
-and is intentionally empty for R1: no bare assert ever re-enters
-``src/repro``.
+and is intentionally empty: neither the local rules R1-R5 nor the
+whole-program rules R6-R10 carry grandfathered debt — only documented
+false positives (with a ``reason``) may ever live here.
+
+Format v2 adds an optional per-entry ``reason`` string (why a finding
+is baselined rather than fixed); v1 files load unchanged.
 """
 
 from __future__ import annotations
@@ -21,7 +25,8 @@ from .findings import Finding
 
 __all__ = ["Baseline", "BaselineError"]
 
-_FORMAT_VERSION = 1
+_FORMAT_VERSION = 2
+_READABLE_VERSIONS = frozenset({1, 2})
 
 
 class BaselineError(ValueError):
@@ -34,6 +39,8 @@ class Baseline:
 
     #: (rule, path, snippet) -> allowed occurrence count.
     entries: Dict[Tuple[str, str, str], int] = field(default_factory=dict)
+    #: (rule, path, snippet) -> why it is baselined (v2 files only).
+    reasons: Dict[Tuple[str, str, str], str] = field(default_factory=dict)
 
     # ------------------------------------------------------------------
     @classmethod
@@ -46,10 +53,11 @@ class Baseline:
         if not isinstance(data, dict) or "entries" not in data:
             raise BaselineError(f"{path}: expected an object with 'entries'")
         version = data.get("version")
-        if version != _FORMAT_VERSION:
+        if version not in _READABLE_VERSIONS:
             raise BaselineError(
                 f"{path}: unsupported baseline version {version!r} "
-                f"(this tool writes version {_FORMAT_VERSION})"
+                f"(this tool reads versions {sorted(_READABLE_VERSIONS)} "
+                f"and writes version {_FORMAT_VERSION})"
             )
         baseline = cls()
         for i, entry in enumerate(data["entries"]):
@@ -61,6 +69,9 @@ class Baseline:
                     f"{path}: entry {i} missing rule/path/snippet"
                 ) from exc
             baseline.entries[key] = baseline.entries.get(key, 0) + count
+            reason = entry.get("reason")
+            if isinstance(reason, str) and reason:
+                baseline.reasons[key] = reason
         return baseline
 
     @classmethod
@@ -86,10 +97,13 @@ class Baseline:
                 remaining[f.key] = left - 1
 
     def save(self, path: str) -> None:
-        entries = [
-            {"rule": rule, "path": p, "snippet": snippet, "count": count}
-            for (rule, p, snippet), count in sorted(self.entries.items())
-        ]
+        entries = []
+        for (rule, p, snippet), count in sorted(self.entries.items()):
+            entry = {"rule": rule, "path": p, "snippet": snippet, "count": count}
+            reason = self.reasons.get((rule, p, snippet))
+            if reason:
+                entry["reason"] = reason
+            entries.append(entry)
         payload = {"version": _FORMAT_VERSION, "entries": entries}
         with open(path, "w", encoding="utf-8") as fh:
             json.dump(payload, fh, indent=2, sort_keys=True)

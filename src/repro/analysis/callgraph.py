@@ -1,0 +1,152 @@
+"""Project-wide symbol table and call graph over module summaries.
+
+Built once per lint run from the :class:`~repro.analysis.dataflow`
+summaries (so it works identically from a cold parse and from the
+cached program model).  Resolution is conservative: a call site either
+resolves to exactly one project function or is ignored — the rules
+never guess across dynamic dispatch.
+
+Resolution order for one :class:`~repro.analysis.dataflow.CallFact`:
+
+1. an import-resolved dotted ``origin`` (longest module prefix known to
+   the model, one re-export hop through a package ``__init__``);
+2. a bare name: a nested def/lambda of the calling function (or its
+   enclosing chain), then a module-level function of the same module;
+3. a ``self.method()`` call: a method of the calling function's class.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Tuple
+
+from .dataflow import CallFact, FunctionSummary, ModuleSummary
+
+__all__ = ["CallGraph", "FunctionRef"]
+
+#: (module summary, function summary) — one resolved project function.
+FunctionRef = Tuple[ModuleSummary, FunctionSummary]
+
+
+class CallGraph:
+    """Symbol table + call resolution over a set of module summaries."""
+
+    def __init__(self, summaries: Iterable[ModuleSummary]):
+        self.modules: List[ModuleSummary] = list(summaries)
+        self.by_dotted: Dict[str, ModuleSummary] = {
+            m.dotted: m for m in self.modules if m.dotted
+        }
+        self.by_path: Dict[str, ModuleSummary] = {
+            m.path: m for m in self.modules
+        }
+
+    # ------------------------------------------------------------------
+    def resolve_dotted(self, dotted: str) -> Optional[FunctionRef]:
+        """Resolve ``pkg.mod.fn`` to a project function, if the model
+        holds the module.  Follows one package-``__init__`` re-export."""
+        if not dotted or "." not in dotted:
+            return None
+        module_part, leaf = dotted.rsplit(".", 1)
+        mod = self.by_dotted.get(module_part)
+        if mod is not None:
+            fn = mod.functions.get(leaf)
+            if fn is not None:
+                return (mod, fn)
+            # one re-export hop: pkg/__init__.py does `from .x import leaf`
+            reexport = mod.from_imports.get(leaf)
+            if reexport is not None and reexport != dotted:
+                return self.resolve_dotted(reexport)
+        return None
+
+    def resolve_class(
+        self, module_part: str, class_name: str
+    ) -> Optional[Tuple[ModuleSummary, object]]:
+        """Resolve a dotted module + class name to its ClassFact."""
+        mod = self.by_dotted.get(module_part)
+        if mod is None:
+            return None
+        for cls in mod.classes:
+            if cls.name == class_name:
+                return (mod, cls)
+        reexport = mod.from_imports.get(class_name)
+        if reexport is not None and "." in reexport:
+            sub_mod, leaf = reexport.rsplit(".", 1)
+            if sub_mod != module_part or leaf != class_name:
+                return self.resolve_class(sub_mod, leaf)
+        return None
+
+    # ------------------------------------------------------------------
+    def resolve_call(
+        self,
+        caller_mod: ModuleSummary,
+        caller_fn: FunctionSummary,
+        call: CallFact,
+    ) -> Optional[FunctionRef]:
+        if call.origin:
+            return self.resolve_dotted(call.origin)
+        if call.name:
+            # nested def/lambda of the caller or its enclosing chain
+            scope: Optional[str] = caller_fn.name
+            while scope:
+                nested = caller_mod.functions.get(
+                    f"{scope}.<locals>.{call.name}"
+                )
+                if nested is not None:
+                    return (caller_mod, nested)
+                parent = caller_mod.functions.get(scope)
+                scope = parent.nested_in if parent is not None else None
+            fn = caller_mod.functions.get(call.name)
+            if fn is not None:
+                return (caller_mod, fn)
+            return None
+        if call.method and call.recv == "self":
+            class_name = caller_fn.name.split(".", 1)[0]
+            fn = caller_mod.functions.get(f"{class_name}.{call.method}")
+            if fn is not None:
+                return (caller_mod, fn)
+        return None
+
+    def resolve_local_callable(
+        self, mod: ModuleSummary, fn: FunctionSummary, name: str
+    ) -> Optional[FunctionSummary]:
+        """A callable referenced by bare name from inside ``fn`` (used
+        for executor-shipped closures): nested def/lambda first, then a
+        module-level function."""
+        scope: Optional[str] = fn.name
+        while scope:
+            nested = mod.functions.get(f"{scope}.<locals>.{name}")
+            if nested is not None:
+                return nested
+            parent = mod.functions.get(scope)
+            scope = parent.nested_in if parent is not None else None
+        return mod.functions.get(name)
+
+    # ------------------------------------------------------------------
+    def functions(self) -> Iterable[Tuple[ModuleSummary, FunctionSummary]]:
+        for mod in self.modules:
+            for fn in mod.functions.values():
+                yield (mod, fn)
+
+    def find_function(self, name: str) -> List[FunctionRef]:
+        """Every project function with the given bare (unqualified) name."""
+        out: List[FunctionRef] = []
+        for mod, fn in self.functions():
+            if fn.name == name or fn.name.endswith(f".{name}"):
+                out.append((mod, fn))
+        return out
+
+    def find_classes(self, name: str) -> List[Tuple[ModuleSummary, object]]:
+        out = []
+        for mod in self.modules:
+            for cls in mod.classes:
+                if cls.name == name:
+                    out.append((mod, cls))
+        return out
+
+    def event_classes(self) -> Dict[str, List[Tuple[ModuleSummary, object]]]:
+        """kind -> [(module, ClassFact)] for every kind-tagged dataclass."""
+        out: Dict[str, List[Tuple[ModuleSummary, object]]] = {}
+        for mod in self.modules:
+            for cls in mod.classes:
+                if cls.kind is not None:
+                    out.setdefault(cls.kind, []).append((mod, cls))
+        return out

@@ -32,9 +32,11 @@ def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro-lint",
         description=(
-            "AST-based invariant linter for the CoSPARSE reproduction: "
-            "R1 bare-assert, R2 unit-mixing, R3 magic-constant, "
-            "R4 nondeterminism, R5 kernel-purity."
+            "Whole-program invariant linter for the CoSPARSE "
+            "reproduction: R1 bare-assert, R2 unit-mixing, R3 "
+            "magic-constant, R4 nondeterminism, R5 kernel-purity, "
+            "R6 async-discipline, R7 shm-lifecycle, R8 task-purity, "
+            "R9 cache-key-completeness, R10 obs-schema-drift."
         ),
     )
     parser.add_argument(
@@ -47,11 +49,41 @@ def build_parser() -> argparse.ArgumentParser:
         help="comma-separated rule ids to run (default: all), e.g. R1,R4",
     )
     parser.add_argument(
+        "--rule",
+        action="append",
+        dest="rule",
+        metavar="ID",
+        help="run a single rule (repeatable; combines with --rules)",
+    )
+    parser.add_argument(
         "--format",
         choices=("human", "json"),
         default="human",
         dest="fmt",
         help="report format (default: human)",
+    )
+    parser.add_argument(
+        "--json",
+        action="store_const",
+        const="json",
+        dest="fmt",
+        help="shorthand for --format json",
+    )
+    parser.add_argument(
+        "--stats",
+        action="store_true",
+        help=(
+            "print per-rule finding counts and analysis wall time "
+            "after the report"
+        ),
+    )
+    parser.add_argument(
+        "--no-model-cache",
+        action="store_true",
+        help=(
+            "disable the content-hash program-model cache: re-parse "
+            "and re-analyze every file"
+        ),
     )
     parser.add_argument(
         "--baseline",
@@ -94,8 +126,13 @@ def main(argv: Optional[List[str]] = None) -> int:
             return 2
 
     rules = None
-    if args.rules:
-        rules = [r.strip() for r in args.rules.split(",") if r.strip()]
+    if args.rules or args.rule:
+        rules = []
+        if args.rules:
+            rules.extend(r.strip() for r in args.rules.split(",") if r.strip())
+        for r in args.rule or ():
+            if r.strip():
+                rules.append(r.strip())
 
     baseline_path = args.baseline
     if baseline_path is None and os.path.isfile(DEFAULT_BASELINE):
@@ -115,7 +152,12 @@ def main(argv: Optional[List[str]] = None) -> int:
         return 2
 
     try:
-        result = lint_paths(paths, rules=rules, baseline=baseline)
+        result = lint_paths(
+            paths,
+            rules=rules,
+            baseline=baseline,
+            use_model_cache=not args.no_model_cache,
+        )
     except ValueError as exc:  # unknown rule ids
         print(f"repro-lint: {exc}", file=sys.stderr)
         return 2
@@ -132,8 +174,12 @@ def main(argv: Optional[List[str]] = None) -> int:
 
     if args.fmt == "json":
         print(json.dumps(result.to_json(), indent=2, sort_keys=True))
+        if args.stats:
+            print(result.format_stats(), file=sys.stderr)
     else:
         print(result.format_human(verbose=args.verbose))
+        if args.stats:
+            print(result.format_stats())
     return 0 if result.ok else 1
 
 

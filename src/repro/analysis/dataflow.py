@@ -1,0 +1,1252 @@
+"""Per-module dataflow extraction for the whole-program analyzer.
+
+This module is the bottom layer of the repro-lint v2 engine: it parses
+one module and distils everything the interprocedural rules (R6-R10)
+need into a JSON-serialisable :class:`ModuleSummary`.  Summaries are
+what the program-model cache persists — a warm ``make lint`` never
+re-parses an unchanged file, it rehydrates the summary and hands it to
+the rules.
+
+The extraction is deliberately syntactic and conservative: calls,
+writes, taint and lifecycle facts are recorded with enough context
+(import-alias origins, receiver roots, linenos) for the program layer
+to resolve them across modules, and anything unresolvable is dropped
+rather than guessed at.
+
+:class:`ModuleContext` lives here (it used to live in
+:mod:`repro.analysis.rules`, which now re-exports it) so the local
+rules and the dataflow core share one parse.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import asdict, dataclass, field
+from typing import Dict, List, Optional, Set
+
+from . import registry
+from .findings import Finding
+
+__all__ = [
+    "ModuleContext",
+    "ModuleSummary",
+    "FunctionSummary",
+    "analyze_module",
+    "module_dotted",
+]
+
+
+def module_dotted(path: str) -> str:
+    """Dotted module name of a package-relative posix path.
+
+    ``repro/serve/registry.py`` -> ``repro.serve.registry``;
+    ``repro/obs/__init__.py`` -> ``repro.obs``; a bare ``file.py``
+    (outside any package) -> ``file``.
+    """
+    stem = path[:-3] if path.endswith(".py") else path
+    parts = [p for p in stem.split("/") if p]
+    if parts and parts[-1] == "__init__":
+        parts = parts[:-1]
+    return ".".join(parts)
+
+
+# ----------------------------------------------------------------------
+# Shared per-module context (one parse, used by local rules + dataflow)
+# ----------------------------------------------------------------------
+@dataclass
+class ModuleContext:
+    """One parsed module plus everything the rules need to inspect it."""
+
+    path: str  # package-relative posix path for reports/scoping
+    tree: ast.Module
+    source_lines: List[str] = field(default_factory=list)
+    #: local alias -> imported dotted module path ("np" -> "numpy").
+    import_aliases: Dict[str, str] = field(default_factory=dict)
+    #: local name -> dotted origin ("perf_counter" -> "time.perf_counter").
+    from_imports: Dict[str, str] = field(default_factory=dict)
+    #: dotted module name derived from ``path`` ("repro.serve.server").
+    dotted: str = ""
+
+    @classmethod
+    def parse(cls, path: str, source: str) -> "ModuleContext":
+        tree = ast.parse(source, filename=path)
+        ctx = cls(
+            path=path,
+            tree=tree,
+            source_lines=source.splitlines(),
+            dotted=module_dotted(path),
+        )
+        # Package parts for relative-import resolution: a module's
+        # relative imports are anchored at its *package*, which for an
+        # __init__.py is the dotted name itself.
+        pkg_parts = ctx.dotted.split(".") if ctx.dotted else []
+        if not path.endswith("__init__.py") and pkg_parts:
+            pkg_parts = pkg_parts[:-1]
+        for node in ast.walk(tree):
+            if isinstance(node, ast.Import):
+                for alias in node.names:
+                    ctx.import_aliases[alias.asname or alias.name.split(".")[0]] = (
+                        alias.name if alias.asname else alias.name.split(".")[0]
+                    )
+                    if alias.asname:
+                        ctx.import_aliases[alias.asname] = alias.name
+            elif isinstance(node, ast.ImportFrom):
+                if node.level == 0 and node.module:
+                    base = node.module
+                elif node.level > 0 and len(pkg_parts) >= node.level - 1:
+                    anchor = pkg_parts[: len(pkg_parts) - (node.level - 1)]
+                    if node.module:
+                        anchor = anchor + node.module.split(".")
+                    if not anchor:
+                        continue
+                    base = ".".join(anchor)
+                else:
+                    continue
+                for alias in node.names:
+                    ctx.from_imports[alias.asname or alias.name] = (
+                        f"{base}.{alias.name}"
+                    )
+        return ctx
+
+    # ------------------------------------------------------------------
+    def snippet(self, lineno: int) -> str:
+        """The stripped source line at 1-based ``lineno``."""
+        if 1 <= lineno <= len(self.source_lines):
+            return self.source_lines[lineno - 1].strip()
+        return ""
+
+    def resolve_call(self, func: ast.AST) -> Optional[str]:
+        """Dotted origin of a call target, e.g. ``np.random.rand`` ->
+        ``numpy.random.rand``; None when the root is not an import."""
+        parts: List[str] = []
+        node = func
+        while isinstance(node, ast.Attribute):
+            parts.append(node.attr)
+            node = node.value
+        if isinstance(node, ast.Name):
+            root = node.id
+            if root in self.import_aliases:
+                return ".".join([self.import_aliases[root]] + parts[::-1])
+            if root in self.from_imports and not parts:
+                return self.from_imports[root]
+            if root in self.from_imports:
+                return ".".join([self.from_imports[root]] + parts[::-1])
+        return None
+
+    def finding(self, rule, node: ast.AST, message: str) -> Finding:
+        lineno = getattr(node, "lineno", 1)
+        return Finding(
+            rule=rule.rule_id,
+            rule_name=rule.rule_name,
+            path=self.path,
+            line=lineno,
+            col=getattr(node, "col_offset", 0),
+            message=message,
+            snippet=self.snippet(lineno),
+        )
+
+
+# ----------------------------------------------------------------------
+# Summary fact records (all JSON-round-trippable via asdict/from_dict)
+# ----------------------------------------------------------------------
+@dataclass
+class CallFact:
+    """One call site inside a function body (nested defs excluded)."""
+
+    lineno: int
+    name: Optional[str] = None  # bare Name callee ("helper")
+    origin: Optional[str] = None  # import-resolved dotted origin
+    method: Optional[str] = None  # attr when the callee is obj.method
+    recv: Optional[str] = None  # root Name of the receiver chain
+    args: List[Optional[str]] = field(default_factory=list)  # arg root names
+    kwargs: Dict[str, Optional[str]] = field(default_factory=dict)
+
+
+@dataclass
+class WriteFact:
+    """A store/mutation whose target root is not function-local."""
+
+    root: str
+    lineno: int
+    desc: str
+    origin: Optional[str] = None  # dotted module when root is an import
+    method: Optional[str] = None  # mutating method name, if call-based
+    is_global: bool = False  # module-level/imported state (vs enclosing scope)
+
+
+@dataclass
+class RngFact:
+    origin: str
+    lineno: int
+
+
+@dataclass
+class ShipFact:
+    """A callable shipped off the event loop (run_in_executor/to_thread)."""
+
+    callee: Optional[str]
+    via: str
+    locked: bool  # lexically inside an `async with` block
+    lineno: int
+
+
+@dataclass
+class FlowFact:
+    """A parameter passed onward to a call (for mutation propagation)."""
+
+    param: str
+    call_index: int  # index into FunctionSummary.calls
+    pos: Optional[int] = None
+    kw: Optional[str] = None
+
+
+@dataclass
+class FieldFact:
+    name: str
+    lineno: int
+    required: bool = True
+
+
+@dataclass
+class ClassFact:
+    name: str
+    lineno: int
+    is_dataclass: bool = False
+    kind: Optional[str] = None  # plain `kind = "..."` class attribute
+    fields: List[FieldFact] = field(default_factory=list)
+
+
+@dataclass
+class EventKeyFact:
+    """One entry of a literal ``_EVENT_KEYS``-style kind->keys map."""
+
+    kind: str
+    keys: List[str]
+    lineno: int
+
+
+@dataclass
+class CtorFact:
+    """A ``*Event(...)`` construction (resolved against classes later)."""
+
+    name: str
+    lineno: int
+    n_args: int
+    kwargs: List[str] = field(default_factory=list)
+    origin: Optional[str] = None
+    has_star: bool = False
+
+
+@dataclass
+class EventReadFact:
+    """A field read off a record that came from ``events_of(kind)``."""
+
+    kind: str
+    key: str
+    lineno: int
+
+
+@dataclass
+class TaskRefFact:
+    """A task-function reference handed to a PricingTask constructor."""
+
+    lineno: int
+    ref: Optional[str] = None  # literal "module.path:function"
+    name: Optional[str] = None  # Name arg, resolved at rule time
+    origin: Optional[str] = None  # import origin of that Name
+
+
+@dataclass
+class ShmFact:
+    """A shared-memory lifecycle problem found in one function body."""
+
+    var: str
+    lineno: int
+    problem: str  # "leak" | "unreleased"
+    risk_line: int = 0
+
+
+@dataclass
+class FunctionSummary:
+    """Everything the program rules need to know about one function."""
+
+    name: str  # qualname: "fn", "Cls.method", "fn.<locals>.inner"
+    lineno: int
+    is_async: bool = False
+    nested_in: Optional[str] = None
+    params: List[str] = field(default_factory=list)
+    calls: List[CallFact] = field(default_factory=list)
+    ships: List[ShipFact] = field(default_factory=list)
+    writes: List[WriteFact] = field(default_factory=list)
+    unseeded_rng: List[RngFact] = field(default_factory=list)
+    mutated_params: List[str] = field(default_factory=list)
+    flows: List[FlowFact] = field(default_factory=list)
+    attr_reads: List[str] = field(default_factory=list)
+    str_constants: List[str] = field(default_factory=list)
+    event_reads: List[EventReadFact] = field(default_factory=list)
+
+
+@dataclass
+class ModuleSummary:
+    """The cached whole-module digest the program rules consume."""
+
+    path: str
+    dotted: str
+    functions: Dict[str, FunctionSummary] = field(default_factory=dict)
+    classes: List[ClassFact] = field(default_factory=list)
+    event_key_maps: List[EventKeyFact] = field(default_factory=list)
+    event_ctors: List[CtorFact] = field(default_factory=list)
+    task_refs: List[TaskRefFact] = field(default_factory=list)
+    shm_issues: List[ShmFact] = field(default_factory=list)
+    str_globals: Dict[str, str] = field(default_factory=dict)
+    import_aliases: Dict[str, str] = field(default_factory=dict)
+    from_imports: Dict[str, str] = field(default_factory=dict)
+
+    # ------------------------------------------------------------------
+    def to_dict(self) -> dict:
+        return asdict(self)
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "ModuleSummary":
+        functions = {
+            name: FunctionSummary(
+                name=f["name"],
+                lineno=f["lineno"],
+                is_async=f["is_async"],
+                nested_in=f.get("nested_in"),
+                params=list(f.get("params", ())),
+                calls=[CallFact(**c) for c in f.get("calls", ())],
+                ships=[ShipFact(**s) for s in f.get("ships", ())],
+                writes=[WriteFact(**w) for w in f.get("writes", ())],
+                unseeded_rng=[RngFact(**r) for r in f.get("unseeded_rng", ())],
+                mutated_params=list(f.get("mutated_params", ())),
+                flows=[FlowFact(**fl) for fl in f.get("flows", ())],
+                attr_reads=list(f.get("attr_reads", ())),
+                str_constants=list(f.get("str_constants", ())),
+                event_reads=[
+                    EventReadFact(**e) for e in f.get("event_reads", ())
+                ],
+            )
+            for name, f in data.get("functions", {}).items()
+        }
+        classes = [
+            ClassFact(
+                name=c["name"],
+                lineno=c["lineno"],
+                is_dataclass=c.get("is_dataclass", False),
+                kind=c.get("kind"),
+                fields=[FieldFact(**fd) for fd in c.get("fields", ())],
+            )
+            for c in data.get("classes", ())
+        ]
+        return cls(
+            path=data["path"],
+            dotted=data["dotted"],
+            functions=functions,
+            classes=classes,
+            event_key_maps=[
+                EventKeyFact(**e) for e in data.get("event_key_maps", ())
+            ],
+            event_ctors=[CtorFact(**c) for c in data.get("event_ctors", ())],
+            task_refs=[TaskRefFact(**t) for t in data.get("task_refs", ())],
+            shm_issues=[ShmFact(**s) for s in data.get("shm_issues", ())],
+            str_globals=dict(data.get("str_globals", {})),
+            import_aliases=dict(data.get("import_aliases", {})),
+            from_imports=dict(data.get("from_imports", {})),
+        )
+
+
+# ----------------------------------------------------------------------
+# Extraction helpers
+# ----------------------------------------------------------------------
+_FUNC_NODES = (ast.FunctionDef, ast.AsyncFunctionDef)
+_SCOPE_NODES = _FUNC_NODES + (ast.Lambda,)
+
+
+def _param_names(args: ast.arguments) -> List[str]:
+    out = []
+    for a in args.posonlyargs + args.args + args.kwonlyargs:
+        out.append(a.arg)
+    if args.vararg:
+        out.append(args.vararg.arg)
+    if args.kwarg:
+        out.append(args.kwarg.arg)
+    return out
+
+
+def _root_name(node: ast.AST) -> Optional[str]:
+    """The root Name id of an expression's receiver/target chain."""
+    while isinstance(node, (ast.Attribute, ast.Subscript, ast.Starred)):
+        node = node.value
+    if isinstance(node, ast.Name):
+        return node.id
+    return None
+
+
+def _terminal_name(func: ast.AST) -> Optional[str]:
+    """The last identifier of a call target (``a.b.c()`` -> ``c``)."""
+    if isinstance(func, ast.Name):
+        return func.id
+    if isinstance(func, ast.Attribute):
+        return func.attr
+    return None
+
+
+def _iter_own_nodes(body: List[ast.stmt]):
+    """Yield every node of ``body`` without descending into nested
+    function/lambda bodies (their facts belong to their own summaries)."""
+    stack: List[ast.AST] = list(body)
+    while stack:
+        node = stack.pop()
+        yield node
+        if isinstance(node, _SCOPE_NODES):
+            continue  # do not descend into nested scopes
+        stack.extend(ast.iter_child_nodes(node))
+
+
+def _depth_map(node: ast.AST, depth: int, out: Dict[int, int]) -> None:
+    """Annotate every own node with its lexical ``async with`` depth
+    (nested scopes excluded; their bodies run elsewhere)."""
+    if isinstance(node, _SCOPE_NODES):
+        return
+    if isinstance(node, ast.AsyncWith):
+        out[id(node)] = depth
+        for item in node.items:
+            for sub in ast.walk(item):
+                out[id(sub)] = depth
+        for stmt in node.body:
+            _depth_map(stmt, depth + 1, out)
+        return
+    out[id(node)] = depth
+    for child in ast.iter_child_nodes(node):
+        _depth_map(child, depth, out)
+
+
+_ALL_MUTATING_METHODS = (
+    registry.MUTATING_METHODS
+    | registry.R8_MUTATING_CONTAINER_METHODS
+    | registry.R6_GUARDED_METHODS
+)
+
+
+class _FunctionAnalyzer:
+    """Extracts one :class:`FunctionSummary` (and recurses into nested
+    defs/lambdas, which get their own summaries)."""
+
+    def __init__(
+        self,
+        ctx: ModuleContext,
+        out: Dict[str, FunctionSummary],
+        enclosing_locals: Optional[Set[str]] = None,
+    ):
+        self.ctx = ctx
+        self.out = out
+        self.enclosing_locals = enclosing_locals or set()
+
+    # ------------------------------------------------------------------
+    def analyze(
+        self, node: ast.AST, qualname: str, nested_in: Optional[str] = None
+    ) -> FunctionSummary:
+        if isinstance(node, ast.Lambda):
+            body: List[ast.stmt] = [ast.Expr(value=node.body)]
+            params = _param_names(node.args)
+            is_async = False
+        else:
+            body = node.body
+            params = _param_names(node.args)
+            is_async = isinstance(node, ast.AsyncFunctionDef)
+        summary = FunctionSummary(
+            name=qualname,
+            lineno=getattr(node, "lineno", 1),
+            is_async=is_async,
+            nested_in=nested_in,
+            params=params,
+        )
+        local_names, declared_globals = self._collect_locals(body, params)
+        own = list(_iter_own_nodes(body))
+        depth_of: Dict[int, int] = {}
+        for stmt in body:
+            _depth_map(stmt, 0, depth_of)
+        # Calls, in deterministic source order (FlowFact.call_index
+        # indexes into this list).
+        call_nodes = sorted(
+            (n for n in own if isinstance(n, ast.Call)),
+            key=lambda n: (n.lineno, n.col_offset),
+        )
+        for call in call_nodes:
+            self._record_call(
+                call, summary, local_names, depth_of.get(id(call), 0)
+            )
+        for n in own:
+            if isinstance(n, ast.Attribute) and isinstance(n.ctx, ast.Load):
+                summary.attr_reads.append(n.attr)
+            elif isinstance(n, ast.Constant) and isinstance(n.value, str):
+                summary.str_constants.append(n.value)
+            elif isinstance(n, (ast.Assign, ast.AnnAssign, ast.AugAssign)):
+                targets = (
+                    n.targets if isinstance(n, ast.Assign) else [n.target]
+                )
+                for target in targets:
+                    self._record_store(
+                        target, n, summary, local_names, declared_globals
+                    )
+        self._taint_pass(own, call_nodes, summary)
+        summary.attr_reads = sorted(set(summary.attr_reads))
+        summary.str_constants = sorted(set(summary.str_constants))
+        self.out[qualname] = summary
+        # Recurse into nested scopes with this function's locals visible.
+        child_enclosing = self.enclosing_locals | local_names | set(params)
+        for child in self._nested_scopes(body):
+            child_name = (
+                child.name
+                if isinstance(child, _FUNC_NODES)
+                else f"<lambda@{child.lineno}>"
+            )
+            sub = _FunctionAnalyzer(self.ctx, self.out, child_enclosing)
+            sub.analyze(
+                child, f"{qualname}.<locals>.{child_name}", nested_in=qualname
+            )
+        return summary
+
+    @staticmethod
+    def _nested_scopes(body: List[ast.stmt]) -> List[ast.AST]:
+        found: List[ast.AST] = []
+        for node in _iter_own_nodes(body):
+            if isinstance(node, _SCOPE_NODES):
+                found.append(node)
+        return found
+
+    # ------------------------------------------------------------------
+    def _collect_locals(self, body, params):
+        local_names: Set[str] = set(params)
+        declared_globals: Set[str] = set()
+        for node in _iter_own_nodes(body):
+            if isinstance(node, ast.Global):
+                declared_globals.update(node.names)
+            elif isinstance(node, ast.Name) and isinstance(
+                node.ctx, (ast.Store, ast.Del)
+            ):
+                local_names.add(node.id)
+            elif isinstance(node, _FUNC_NODES):
+                local_names.add(node.name)
+            elif isinstance(node, ast.ClassDef):
+                local_names.add(node.name)
+            elif isinstance(node, (ast.Import, ast.ImportFrom)):
+                for alias in node.names:
+                    local_names.add(alias.asname or alias.name.split(".")[0])
+            elif isinstance(node, ast.comprehension):
+                for sub in ast.walk(node.target):
+                    if isinstance(sub, ast.Name):
+                        local_names.add(sub.id)
+            elif isinstance(node, ast.ExceptHandler) and node.name:
+                local_names.add(node.name)
+        local_names -= declared_globals
+        return local_names, declared_globals
+
+    # ------------------------------------------------------------------
+    def _write_fact(self, root, lineno, desc, local_names, method=None):
+        if root is None or root in local_names:
+            return None
+        origin = self.ctx.import_aliases.get(root) or self.ctx.from_imports.get(
+            root
+        )
+        is_global = root not in self.enclosing_locals
+        return WriteFact(
+            root=root,
+            lineno=lineno,
+            desc=desc,
+            origin=origin,
+            method=method,
+            is_global=is_global,
+        )
+
+    def _record_store(self, target, stmt, summary, local_names, declared_globals):
+        if isinstance(target, (ast.Tuple, ast.List)):
+            for elt in target.elts:
+                self._record_store(elt, stmt, summary, local_names, declared_globals)
+            return
+        if isinstance(target, ast.Name):
+            if target.id in declared_globals:
+                fact = WriteFact(
+                    root=target.id,
+                    lineno=stmt.lineno,
+                    desc="assignment to declared global",
+                    is_global=True,
+                )
+                summary.writes.append(fact)
+            return
+        if isinstance(target, (ast.Attribute, ast.Subscript)):
+            root = _root_name(target)
+            desc = (
+                "attribute store"
+                if isinstance(target, ast.Attribute)
+                else "subscript store"
+            )
+            if isinstance(stmt, ast.AugAssign):
+                desc = "augmented " + desc.split()[0] + " store"
+            fact = self._write_fact(root, stmt.lineno, desc, local_names)
+            if fact is not None:
+                summary.writes.append(fact)
+
+    # ------------------------------------------------------------------
+    def _record_call(self, call: ast.Call, summary, local_names, depth):
+        func = call.func
+        fact = CallFact(lineno=call.lineno)
+        fact.origin = self.ctx.resolve_call(func)
+        if isinstance(func, ast.Name):
+            fact.name = func.id
+        elif isinstance(func, ast.Attribute):
+            fact.method = func.attr
+            fact.recv = _root_name(func)
+        fact.args = [_root_name(a) for a in call.args]
+        fact.kwargs = {
+            kw.arg: _root_name(kw.value)
+            for kw in call.keywords
+            if kw.arg is not None
+        }
+        summary.calls.append(fact)
+
+        # RNG discipline (shared with R4's semantics, kept per-function
+        # here so R8 can attribute it across the call graph).
+        origin = fact.origin
+        if origin:
+            if origin.startswith("numpy.random."):
+                attr = origin.rsplit(".", 1)[1]
+                if attr not in registry.SEEDED_RNG_CONSTRUCTORS:
+                    summary.unseeded_rng.append(
+                        RngFact(origin=origin, lineno=call.lineno)
+                    )
+                elif not call.args and not call.keywords:
+                    summary.unseeded_rng.append(
+                        RngFact(origin=origin + "()", lineno=call.lineno)
+                    )
+            elif origin == "random" or origin.startswith("random."):
+                summary.unseeded_rng.append(
+                    RngFact(origin=origin, lineno=call.lineno)
+                )
+
+        # Executor ships: loop.run_in_executor(executor, fn, ...) /
+        # asyncio.to_thread(fn, ...).
+        if fact.method in registry.R6_EXECUTOR_SHIPS or (
+            origin and origin.split(".")[-1] in registry.R6_EXECUTOR_SHIPS
+        ):
+            ship_name = fact.method or origin.split(".")[-1]
+            idx = registry.R6_EXECUTOR_SHIPS[ship_name]
+            callee = None
+            if idx < len(call.args):
+                arg = call.args[idx]
+                if isinstance(arg, ast.Name):
+                    callee = arg.id
+                elif isinstance(arg, ast.Lambda):
+                    callee = f"<lambda@{arg.lineno}>"
+            summary.ships.append(
+                ShipFact(
+                    callee=callee,
+                    via=ship_name,
+                    locked=depth > 0,
+                    lineno=call.lineno,
+                )
+            )
+
+        # Mutating method calls on non-local receivers are writes.  A
+        # receiver that is a plain `import X` alias is a module, so the
+        # "method" is just a function call (os.remove, np.load), not a
+        # container mutation.
+        if (
+            fact.method in _ALL_MUTATING_METHODS
+            and fact.recv is not None
+            and fact.recv not in local_names
+            and fact.recv not in self.ctx.import_aliases
+        ):
+            wfact = self._write_fact(
+                fact.recv,
+                call.lineno,
+                f".{fact.method}() call",
+                local_names,
+                method=fact.method,
+            )
+            if wfact is not None:
+                summary.writes.append(wfact)
+
+    # ------------------------------------------------------------------
+    # Param-mutation taint (R5-style, summarised for interprocedural R8)
+    # ------------------------------------------------------------------
+    def _taint_pass(self, own, call_nodes, summary):
+        params = set(summary.params) - {"self", "cls"}
+        tainted: Set[str] = set(params)
+        mutated: Set[str] = set()
+        call_index_of = {id(c): i for i, c in enumerate(call_nodes)}
+        ordered = sorted(
+            (
+                n
+                for n in own
+                if isinstance(n, (ast.Assign, ast.AugAssign, ast.Call))
+            ),
+            key=lambda n: (getattr(n, "lineno", 0), getattr(n, "col_offset", 0)),
+        )
+        for node in ordered:
+            if isinstance(node, ast.Assign):
+                for target in node.targets:
+                    root = self._sub_store_root(target)
+                    if root in tainted:
+                        mutated.add(self._origin_param(root, params))
+                aliases = self._aliases_taint(node.value, tainted)
+                for target in node.targets:
+                    if isinstance(target, ast.Name):
+                        if aliases:
+                            tainted.add(target.id)
+                        elif target.id not in params:
+                            tainted.discard(target.id)
+                    elif isinstance(target, (ast.Tuple, ast.List)):
+                        for elt in target.elts:
+                            if isinstance(elt, ast.Name) and elt.id not in params:
+                                tainted.discard(elt.id)
+            elif isinstance(node, ast.AugAssign):
+                target = node.target
+                root = (
+                    target.id
+                    if isinstance(target, ast.Name)
+                    else self._sub_store_root(target)
+                )
+                if root in tainted:
+                    mutated.add(self._origin_param(root, params))
+            else:
+                self._taint_call(
+                    node, tainted, params, mutated, summary,
+                    call_index_of[id(node)],
+                )
+        summary.mutated_params = sorted(m for m in mutated if m)
+
+    @staticmethod
+    def _sub_store_root(target) -> Optional[str]:
+        if isinstance(target, (ast.Subscript, ast.Attribute)):
+            return _root_name(target)
+        return None
+
+    def _origin_param(self, root: Optional[str], params: Set[str]) -> str:
+        """Map a tainted root back to a parameter when possible; an
+        alias of a parameter reports the alias's name only if it *is*
+        the parameter (conservative: alias mutations still count as
+        mutating *some* input, reported under the alias)."""
+        if root in params:
+            return root
+        return root or ""
+
+    def _aliases_taint(self, value, tainted) -> bool:
+        if isinstance(value, ast.Name):
+            return value.id in tainted
+        if isinstance(value, (ast.Attribute, ast.Subscript, ast.Starred)):
+            return self._aliases_taint(value.value, tainted)
+        if isinstance(value, ast.Call):
+            origin = self.ctx.resolve_call(value.func)
+            if origin and origin.startswith("numpy."):
+                name = origin.rsplit(".", 1)[1]
+                if name in registry.ALIASING_NUMPY_FUNCS and value.args:
+                    return self._aliases_taint(value.args[0], tainted)
+                return False
+            if isinstance(value.func, ast.Attribute) and value.func.attr in (
+                "view",
+                "reshape",
+                "ravel",
+                "astype",
+            ):
+                return self._aliases_taint(value.func.value, tainted)
+        return False
+
+    def _taint_call(self, call, tainted, params, mutated, summary, call_index):
+        func = call.func
+        if isinstance(func, ast.Attribute):
+            root = _root_name(func)
+            if (
+                root in tainted
+                and func.attr
+                in registry.MUTATING_METHODS | registry.R8_MUTATING_CONTAINER_METHODS
+            ):
+                mutated.add(self._origin_param(root, params))
+        origin = self.ctx.resolve_call(func)
+        if origin and origin.startswith("numpy."):
+            name = origin.rsplit(".", 1)[1]
+            if name in registry.MUTATING_NUMPY_FUNCS and call.args:
+                root = _root_name(call.args[0])
+                if root in tainted:
+                    mutated.add(self._origin_param(root, params))
+        # Record parameter flows into resolvable callees.
+        for i, arg in enumerate(call.args):
+            root = _root_name(arg)
+            if root is None and isinstance(arg, ast.Call):
+                aorigin = self.ctx.resolve_call(arg.func)
+                if (
+                    aorigin
+                    and aorigin.startswith("numpy.")
+                    and aorigin.rsplit(".", 1)[1] in registry.ALIASING_NUMPY_FUNCS
+                    and arg.args
+                ):
+                    root = _root_name(arg.args[0])
+            if root in params:
+                summary.flows.append(
+                    FlowFact(param=root, call_index=call_index, pos=i)
+                )
+        for kw in call.keywords:
+            if kw.arg is None:
+                continue
+            root = _root_name(kw.value)
+            if root in params:
+                summary.flows.append(
+                    FlowFact(param=root, call_index=call_index, kw=kw.arg)
+                )
+
+
+# ----------------------------------------------------------------------
+# Shared-memory lifecycle scan (R7 facts)
+# ----------------------------------------------------------------------
+def _stmt_mentions(stmt: ast.AST, var: str, attrs) -> bool:
+    for node in ast.walk(stmt):
+        if (
+            isinstance(node, ast.Attribute)
+            and node.attr in attrs
+            and isinstance(node.value, ast.Name)
+            and node.value.id == var
+        ):
+            return True
+    return False
+
+
+def _stmt_releases(stmt: ast.AST, var: str) -> bool:
+    return _stmt_mentions(stmt, var, ("close", "unlink"))
+
+
+def _is_handle(expr: ast.AST, var: str) -> bool:
+    """Whether the expression hands over the bare segment handle itself
+    (the Name, possibly inside one tuple/list level) — attribute reads
+    like ``seg.buf`` do not transfer lifecycle ownership."""
+    if isinstance(expr, ast.Name):
+        return expr.id == var
+    if isinstance(expr, (ast.Tuple, ast.List)):
+        return any(
+            isinstance(e, ast.Name) and e.id == var for e in expr.elts
+        )
+    return False
+
+
+def _stmt_escapes(stmt: ast.AST, var: str) -> bool:
+    """The segment handle leaves this scope's responsibility: returned,
+    yielded, passed to a call, or stored into a container/attribute."""
+    for node in ast.walk(stmt):
+        if isinstance(node, (ast.Return, ast.Yield, ast.YieldFrom)):
+            if node.value is not None and _is_handle(node.value, var):
+                return True
+        elif isinstance(node, ast.Call):
+            for arg in list(node.args) + [kw.value for kw in node.keywords]:
+                if _is_handle(arg, var):
+                    return True
+        elif isinstance(node, (ast.Assign, ast.AugAssign, ast.AnnAssign)):
+            targets = (
+                node.targets if isinstance(node, ast.Assign) else [node.target]
+            )
+            stores = any(
+                isinstance(t, (ast.Subscript, ast.Attribute)) for t in targets
+            )
+            value = getattr(node, "value", None)
+            if stores and value is not None and _is_handle(value, var):
+                return True
+    return False
+
+
+def _stmt_risky(stmt: ast.AST, var: str) -> bool:
+    """Whether the statement can plausibly raise before the handle is
+    safe: it calls something that is not a method of the handle, or
+    stores through a subscript (buffer fill)."""
+    for node in ast.walk(stmt):
+        if isinstance(node, ast.Call):
+            func = node.func
+            if (
+                isinstance(func, ast.Attribute)
+                and isinstance(func.value, ast.Name)
+                and func.value.id == var
+            ):
+                continue  # methods on the handle itself are lifecycle ops
+            return True
+        if isinstance(node, ast.Subscript) and isinstance(node.ctx, ast.Store):
+            return True
+    return False
+
+
+def _try_protects(stmt: ast.Try, var: str) -> bool:
+    guards = list(stmt.finalbody)
+    for handler in stmt.handlers:
+        guards.extend(handler.body)
+    return any(_stmt_releases(g, var) for g in guards)
+
+
+def _scan_shm_block(stmts, start, var, protected) -> str:
+    """Walk statements after a SharedMemory creation.
+
+    Returns ``"safe"`` (released or escaped), ``"end"`` (fell off the
+    block), or ``"leak@<lineno>"`` (a risky statement precedes any
+    release/escape on the exception edge)."""
+    for stmt in stmts[start:]:
+        if isinstance(stmt, ast.Try):
+            body_protected = protected or _try_protects(stmt, var)
+            verdict = _scan_shm_block(stmt.body, 0, var, body_protected)
+            if verdict == "safe":
+                return "safe"
+            if verdict.startswith("leak@"):
+                return verdict
+            for tail in (stmt.orelse, stmt.finalbody):
+                verdict = _scan_shm_block(tail, 0, var, protected)
+                if verdict != "end":
+                    return verdict
+            continue
+        if _stmt_releases(stmt, var) or _stmt_escapes(stmt, var):
+            return "safe"
+        if not protected and _stmt_risky(stmt, var):
+            return f"leak@{stmt.lineno}"
+    return "end"
+
+
+def _collect_shm_facts(ctx: ModuleContext) -> List[ShmFact]:
+    facts: List[ShmFact] = []
+    for func in ast.walk(ctx.tree):
+        if not isinstance(func, _FUNC_NODES):
+            continue
+        blocks = _statement_blocks(func)
+        for stmts in blocks:
+            for i, stmt in enumerate(stmts):
+                if not isinstance(stmt, ast.Assign):
+                    continue
+                if len(stmt.targets) != 1 or not isinstance(
+                    stmt.targets[0], ast.Name
+                ):
+                    continue
+                if not isinstance(stmt.value, ast.Call):
+                    continue
+                origin = ctx.resolve_call(stmt.value.func)
+                if origin not in registry.R7_SHM_ORIGINS:
+                    continue
+                var = stmt.targets[0].id
+                verdict = _scan_shm_block(stmts, i + 1, var, protected=False)
+                if verdict.startswith("leak@"):
+                    facts.append(
+                        ShmFact(
+                            var=var,
+                            lineno=stmt.lineno,
+                            problem="leak",
+                            risk_line=int(verdict.split("@", 1)[1]),
+                        )
+                    )
+                elif verdict == "end":
+                    facts.append(
+                        ShmFact(var=var, lineno=stmt.lineno, problem="unreleased")
+                    )
+    return facts
+
+
+def _statement_blocks(func: ast.AST):
+    """Every statement list inside ``func`` (without nested functions)."""
+    blocks = [func.body]
+    stack = list(func.body)
+    while stack:
+        node = stack.pop()
+        if isinstance(node, _SCOPE_NODES):
+            continue
+        for name in ("body", "orelse", "finalbody"):
+            sub = getattr(node, name, None)
+            if isinstance(sub, list) and sub and isinstance(sub[0], ast.stmt):
+                blocks.append(sub)
+                stack.extend(sub)
+        for handler in getattr(node, "handlers", ()) or ():
+            blocks.append(handler.body)
+            stack.extend(handler.body)
+    return blocks
+
+
+# ----------------------------------------------------------------------
+# Module-level extraction
+# ----------------------------------------------------------------------
+def _class_fact(node: ast.ClassDef) -> ClassFact:
+    is_dc = any(
+        (isinstance(d, ast.Name) and d.id == "dataclass")
+        or (isinstance(d, ast.Attribute) and d.attr == "dataclass")
+        or (
+            isinstance(d, ast.Call)
+            and _terminal_name(d.func) == "dataclass"
+        )
+        for d in node.decorator_list
+    )
+    kind = None
+    fields: List[FieldFact] = []
+    for stmt in node.body:
+        if (
+            isinstance(stmt, ast.Assign)
+            and len(stmt.targets) == 1
+            and isinstance(stmt.targets[0], ast.Name)
+            and stmt.targets[0].id == "kind"
+            and isinstance(stmt.value, ast.Constant)
+            and isinstance(stmt.value.value, str)
+        ):
+            kind = stmt.value.value
+        elif isinstance(stmt, ast.AnnAssign) and isinstance(
+            stmt.target, ast.Name
+        ):
+            fields.append(
+                FieldFact(
+                    name=stmt.target.id,
+                    lineno=stmt.lineno,
+                    required=stmt.value is None,
+                )
+            )
+    return ClassFact(
+        name=node.name,
+        lineno=node.lineno,
+        is_dataclass=is_dc,
+        kind=kind,
+        fields=fields,
+    )
+
+
+def _event_key_maps(ctx: ModuleContext) -> List[EventKeyFact]:
+    facts: List[EventKeyFact] = []
+    for stmt in ctx.tree.body:
+        if not (
+            isinstance(stmt, ast.Assign)
+            and len(stmt.targets) == 1
+            and isinstance(stmt.targets[0], ast.Name)
+            and stmt.targets[0].id == registry.R10_EVENT_KEYS_NAME
+            and isinstance(stmt.value, ast.Dict)
+        ):
+            continue
+        for key, value in zip(stmt.value.keys, stmt.value.values):
+            if not (
+                isinstance(key, ast.Constant) and isinstance(key.value, str)
+            ):
+                continue
+            keys: List[str] = []
+            if isinstance(value, (ast.Tuple, ast.List)):
+                for elt in value.elts:
+                    if isinstance(elt, ast.Constant) and isinstance(
+                        elt.value, str
+                    ):
+                        keys.append(elt.value)
+            facts.append(
+                EventKeyFact(kind=key.value, keys=keys, lineno=key.lineno)
+            )
+    return facts
+
+
+def _event_ctors(ctx: ModuleContext) -> List[CtorFact]:
+    facts: List[CtorFact] = []
+    for node in ast.walk(ctx.tree):
+        if not isinstance(node, ast.Call):
+            continue
+        name = _terminal_name(node.func)
+        if not name or not name.endswith("Event"):
+            continue
+        has_star = any(isinstance(a, ast.Starred) for a in node.args) or any(
+            kw.arg is None for kw in node.keywords
+        )
+        facts.append(
+            CtorFact(
+                name=name,
+                lineno=node.lineno,
+                n_args=sum(
+                    1 for a in node.args if not isinstance(a, ast.Starred)
+                ),
+                kwargs=[kw.arg for kw in node.keywords if kw.arg],
+                origin=ctx.resolve_call(node.func),
+                has_star=has_star,
+            )
+        )
+    return facts
+
+
+def _task_refs(ctx: ModuleContext) -> List[TaskRefFact]:
+    facts: List[TaskRefFact] = []
+    for node in ast.walk(ctx.tree):
+        if not isinstance(node, ast.Call):
+            continue
+        if _terminal_name(node.func) not in registry.R8_TASK_CLASSES:
+            continue
+        fn_arg: Optional[ast.AST] = node.args[0] if node.args else None
+        for kw in node.keywords:
+            if kw.arg == "fn":
+                fn_arg = kw.value
+        if fn_arg is None:
+            continue
+        if isinstance(fn_arg, ast.Constant) and isinstance(fn_arg.value, str):
+            facts.append(TaskRefFact(lineno=node.lineno, ref=fn_arg.value))
+        elif isinstance(fn_arg, ast.Name):
+            facts.append(
+                TaskRefFact(
+                    lineno=node.lineno,
+                    name=fn_arg.id,
+                    origin=ctx.from_imports.get(fn_arg.id),
+                )
+            )
+    return facts
+
+
+def _str_globals(ctx: ModuleContext) -> Dict[str, str]:
+    out: Dict[str, str] = {}
+    for stmt in ctx.tree.body:
+        if (
+            isinstance(stmt, ast.Assign)
+            and len(stmt.targets) == 1
+            and isinstance(stmt.targets[0], ast.Name)
+            and isinstance(stmt.value, ast.Constant)
+            and isinstance(stmt.value.value, str)
+        ):
+            out[stmt.targets[0].id] = stmt.value.value
+        elif (
+            isinstance(stmt, ast.AnnAssign)
+            and isinstance(stmt.target, ast.Name)
+            and isinstance(stmt.value, ast.Constant)
+            and isinstance(stmt.value.value, str)
+        ):
+            out[stmt.target.id] = stmt.value.value
+    return out
+
+
+# ----------------------------------------------------------------------
+# events_of taint (R10 exporter reads), per function
+# ----------------------------------------------------------------------
+def _event_reads(func: ast.AST) -> List[EventReadFact]:
+    tainted: Dict[str, str] = {}
+
+    def kind_of_call(expr) -> Optional[str]:
+        if (
+            isinstance(expr, ast.Call)
+            and isinstance(expr.func, ast.Attribute)
+            and expr.func.attr == "events_of"
+            and expr.args
+            and isinstance(expr.args[0], ast.Constant)
+            and isinstance(expr.args[0].value, str)
+        ):
+            return expr.args[0].value
+        return None
+
+    def kind_of_expr(expr) -> Optional[str]:
+        direct = kind_of_call(expr)
+        if direct is not None:
+            return direct
+        if isinstance(expr, ast.Name):
+            return tainted.get(expr.id)
+        if isinstance(expr, (ast.ListComp, ast.GeneratorExp, ast.SetComp)):
+            for gen in expr.generators:
+                kind = kind_of_expr(gen.iter)
+                if kind is not None:
+                    return kind
+        if isinstance(expr, ast.Call) and _terminal_name(expr.func) in (
+            "list",
+            "sorted",
+            "tuple",
+        ):
+            if expr.args:
+                return kind_of_expr(expr.args[0])
+        return None
+
+    # Two passes so taint flows through chained comprehension rebinds.
+    for _ in range(2):
+        for node in ast.walk(func):
+            if isinstance(node, ast.Assign):
+                kind = kind_of_expr(node.value)
+                if kind is not None:
+                    for target in node.targets:
+                        if isinstance(target, ast.Name):
+                            tainted[target.id] = kind
+            elif isinstance(node, (ast.For, ast.AsyncFor)):
+                kind = kind_of_expr(node.iter)
+                if kind is not None and isinstance(node.target, ast.Name):
+                    tainted[node.target.id] = kind
+            elif isinstance(node, ast.comprehension):
+                kind = kind_of_expr(node.iter)
+                if kind is not None and isinstance(node.target, ast.Name):
+                    tainted[node.target.id] = kind
+
+    reads: List[EventReadFact] = []
+    seen = set()
+    for node in ast.walk(func):
+        key = None
+        kind = None
+        if (
+            isinstance(node, ast.Subscript)
+            and isinstance(node.ctx, ast.Load)
+            and isinstance(node.value, ast.Name)
+            and node.value.id in tainted
+            and isinstance(node.slice, ast.Constant)
+            and isinstance(node.slice.value, str)
+        ):
+            kind, key = tainted[node.value.id], node.slice.value
+        elif (
+            isinstance(node, ast.Call)
+            and isinstance(node.func, ast.Attribute)
+            and node.func.attr == "get"
+            and isinstance(node.func.value, ast.Name)
+            and node.func.value.id in tainted
+            and node.args
+            and isinstance(node.args[0], ast.Constant)
+            and isinstance(node.args[0].value, str)
+        ):
+            kind, key = tainted[node.func.value.id], node.args[0].value
+        if key is not None and (kind, key, node.lineno) not in seen:
+            seen.add((kind, key, node.lineno))
+            reads.append(EventReadFact(kind=kind, key=key, lineno=node.lineno))
+    return reads
+
+
+# ----------------------------------------------------------------------
+# Entry point
+# ----------------------------------------------------------------------
+def analyze_module(ctx: ModuleContext) -> ModuleSummary:
+    """Distil one parsed module into its program-rule summary."""
+    summary = ModuleSummary(
+        path=ctx.path,
+        dotted=ctx.dotted,
+        import_aliases=dict(ctx.import_aliases),
+        from_imports=dict(ctx.from_imports),
+        str_globals=_str_globals(ctx),
+        event_key_maps=_event_key_maps(ctx),
+        event_ctors=_event_ctors(ctx),
+        task_refs=_task_refs(ctx),
+        shm_issues=_collect_shm_facts(ctx),
+    )
+    analyzer = _FunctionAnalyzer(ctx, summary.functions)
+    for stmt in ctx.tree.body:
+        if isinstance(stmt, _FUNC_NODES):
+            analyzer.analyze(stmt, stmt.name)
+        elif isinstance(stmt, ast.ClassDef):
+            summary.classes.append(_class_fact(stmt))
+            for sub in stmt.body:
+                if isinstance(sub, _FUNC_NODES):
+                    analyzer.analyze(sub, f"{stmt.name}.{sub.name}")
+    for qualname, fn in list(summary.functions.items()):
+        node = _find_def(ctx.tree, qualname)
+        if node is not None:
+            fn.event_reads = _event_reads(node)
+    return summary
+
+
+def _find_def(tree: ast.Module, qualname: str) -> Optional[ast.AST]:
+    """Locate the def node for a (possibly nested) qualname."""
+    parts = qualname.replace(".<locals>.", ".").split(".")
+    scope: ast.AST = tree
+    for i, part in enumerate(parts):
+        found = None
+        for node in ast.iter_child_nodes(scope):
+            if isinstance(node, _FUNC_NODES + (ast.ClassDef,)) and node.name == part:
+                found = node
+                break
+            if part.startswith("<lambda@") and isinstance(node, ast.Expr):
+                continue
+        if found is None:
+            # lambdas and exotic nestings: fall back to a full walk for
+            # the terminal segment
+            if i == len(parts) - 1:
+                for node in ast.walk(scope):
+                    if (
+                        isinstance(node, _FUNC_NODES)
+                        and node.name == part
+                    ):
+                        return node
+            return None
+        scope = found
+    return scope if isinstance(scope, _FUNC_NODES) else None

@@ -13,8 +13,10 @@ from typing import Dict, List
 
 __all__ = ["Finding", "JSON_SCHEMA_VERSION"]
 
-#: Bumped whenever the JSON report layout changes shape.
-JSON_SCHEMA_VERSION = 1
+#: Bumped whenever the JSON report layout changes shape.  v2 (the
+#: whole-program engine) adds the top-level "stats" block; every v1
+#: key is unchanged, so v1 consumers keep working.
+JSON_SCHEMA_VERSION = 2
 
 
 @dataclass

@@ -3,6 +3,13 @@
 The public entry point is :func:`lint_paths`; the CLI in
 :mod:`repro.analysis.cli` is a thin argument-parsing shell around it.
 
+v2 runs in two layers over one shared parse: the per-file rules R1-R5
+(`rule.check(ctx)`) execute while the :class:`~repro.analysis.program.
+ProgramModel` is built — their findings are cached per file alongside
+the dataflow summary, keyed by content hash — and the whole-program
+rules R6-R10 (`rule.check_program(model)`) run once over the finished
+model.
+
 Suppression happens at three levels, checked in this order:
 
 1. inline — a ``# repro-lint: ignore[R2]`` (or bare ``ignore`` for all
@@ -18,12 +25,14 @@ from __future__ import annotations
 
 import os
 import re
+import time
 from dataclasses import dataclass, field
 from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
 from .baseline import Baseline
 from .findings import JSON_SCHEMA_VERSION, Finding, sort_findings
-from .rules import ALL_RULES, RULES_BY_ID, ModuleContext
+from .program import ModelCache, ProgramModel
+from .rules import ALL_RULES, LOCAL_RULES, RULES_BY_ID
 
 __all__ = ["LintResult", "lint_paths", "iter_python_files", "package_relative"]
 
@@ -40,6 +49,10 @@ class LintResult:
     files_checked: int = 0
     parse_errors: List[Tuple[str, str]] = field(default_factory=list)
     rules_run: List[str] = field(default_factory=list)
+    #: wall-clock seconds: model build and whole-program rule passes.
+    timings: Dict[str, float] = field(default_factory=dict)
+    #: program-model stats: files / cache_hits / parsed.
+    model_stats: Dict[str, int] = field(default_factory=dict)
 
     @property
     def active(self) -> List[Finding]:
@@ -58,7 +71,7 @@ class LintResult:
 
     # ------------------------------------------------------------------
     def to_json(self) -> Dict[str, object]:
-        """Machine-readable report (schema v1; snapshot-tested)."""
+        """Machine-readable report (schema v2; snapshot-tested)."""
         return {
             "schema_version": JSON_SCHEMA_VERSION,
             "tool": "repro-lint",
@@ -70,7 +83,38 @@ class LintResult:
             "parse_errors": [
                 {"path": p, "error": e} for p, e in self.parse_errors
             ],
+            "stats": self.stats(),
         }
+
+    def stats(self) -> Dict[str, object]:
+        """Per-rule finding counts plus analysis timing/cache figures."""
+        per_rule: Dict[str, int] = {r: 0 for r in self.rules_run}
+        for f in self.findings:
+            per_rule[f.rule] = per_rule.get(f.rule, 0) + 1
+        out: Dict[str, object] = {
+            "findings_per_rule": per_rule,
+            "wall_s": round(sum(self.timings.values()), 6),
+        }
+        out.update(self.model_stats)
+        out["timings_s"] = {k: round(v, 6) for k, v in self.timings.items()}
+        return out
+
+    def format_stats(self) -> str:
+        stats = self.stats()
+        lines = ["repro-lint stats:"]
+        for rule_id in self.rules_run:
+            n = stats["findings_per_rule"].get(rule_id, 0)
+            lines.append(f"  {rule_id:<4} {n} finding(s)")
+        lines.append(
+            "  model: {files} file(s), {cache_hits} cached, "
+            "{parsed} parsed".format(
+                files=stats.get("files", self.files_checked),
+                cache_hits=stats.get("cache_hits", 0),
+                parsed=stats.get("parsed", 0),
+            )
+        )
+        lines.append(f"  wall: {stats['wall_s']:.3f}s")
+        return "\n".join(lines)
 
     def format_human(self, verbose: bool = False) -> str:
         """Multi-line human report; quiet rows are omitted unless verbose."""
@@ -156,12 +200,22 @@ def _apply_suppressions(findings: List[Finding], source_lines: List[str]) -> Non
                     break
 
 
+def _skip_file(source_lines: List[str]) -> bool:
+    return any(_SKIP_FILE_RE.search(line) for line in source_lines[:10])
+
+
 def lint_paths(
     paths: Sequence[str],
     rules: Optional[Sequence[str]] = None,
     baseline: Optional[Baseline] = None,
+    use_model_cache: bool = True,
 ) -> LintResult:
-    """Run the selected rules over every .py file under ``paths``."""
+    """Run the selected rules over every .py file under ``paths``.
+
+    ``use_model_cache=False`` forces a cold run: every file is
+    re-parsed and re-analyzed, and the on-disk model cache is neither
+    read nor written.
+    """
     if rules is None:
         selected = list(ALL_RULES)
     else:
@@ -171,26 +225,48 @@ def lint_paths(
                 f"unknown rule id(s) {unknown}; known: {sorted(RULES_BY_ID)}"
             )
         selected = [RULES_BY_ID[r] for r in rules]
+    selected_ids = {r.rule_id for r in selected}
     result = LintResult(rules_run=[r.rule_id for r in selected])
-    for file_path in iter_python_files(paths):
-        result.files_checked += 1
-        rel = package_relative(file_path)
-        try:
-            with open(file_path, "r", encoding="utf-8") as fh:
-                source = fh.read()
-            ctx = ModuleContext.parse(rel, source)
-        except (SyntaxError, UnicodeDecodeError, OSError) as exc:
-            result.parse_errors.append((rel, str(exc)))
+
+    files = [
+        (file_path, package_relative(file_path))
+        for file_path in iter_python_files(paths)
+    ]
+    # The model always runs every local rule (findings are cached per
+    # file content); rule selection filters afterwards, so switching
+    # --rule never invalidates the cache.
+    t0 = time.perf_counter()
+    model = ProgramModel.build(
+        files,
+        LOCAL_RULES,
+        cache=ModelCache() if use_model_cache else None,
+        skip_predicate=_skip_file,
+    )
+    result.timings["model_build"] = time.perf_counter() - t0
+    result.files_checked = model.files_checked
+    result.parse_errors = list(model.parse_errors)
+    result.model_stats = model.stats()
+
+    for rel, file_findings in model.local_findings.items():
+        kept = [f for f in file_findings if f.rule in selected_ids]
+        if not kept:
             continue
-        if any(
-            _SKIP_FILE_RE.search(line) for line in ctx.source_lines[:10]
-        ):
-            continue
-        file_findings: List[Finding] = []
-        for rule in selected:
-            file_findings.extend(rule.check(ctx))
-        _apply_suppressions(file_findings, ctx.source_lines)
-        result.findings.extend(file_findings)
+        _apply_suppressions(kept, model.source_lines.get(rel, []))
+        result.findings.extend(kept)
+
+    program_rules = [r for r in selected if getattr(r, "program_rule", False)]
+    if program_rules:
+        t0 = time.perf_counter()
+        for rule in program_rules:
+            rule_findings = rule.check_program(model)
+            by_path: Dict[str, List[Finding]] = {}
+            for f in rule_findings:
+                by_path.setdefault(f.path, []).append(f)
+            for path, fs in by_path.items():
+                _apply_suppressions(fs, model.source_lines.get(path, []))
+            result.findings.extend(rule_findings)
+        result.timings["program_rules"] = time.perf_counter() - t0
+
     if baseline is not None:
         baseline.apply(result.findings)
     result.findings = sort_findings(result.findings)

@@ -82,6 +82,8 @@ R4_WALLCLOCK_ALLOWED_PREFIXES = (
     "repro/perf.py",
     "repro/obs/",
     "repro/parallel/",
+    # The linter itself times its own analysis passes for --stats.
+    "repro/analysis/",
     # The autotuner's functional wall-clock probe times host SpMV
     # gathers; its measurements score candidate layouts and never feed
     # the cycle model.
@@ -131,3 +133,171 @@ ALIASING_NUMPY_FUNCS = frozenset(
 MUTATING_NUMPY_FUNCS = frozenset({"copyto", "put", "place", "putmask"})
 
 __all__.append("MUTATING_NUMPY_FUNCS")
+
+# ----------------------------------------------------------------------
+# R6 — async discipline (repro/serve)
+# ----------------------------------------------------------------------
+#: Dotted call origins that block the calling thread.  Any of these
+#: reachable from an `async def` body stalls the whole event loop.
+R6_BLOCKING_CALLS = frozenset(
+    {
+        "time.sleep",
+        "socket.create_connection",
+        "socket.getaddrinfo",
+        "subprocess.run",
+        "subprocess.call",
+        "subprocess.check_call",
+        "subprocess.check_output",
+        "subprocess.Popen",
+        "urllib.request.urlopen",
+        "requests.get",
+        "requests.post",
+        "requests.request",
+    }
+)
+
+#: Bare names of the functional kernels/drivers: CPU-heavy work that
+#: must run in the worker pool (`run_in_executor`), never inline on the
+#: event loop.
+R6_BLOCKING_KERNELS = frozenset(
+    {
+        "inner_product",
+        "outer_product",
+        "inner_product_batch",
+        "outer_product_batch",
+        "spmv",
+        "spmv_batch",
+        "bfs",
+        "sssp",
+        "bfs_multi",
+        "sssp_multi",
+        "pagerank",
+        "connected_components",
+        "collaborative_filtering",
+    }
+)
+
+#: Callable-shipping helpers: attribute/function name -> positional
+#: index of the shipped callable (`loop.run_in_executor(executor, fn)`,
+#: `asyncio.to_thread(fn)`).
+R6_EXECUTOR_SHIPS = {"run_in_executor": 1, "to_thread": 0}
+
+#: Methods that mutate shared registry/cache state when called on a
+#: non-local receiver from a shipped closure; such calls must happen
+#: under the per-graph lock (lexically inside `async with`).
+R6_GUARDED_METHODS = frozenset(
+    {
+        "load",
+        "register",
+        "put",
+        "setdefault",
+        "move_to_end",
+        "popitem",
+        "append",
+        "add",
+        "update",
+        "extend",
+        "insert",
+        "clear",
+    }
+)
+
+# ----------------------------------------------------------------------
+# R7 — shared-memory lifecycle
+# ----------------------------------------------------------------------
+#: Call origins that allocate/attach an OS shared-memory segment whose
+#: handle must reach close()/unlink() (or escape to an owner) on every
+#: exit path.
+R7_SHM_ORIGINS = frozenset(
+    {
+        "multiprocessing.shared_memory.SharedMemory",
+        "shared_memory.SharedMemory",
+    }
+)
+
+# ----------------------------------------------------------------------
+# R8 — interprocedural task purity
+# ----------------------------------------------------------------------
+#: Constructors whose first/`fn=` argument names a task function
+#: ("module.path:function") that must stay pure.
+R8_TASK_CLASSES = frozenset({"PricingTask"})
+
+#: Container/dict/set methods that mutate their receiver (ndarray
+#: mutators live in MUTATING_METHODS).
+R8_MUTATING_CONTAINER_METHODS = frozenset(
+    {
+        "append",
+        "add",
+        "update",
+        "setdefault",
+        "extend",
+        "insert",
+        "clear",
+        "pop",
+        "popitem",
+        "remove",
+        "discard",
+        "move_to_end",
+    }
+)
+
+#: Module-level memo dicts task functions may legitimately fill: pure
+#: caches of deterministically reconstructible values (worker-side
+#: semiring/system/partition memos, the shm attachment cache).
+R8_MEMO_GLOBALS = frozenset(
+    {"_semirings", "_systems", "_partitions", "_attached"}
+)
+
+#: Dotted module prefixes whose state is observability/metering, not
+#: results: writes into them do not make a task impure.
+R8_EXEMPT_MODULE_PREFIXES = ("repro.obs", "repro.perf", "repro.analysis")
+
+# ----------------------------------------------------------------------
+# R9 — cache-key completeness
+# ----------------------------------------------------------------------
+#: Payload dataclass name -> (key-function name, fields exempt from the
+#: key).  Exempt fields are execution-control or *result* fields — they
+#: either cannot change the result (cacheable) or are filled in by the
+#: computation the key addresses (a TuningPlan's verdict fields).
+R9_KEYED_DATACLASSES = {
+    "PricingTask": ("task_key", frozenset({"cacheable"})),
+    "TuningPlan": (
+        "plan_key",
+        frozenset(
+            {
+                "ordering",
+                "vblock_width",
+                "storage",
+                "matrix_key",
+                "metrics",
+                "baseline",
+                "candidates",
+            }
+        ),
+    ),
+}
+
+# ----------------------------------------------------------------------
+# R10 — obs schema drift
+# ----------------------------------------------------------------------
+#: Name of the literal kind->required-keys map in repro/obs/events.py.
+R10_EVENT_KEYS_NAME = "_EVENT_KEYS"
+
+#: Envelope keys every exported event record carries besides the
+#: dataclass fields (see repro.obs.events.event_record).
+R10_RECORD_ENVELOPE_KEYS = frozenset({"type", "event", "t_s"})
+
+__all__ += [
+    "R6_BLOCKING_CALLS",
+    "R6_BLOCKING_KERNELS",
+    "R6_EXECUTOR_SHIPS",
+    "R6_GUARDED_METHODS",
+    "R7_SHM_ORIGINS",
+    "R8_TASK_CLASSES",
+    "R8_MUTATING_CONTAINER_METHODS",
+    "R8_MEMO_GLOBALS",
+    "R8_EXEMPT_MODULE_PREFIXES",
+    "R9_KEYED_DATACLASSES",
+    "R10_EVENT_KEYS_NAME",
+    "R10_RECORD_ENVELOPE_KEYS",
+]

@@ -25,86 +25,20 @@ The rules encode this codebase's real invariant classes:
 from __future__ import annotations
 
 import ast
-from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Set
+from typing import List, Optional, Set
 
 from . import registry
+from .dataflow import ModuleContext  # shared parse; re-exported for compat
 from .findings import Finding
 from .units import unit_of
 
-__all__ = ["ModuleContext", "ALL_RULES", "RULES_BY_ID"]
-
-
-# ----------------------------------------------------------------------
-# Shared per-module context
-# ----------------------------------------------------------------------
-@dataclass
-class ModuleContext:
-    """One parsed module plus everything the rules need to inspect it."""
-
-    path: str  # package-relative posix path for reports/scoping
-    tree: ast.Module
-    source_lines: List[str] = field(default_factory=list)
-    #: local alias -> imported dotted module path ("np" -> "numpy").
-    import_aliases: Dict[str, str] = field(default_factory=dict)
-    #: local name -> dotted origin ("perf_counter" -> "time.perf_counter").
-    from_imports: Dict[str, str] = field(default_factory=dict)
-
-    @classmethod
-    def parse(cls, path: str, source: str) -> "ModuleContext":
-        tree = ast.parse(source, filename=path)
-        ctx = cls(path=path, tree=tree, source_lines=source.splitlines())
-        for node in ast.walk(tree):
-            if isinstance(node, ast.Import):
-                for alias in node.names:
-                    ctx.import_aliases[alias.asname or alias.name.split(".")[0]] = (
-                        alias.name if alias.asname else alias.name.split(".")[0]
-                    )
-                    if alias.asname:
-                        ctx.import_aliases[alias.asname] = alias.name
-            elif isinstance(node, ast.ImportFrom) and node.module and node.level == 0:
-                for alias in node.names:
-                    ctx.from_imports[alias.asname or alias.name] = (
-                        f"{node.module}.{alias.name}"
-                    )
-        return ctx
-
-    # ------------------------------------------------------------------
-    def snippet(self, lineno: int) -> str:
-        """The stripped source line at 1-based ``lineno``."""
-        if 1 <= lineno <= len(self.source_lines):
-            return self.source_lines[lineno - 1].strip()
-        return ""
-
-    def resolve_call(self, func: ast.AST) -> Optional[str]:
-        """Dotted origin of a call target, e.g. ``np.random.rand`` ->
-        ``numpy.random.rand``; None when the root is not an import."""
-        parts: List[str] = []
-        node = func
-        while isinstance(node, ast.Attribute):
-            parts.append(node.attr)
-            node = node.value
-        if isinstance(node, ast.Name):
-            root = node.id
-            if root in self.import_aliases:
-                return ".".join([self.import_aliases[root]] + parts[::-1])
-            if root in self.from_imports and not parts:
-                return self.from_imports[root]
-            if root in self.from_imports:
-                return ".".join([self.from_imports[root]] + parts[::-1])
-        return None
-
-    def finding(self, rule, node: ast.AST, message: str) -> Finding:
-        lineno = getattr(node, "lineno", 1)
-        return Finding(
-            rule=rule.rule_id,
-            rule_name=rule.rule_name,
-            path=self.path,
-            line=lineno,
-            col=getattr(node, "col_offset", 0),
-            message=message,
-            snippet=self.snippet(lineno),
-        )
+__all__ = [
+    "ModuleContext",
+    "ALL_RULES",
+    "LOCAL_RULES",
+    "PROGRAM_RULES",
+    "RULES_BY_ID",
+]
 
 
 def _last_identifier(node: ast.AST) -> Optional[str]:
@@ -426,12 +360,21 @@ class KernelPurityRule:
         )
 
 
-ALL_RULES = [
+#: The per-file rules: each has ``check(ctx)`` over one module.
+LOCAL_RULES = [
     BareAssertRule(),
     UnitMixingRule(),
     MagicConstantRule(),
     NondeterminismRule(),
     KernelPurityRule(),
 ]
+
+# Imported late: rules_program builds on the dataflow summaries, which
+# in turn import nothing from this module beyond ModuleContext's new
+# home, so the aggregate list stays cycle-free.
+from .rules_program import PROGRAM_RULES  # noqa: E402
+
+#: Every rule, local then whole-program, in id order R1..R10.
+ALL_RULES = LOCAL_RULES + PROGRAM_RULES
 
 RULES_BY_ID = {r.rule_id: r for r in ALL_RULES}

@@ -1,0 +1,648 @@
+"""The whole-program rules R6-R10.
+
+Unlike the per-file rules in :mod:`repro.analysis.rules`, these run
+once over the finished :class:`~repro.analysis.program.ProgramModel`
+(``check_program(model)``) and reason across module boundaries through
+the call graph:
+
+* **R6 async-discipline** — nothing blocking (``time.sleep``, sync
+  socket/subprocess I/O, functional kernels) is reachable from an
+  ``async def`` body except through ``run_in_executor``/``to_thread``,
+  and shipped closures only mutate shared registry/cache state under a
+  lock (lexically inside ``async with``).
+* **R7 shm-lifecycle** — every ``SharedMemory`` create/attach reaches
+  ``close()``/``unlink()`` (or escapes to an owning container) on all
+  exit paths, including the exception edge.
+* **R8 task-purity** — a ``PricingTask`` function may not transitively
+  mutate module-global state or read unseeded RNG, and may not mutate
+  its payload/array inputs (directly or through callees).
+* **R9 cache-key-completeness** — every field of a keyed payload
+  dataclass flows into its sha256 key function (or is registered as a
+  control/result field).
+* **R10 obs-schema-drift** — event constructions, the literal
+  ``_EVENT_KEYS`` map and exporter field reads all agree with the
+  kind-tagged event dataclasses.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Set, Tuple
+
+from . import registry
+from .callgraph import CallGraph
+from .dataflow import FunctionSummary, ModuleSummary
+from .findings import Finding
+
+__all__ = ["PROGRAM_RULES"]
+
+
+def _finding(rule, model, path: str, lineno: int, message: str) -> Finding:
+    return Finding(
+        rule=rule.rule_id,
+        rule_name=rule.rule_name,
+        path=path,
+        line=lineno,
+        col=0,
+        message=message,
+        snippet=model.snippet(path, lineno),
+    )
+
+
+def _kernel_name(call) -> Optional[str]:
+    """The blocking-kernel name a call targets, if any."""
+    if call.name and call.name in registry.R6_BLOCKING_KERNELS:
+        return call.name
+    if call.origin:
+        tail = call.origin.rsplit(".", 1)[-1]
+        if tail in registry.R6_BLOCKING_KERNELS:
+            return tail
+    return None
+
+
+# ----------------------------------------------------------------------
+# R6 — async discipline
+# ----------------------------------------------------------------------
+class AsyncDisciplineRule:
+    rule_id = "R6"
+    rule_name = "async-discipline"
+    program_rule = True
+    description = (
+        "async def bodies must not reach blocking calls or functional "
+        "kernels except via run_in_executor; shipped closures mutate "
+        "shared state only under an async-with lock"
+    )
+
+    def check_program(self, model) -> List[Finding]:
+        graph = model.graph
+        self._memo: Dict[Tuple[str, str], Optional[List[str]]] = {}
+        found: List[Finding] = []
+        for mod, fn in graph.functions():
+            if not fn.is_async:
+                continue
+            self._check_async_body(graph, model, mod, fn, found)
+            self._check_ships(graph, model, mod, fn, found)
+        return found
+
+    # ------------------------------------------------------------------
+    def _check_async_body(self, graph, model, mod, fn, found) -> None:
+        for call in fn.calls:
+            if call.origin in registry.R6_BLOCKING_CALLS:
+                found.append(
+                    _finding(
+                        self,
+                        model,
+                        mod.path,
+                        call.lineno,
+                        f"blocking call `{call.origin}` inside async "
+                        f"`{fn.name}` stalls the event loop; ship it via "
+                        "loop.run_in_executor (or use asyncio.sleep)",
+                    )
+                )
+                continue
+            kernel = _kernel_name(call)
+            if kernel is not None:
+                found.append(
+                    _finding(
+                        self,
+                        model,
+                        mod.path,
+                        call.lineno,
+                        f"functional kernel `{kernel}` called on the event "
+                        f"loop inside async `{fn.name}`; kernels are "
+                        "CPU-bound — run them in the worker pool via "
+                        "run_in_executor",
+                    )
+                )
+                continue
+            target = graph.resolve_call(mod, fn, call)
+            if target is None or target[1].is_async:
+                continue
+            chain = self._blocking_chain(graph, target[0], target[1], set())
+            if chain is not None:
+                via = " -> ".join(chain)
+                found.append(
+                    _finding(
+                        self,
+                        model,
+                        mod.path,
+                        call.lineno,
+                        f"async `{fn.name}` reaches blocking work through "
+                        f"`{via}`; ship the sync call chain via "
+                        "run_in_executor",
+                    )
+                )
+
+    def _blocking_chain(
+        self,
+        graph: CallGraph,
+        mod: ModuleSummary,
+        fn: FunctionSummary,
+        in_progress: Set[Tuple[str, str]],
+    ) -> Optional[List[str]]:
+        """Witness chain from ``fn`` to a blocking call, or None."""
+        key = (mod.path, fn.name)
+        if key in self._memo:
+            return self._memo[key]
+        if key in in_progress:
+            return None  # cycle: assume non-blocking along this edge
+        in_progress.add(key)
+        result: Optional[List[str]] = None
+        for call in fn.calls:
+            if call.origin in registry.R6_BLOCKING_CALLS:
+                result = [fn.name, call.origin]
+                break
+            kernel = _kernel_name(call)
+            if kernel is not None:
+                result = [fn.name, kernel]
+                break
+            target = graph.resolve_call(mod, fn, call)
+            if target is None or target[1].is_async:
+                continue
+            sub = self._blocking_chain(graph, target[0], target[1], in_progress)
+            if sub is not None:
+                result = [fn.name] + sub
+                break
+        in_progress.discard(key)
+        self._memo[key] = result
+        return result
+
+    # ------------------------------------------------------------------
+    def _check_ships(self, graph, model, mod, fn, found) -> None:
+        for ship in fn.ships:
+            if ship.locked or ship.callee is None:
+                continue
+            shipped = graph.resolve_local_callable(mod, fn, ship.callee)
+            if shipped is None:
+                continue
+            guarded = [
+                w
+                for w in shipped.writes
+                if w.method is None or w.method in registry.R6_GUARDED_METHODS
+            ]
+            if guarded:
+                w = guarded[0]
+                what = f"`{w.root}` {w.desc} (line {w.lineno})"
+                found.append(
+                    _finding(
+                        self,
+                        model,
+                        mod.path,
+                        ship.lineno,
+                        f"closure `{ship.callee}` shipped via {ship.via} "
+                        f"mutates shared state {what} without holding a "
+                        "lock; wrap the ship in `async with` on the "
+                        "per-graph lock or mutate on the event loop",
+                    )
+                )
+
+
+# ----------------------------------------------------------------------
+# R7 — shared-memory lifecycle
+# ----------------------------------------------------------------------
+class ShmLifecycleRule:
+    rule_id = "R7"
+    rule_name = "shm-lifecycle"
+    program_rule = True
+    description = (
+        "every SharedMemory create/attach must reach close()/unlink() "
+        "or an owning container on all exit paths, including exceptions"
+    )
+
+    def check_program(self, model) -> List[Finding]:
+        found: List[Finding] = []
+        for path, mod in sorted(model.summaries.items()):
+            for fact in mod.shm_issues:
+                if fact.problem == "leak":
+                    message = (
+                        f"SharedMemory handle `{fact.var}` leaks if line "
+                        f"{fact.risk_line} raises before ownership is "
+                        "transferred; register the segment (or "
+                        "close()+raise in an except block) immediately "
+                        "after creation"
+                    )
+                else:
+                    message = (
+                        f"SharedMemory handle `{fact.var}` is never "
+                        "close()d/unlink()ed or handed to an owner on "
+                        "this path; the OS segment outlives the process"
+                    )
+                found.append(_finding(self, model, path, fact.lineno, message))
+        return found
+
+
+# ----------------------------------------------------------------------
+# R8 — interprocedural task purity
+# ----------------------------------------------------------------------
+class TaskPurityRule:
+    rule_id = "R8"
+    rule_name = "task-purity"
+    program_rule = True
+    description = (
+        "PricingTask functions may not transitively mutate global "
+        "state, read unseeded RNG, or mutate their payload/array inputs"
+    )
+
+    def check_program(self, model) -> List[Finding]:
+        graph = model.graph
+        refs = self._task_refs(graph)
+        if not refs:
+            return []
+        mutated_by = self._mutation_fixpoint(graph)
+        found: List[Finding] = []
+        seen: Set[Tuple] = set()
+        for ref in sorted(refs):
+            target = self._resolve_ref(graph, ref)
+            if target is None:
+                continue
+            tmod, tfn = target
+            self._check_input_mutation(model, tmod, tfn, ref, mutated_by, found, seen)
+            for gmod, gfn in self._reachable(graph, tmod, tfn):
+                if gmod.dotted.startswith(registry.R8_EXEMPT_MODULE_PREFIXES):
+                    continue
+                self._check_globals(model, gmod, gfn, ref, found, seen)
+        return found
+
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _task_refs(graph: CallGraph) -> Set[str]:
+        refs: Set[str] = set()
+        for mod in graph.modules:
+            for fact in mod.task_refs:
+                ref = fact.ref
+                if ref is None and fact.name is not None:
+                    ref = mod.str_globals.get(fact.name)
+                    if ref is None and fact.origin and "." in fact.origin:
+                        omod_name, const = fact.origin.rsplit(".", 1)
+                        omod = graph.by_dotted.get(omod_name)
+                        if omod is not None:
+                            ref = omod.str_globals.get(const)
+                if ref and ":" in ref:
+                    refs.add(ref)
+        return refs
+
+    @staticmethod
+    def _resolve_ref(graph: CallGraph, ref: str):
+        mod_name, fn_name = ref.split(":", 1)
+        mod = graph.by_dotted.get(mod_name)
+        if mod is None:
+            return None
+        fn = mod.functions.get(fn_name)
+        if fn is None:
+            return None
+        return (mod, fn)
+
+    @staticmethod
+    def _reachable(graph: CallGraph, mod, fn):
+        seen = {(mod.path, fn.name)}
+        queue = [(mod, fn)]
+        while queue:
+            cmod, cfn = queue.pop()
+            yield (cmod, cfn)
+            for call in cfn.calls:
+                target = graph.resolve_call(cmod, cfn, call)
+                if target is None:
+                    continue
+                key = (target[0].path, target[1].name)
+                if key in seen:
+                    continue
+                if target[0].dotted.startswith(
+                    registry.R8_EXEMPT_MODULE_PREFIXES
+                ):
+                    continue
+                seen.add(key)
+                queue.append(target)
+
+    # ------------------------------------------------------------------
+    def _check_globals(self, model, gmod, gfn, ref, found, seen) -> None:
+        mutators = registry.MUTATING_METHODS | registry.R8_MUTATING_CONTAINER_METHODS
+        for w in gfn.writes:
+            if not w.is_global:
+                continue
+            if w.method is not None and w.method not in mutators:
+                continue
+            if w.root in registry.R8_MEMO_GLOBALS:
+                continue
+            if w.origin and w.origin.startswith(
+                registry.R8_EXEMPT_MODULE_PREFIXES
+            ):
+                continue
+            key = ("gw", gmod.path, w.lineno, w.root)
+            if key in seen:
+                continue
+            seen.add(key)
+            found.append(
+                _finding(
+                    self,
+                    model,
+                    gmod.path,
+                    w.lineno,
+                    f"`{gfn.name}` mutates module-global `{w.root}` "
+                    f"({w.desc}), and is reachable from task function "
+                    f"`{ref}`; task results must be pure functions of "
+                    "the task inputs",
+                )
+            )
+        for rng in gfn.unseeded_rng:
+            key = ("rng", gmod.path, rng.lineno)
+            if key in seen:
+                continue
+            seen.add(key)
+            found.append(
+                _finding(
+                    self,
+                    model,
+                    gmod.path,
+                    rng.lineno,
+                    f"`{gfn.name}` reads unseeded RNG `{rng.origin}`, and "
+                    f"is reachable from task function `{ref}`; seed "
+                    "explicitly from the task payload",
+                )
+            )
+
+    # ------------------------------------------------------------------
+    def _mutation_fixpoint(self, graph: CallGraph) -> Dict[Tuple[str, str], Set[str]]:
+        """(path, qualname) -> param names the function mutates,
+        directly or through callees it passes them to."""
+        mutated: Dict[Tuple[str, str], Set[str]] = {}
+        for mod, fn in graph.functions():
+            mutated[(mod.path, fn.name)] = set(fn.mutated_params) & set(fn.params)
+        changed = True
+        while changed:
+            changed = False
+            for mod, fn in graph.functions():
+                key = (mod.path, fn.name)
+                for flow in fn.flows:
+                    if flow.call_index >= len(fn.calls):
+                        continue
+                    call = fn.calls[flow.call_index]
+                    target = graph.resolve_call(mod, fn, call)
+                    if target is None:
+                        continue
+                    tmod, tfn = target
+                    tmut = mutated.get((tmod.path, tfn.name), set())
+                    pname: Optional[str] = None
+                    if flow.kw is not None:
+                        pname = flow.kw
+                    elif flow.pos is not None:
+                        offset = (
+                            1
+                            if call.method is not None
+                            and tfn.params[:1] in (["self"], ["cls"])
+                            else 0
+                        )
+                        idx = flow.pos + offset
+                        if idx < len(tfn.params):
+                            pname = tfn.params[idx]
+                    if pname is not None and pname in tmut:
+                        if flow.param not in mutated[key]:
+                            mutated[key].add(flow.param)
+                            changed = True
+        return mutated
+
+    def _check_input_mutation(
+        self, model, tmod, tfn, ref, mutated_by, found, seen
+    ) -> None:
+        direct = set(tfn.mutated_params)
+        transitive = mutated_by.get((tmod.path, tfn.name), set())
+        for name in sorted(direct | transitive):
+            key = ("mut", tmod.path, tfn.name, name)
+            if key in seen:
+                continue
+            seen.add(key)
+            how = "transitively" if name not in direct else "in place"
+            found.append(
+                _finding(
+                    self,
+                    model,
+                    tmod.path,
+                    tfn.lineno,
+                    f"task function `{ref}` mutates its input `{name}` "
+                    f"{how}; results are cached by input content, so "
+                    "inputs must stay untouched — write to a fresh buffer",
+                )
+            )
+
+
+# ----------------------------------------------------------------------
+# R9 — cache-key completeness
+# ----------------------------------------------------------------------
+class CacheKeyRule:
+    rule_id = "R9"
+    rule_name = "cache-key-completeness"
+    program_rule = True
+    description = (
+        "every field of a keyed payload dataclass (PricingTask, "
+        "TuningPlan) must flow into its sha256 key function"
+    )
+
+    def check_program(self, model) -> List[Finding]:
+        graph = model.graph
+        found: List[Finding] = []
+        for mod in graph.modules:
+            for cls in mod.classes:
+                if cls.name not in registry.R9_KEYED_DATACLASSES:
+                    continue
+                if not cls.is_dataclass:
+                    continue
+                keyfn_name, exempt = registry.R9_KEYED_DATACLASSES[cls.name]
+                keyfn = self._find_key_fn(graph, mod, keyfn_name)
+                if keyfn is None:
+                    found.append(
+                        _finding(
+                            self,
+                            model,
+                            mod.path,
+                            cls.lineno,
+                            f"keyed dataclass `{cls.name}` has no reachable "
+                            f"key function `{keyfn_name}`; cache keys "
+                            "cannot be audited",
+                        )
+                    )
+                    continue
+                covered = set(keyfn.attr_reads) | set(keyfn.str_constants)
+                for fld in cls.fields:
+                    if fld.name in exempt or fld.name in covered:
+                        continue
+                    found.append(
+                        _finding(
+                            self,
+                            model,
+                            mod.path,
+                            fld.lineno,
+                            f"field `{cls.name}.{fld.name}` never flows "
+                            f"into `{keyfn_name}`; two tasks differing "
+                            "only in this field would collide on one "
+                            "cache entry — hash it (or register it as a "
+                            "control/result field in the R9 registry)",
+                        )
+                    )
+        return found
+
+    @staticmethod
+    def _find_key_fn(
+        graph: CallGraph, mod: ModuleSummary, name: str
+    ) -> Optional[FunctionSummary]:
+        fn = mod.functions.get(name)
+        if fn is not None:
+            return fn
+        for other in graph.modules:
+            fn = other.functions.get(name)
+            if fn is not None:
+                return fn
+        return None
+
+
+# ----------------------------------------------------------------------
+# R10 — obs schema drift
+# ----------------------------------------------------------------------
+class SchemaDriftRule:
+    rule_id = "R10"
+    rule_name = "obs-schema-drift"
+    program_rule = True
+    description = (
+        "event constructions, the _EVENT_KEYS map and exporter field "
+        "reads must agree with the kind-tagged event dataclasses"
+    )
+
+    def check_program(self, model) -> List[Finding]:
+        graph = model.graph
+        by_kind = graph.event_classes()
+        fields_of_kind: Dict[str, Set[str]] = {
+            kind: {f.name for f in defs[0][1].fields}
+            for kind, defs in by_kind.items()
+        }
+        found: List[Finding] = []
+        self._check_key_maps(model, graph, fields_of_kind, found)
+        self._check_ctors(model, graph, found)
+        self._check_reads(model, graph, fields_of_kind, found)
+        return found
+
+    # ------------------------------------------------------------------
+    def _check_key_maps(self, model, graph, fields_of_kind, found) -> None:
+        for mod in graph.modules:
+            for ekm in mod.event_key_maps:
+                if ekm.kind not in fields_of_kind:
+                    found.append(
+                        _finding(
+                            self,
+                            model,
+                            mod.path,
+                            ekm.lineno,
+                            f"{registry.R10_EVENT_KEYS_NAME} declares "
+                            f"unknown event kind `{ekm.kind}`: no "
+                            "kind-tagged event dataclass defines it",
+                        )
+                    )
+                    continue
+                fields = fields_of_kind[ekm.kind]
+                for key in ekm.keys:
+                    if key not in fields:
+                        found.append(
+                            _finding(
+                                self,
+                                model,
+                                mod.path,
+                                ekm.lineno,
+                                f"{registry.R10_EVENT_KEYS_NAME}['"
+                                f"{ekm.kind}'] requires key `{key}`, "
+                                "which is not a field of the event "
+                                "dataclass — exported records can never "
+                                "validate",
+                            )
+                        )
+
+    # ------------------------------------------------------------------
+    def _check_ctors(self, model, graph, found) -> None:
+        for mod in graph.modules:
+            for ctor in mod.event_ctors:
+                cls = self._resolve_ctor_class(graph, mod, ctor)
+                if cls is None or cls.kind is None or ctor.has_star:
+                    continue
+                field_names = [f.name for f in cls.fields]
+                unknown = [k for k in ctor.kwargs if k not in field_names]
+                if unknown:
+                    found.append(
+                        _finding(
+                            self,
+                            model,
+                            mod.path,
+                            ctor.lineno,
+                            f"`{cls.name}(...)` passes unknown field(s) "
+                            f"{unknown}; the schema-v1 dataclass has no "
+                            "such field — this raises at runtime or "
+                            "silently drops audit data",
+                        )
+                    )
+                required = {f.name for f in cls.fields if f.required}
+                provided = set(field_names[: ctor.n_args]) | set(ctor.kwargs)
+                missing = sorted(required - provided)
+                if missing:
+                    found.append(
+                        _finding(
+                            self,
+                            model,
+                            mod.path,
+                            ctor.lineno,
+                            f"`{cls.name}(...)` omits required field(s) "
+                            f"{missing}; construction raises TypeError "
+                            "when this path executes",
+                        )
+                    )
+
+    @staticmethod
+    def _resolve_ctor_class(graph, mod, ctor):
+        if ctor.origin and "." in ctor.origin:
+            mod_part, cname = ctor.origin.rsplit(".", 1)
+            resolved = graph.resolve_class(mod_part, cname)
+            if resolved is not None:
+                return resolved[1]
+            return None
+        for cls in mod.classes:
+            if cls.name == ctor.name:
+                return cls
+        return None
+
+    # ------------------------------------------------------------------
+    def _check_reads(self, model, graph, fields_of_kind, found) -> None:
+        for mod in graph.modules:
+            for fn in mod.functions.values():
+                for er in fn.event_reads:
+                    if er.kind not in fields_of_kind:
+                        found.append(
+                            _finding(
+                                self,
+                                model,
+                                mod.path,
+                                er.lineno,
+                                f"`events_of({er.kind!r})` names an "
+                                "unknown event kind; no event dataclass "
+                                "declares it",
+                            )
+                        )
+                        continue
+                    allowed = (
+                        fields_of_kind[er.kind]
+                        | registry.R10_RECORD_ENVELOPE_KEYS
+                    )
+                    if er.key not in allowed:
+                        found.append(
+                            _finding(
+                                self,
+                                model,
+                                mod.path,
+                                er.lineno,
+                                f"exporter reads key `{er.key}` off "
+                                f"`{er.kind}` records, but the event "
+                                "dataclass has no such field — the read "
+                                "sees only missing values",
+                            )
+                        )
+
+
+PROGRAM_RULES = [
+    AsyncDisciplineRule(),
+    ShmLifecycleRule(),
+    TaskPurityRule(),
+    CacheKeyRule(),
+    SchemaDriftRule(),
+]

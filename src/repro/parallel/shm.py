@@ -57,10 +57,12 @@ class ShmArena:
         seg = shared_memory.SharedMemory(
             create=True, size=max(contiguous.nbytes, 1)
         )
+        # Register ownership before touching the buffer: if the copy
+        # below raises, close() still reaches the segment.
+        self._segments.append(seg)
         view = np.ndarray(contiguous.shape, contiguous.dtype, buffer=seg.buf)
         view[...] = contiguous
         ref = SharedArrayRef(seg.name, str(contiguous.dtype), contiguous.shape)
-        self._segments.append(seg)
         self._published[id(arr)] = (arr, ref)
         return ref
 
@@ -95,19 +97,24 @@ def attach(ref: SharedArrayRef) -> np.ndarray:
     if hit is not None:
         return hit[1]
     seg = shared_memory.SharedMemory(name=ref.segment)
-    if os.environ.get("REPRO_POOL_WORKER") == "1":
-        try:
-            # Attaching registers the segment with the worker's resource
-            # tracker, which would try to clean it up (and warn) at exit
-            # even though the parent owns the unlink.  Hand ownership
-            # back.  Same-process attaches (tests) skip this: the
-            # creator's own registration must survive until unlink.
-            from multiprocessing import resource_tracker
+    try:
+        if os.environ.get("REPRO_POOL_WORKER") == "1":
+            try:
+                # Attaching registers the segment with the worker's
+                # resource tracker, which would try to clean it up (and
+                # warn) at exit even though the parent owns the unlink.
+                # Hand ownership back.  Same-process attaches (tests)
+                # skip this: the creator's own registration must survive
+                # until unlink.
+                from multiprocessing import resource_tracker
 
-            resource_tracker.unregister(seg._name, "shared_memory")
-        except Exception:  # pragma: no cover - tracker internals moved
-            pass
-    view = np.ndarray(ref.shape, np.dtype(ref.dtype), buffer=seg.buf)
-    view.flags.writeable = False
+                resource_tracker.unregister(seg._name, "shared_memory")
+            except Exception:  # pragma: no cover - tracker internals moved
+                pass
+        view = np.ndarray(ref.shape, np.dtype(ref.dtype), buffer=seg.buf)
+        view.flags.writeable = False
+    except BaseException:
+        seg.close()
+        raise
     _attached[ref.segment] = (seg, view)
     return view

@@ -1,0 +1,3 @@
+"""Synthetic 3-module package for the call-graph unit test."""
+
+from .beta import middle

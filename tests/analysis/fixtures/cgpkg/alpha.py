@@ -1,0 +1,20 @@
+"""Entry module: calls across the package by several import styles."""
+
+from cgpkg import middle as reexported_middle
+from cgpkg.beta import middle
+
+from .gamma import leaf
+
+
+def entry(x):
+    a = middle(x)
+    b = reexported_middle(a)
+    c = leaf(b)
+    return bystander(c)
+
+
+def bystander(x):
+    def inner(y):
+        return y + 1
+
+    return inner(x)

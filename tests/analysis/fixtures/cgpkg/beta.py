@@ -1,0 +1,11 @@
+"""Middle module: forwards into gamma; `lonely` is never called."""
+
+from .gamma import leaf
+
+
+def middle(x):
+    return leaf(x)
+
+
+def lonely():
+    return None

@@ -1,0 +1,5 @@
+"""Leaf module: no project callees."""
+
+
+def leaf(x):
+    return x * 2

@@ -1,0 +1,64 @@
+"""R10 fixture: event constructions, _EVENT_KEYS and exporter reads."""
+
+from dataclasses import dataclass
+from typing import Optional
+
+
+@dataclass
+class PingEvent:
+    kind = "ping"
+
+    node: int
+    latency: Optional[float] = None
+
+
+@dataclass
+class DropEvent:
+    kind = "drop"
+
+    node: int
+    reason: str
+
+
+_EVENT_KEYS = {
+    "ping": ("node",),  # negative: field exists
+    "drop": ("node", "why"),  # positive: `why` is not a DropEvent field
+    "lost": ("node",),  # positive: no event dataclass declares `lost`
+}
+
+
+def emit_good():
+    return PingEvent(node=1)
+
+
+def emit_positional():
+    return DropEvent(3, "timeout")  # negative: both required covered
+
+
+def emit_unknown_kwarg():
+    return PingEvent(node=1, jitter=2)  # positive: no `jitter` field
+
+
+def emit_missing_required():
+    return DropEvent(node=2)  # positive: required `reason` omitted
+
+
+def emit_star(**kw):
+    return DropEvent(**kw)  # negative: star args are not audited
+
+
+def suppressed():
+    return PingEvent(node=1, jitter=2)  # repro-lint: ignore[R10]
+
+
+def read_fields(log):
+    rows = [e for e in log.events_of("ping")]
+    nodes = [r["node"] for r in rows]  # negative: real field
+    stamps = [r.get("t_s") for r in rows]  # negative: envelope key
+    causes = [r["cause"] for r in rows]  # positive: no `cause` field
+    return nodes, stamps, causes
+
+
+def read_unknown_kind(log):
+    for rec in log.events_of("missing"):
+        yield rec["node"]  # positive: unknown kind

@@ -1,0 +1,55 @@
+"""R6 fixture: blocking work and unlocked mutation in async bodies."""
+
+import asyncio
+import time
+
+
+def helper_sync():
+    deep()
+
+
+def deep():
+    time.sleep(0.5)
+
+
+async def positive_sleep():
+    time.sleep(1)  # blocking call directly on the event loop
+
+
+async def positive_kernel(matrix, vector, partition):
+    return inner_product(matrix, vector, partition)  # CPU-bound kernel
+
+
+async def positive_transitive():
+    helper_sync()  # reaches time.sleep via deep()
+
+
+async def positive_unlocked_ship(loop, registry, name):
+    def work():
+        registry.load(name)
+
+    return await loop.run_in_executor(None, work)  # mutation, no lock
+
+
+async def negative_executor(loop):
+    return await loop.run_in_executor(None, helper_sync)  # shipped: fine
+
+
+async def negative_async_sleep():
+    await asyncio.sleep(0.1)  # non-blocking sleep: fine
+
+
+async def negative_locked_ship(loop, registry, name, lock):
+    def work():
+        registry.load(name)
+
+    async with lock:
+        return await loop.run_in_executor(None, work)  # under the lock
+
+
+async def negative_await_helper():
+    await negative_async_sleep()  # async callee: its own body is checked
+
+
+async def suppressed():
+    time.sleep(1)  # repro-lint: ignore[R6]

@@ -1,0 +1,45 @@
+"""R7 fixture: SharedMemory handles on happy and exception paths."""
+
+import numpy as np
+from multiprocessing import shared_memory
+
+
+def positive_leak(ref, registry):
+    seg = shared_memory.SharedMemory(name=ref.segment)
+    view = np.ndarray(ref.shape, np.dtype(ref.dtype), buffer=seg.buf)
+    registry[ref.segment] = (seg, view)  # too late: the line above can raise
+    return view
+
+
+def positive_unreleased(nbytes):
+    seg = shared_memory.SharedMemory(create=True, size=nbytes)
+    return None  # handle dropped without close()/unlink() or an owner
+
+
+def negative_owner_first(ref, registry):
+    seg = shared_memory.SharedMemory(name=ref.segment)
+    registry[ref.segment] = seg  # ownership transferred before any risk
+    view = np.ndarray(ref.shape, np.dtype(ref.dtype), buffer=seg.buf)
+    return view
+
+
+def negative_guarded(ref):
+    seg = shared_memory.SharedMemory(name=ref.segment)
+    try:
+        view = np.ndarray(ref.shape, np.dtype(ref.dtype), buffer=seg.buf)
+    except BaseException:
+        seg.close()
+        raise
+    return seg, view  # caller owns the handle
+
+
+def negative_closed(nbytes):
+    seg = shared_memory.SharedMemory(create=True, size=nbytes)
+    seg.close()
+    seg.unlink()
+
+
+def suppressed(nbytes):
+    # repro-lint: ignore[R7]
+    seg = shared_memory.SharedMemory(create=True, size=nbytes)
+    return None

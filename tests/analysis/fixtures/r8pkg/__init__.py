@@ -1,0 +1,1 @@
+"""R8 fixture package: PricingTask functions across three modules."""

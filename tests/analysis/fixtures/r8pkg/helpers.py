@@ -1,0 +1,19 @@
+"""Helpers the task functions call into (one pure, two impure)."""
+
+_CALLS = []
+
+
+def scale_in_place(buf, factor):
+    buf *= factor  # mutates the caller's array through the parameter
+    return buf
+
+
+def count_call(label):
+    _CALLS.append(label)  # module-global accumulator
+    return len(_CALLS)
+
+
+def scale_copy(buf, factor):
+    out = buf.copy()
+    out *= factor  # fresh buffer: the input stays untouched
+    return out

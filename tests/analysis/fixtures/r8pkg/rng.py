@@ -1,0 +1,13 @@
+"""Unseeded randomness a task function must not reach."""
+
+import numpy as np
+
+
+def draw():
+    rng = np.random.default_rng()
+    return rng.random()
+
+
+def draw_seeded(seed):
+    rng = np.random.default_rng(seed)
+    return rng.random()

@@ -1,0 +1,48 @@
+"""Task functions registered through PricingTask constructions."""
+
+from .helpers import count_call, scale_copy, scale_in_place
+from .rng import draw, draw_seeded
+
+PRICE_FN = "r8pkg.tasks:positive_global"
+
+
+class PricingTask:
+    """Stand-in with the real constructor shape (fn, payload, ...)."""
+
+    def __init__(self, fn, payload=None, arrays=None, cacheable=True):
+        self.fn = fn
+        self.payload = payload
+        self.arrays = arrays
+        self.cacheable = cacheable
+
+
+def build_tasks(payload):
+    return [
+        PricingTask("r8pkg.tasks:positive_mutates", payload),
+        PricingTask("r8pkg.tasks:positive_direct", payload),
+        PricingTask(fn=PRICE_FN),
+        PricingTask("r8pkg.tasks:positive_rng"),
+        PricingTask("r8pkg.tasks:negative_pure", payload),
+    ]
+
+
+def positive_mutates(buf, factor):
+    return scale_in_place(buf, factor).sum()  # callee mutates `buf`
+
+
+def positive_direct(buf):
+    buf.fill(0.0)
+    return buf.sum()
+
+
+def positive_global(payload):
+    return count_call(payload)  # transitively appends to a module global
+
+
+def positive_rng():
+    return draw()  # transitively reads unseeded RNG
+
+
+def negative_pure(buf, factor):
+    out = scale_copy(buf, factor)
+    return out.sum() + draw_seeded(len(out))

@@ -1,0 +1,33 @@
+"""R9 fixture: keyed payload dataclasses vs their key functions."""
+
+import hashlib
+import json
+from dataclasses import dataclass, field
+
+
+@dataclass
+class PricingTask:
+    fn: str
+    payload: dict = field(default_factory=dict)
+    arrays: dict = field(default_factory=dict)
+    precision: str = "fp64"  # positive: never reaches task_key
+    note: str = ""  # repro-lint: ignore[R9]
+    cacheable: bool = True  # negative: registered control field
+
+
+def task_key(task):
+    material = {
+        "fn": task.fn,
+        "payload": task.payload,
+        "arrays": sorted(task.arrays),
+    }
+    blob = json.dumps(material, sort_keys=True)
+    return hashlib.sha256(blob.encode("utf-8")).hexdigest()
+
+
+@dataclass
+class TuningPlan:
+    # positive: no plan_key function exists anywhere in this model
+    geometry: dict = field(default_factory=dict)
+    ordering: str = "identity"  # exempt result field
+    storage: str = "csr"  # exempt result field

@@ -22,8 +22,11 @@ REPORT_KEYS = [
     "parse_errors",
     "rules_run",
     "schema_version",
+    "stats",
     "tool",
 ]
+
+ALL_RULE_IDS = ["R1", "R2", "R3", "R4", "R5", "R6", "R7", "R8", "R9", "R10"]
 FINDING_KEYS = [
     "baselined",
     "col",
@@ -61,7 +64,7 @@ class TestExitCodes:
         assert "no such path" in capsys.readouterr().err
 
     def test_unknown_rule_exit_2(self, capsys):
-        assert main([R1, "--rules", "R1,R9"]) == 2
+        assert main([R1, "--rules", "R1,R99"]) == 2
         assert "unknown rule" in capsys.readouterr().err
 
     def test_missing_baseline_exit_2(self, capsys):
@@ -71,7 +74,7 @@ class TestExitCodes:
     def test_list_rules(self, capsys):
         assert main(["--list-rules"]) == 0
         out = capsys.readouterr().out
-        for rule_id in ("R1", "R2", "R3", "R4", "R5"):
+        for rule_id in ALL_RULE_IDS:
             assert rule_id in out
 
 
@@ -80,9 +83,9 @@ class TestJsonSchema:
         assert main([R1, "--format", "json"]) == 1
         report = json.loads(capsys.readouterr().out)
         assert sorted(report) == REPORT_KEYS
-        assert report["schema_version"] == JSON_SCHEMA_VERSION == 1
+        assert report["schema_version"] == JSON_SCHEMA_VERSION == 2
         assert report["tool"] == "repro-lint"
-        assert report["rules_run"] == ["R1", "R2", "R3", "R4", "R5"]
+        assert report["rules_run"] == ALL_RULE_IDS
         assert report["files_checked"] == 1
         assert report["ok"] is False
         assert report["counts"] == {"R1": 1}
@@ -92,12 +95,45 @@ class TestJsonSchema:
         assert active[0]["rule"] == "R1"
         assert active[0]["path"] == "r1_cases.py"
         assert active[0]["snippet"] == 'assert x > 0, "boom"'
+        # v2 adds the stats block on top of the v1 keys.
+        stats = report["stats"]
+        assert stats["findings_per_rule"]["R1"] == 2  # incl. suppressed
+        assert stats["files"] == 1
+        assert stats["wall_s"] >= 0
 
     def test_rule_selection(self, capsys):
         assert main([R1, "--rules", "R3", "--format", "json"]) == 0
         report = json.loads(capsys.readouterr().out)
         assert report["rules_run"] == ["R3"]
         assert report["findings"] == []
+
+    def test_single_rule_flag_and_json_alias(self, capsys):
+        assert main([R1, "--rule", "R6", "--json"]) == 0
+        report = json.loads(capsys.readouterr().out)
+        assert report["rules_run"] == ["R6"]
+        assert report["findings"] == []
+
+    def test_rule_flag_combines_with_rules(self, capsys):
+        assert main([R1, "--rules", "R3", "--rule", "R1", "--json"]) == 1
+        report = json.loads(capsys.readouterr().out)
+        assert report["rules_run"] == ["R3", "R1"]
+        assert report["counts"] == {"R1": 1}
+
+    def test_stats_flag_prints_summary(self, capsys):
+        assert main([R1, "--stats"]) == 1
+        out = capsys.readouterr().out
+        assert "repro-lint stats:" in out
+        assert "wall:" in out
+        for rule_id in ALL_RULE_IDS:
+            assert rule_id in out
+
+    def test_no_model_cache_flag(self, capsys):
+        assert main([R1, "--json"]) == 1  # populates the cache
+        capsys.readouterr()
+        assert main([R1, "--json", "--no-model-cache"]) == 1
+        report = json.loads(capsys.readouterr().out)
+        assert report["stats"]["cache_hits"] == 0
+        assert report["stats"]["parsed"] == 1
 
 
 class TestBaselineWorkflow:
@@ -133,6 +169,47 @@ class TestBaselineWorkflow:
         versioned.write_text(json.dumps({"version": 9, "entries": []}))
         with pytest.raises(BaselineError, match="version"):
             Baseline.load(str(versioned))
+
+    def test_v1_baseline_still_loads(self, tmp_path):
+        # Pre-v2 checkouts carry version-1 baselines; they must keep
+        # suppressing their recorded debt unchanged.
+        legacy = tmp_path / "v1.json"
+        legacy.write_text(
+            json.dumps(
+                {
+                    "version": 1,
+                    "entries": [
+                        {
+                            "rule": "R1",
+                            "path": "r1_cases.py",
+                            "snippet": 'assert x > 0, "boom"',
+                            "count": 1,
+                        }
+                    ],
+                }
+            )
+        )
+        loaded = Baseline.load(str(legacy))
+        assert len(loaded) == 1
+        from repro.analysis import lint_paths
+
+        result = lint_paths([R1], rules=["R1"], baseline=loaded)
+        assert result.active == []
+        baselined = [f for f in result.findings if f.baselined]
+        assert len(baselined) == 1
+
+    def test_v2_baseline_reason_roundtrip(self, tmp_path):
+        b = Baseline()
+        key = ("R8", "repro/x.py", "state.append(1)")
+        b.entries[key] = 1
+        b.reasons[key] = "documented false positive: write is test-only"
+        path = tmp_path / "v2.json"
+        b.save(str(path))
+        data = json.loads(path.read_text())
+        assert data["version"] == 2
+        assert data["entries"][0]["reason"].startswith("documented")
+        reloaded = Baseline.load(str(path))
+        assert reloaded.reasons[key] == b.reasons[key]
 
     def test_baseline_roundtrip_multiset(self, tmp_path):
         from repro.analysis import lint_paths

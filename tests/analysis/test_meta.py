@@ -16,9 +16,11 @@ def _package_dir():
 
 
 def test_lint_clean_on_head():
-    result = lint_paths([_package_dir()])
+    result = lint_paths([_package_dir()], use_model_cache=False)
     assert result.parse_errors == []
-    assert result.rules_run == ["R1", "R2", "R3", "R4", "R5"]
+    assert result.rules_run == [
+        "R1", "R2", "R3", "R4", "R5", "R6", "R7", "R8", "R9", "R10",
+    ]
     assert result.files_checked > 80  # the whole package, not a subtree
     details = "\n".join(f.format_human() for f in result.active)
     assert result.active == [], f"repro-lint regressions:\n{details}"

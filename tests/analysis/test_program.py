@@ -1,0 +1,377 @@
+"""Whole-program engine tests: call graph, rules R6-R10 on fixture
+packages, the seeded-bug acceptance cases, and the model cache."""
+
+import ast
+import json
+import os
+import time
+
+import repro
+from repro.analysis import lint_paths
+from repro.analysis.linter import iter_python_files, package_relative
+from repro.analysis.program import ModelCache, ProgramModel
+from repro.analysis.rules import LOCAL_RULES
+
+FIXTURES = os.path.join(os.path.dirname(__file__), "fixtures")
+
+
+def _fixture(name):
+    return os.path.join(FIXTURES, name)
+
+
+def _lint(target, rule):
+    """One rule over one fixture path, bypassing the on-disk cache."""
+    return lint_paths([_fixture(target)], rules=[rule], use_model_cache=False)
+
+
+def _owners(findings, name):
+    """Map findings to the enclosing fixture function (handles async)."""
+    with open(_fixture(name), "r", encoding="utf-8") as fh:
+        lines = fh.read().splitlines()
+    starts = []
+    for i, line in enumerate(lines):
+        # top-level defs only: nested closures belong to their parent
+        if line.startswith("def ") or line.startswith("async def "):
+            starts.append((i + 1, line.split("(")[0].split()[-1]))
+    out = []
+    for f in findings:
+        owner = None
+        for lineno, fn in starts:
+            if lineno <= f.line:
+                owner = fn
+        out.append(owner)
+    return out
+
+
+def _build_model(path):
+    files = [
+        (p, package_relative(p)) for p in iter_python_files([_fixture(path)])
+    ]
+    return ProgramModel.build(files, LOCAL_RULES)
+
+
+# ----------------------------------------------------------------------
+class TestCallGraph:
+    def test_resolution_across_three_modules(self):
+        model = _build_model("cgpkg")
+        graph = model.graph
+        alpha = model.summaries["cgpkg/alpha.py"]
+        entry = alpha.functions["entry"]
+        resolved = {}
+        for call in entry.calls:
+            target = graph.resolve_call(alpha, entry, call)
+            assert target is not None, f"unresolved call {call}"
+            resolved[call.name] = (target[0].dotted, target[1].name)
+        assert resolved["middle"] == ("cgpkg.beta", "middle")
+        # one re-export hop through cgpkg/__init__.py
+        assert resolved["reexported_middle"] == ("cgpkg.beta", "middle")
+        # relative `from .gamma import leaf`
+        assert resolved["leaf"] == ("cgpkg.gamma", "leaf")
+        # bare name in the same module
+        assert resolved["bystander"] == ("cgpkg.alpha", "bystander")
+
+    def test_nested_def_resolution(self):
+        model = _build_model("cgpkg")
+        graph = model.graph
+        alpha = model.summaries["cgpkg/alpha.py"]
+        bystander = alpha.functions["bystander"]
+        (call,) = [c for c in bystander.calls if c.name == "inner"]
+        target = graph.resolve_call(alpha, bystander, call)
+        assert target is not None
+        assert target[1].name == "bystander.<locals>.inner"
+
+    def test_uncalled_function_has_no_edges(self):
+        model = _build_model("cgpkg")
+        graph = model.graph
+        targets = set()
+        for mod, fn in graph.functions():
+            for call in fn.calls:
+                hit = graph.resolve_call(mod, fn, call)
+                if hit is not None:
+                    targets.add((hit[0].dotted, hit[1].name))
+        assert ("cgpkg.beta", "middle") in targets
+        assert ("cgpkg.gamma", "leaf") in targets
+        assert ("cgpkg.beta", "lonely") not in targets
+
+
+# ----------------------------------------------------------------------
+class TestR6AsyncDiscipline:
+    def test_positives_and_negatives(self):
+        result = _lint("r6_cases.py", "R6")
+        owners = _owners(result.active, "r6_cases.py")
+        assert sorted(owners) == [
+            "positive_kernel",
+            "positive_sleep",
+            "positive_transitive",
+            "positive_unlocked_ship",
+        ]
+
+    def test_transitive_witness_chain(self):
+        result = _lint("r6_cases.py", "R6")
+        (finding,) = [
+            f
+            for f in result.active
+            if _owners([f], "r6_cases.py") == ["positive_transitive"]
+        ]
+        assert "helper_sync -> deep -> time.sleep" in finding.message
+
+    def test_unlocked_ship_names_the_mutation(self):
+        result = _lint("r6_cases.py", "R6")
+        (finding,) = [
+            f
+            for f in result.active
+            if _owners([f], "r6_cases.py") == ["positive_unlocked_ship"]
+        ]
+        assert "registry" in finding.message
+        assert "lock" in finding.message
+
+    def test_inline_suppression(self):
+        result = _lint("r6_cases.py", "R6")
+        sup = [f for f in result.findings if f.suppressed]
+        assert _owners(sup, "r6_cases.py") == ["suppressed"]
+
+
+# ----------------------------------------------------------------------
+class TestR7ShmLifecycle:
+    def test_positives_and_negatives(self):
+        result = _lint("r7_cases.py", "R7")
+        owners = _owners(result.active, "r7_cases.py")
+        assert sorted(owners) == ["positive_leak", "positive_unreleased"]
+
+    def test_leak_points_at_risky_line(self):
+        result = _lint("r7_cases.py", "R7")
+        (leak,) = [f for f in result.active if "raises before" in f.message]
+        assert _owners([leak], "r7_cases.py") == ["positive_leak"]
+
+    def test_inline_suppression(self):
+        result = _lint("r7_cases.py", "R7")
+        sup = [f for f in result.findings if f.suppressed]
+        assert _owners(sup, "r7_cases.py") == ["suppressed"]
+
+
+# ----------------------------------------------------------------------
+class TestR8TaskPurity:
+    def test_cross_module_findings(self):
+        result = _lint("r8pkg", "R8")
+        by_message = sorted(f.message for f in result.active)
+        assert len(result.active) == 4, by_message
+        # transitive input mutation through a helper
+        assert any(
+            "positive_mutates" in m and "`buf` transitively" in m
+            for m in by_message
+        )
+        # direct input mutation
+        assert any(
+            "positive_direct" in m and "`buf` in place" in m
+            for m in by_message
+        )
+        # global accumulator two modules away
+        assert any("_CALLS" in m for m in by_message)
+        # unseeded RNG in a third module
+        assert any("default_rng" in m for m in by_message)
+
+    def test_finding_sites(self):
+        result = _lint("r8pkg", "R8")
+        paths = {f.path for f in result.active}
+        assert paths == {
+            "r8pkg/tasks.py",
+            "r8pkg/helpers.py",
+            "r8pkg/rng.py",
+        }
+
+    def test_ref_via_module_constant(self):
+        # positive_global is only referenced through PRICE_FN, so the
+        # _CALLS finding proves the constant-indirection resolution.
+        result = _lint("r8pkg", "R8")
+        (calls,) = [f for f in result.active if "_CALLS" in f.message]
+        assert "r8pkg.tasks:positive_global" in calls.message
+
+    def test_pure_task_is_clean(self):
+        result = _lint("r8pkg", "R8")
+        assert not any("negative_pure" in f.message for f in result.active)
+        assert not any("draw_seeded" in f.message for f in result.active)
+
+
+# ----------------------------------------------------------------------
+class TestR9CacheKeyCompleteness:
+    def test_unhashed_field_flagged(self):
+        result = _lint("r9_cases.py", "R9")
+        precision = [f for f in result.active if "precision" in f.message]
+        assert len(precision) == 1
+        assert "task_key" in precision[0].message
+
+    def test_missing_key_function_flagged(self):
+        result = _lint("r9_cases.py", "R9")
+        missing = [
+            f for f in result.active if "no reachable key function" in f.message
+        ]
+        assert len(missing) == 1
+        assert "TuningPlan" in missing[0].message
+
+    def test_hashed_exempt_and_suppressed_quiet(self):
+        result = _lint("r9_cases.py", "R9")
+        assert len(result.active) == 2  # precision + TuningPlan only
+        sup = [f for f in result.findings if f.suppressed]
+        assert len(sup) == 1 and "note" in sup[0].message
+
+
+# ----------------------------------------------------------------------
+class TestR10SchemaDrift:
+    def test_event_keys_map_drift(self):
+        result = _lint("r10_cases.py", "R10")
+        assert any(
+            "`why`" in f.message and "_EVENT_KEYS" in f.message
+            for f in result.active
+        )
+        assert any(
+            "unknown event kind `lost`" in f.message for f in result.active
+        )
+
+    def test_ctor_drift(self):
+        result = _lint("r10_cases.py", "R10")
+        assert any("'jitter'" in f.message for f in result.active)
+        assert any("'reason'" in f.message for f in result.active)
+
+    def test_exporter_read_drift(self):
+        result = _lint("r10_cases.py", "R10")
+        assert any("`cause`" in f.message for f in result.active)
+        assert any(
+            "events_of('missing')" in f.message for f in result.active
+        )
+
+    def test_negatives_and_suppression(self):
+        result = _lint("r10_cases.py", "R10")
+        assert len(result.active) == 6
+        owners = _owners(result.active, "r10_cases.py")
+        assert "emit_good" not in owners
+        assert "emit_positional" not in owners
+        assert "emit_star" not in owners
+        sup = [f for f in result.findings if f.suppressed]
+        assert _owners(sup, "r10_cases.py") == ["suppressed"]
+
+
+# ----------------------------------------------------------------------
+class TestSeededBugs:
+    """The acceptance bugs: each deliberate regression of the real
+    sources must fail lint with its expected rule."""
+
+    def _real(self, *parts):
+        root = os.path.dirname(os.path.abspath(repro.__file__))
+        with open(os.path.join(root, *parts), "r", encoding="utf-8") as fh:
+            return fh.read()
+
+    def test_blocking_call_in_serve_coroutine(self, tmp_path):
+        src = self._real("serve", "server.py")
+        tree = ast.parse(src)
+        fn = next(
+            n for n in ast.walk(tree) if isinstance(n, ast.AsyncFunctionDef)
+        )
+        first = fn.body[0]
+        indent = " " * first.col_offset
+        lines = src.splitlines(True)
+        lines.insert(
+            first.lineno - 1, f"{indent}import time\n{indent}time.sleep(0.5)\n"
+        )
+        bug = tmp_path / "server.py"
+        bug.write_text("".join(lines))
+        result = lint_paths([str(bug)], rules=["R6"], use_model_cache=False)
+        assert any("time.sleep" in f.message for f in result.active)
+
+    def test_pricingtask_field_omitted_from_key(self, tmp_path):
+        src = self._real("parallel", "tasks.py")
+        anchor = "cacheable: bool = True"
+        assert anchor in src  # the real dataclass still has the field
+        bug_src = src.replace(
+            anchor, anchor + "\n    precision: str = \"fp64\"", 1
+        )
+        bug = tmp_path / "tasks.py"
+        bug.write_text(bug_src)
+        result = lint_paths([str(bug)], rules=["R9"], use_model_cache=False)
+        assert any(
+            f.rule == "R9" and "precision" in f.message for f in result.active
+        )
+
+    def test_event_field_renamed_only_in_events_py(self, tmp_path):
+        src = self._real("obs", "events.py")
+        anchor = "iteration: int"
+        assert anchor in src
+        bug = tmp_path / "events.py"
+        bug.write_text(src.replace(anchor, "step: int", 1))
+        result = lint_paths([str(bug)], rules=["R10"], use_model_cache=False)
+        assert any(
+            f.rule == "R10" and "`iteration`" in f.message
+            for f in result.active
+        )
+
+    def test_unmutated_sources_pass(self):
+        root = os.path.dirname(os.path.abspath(repro.__file__))
+        result = lint_paths(
+            [
+                os.path.join(root, "serve", "server.py"),
+                os.path.join(root, "parallel", "tasks.py"),
+                os.path.join(root, "obs", "events.py"),
+            ],
+            rules=["R6", "R9", "R10"],
+            use_model_cache=False,
+        )
+        assert result.active == []
+
+
+# ----------------------------------------------------------------------
+class TestModelCache:
+    def test_warm_run_is_twice_as_fast(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path))
+        target = os.path.dirname(os.path.abspath(repro.__file__))
+
+        t0 = time.perf_counter()
+        cold = lint_paths([target])
+        cold_s = time.perf_counter() - t0
+
+        t0 = time.perf_counter()
+        warm = lint_paths([target])
+        warm_s = time.perf_counter() - t0
+
+        assert cold.model_stats["parsed"] == cold.files_checked
+        assert warm.model_stats["cache_hits"] == warm.files_checked
+        assert warm.model_stats["parsed"] == 0
+        assert warm.counts() == cold.counts()
+        assert warm_s < cold_s / 2, (warm_s, cold_s)
+
+    def test_content_change_invalidates_one_file(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "cache"))
+        pkg = tmp_path / "pkg"
+        pkg.mkdir()
+        (pkg / "a.py").write_text("A = 'a'\n")
+        (pkg / "b.py").write_text("B = 'b'\n")
+        lint_paths([str(pkg)])
+        (pkg / "b.py").write_text("B = 'changed'\nassert B\n")
+        result = lint_paths([str(pkg)])
+        assert result.model_stats["cache_hits"] == 1
+        assert result.model_stats["parsed"] == 1
+        assert [f.rule for f in result.active] == ["R1"]
+
+    def test_corrupt_cache_is_ignored(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path))
+        cache = ModelCache()
+        os.makedirs(cache.root, exist_ok=True)
+        with open(cache.path, "w", encoding="utf-8") as fh:
+            fh.write("{not json")
+        result = lint_paths([_fixture("r1_cases.py")])
+        assert result.parse_errors == []
+        assert result.model_stats["parsed"] == 1
+        # and the run rewrote a valid cache behind itself
+        with open(cache.path, "r", encoding="utf-8") as fh:
+            assert json.load(fh)["engine"]
+
+    def test_stale_engine_version_rejected(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path))
+        lint_paths([_fixture("r1_cases.py")])
+        cache = ModelCache()
+        with open(cache.path, "r", encoding="utf-8") as fh:
+            payload = json.load(fh)
+        payload["engine"] = "0.1"
+        with open(cache.path, "w", encoding="utf-8") as fh:
+            json.dump(payload, fh)
+        result = lint_paths([_fixture("r1_cases.py")])
+        assert result.model_stats["cache_hits"] == 0
+        assert result.model_stats["parsed"] == 1

@@ -40,16 +40,24 @@ def _functions_of(findings, name):
 
 
 class TestRuleCatalogue:
-    def test_five_rules_registered(self):
-        assert [r.rule_id for r in ALL_RULES] == ["R1", "R2", "R3", "R4", "R5"]
-        assert set(RULES_BY_ID) == {"R1", "R2", "R3", "R4", "R5"}
+    def test_ten_rules_registered(self):
+        assert [r.rule_id for r in ALL_RULES] == [
+            "R1", "R2", "R3", "R4", "R5", "R6", "R7", "R8", "R9", "R10",
+        ]
+        assert set(RULES_BY_ID) == set(r.rule_id for r in ALL_RULES)
         for rule in ALL_RULES:
             assert rule.rule_name
             assert rule.description
+        # the split drives orchestration: local rules run per file (and
+        # cache per file), program rules run once over the model.
+        local = [r for r in ALL_RULES if not getattr(r, "program_rule", False)]
+        program = [r for r in ALL_RULES if getattr(r, "program_rule", False)]
+        assert [r.rule_id for r in local] == ["R1", "R2", "R3", "R4", "R5"]
+        assert [r.rule_id for r in program] == ["R6", "R7", "R8", "R9", "R10"]
 
     def test_unknown_rule_id_rejected(self):
         with pytest.raises(ValueError, match="unknown rule"):
-            lint_paths([_fixture("r1_cases.py")], rules=["R9"])
+            lint_paths([_fixture("r1_cases.py")], rules=["R99"])
 
 
 class TestR1BareAssert:
