@@ -2,7 +2,7 @@
 
 PYTHON ?= python
 
-.PHONY: install lint lint-cold test test-O test-sanitize test-all serve-smoke perf bench bench-parallel bench-tune bench-serve bench-full artifacts examples trace-demo clean
+.PHONY: install lint lint-cold test test-O test-sanitize test-all serve-smoke perf bench bench-parallel bench-tune bench-serve bench-full bench-regress artifacts examples trace-demo clean
 
 install:
 	$(PYTHON) -m pip install -e . || $(PYTHON) setup.py develop
@@ -78,6 +78,13 @@ bench-tune:
 # check (artifacts/serve_loadgen.{csv,json}).
 bench-serve:
 	$(PYTHON) -m pytest benchmarks/test_bench_serve.py --benchmark-only -s
+
+# Perf-regression gate: every bench run appends its wall-clock metrics
+# to artifacts/bench-history.jsonl; this compares each bench's latest
+# record against the rolling per-metric baseline (median of the prior
+# runs) and fails on any metric past tolerance.
+bench-regress:
+	PYTHONPATH=src $(PYTHON) -m repro.obs regress
 
 # The paper-scale grids (first run generates ~minutes of workloads into
 # .repro_cache/; artifacts land under artifacts/).

@@ -72,6 +72,12 @@ def show(result):
         from repro.experiments.svg import figure_svg
 
         save_result(result, os.path.join(out_dir, f"{result.experiment}.json"))
+        from repro.obs.bench import record_result
+
+        # Perf trajectory: every run appends its wall-clock metrics to
+        # artifacts/bench-history.jsonl, the file `python -m repro.obs
+        # regress` (make bench-regress) gates on.
+        record_result(result)
         try:
             figure_svg(result, os.path.join(out_dir, f"{result.experiment}.svg"))
         except ReproError:

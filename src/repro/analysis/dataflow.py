@@ -227,7 +227,9 @@ class EventKeyFact:
 
 @dataclass
 class CtorFact:
-    """A ``*Event(...)`` construction (resolved against classes later)."""
+    """A schema'd-record construction (``*Event(...)``/``*Payload(...)``,
+    see :data:`registry.R10_CTOR_SUFFIXES`; resolved against classes
+    later)."""
 
     name: str
     lineno: int
@@ -1039,7 +1041,7 @@ def _event_ctors(ctx: ModuleContext) -> List[CtorFact]:
         if not isinstance(node, ast.Call):
             continue
         name = _terminal_name(node.func)
-        if not name or not name.endswith("Event"):
+        if not name or not name.endswith(registry.R10_CTOR_SUFFIXES):
             continue
         has_star = any(isinstance(a, ast.Starred) for a in node.args) or any(
             kw.arg is None for kw in node.keywords

@@ -30,7 +30,7 @@ __all__ = ["ENGINE_VERSION", "ModelCache", "ProgramModel"]
 
 #: Bump whenever rule logic, the summary shape, or the registry changes
 #: in a way that invalidates cached per-file results.
-ENGINE_VERSION = "2.0"
+ENGINE_VERSION = "2.1"
 
 #: Cache directory env override (shared with the workload/tune caches).
 _CACHE_DIR_ENV = "REPRO_CACHE_DIR"

@@ -287,6 +287,12 @@ R10_EVENT_KEYS_NAME = "_EVENT_KEYS"
 #: dataclass fields (see repro.obs.events.event_record).
 R10_RECORD_ENVELOPE_KEYS = frozenset({"type", "event", "t_s"})
 
+#: Class-name suffixes R10 treats as schema'd record constructors: obs
+#: event dataclasses (``*Event``) and the serve admin wire payloads
+#: (``*Payload``, see repro/serve/admin.py) both declare a ``kind`` and
+#: must stay in lockstep with their ``_EVENT_KEYS`` required-key maps.
+R10_CTOR_SUFFIXES = ("Event", "Payload")
+
 __all__ += [
     "R6_BLOCKING_CALLS",
     "R6_BLOCKING_KERNELS",
@@ -300,4 +306,5 @@ __all__ += [
     "R9_KEYED_DATACLASSES",
     "R10_EVENT_KEYS_NAME",
     "R10_RECORD_ENVELOPE_KEYS",
+    "R10_CTOR_SUFFIXES",
 ]

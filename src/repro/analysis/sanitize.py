@@ -72,11 +72,23 @@ def _fail(label: str, message: str) -> None:
     # Late import: obs depends on nothing here, but keeping the hook
     # lazy means sanitize stays importable in any partial-init state.
     from ..obs.events import SanitizerViolationEvent
+    from ..obs.flight import recorder as _flight_recorder
     from ..obs.tracer import active as _obs_active
 
+    violation = SanitizerViolationEvent(label=label, message=message)
     tracer = _obs_active()
     if tracer.enabled:
-        tracer.event(SanitizerViolationEvent(label=label, message=message))
+        tracer.event(violation)
+    else:
+        # The tracer mirrors its events into the flight ring itself;
+        # with tracing off the violation still has to reach the ring so
+        # the dump below names what went wrong.
+        _flight_recorder().record_event(violation)
+    # Dump the last-N telemetry ring next to the failure: a post-mortem
+    # on a long-running server must not require re-running with tracing
+    # on.  dump() swallows filesystem errors — it never masks the
+    # SimulationError being raised.
+    _flight_recorder().dump(f"sanitizer:{label}")
     raise SimulationError(f"[sanitizer] {label}: {message}")
 
 

@@ -46,7 +46,21 @@ from .export import (
     write_chrome_trace,
     write_jsonl,
 )
-from .metrics import MetricsRegistry
+from .flight import (
+    FlightRecorder,
+    read_dump,
+)
+from .flight import override as flight_override
+from .flight import recorder as flight_recorder
+from .metrics import (
+    HIST_BUCKETS,
+    HIST_FLOOR,
+    HIST_GROWTH,
+    Histogram,
+    MetricsRegistry,
+    WindowedGauge,
+)
+from .quantiles import bucket_quantile, exact_percentile, summary_quantiles
 from .tracer import (
     NullTracer,
     Span,
@@ -76,7 +90,19 @@ __all__ = [
     "validate_file",
     "write_chrome_trace",
     "write_jsonl",
+    "FlightRecorder",
+    "flight_override",
+    "flight_recorder",
+    "read_dump",
+    "HIST_BUCKETS",
+    "HIST_FLOOR",
+    "HIST_GROWTH",
+    "Histogram",
     "MetricsRegistry",
+    "WindowedGauge",
+    "bucket_quantile",
+    "exact_percentile",
+    "summary_quantiles",
     "NullTracer",
     "Span",
     "Tracer",

@@ -1,0 +1,264 @@
+"""Bench history: an append-only perf trajectory with a regression gate.
+
+Every benchmark run appends one schema-versioned record per driver to
+``artifacts/bench-history.jsonl`` — the bench name, its wall-clock
+metrics (the ``_s``-suffixed entries of the result's ``timings``), the
+git revision it measured and a timestamp.  ``python -m repro.obs
+regress`` then compares HEAD's latest record against a **rolling
+baseline** (the per-metric median of the preceding runs) and exits
+non-zero when any metric slid past its tolerance — the ``make
+bench-regress`` gate.
+
+The history is plain JSONL so it diffs, greps and survives partial
+benchmark runs; appends go through :func:`repro.workloads.io.atomic_write`
+(copy + append + rename) so concurrent benches never interleave lines.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import subprocess
+import time
+from statistics import median
+from typing import Dict, List, Optional
+
+from ..workloads.io import atomic_write
+
+__all__ = [
+    "BENCH_SCHEMA_VERSION",
+    "DEFAULT_TOLERANCE",
+    "BASELINE_WINDOW",
+    "history_path",
+    "bench_record",
+    "append_record",
+    "record_result",
+    "load_history",
+    "validate_history",
+    "regress",
+]
+
+#: Version stamped into every history record; bump on key changes.
+BENCH_SCHEMA_VERSION = 1
+
+#: A metric regresses when HEAD exceeds the rolling baseline by this
+#: factor.  1.5x sits above benchmark noise on shared hardware while
+#: still catching the 2x slowdowns the gate exists for.
+DEFAULT_TOLERANCE = 1.5
+
+#: Runs per bench the rolling baseline medians over (before HEAD).
+BASELINE_WINDOW = 5
+
+_HISTORY_BASENAME = "bench-history.jsonl"
+
+#: Keys every history record must carry (validated, not assumed).
+_REQUIRED_KEYS = ("schema", "bench", "metrics", "git_rev", "timestamp_s")
+
+
+def history_path(path: Optional[str] = None) -> str:
+    """The history file: ``$REPRO_ARTIFACTS_DIR/bench-history.jsonl``."""
+    if path:
+        return path
+    out_dir = os.environ.get("REPRO_ARTIFACTS_DIR", "artifacts")
+    return os.path.join(out_dir, _HISTORY_BASENAME)
+
+
+def _git_rev() -> str:
+    """The short HEAD revision, or ``unknown`` outside a work tree."""
+    try:
+        out = subprocess.run(
+            ["git", "rev-parse", "--short", "HEAD"],
+            capture_output=True,
+            text=True,
+            timeout=10,
+        )
+    except (OSError, subprocess.SubprocessError):
+        return "unknown"
+    rev = out.stdout.strip()
+    return rev if out.returncode == 0 and rev else "unknown"
+
+
+def bench_record(
+    bench: str,
+    metrics: Dict[str, float],
+    git_rev: Optional[str] = None,
+    timestamp_s: Optional[float] = None,
+) -> dict:
+    """One schema-versioned history record (plain JSON-able dict)."""
+    return {
+        "schema": BENCH_SCHEMA_VERSION,
+        "bench": str(bench),
+        "metrics": {k: float(v) for k, v in metrics.items()},
+        "git_rev": git_rev if git_rev is not None else _git_rev(),
+        "timestamp_s": (
+            float(timestamp_s) if timestamp_s is not None else time.time()
+        ),
+    }
+
+
+def append_record(record: dict, path: Optional[str] = None) -> str:
+    """Append one record to the history atomically; returns the path.
+
+    JSONL has no in-place atomic append, so the writer copies the
+    existing history into a private tmp file, adds its line and renames
+    over the original — concurrent benches race only on the final
+    replace and a reader never sees a torn line.
+    """
+    path = history_path(path)
+    directory = os.path.dirname(path)
+    if directory:
+        os.makedirs(directory, exist_ok=True)
+    line = json.dumps(record, sort_keys=True)
+    with atomic_write(path) as tmp:
+        with open(tmp, "w", encoding="utf-8") as fh:
+            if os.path.exists(path):
+                with open(path, "r", encoding="utf-8") as existing:
+                    for prior in existing:
+                        if prior.strip():
+                            fh.write(prior.rstrip("\n"))
+                            fh.write("\n")
+            fh.write(line)
+            fh.write("\n")
+    return path
+
+
+def record_result(result, path: Optional[str] = None) -> Optional[str]:
+    """Append an :class:`ExperimentResult`'s wall-clock metrics.
+
+    Only the ``_s``-suffixed ``timings`` entries land in the history —
+    those are the host-measured costs the regression gate can compare
+    run-over-run (modelled quantities are deterministic and diffed by
+    the experiment store instead).  Returns ``None`` when the result
+    carries no such metric.
+    """
+    metrics = {
+        name: float(value)
+        for name, value in getattr(result, "timings", {}).items()
+        if name.endswith("_s")
+    }
+    if not metrics:
+        return None
+    return append_record(
+        bench_record(result.experiment, metrics), path=path
+    )
+
+
+def load_history(path: Optional[str] = None) -> List[dict]:
+    """All records, file order (oldest first); missing file is empty."""
+    path = history_path(path)
+    records: List[dict] = []
+    if not os.path.exists(path):
+        return records
+    with open(path, "r", encoding="utf-8") as fh:
+        for line in fh:
+            line = line.strip()
+            if line:
+                records.append(json.loads(line))
+    return records
+
+
+def validate_history(path: Optional[str] = None) -> List[str]:
+    """Schema-check every history line; returns human-readable problems."""
+    path = history_path(path)
+    problems: List[str] = []
+    if not os.path.exists(path):
+        return [f"history file not found: {path}"]
+    with open(path, "r", encoding="utf-8") as fh:
+        for n, line in enumerate(fh, start=1):
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                record = json.loads(line)
+            except json.JSONDecodeError as exc:
+                problems.append(f"line {n}: not JSON ({exc.msg})")
+                continue
+            if not isinstance(record, dict):
+                problems.append(f"line {n}: record is not an object")
+                continue
+            missing = [k for k in _REQUIRED_KEYS if k not in record]
+            if missing:
+                problems.append(
+                    f"line {n}: missing keys {', '.join(missing)}"
+                )
+                continue
+            if record["schema"] != BENCH_SCHEMA_VERSION:
+                problems.append(
+                    f"line {n}: schema {record['schema']!r}, expected "
+                    f"{BENCH_SCHEMA_VERSION}"
+                )
+            if not isinstance(record["bench"], str) or not record["bench"]:
+                problems.append(f"line {n}: bench must be a non-empty string")
+            metrics = record["metrics"]
+            if not isinstance(metrics, dict):
+                problems.append(f"line {n}: metrics must be an object")
+            else:
+                for key, value in metrics.items():
+                    if not isinstance(value, (int, float)) or isinstance(
+                        value, bool
+                    ):
+                        problems.append(
+                            f"line {n}: metric {key!r} is not a number"
+                        )
+            if not isinstance(record["git_rev"], str):
+                problems.append(f"line {n}: git_rev must be a string")
+            if not isinstance(
+                record["timestamp_s"], (int, float)
+            ) or isinstance(record["timestamp_s"], bool):
+                problems.append(f"line {n}: timestamp_s must be a number")
+    return problems
+
+
+def regress(
+    path: Optional[str] = None,
+    tolerance: float = DEFAULT_TOLERANCE,
+    window: int = BASELINE_WINDOW,
+) -> List[dict]:
+    """Compare each bench's latest run against its rolling baseline.
+
+    For every bench with at least two records, the newest record is
+    HEAD and the per-metric baseline is the **median** of the up-to-
+    ``window`` preceding runs (the median shrugs off one anomalous
+    run; a mean would chase it).  Only ``_s``-suffixed metrics are
+    judged — wall-clock, where *larger is worse*.  Returns one
+    comparison row per (bench, metric); rows with ``regressed=True``
+    exceeded ``baseline * tolerance``.  First runs and brand-new
+    metrics have no baseline and never regress.
+    """
+    by_bench: Dict[str, List[dict]] = {}
+    for record in load_history(path):
+        by_bench.setdefault(record.get("bench", "?"), []).append(record)
+    rows: List[dict] = []
+    for bench, records in sorted(by_bench.items()):
+        if len(records) < 2:
+            continue
+        head = records[-1]
+        prior = records[max(0, len(records) - 1 - window):-1]
+        for metric, value in sorted((head.get("metrics") or {}).items()):
+            if not metric.endswith("_s"):
+                continue
+            samples = [
+                float(r["metrics"][metric])
+                for r in prior
+                if metric in (r.get("metrics") or {})
+            ]
+            if not samples:
+                continue
+            baseline = median(samples)
+            ratio = (value / baseline) if baseline > 0 else 1.0
+            rows.append(
+                {
+                    "bench": bench,
+                    "metric": metric,
+                    "head": float(value),
+                    "baseline": baseline,
+                    "ratio": ratio,
+                    "tolerance": float(tolerance),
+                    "baseline_runs": len(samples),
+                    "git_rev": head.get("git_rev", "unknown"),
+                    "regressed": bool(
+                        baseline > 0 and ratio > float(tolerance)
+                    ),
+                }
+            )
+    return rows

@@ -10,7 +10,18 @@ Subcommands
     Tree-vs-chosen and tree-vs-oracle disagreement rates from the
     decision-audit events.
 ``validate FILE``
-    Schema-v1 check over every record; exit 1 on any problem.
+    Schema check over every record; exit 1 on any problem.  Trace
+    exports are checked against the event schema, bench-history files
+    (sniffed by their ``bench``/``schema`` keys) against the
+    bench-record schema.
+``export-prom [--host H --port P | --file SNAPSHOT]``
+    Render a metrics snapshot — pulled live from a running
+    ``repro.serve`` via ``STATS``, or loaded from a saved JSON — as
+    Prometheus text exposition on stdout.
+``regress [--history PATH] [--tolerance X] [--window N]``
+    Compare each bench's latest ``bench-history.jsonl`` record against
+    its rolling baseline; exit 1 on any regression (the
+    ``make bench-regress`` gate).
 ``demo [--out BASE] [--n N] [--policy P]``
     Run a small traced BFS (the ``make trace-demo`` target), export
     JSONL + Chrome trace, validate the export, print the summary.
@@ -19,6 +30,7 @@ Subcommands
 from __future__ import annotations
 
 import argparse
+import json
 import os
 import sys
 
@@ -63,13 +75,106 @@ def _cmd_agreement(args) -> int:
     return 0
 
 
+def _is_bench_history(path: str) -> bool:
+    """Sniff the first JSON line: bench records carry ``bench``+``schema``."""
+    try:
+        with open(path, "r", encoding="utf-8") as fh:
+            for line in fh:
+                line = line.strip()
+                if not line:
+                    continue
+                record = json.loads(line)
+                return isinstance(record, dict) and "bench" in record
+    except (OSError, json.JSONDecodeError):
+        return False
+    return False
+
+
 def _cmd_validate(args) -> int:
-    problems = validate_file(args.file)
+    from .bench import BENCH_SCHEMA_VERSION, validate_history
+
+    if _is_bench_history(args.file):
+        problems = validate_history(args.file)
+        label = f"bench-history schema v{BENCH_SCHEMA_VERSION}"
+    else:
+        problems = validate_file(args.file)
+        label = "schema v1"
     if problems:
         for p in problems:
             print(f"{args.file}: {p}", file=sys.stderr)
         return 1
-    print(f"{args.file}: schema v1 OK")
+    print(f"{args.file}: {label} OK")
+    return 0
+
+
+def _cmd_export_prom(args) -> int:
+    from .prom import render_prometheus
+
+    if args.file:
+        with open(args.file, "r", encoding="utf-8") as fh:
+            data = json.load(fh)
+        # Accept either a raw registry snapshot or anything carrying
+        # one under a ``metrics`` key (e.g. a saved STATS payload).
+        snapshot = (
+            data["metrics"]
+            if isinstance(data.get("metrics"), dict)
+            else data
+        )
+    else:
+        from ..serve.client import ServeClient
+
+        with ServeClient(host=args.host, port=args.port) as client:
+            snapshot = client.stats()["metrics"]
+    sys.stdout.write(render_prometheus(snapshot, prefix=args.prefix))
+    return 0
+
+
+def _cmd_regress(args) -> int:
+    from .bench import (
+        BASELINE_WINDOW,
+        DEFAULT_TOLERANCE,
+        history_path,
+        regress,
+        validate_history,
+    )
+
+    path = history_path(args.history)
+    problems = validate_history(path)
+    if problems:
+        for p in problems:
+            print(f"{path}: {p}", file=sys.stderr)
+        return 1
+    rows = regress(
+        path,
+        tolerance=(
+            args.tolerance if args.tolerance is not None
+            else DEFAULT_TOLERANCE
+        ),
+        window=args.window if args.window is not None else BASELINE_WINDOW,
+    )
+    if not rows:
+        print(
+            f"{path}: no bench has a prior run to baseline against; "
+            "nothing to compare"
+        )
+        return 0
+    regressions = [r for r in rows if r["regressed"]]
+    for r in rows:
+        verdict = "REGRESSED" if r["regressed"] else "ok"
+        print(
+            f"{r['bench']}.{r['metric']}: head {r['head']:.4f} vs "
+            f"baseline {r['baseline']:.4f} over {r['baseline_runs']} "
+            f"run(s) ({r['ratio']:.2f}x, tolerance "
+            f"{r['tolerance']:.2f}x) {verdict}"
+        )
+    if regressions:
+        print(
+            f"FAIL: {len(regressions)} metric(s) regressed at "
+            f"{rows[0]['git_rev']}",
+            file=sys.stderr,
+        )
+        return 1
+    print(f"PASS: {len(rows)} metric(s) within tolerance")
     return 0
 
 
@@ -142,9 +247,39 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("file")
     p.set_defaults(fn=_cmd_agreement)
 
-    p = sub.add_parser("validate", help="schema-check a JSONL export")
+    p = sub.add_parser(
+        "validate",
+        help="schema-check a JSONL export or bench-history file",
+    )
     p.add_argument("file")
     p.set_defaults(fn=_cmd_validate)
+
+    p = sub.add_parser(
+        "export-prom",
+        help="render a metrics snapshot as Prometheus text exposition",
+    )
+    p.add_argument("--host", default="127.0.0.1",
+                   help="running repro.serve host to pull STATS from")
+    p.add_argument("--port", type=int, default=7077)
+    p.add_argument("--file", default=None,
+                   help="render a saved snapshot/STATS JSON instead of "
+                        "pulling from a live server")
+    p.add_argument("--prefix", default="repro",
+                   help="metric family prefix (default: repro)")
+    p.set_defaults(fn=_cmd_export_prom)
+
+    p = sub.add_parser(
+        "regress",
+        help="compare the latest bench run against its rolling baseline",
+    )
+    p.add_argument("--history", default=None,
+                   help="bench-history.jsonl path (default: "
+                        "$REPRO_ARTIFACTS_DIR/bench-history.jsonl)")
+    p.add_argument("--tolerance", type=float, default=None,
+                   help="regression threshold as a head/baseline ratio")
+    p.add_argument("--window", type=int, default=None,
+                   help="prior runs the rolling baseline medians over")
+    p.set_defaults(fn=_cmd_regress)
 
     p = sub.add_parser("demo", help="run a small traced BFS and export it")
     p.add_argument(

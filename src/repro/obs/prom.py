@@ -1,0 +1,107 @@
+"""Prometheus text-exposition rendering of metrics snapshots.
+
+:func:`render_prometheus` turns a :meth:`MetricsRegistry.snapshot`
+dict (or the ``metrics`` section of a serve ``STATS`` payload) into the
+text format a Prometheus scraper ingests:
+
+* counters -> ``counter`` samples;
+* observation digests -> ``<name>_count`` / ``<name>_sum`` /
+  ``<name>_min`` / ``<name>_max`` gauges;
+* log-bucketed histograms -> native ``histogram`` families with
+  cumulative ``le`` buckets (upper bound = each occupied bucket's
+  ``hi`` edge) plus ``_sum`` and ``_count``;
+* windowed gauges -> the last level as a gauge, with the window digest
+  as ``<name>_window_mean`` / ``<name>_window_max`` companions.
+
+The renderer is dependency-free and pure (dict in, text out), so the
+CLI can serve a live server's snapshot or re-render a saved one.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, List
+
+from .metrics import Histogram
+
+__all__ = ["metric_name", "render_prometheus"]
+
+#: Prefix every exported family carries.
+DEFAULT_PREFIX = "repro"
+
+
+def metric_name(name: str, prefix: str = DEFAULT_PREFIX) -> str:
+    """A Prometheus-legal family name: prefixed, ``[a-zA-Z0-9_]`` only."""
+    cleaned = [
+        ch if (ch.isascii() and (ch.isalnum() or ch == "_")) else "_"
+        for ch in name
+    ]
+    base = "".join(cleaned).strip("_")
+    full = f"{prefix}_{base}" if prefix else base
+    if full and full[0].isdigit():
+        full = f"_{full}"
+    return full
+
+
+def _fmt(value: float) -> str:
+    value = float(value)
+    if math.isinf(value):
+        return "+Inf" if value > 0 else "-Inf"
+    if value == int(value) and abs(value) < 1e15:
+        return str(int(value))
+    return repr(value)
+
+
+def _histogram_lines(name: str, digest: dict) -> List[str]:
+    """One Prometheus histogram family from a sparse bucket digest."""
+    lines = [f"# TYPE {name} histogram"]
+    cumulative = 0
+    buckets = digest.get("buckets") or {}
+    for index in sorted(int(k) for k in buckets):
+        cumulative += int(buckets[str(index)])
+        _lo, hi = Histogram.bucket_bounds(index)
+        lines.append(
+            f'{name}_bucket{{le="{_fmt(hi)}"}} {cumulative}'
+        )
+    count = int(digest.get("count", 0))
+    lines.append(f'{name}_bucket{{le="+Inf"}} {count}')
+    lines.append(f"{name}_sum {_fmt(digest.get('total', 0.0))}")
+    lines.append(f"{name}_count {count}")
+    return lines
+
+
+def render_prometheus(
+    snapshot: dict, prefix: str = DEFAULT_PREFIX
+) -> str:
+    """The text exposition of one metrics snapshot (trailing newline)."""
+    lines: List[str] = []
+    counters: Dict[str, float] = snapshot.get("counters") or {}
+    for raw in sorted(counters):
+        name = metric_name(raw, prefix)
+        lines.append(f"# TYPE {name} counter")
+        lines.append(f"{name} {_fmt(counters[raw])}")
+    observations: Dict[str, dict] = snapshot.get("observations") or {}
+    for raw in sorted(observations):
+        digest = observations[raw]
+        name = metric_name(raw, prefix)
+        lines.append(f"# TYPE {name} summary")
+        lines.append(f"{name}_count {_fmt(digest.get('count', 0))}")
+        lines.append(f"{name}_sum {_fmt(digest.get('total', 0.0))}")
+        for stat in ("min", "max"):
+            if stat in digest:
+                lines.append(f"{name}_{stat} {_fmt(digest[stat])}")
+    histograms: Dict[str, dict] = snapshot.get("histograms") or {}
+    for raw in sorted(histograms):
+        lines.extend(
+            _histogram_lines(metric_name(raw, prefix), histograms[raw])
+        )
+    gauges: Dict[str, dict] = snapshot.get("gauges") or {}
+    for raw in sorted(gauges):
+        digest = gauges[raw]
+        name = metric_name(raw, prefix)
+        lines.append(f"# TYPE {name} gauge")
+        lines.append(f"{name} {_fmt(digest.get('last', 0.0))}")
+        for stat in ("window_mean", "window_max", "peak"):
+            if stat in digest:
+                lines.append(f"{name}_{stat} {_fmt(digest[stat])}")
+    return "\n".join(lines) + "\n" if lines else ""

@@ -1,0 +1,96 @@
+"""Percentile math shared by the exact and the bucketed paths.
+
+Two consumers, one convention:
+
+* the **exact-sample** path (:func:`exact_percentile`) — the serve load
+  generator retains every latency sample of a replay and reports true
+  percentiles over them (linear interpolation between closest ranks,
+  the same convention as ``numpy.percentile``'s default);
+* the **bucketed** path (:func:`bucket_quantile`) — the live telemetry
+  histograms (:class:`repro.obs.metrics.Histogram`) keep only bounded
+  per-bucket counts and answer quantiles from them.
+
+Keeping both in one module pins their agreement contract in one place:
+for any sample stream, the bucketed answer equals the exact answer up
+to one histogram bucket's resolution (``tests/obs/test_quantiles.py``
+enforces it), which is what lets a running server report p50/p95/p99
+without retaining samples.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence, Tuple
+
+__all__ = ["exact_percentile", "bucket_quantile"]
+
+
+def exact_percentile(samples: Sequence[float], q: float) -> float:
+    """The ``q``-th percentile (0..100) of retained samples.
+
+    Linear interpolation between closest ranks on the sorted samples —
+    bit-compatible with ``numpy.percentile(samples, q)`` under its
+    default (``linear``) interpolation, but dependency-light so the
+    wire-level serve paths can call it too.
+    """
+    if not 0.0 <= q <= 100.0:
+        raise ValueError(f"percentile must be in [0, 100], got {q!r}")
+    ordered = sorted(float(v) for v in samples)
+    if not ordered:
+        raise ValueError("cannot take a percentile of zero samples")
+    if len(ordered) == 1:
+        return ordered[0]
+    rank = (len(ordered) - 1) * (q / 100.0)
+    lo = int(rank)
+    hi = min(lo + 1, len(ordered) - 1)
+    frac = rank - lo
+    return ordered[lo] * (1.0 - frac) + ordered[hi] * frac
+
+
+def bucket_quantile(
+    buckets: Sequence[Tuple[float, float, int]], q: float
+) -> float:
+    """The ``q``-th percentile from ``(lo, hi, count)`` bucket rows.
+
+    Walks the cumulative counts to the bucket containing the target
+    rank and returns that bucket's geometric midpoint — the natural
+    representative for log-spaced buckets, and the reason the answer is
+    within one bucket of the exact-sample percentile.  Buckets must be
+    sorted by their lower bound; empty buckets may be omitted.
+    """
+    if not 0.0 <= q <= 100.0:
+        raise ValueError(f"percentile must be in [0, 100], got {q!r}")
+    total = sum(count for _, _, count in buckets)
+    if total <= 0:
+        raise ValueError("cannot take a percentile of an empty histogram")
+    # The closest-rank convention over bucket counts: the target is the
+    # sample the exact path would interpolate *at or below*, so landing
+    # in the right bucket is guaranteed whenever the exact answer's
+    # neighbours share that bucket.
+    rank = (total - 1) * (q / 100.0)
+    seen = 0
+    for lo, hi, count in buckets:
+        if count <= 0:
+            continue
+        seen += count
+        if rank < seen:
+            return _representative(lo, hi)
+    lo, hi, _ = buckets[-1]
+    return _representative(lo, hi)
+
+
+def _representative(lo: float, hi: float) -> float:
+    """One value standing for a log-spaced bucket's contents."""
+    if lo > 0.0 and hi > 0.0:
+        return (lo * hi) ** 0.5
+    return (lo + hi) / 2.0
+
+
+def summary_quantiles(
+    buckets: Sequence[Tuple[float, float, int]],
+    qs: Sequence[float] = (50.0, 95.0, 99.0),
+) -> List[float]:
+    """Several bucketed quantiles in one cumulative walk's worth of work."""
+    return [bucket_quantile(buckets, q) for q in qs]
+
+
+__all__.append("summary_quantiles")

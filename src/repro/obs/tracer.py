@@ -38,6 +38,7 @@ from contextlib import contextmanager
 from typing import List, Optional
 
 from .events import event_record
+from .flight import recorder as _flight_recorder
 from .metrics import MetricsRegistry
 
 __all__ = [
@@ -190,6 +191,9 @@ class Span:
         if exc_type is not None:
             record["error"] = exc_type.__name__
         tr.records.append(record)
+        # Mirror into the bounded flight ring so the last-N history
+        # survives even when this tracer is never exported.
+        _flight_recorder().record(record)
         return False
 
 
@@ -218,9 +222,9 @@ class Tracer(NullTracer):
         return Span(self, name, attrs)
 
     def event(self, event) -> None:
-        self.records.append(
-            event_record(event, time.perf_counter() - self._epoch_s)
-        )
+        record = event_record(event, time.perf_counter() - self._epoch_s)
+        self.records.append(record)
+        _flight_recorder().record(record)
 
     # ------------------------------------------------------------------
     def span_records(self) -> List[dict]:

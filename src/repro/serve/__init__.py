@@ -16,6 +16,13 @@ Entry points:
   traffic and measure the coalescing throughput gain.
 """
 
+from .admin import (
+    HealthPayload,
+    StatsPayload,
+    build_health,
+    build_stats,
+    validate_payload,
+)
 from .client import ServeClient
 from .coalesce import CoalescedResult, Coalescer
 from .protocol import (
@@ -40,6 +47,11 @@ __all__ = [
     "MAX_FRAME_BYTES",
     "CoalescedResult",
     "Coalescer",
+    "HealthPayload",
+    "StatsPayload",
+    "build_health",
+    "build_stats",
+    "validate_payload",
     "GraphRegistry",
     "LoadedGraph",
     "QueryService",

@@ -138,6 +138,7 @@ def _cmd_smoke(args: argparse.Namespace) -> int:
 
         with ServeClient(port=handle.port) as admin:
             stats = admin.stats()
+            health = admin.health()
             admin.shutdown()
 
     failures = 0
@@ -169,6 +170,28 @@ def _cmd_smoke(args: argparse.Namespace) -> int:
     )
     if stats["result_cache_hits"] < 1:
         print("FAIL: repeated queries never hit the result cache")
+        failures += 1
+    # STATS round-trip sanity: the admin surface must account for every
+    # query this harness issued, and its bucketed latency histogram must
+    # have seen each of them.
+    if stats["queries"] != len(plan):
+        print(
+            f"FAIL: STATS reports {stats['queries']} queries, "
+            f"{len(plan)} were issued"
+        )
+        failures += 1
+    hist = stats["latency"].get("all", {})
+    if hist.get("count") != len(plan):
+        print(
+            f"FAIL: STATS latency histogram holds {hist.get('count')} "
+            f"samples for {len(plan)} queries"
+        )
+        failures += 1
+    elif not all(k in hist for k in ("p50", "p95", "p99", "mean")):
+        print(f"FAIL: STATS latency digest incomplete: {sorted(hist)}")
+        failures += 1
+    if not (health["ok"] and health["graphs_loaded"] >= 1):
+        print(f"FAIL: HEALTH not ready: {health}")
         failures += 1
     if failures or stats["errors"]:
         print(f"FAIL ({failures} mismatches, {stats['errors']} errors)")

@@ -1,0 +1,217 @@
+"""The serve admin surface: ``stats`` / ``health`` payload schemas.
+
+The server's operational answers are typed dataclasses, not ad-hoc
+dicts, for the same reason the obs events are (:mod:`repro.obs.events`):
+three parties must agree on the fields — the server constructing them,
+the clients/dashboards reading them, and the ``_EVENT_KEYS`` map that
+:func:`validate_payload` (and the repro-lint R10 schema-drift rule)
+checks constructions and readers against.  A field added to the
+dataclass but missing from the map, or vice versa, is a lint finding at
+HEAD, not a 3 a.m. dashboard mystery.
+
+``StatsPayload`` is the metrics pull: per-graph query counts, cache hit
+rates, bucketed latency histograms (p50/p95/p99 straight from the
+bounded buckets — the server retains no samples), sliding-window load
+gauges, uptime, and the full registry snapshot for ``python -m
+repro.obs export-prom``.  ``HealthPayload`` is the readiness probe:
+graphs loaded, in-flight work, and the last error with its age.
+"""
+
+from __future__ import annotations
+
+from dataclasses import asdict, dataclass, field
+from typing import Dict, List, Optional
+
+__all__ = [
+    "StatsPayload",
+    "HealthPayload",
+    "validate_payload",
+    "build_stats",
+    "build_health",
+]
+
+
+@dataclass
+class StatsPayload:
+    """One ``stats`` pull of a running query service."""
+
+    uptime_s: float
+    queries: int
+    errors: int
+    result_cache_hits: int
+    queue_depth: int
+    max_queue_depth: int
+    in_flight: int
+    max_in_flight: int
+    concurrency: int
+    coalescing: bool
+    #: The coalescer's own digest (batches, widths, dedup hits).
+    coalescer: Dict = field(default_factory=dict)
+    #: Per-graph counters incl. result-cache hit rate.
+    graphs: Dict[str, dict] = field(default_factory=dict)
+    #: name -> bounded-histogram digest (count/mean/p50/p95/p99); the
+    #: ``all`` entry aggregates every algorithm.
+    latency: Dict[str, dict] = field(default_factory=dict)
+    #: Sliding-window load gauges (queue depth, coalesce width, ...).
+    gauges: Dict[str, dict] = field(default_factory=dict)
+    #: The full metrics-registry snapshot (Prometheus-renderable).
+    metrics: Dict = field(default_factory=dict)
+
+    kind = "serve_stats"
+
+
+@dataclass
+class HealthPayload:
+    """One ``health`` probe of a running query service."""
+
+    ok: bool
+    status: str
+    uptime_s: float
+    graphs_loaded: int
+    graphs: List[str] = field(default_factory=list)
+    in_flight: int = 0
+    last_error: Optional[str] = None
+    #: Seconds since the last error (None when the server never erred).
+    last_error_age_s: Optional[float] = None
+
+    kind = "serve_health"
+
+
+#: Required wire keys per payload kind — the schema contract the lint
+#: R10 rule cross-checks against the dataclasses above, and
+#: :func:`validate_payload` checks received payloads against.
+_EVENT_KEYS = {
+    "serve_stats": (
+        "uptime_s",
+        "queries",
+        "errors",
+        "result_cache_hits",
+        "queue_depth",
+        "max_queue_depth",
+        "in_flight",
+        "max_in_flight",
+        "concurrency",
+        "coalescing",
+        "coalescer",
+        "graphs",
+        "latency",
+        "gauges",
+        "metrics",
+    ),
+    "serve_health": (
+        "ok",
+        "status",
+        "uptime_s",
+        "graphs_loaded",
+        "graphs",
+        "in_flight",
+    ),
+}
+
+
+def validate_payload(kind: str, payload) -> List[str]:
+    """Problems with one received stats/health payload ([] when clean)."""
+    if kind not in _EVENT_KEYS:
+        return [f"unknown payload kind {kind!r}"]
+    if not isinstance(payload, dict):
+        return [f"{kind} payload is {type(payload).__name__}, expected object"]
+    return [
+        f"{kind} payload missing key {key!r}"
+        for key in _EVENT_KEYS[kind]
+        if key not in payload
+    ]
+
+
+# ----------------------------------------------------------------------
+# Builders (QueryService -> payload)
+# ----------------------------------------------------------------------
+#: Histogram metric names the latency digest is assembled from; the
+#: overall one aggregates every algorithm.
+LATENCY_METRIC = "serve.latency_s"
+
+
+def _latency_digest(snapshot: dict) -> Dict[str, dict]:
+    """``{"all"|algorithm: histogram digest}`` from a registry snapshot."""
+    prefix = LATENCY_METRIC + "."
+    out: Dict[str, dict] = {}
+    for name, digest in (snapshot.get("histograms") or {}).items():
+        if name == LATENCY_METRIC:
+            out["all"] = digest
+        elif name.startswith(prefix):
+            out[name[len(prefix):]] = digest
+    return out
+
+
+def _graph_stats(service) -> Dict[str, dict]:
+    out: Dict[str, dict] = {}
+    for name in service.registry.names():
+        stats = service.registry.get(name).stats()
+        attempts = stats["result_cache_hits"] + stats["result_cache_misses"]
+        stats["result_cache_hit_rate"] = (
+            stats["result_cache_hits"] / attempts if attempts else 0.0
+        )
+        out[name] = stats
+    return out
+
+
+def build_stats(service) -> StatsPayload:
+    """Assemble the ``stats`` answer from a live ``QueryService``."""
+    snapshot = service.metrics.snapshot()
+    return StatsPayload(
+        uptime_s=service.uptime_s(),
+        queries=service.queries,
+        errors=service.errors,
+        result_cache_hits=service.cache_hits,
+        queue_depth=service.queue_depth,
+        max_queue_depth=service.max_queue_depth,
+        in_flight=service.in_flight,
+        max_in_flight=service.max_in_flight,
+        concurrency=max(1, int(service.config.concurrency)),
+        coalescing=service.config.coalesce,
+        coalescer=service.coalescer.stats(),
+        graphs=_graph_stats(service),
+        latency=_latency_digest(snapshot),
+        gauges=snapshot.get("gauges", {}),
+        metrics=snapshot,
+    )
+
+
+def build_health(service) -> HealthPayload:
+    """Assemble the ``health`` answer from a live ``QueryService``.
+
+    ``ok`` means the server can answer queries right now: it is up and
+    has at least one graph loaded.  A recorded error degrades ``status``
+    but not ``ok`` — the service answered it with an error envelope and
+    kept serving, which is the design, not an outage.
+    """
+    names = service.registry.names()
+    ok = bool(names)
+    if not names:
+        status = "empty"
+    elif service.last_error is None:
+        status = "ok"
+    else:
+        status = "degraded"
+    return HealthPayload(
+        ok=ok,
+        status=status,
+        uptime_s=service.uptime_s(),
+        graphs_loaded=len(names),
+        graphs=names,
+        in_flight=service.in_flight,
+        last_error=service.last_error,
+        last_error_age_s=service.last_error_age_s(),
+    )
+
+
+def stats_wire(service) -> dict:
+    """The ``stats`` op's wire dict."""
+    return asdict(build_stats(service))
+
+
+def health_wire(service) -> dict:
+    """The ``health`` op's wire dict."""
+    return asdict(build_health(service))
+
+
+__all__ += ["stats_wire", "health_wire", "LATENCY_METRIC"]

@@ -18,6 +18,7 @@ import socket
 from typing import Optional
 
 from ..errors import ServeError
+from .admin import validate_payload
 from .protocol import read_frame_sync, write_frame_sync
 
 __all__ = ["ServeClient"]
@@ -95,7 +96,28 @@ class ServeClient:
         return self.request("query", **args)
 
     def stats(self) -> dict:
-        return self.request("stats")
+        """The server's metrics pull (validated ``serve_stats`` payload)."""
+        result = self.request("stats")
+        problems = validate_payload("serve_stats", result)
+        if problems:
+            raise ServeError(
+                "malformed stats payload: " + "; ".join(problems)
+            )
+        return result
+
+    def health(self) -> dict:
+        """The server's readiness probe (validated ``serve_health``)."""
+        result = self.request("health")
+        problems = validate_payload("serve_health", result)
+        if problems:
+            raise ServeError(
+                "malformed health payload: " + "; ".join(problems)
+            )
+        return result
+
+    def dump(self) -> dict:
+        """Ask the server to dump its flight ring; returns the path."""
+        return self.request("dump")
 
     def shutdown(self) -> None:
         """Ask the server to stop (acknowledged before it exits)."""

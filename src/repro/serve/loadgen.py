@@ -30,6 +30,8 @@ from typing import Dict, List, Optional, Sequence
 import numpy as np
 
 from ..experiments.report import ExperimentResult
+from ..obs.metrics import HIST_GROWTH
+from ..obs.quantiles import exact_percentile
 from .client import ServeClient
 from .server import ServeConfig, run_in_thread
 
@@ -88,7 +90,10 @@ class _Replay:
         return len(self.latencies_s) / self.wall_s if self.wall_s else 0.0
 
     def percentile(self, q: float) -> float:
-        return float(np.percentile(np.array(self.latencies_s), q))
+        # Shared convention with the bucketed histogram quantiles
+        # (repro.obs.quantiles): linear interpolation between closest
+        # ranks, numerically identical to numpy.percentile's default.
+        return exact_percentile(self.latencies_s, q)
 
 
 def _build_workload(config: LoadgenConfig, graph_names, n_vertices):
@@ -258,6 +263,42 @@ def _verify_sample(config: LoadgenConfig, replay: _Replay) -> int:
     return n
 
 
+#: Bucketed-vs-exact percentile tolerance: the STATS digest answers
+#: from bounded log buckets (resolution :data:`HIST_GROWTH` per bucket,
+#: midpoint representative), the exact path interpolates retained
+#: samples — one bucket either side of the midpoint bounds the drift.
+_HIST_AGREEMENT_FACTOR = HIST_GROWTH ** 2
+
+
+def _verify_stats_percentiles(replay: _Replay) -> None:
+    """The server's bucketed STATS latencies must agree with the exact
+    percentiles over the same (server-measured) samples.
+
+    Each response carries the server-side ``latency_s`` the histogram
+    also observed, so both paths digest identical samples; divergence
+    beyond one bucket means the bounded histogram is lying.
+    """
+    served = [r["latency_s"] for r in replay.responses]
+    digest = (replay.stats.get("latency") or {}).get("all") or {}
+    if digest.get("count") != len(served):
+        raise AssertionError(
+            f"STATS latency histogram holds {digest.get('count')} samples "
+            f"for {len(served)} served queries ({replay.label})"
+        )
+    for q, key in ((50.0, "p50"), (95.0, "p95"), (99.0, "p99")):
+        exact = exact_percentile(served, q)
+        bucketed = float(digest[key])
+        ratio = bucketed / exact if exact else 1.0
+        if not (
+            1.0 / _HIST_AGREEMENT_FACTOR <= ratio <= _HIST_AGREEMENT_FACTOR
+        ):
+            raise AssertionError(
+                f"STATS {key} {bucketed * 1e3:.3f} ms diverges from the "
+                f"exact-sample percentile {exact * 1e3:.3f} ms by more "
+                f"than one histogram bucket ({replay.label})"
+            )
+
+
 def run_loadgen(config: Optional[LoadgenConfig] = None) -> ExperimentResult:
     """The full campaign: replay twice, compare, verify, report."""
     config = config or LoadgenConfig()
@@ -310,6 +351,8 @@ def run_loadgen(config: Optional[LoadgenConfig] = None) -> ExperimentResult:
     if config.verify:
         verified = _verify_sample(config, replays["coalesced"])
         verified += _verify_sample(config, replays["sequential"])
+        for replay in replays.values():
+            _verify_stats_percentiles(replay)
     result.timings["sequential_wall_s"] = replays["sequential"].wall_s
     result.timings["coalesced_wall_s"] = replays["coalesced"].wall_s
     result.add(

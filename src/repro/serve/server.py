@@ -34,9 +34,12 @@ from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence
 
-from ..errors import ReproError, ServeError
+from ..errors import ReproError, ServeError, SimulationError
 from ..obs.events import ServeQueryEvent, WarningEvent
+from ..obs.flight import recorder as _flight_recorder
+from ..obs.metrics import MetricsRegistry
 from ..obs.tracer import active as _obs_active
+from .admin import LATENCY_METRIC, health_wire, stats_wire
 from .coalesce import DEFAULT_MAX_WIDTH, DEFAULT_WINDOW_S, Coalescer
 from .protocol import error_response, ok_response, read_frame, write_frame
 from .registry import DEFAULT_RESULT_CACHE_SIZE, GraphRegistry, LoadedGraph
@@ -130,6 +133,32 @@ class QueryService:
         self.max_queue_depth = 0
         self.in_flight = 0
         self.max_in_flight = 0
+        # Always-on telemetry: latency histograms and sliding-window
+        # load gauges live here regardless of REPRO_TRACE — the
+        # stats/health admin surface reads this registry, the (optional)
+        # tracer additionally gets spans/events for export.
+        self.metrics = MetricsRegistry()
+        self._started_s = time.monotonic()
+        self.last_error: Optional[str] = None
+        self._last_error_s: Optional[float] = None
+
+    # ------------------------------------------------------------------
+    def uptime_s(self) -> float:
+        """Seconds since this service instance was constructed."""
+        return time.monotonic() - self._started_s
+
+    def last_error_age_s(self) -> Optional[float]:
+        """Seconds since the most recent error (None if never erred)."""
+        if self._last_error_s is None:
+            return None
+        return time.monotonic() - self._last_error_s
+
+    def _note_error(self, exc: BaseException) -> None:
+        """Record an error for health reporting (and count it)."""
+        self.errors += 1
+        self.last_error = f"{type(exc).__name__}: {exc}"
+        self._last_error_s = time.monotonic()
+        self.metrics.inc("serve.errors")
 
     # ------------------------------------------------------------------
     # Dispatch
@@ -147,19 +176,27 @@ class QueryService:
                 return ok_response(request_id, self._op_list())
             if op == "stats":
                 return ok_response(request_id, self.stats())
+            if op == "health":
+                return ok_response(request_id, self.health())
+            if op == "dump":
+                return ok_response(request_id, self._op_dump())
             if op == "query":
                 return ok_response(request_id, await self._op_query(request))
             if op == "shutdown":
                 return ok_response(request_id, {"stopping": True})
             raise ServeError(
                 f"unknown op {op!r}; expected one of "
-                "ping/load/list/stats/query/shutdown"
+                "ping/load/list/stats/health/dump/query/shutdown"
             )
         except ReproError as exc:
-            self.errors += 1
+            self._note_error(exc)
+            if isinstance(exc, SimulationError):
+                # A model-invariant failure on a long-running server:
+                # preserve the last-N telemetry for the post-mortem.
+                _flight_recorder().dump(f"serve:{type(exc).__name__}")
             return error_response(request_id, str(exc))
         except Exception as exc:  # a server must answer, not die
-            self.errors += 1
+            self._note_error(exc)
             tracer = _obs_active()
             if tracer.enabled:
                 tracer.event(
@@ -231,6 +268,23 @@ class QueryService:
                 entry, algorithm, source, params
             )
             latency_s = time.perf_counter() - t0
+            # Always-on telemetry: bucketed latency (overall and per
+            # algorithm) plus the coalesce-width window, tracer or not.
+            self.metrics.inc("serve.queries")
+            self.metrics.observe_hist(LATENCY_METRIC, latency_s)
+            self.metrics.observe_hist(
+                f"{LATENCY_METRIC}.{algorithm}", latency_s
+            )
+            self.metrics.gauge("serve.coalesce_width", width)
+            event = ServeQueryEvent(
+                graph=entry.name,
+                algorithm=algorithm,
+                source=source,
+                coalesced_width=width,
+                cache_hit=cache_hit,
+                latency_s=latency_s,
+                queue_depth=self.queue_depth,
+            )
             if tracer.enabled:
                 span.set(
                     coalesced_width=width,
@@ -239,17 +293,9 @@ class QueryService:
                 )
                 tracer.metrics.observe("serve.latency_s", latency_s)
                 tracer.metrics.observe("serve.coalesce_width", width)
-                tracer.event(
-                    ServeQueryEvent(
-                        graph=entry.name,
-                        algorithm=algorithm,
-                        source=source,
-                        coalesced_width=width,
-                        cache_hit=cache_hit,
-                        latency_s=latency_s,
-                        queue_depth=self.queue_depth,
-                    )
-                )
+                tracer.event(event)  # the tracer mirrors it into flight
+            else:
+                _flight_recorder().record_event(event)
         out = dict(response)
         out["cached"] = cache_hit
         out["coalesced_width"] = width
@@ -370,6 +416,7 @@ class QueryService:
         tracer = _obs_active()
         self.queue_depth += 1
         self.max_queue_depth = max(self.max_queue_depth, self.queue_depth)
+        self.metrics.gauge("serve.queue_depth", self.queue_depth)
         if tracer.enabled:
             tracer.metrics.observe("serve.queue_depth", self.queue_depth)
         try:
@@ -380,6 +427,7 @@ class QueryService:
             async with self._lock_for(entry.name):
                 self.in_flight += 1
                 self.max_in_flight = max(self.max_in_flight, self.in_flight)
+                self.metrics.gauge("serve.in_flight", self.in_flight)
                 try:
                     loop = asyncio.get_running_loop()
                     return await loop.run_in_executor(self._executor, work)
@@ -396,20 +444,21 @@ class QueryService:
 
     # ------------------------------------------------------------------
     def stats(self) -> dict:
-        """The ``stats`` op payload (server + per-graph + coalescer)."""
+        """The ``stats`` op payload (see :class:`.admin.StatsPayload`)."""
+        return stats_wire(self)
+
+    def health(self) -> dict:
+        """The ``health`` op payload (see :class:`.admin.HealthPayload`)."""
+        return health_wire(self)
+
+    def _op_dump(self) -> dict:
+        """Dump the flight ring on operator request; report the path."""
+        flight = _flight_recorder()
+        path = flight.dump("serve:admin-dump")
         return {
-            "queries": self.queries,
-            "errors": self.errors,
-            "result_cache_hits": self.cache_hits,
-            "max_queue_depth": self.max_queue_depth,
-            "max_in_flight": self.max_in_flight,
-            "concurrency": max(1, int(self.config.concurrency)),
-            "coalescing": self.config.coalesce,
-            "coalescer": self.coalescer.stats(),
-            "graphs": {
-                name: self.registry.get(name).stats()
-                for name in self.registry.names()
-            },
+            "path": path,
+            "retained": len(flight),
+            "enabled": flight.enabled,
         }
 
     def close(self) -> None:

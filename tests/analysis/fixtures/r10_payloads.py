@@ -1,0 +1,43 @@
+"""R10 fixture: wire-payload dataclasses (``*Payload``) are schema'd
+like obs events — constructions and ``_EVENT_KEYS`` must agree with the
+kind-tagged dataclass fields."""
+
+from dataclasses import dataclass
+
+
+@dataclass
+class StatusPayload:
+    kind = "status"
+
+    ok: bool
+    detail: str = ""
+
+
+@dataclass
+class DepthPayload:
+    kind = "depth"
+
+    queue: int
+    width: int
+
+
+_EVENT_KEYS = {
+    "status": ("ok",),  # negative: field exists
+    "depth": ("queue", "lanes"),  # positive: `lanes` is not a field
+}
+
+
+def build_good():
+    return StatusPayload(ok=True)
+
+
+def build_unknown_kwarg():
+    return StatusPayload(ok=True, extra=1)  # positive: no `extra` field
+
+
+def build_missing_required():
+    return DepthPayload(queue=3)  # positive: required `width` omitted
+
+
+def build_star(**kw):
+    return DepthPayload(**kw)  # negative: star args are not audited

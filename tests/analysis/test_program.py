@@ -249,6 +249,21 @@ class TestR10SchemaDrift:
         sup = [f for f in result.findings if f.suppressed]
         assert _owners(sup, "r10_cases.py") == ["suppressed"]
 
+    def test_payload_constructors_audited_like_events(self):
+        """`*Payload` wire dataclasses (the serve admin surface) are in
+        R10's scope exactly like `*Event` ones."""
+        result = _lint("r10_payloads.py", "R10")
+        assert len(result.active) == 3
+        assert any("'extra'" in f.message for f in result.active)
+        assert any("'width'" in f.message for f in result.active)
+        assert any(
+            "`lanes`" in f.message and "_EVENT_KEYS" in f.message
+            for f in result.active
+        )
+        owners = _owners(result.active, "r10_payloads.py")
+        assert "build_good" not in owners
+        assert "build_star" not in owners
+
 
 # ----------------------------------------------------------------------
 class TestSeededBugs:
@@ -308,6 +323,7 @@ class TestSeededBugs:
         result = lint_paths(
             [
                 os.path.join(root, "serve", "server.py"),
+                os.path.join(root, "serve", "admin.py"),
                 os.path.join(root, "parallel", "tasks.py"),
                 os.path.join(root, "obs", "events.py"),
             ],

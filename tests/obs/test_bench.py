@@ -1,0 +1,178 @@
+"""Bench history and the regression gate: record schema, atomic
+appends, rolling-baseline comparison, and the CLI exit codes
+``make bench-regress`` relies on."""
+
+import json
+from types import SimpleNamespace
+
+import pytest
+
+from repro.obs import cli
+from repro.obs.bench import (
+    BENCH_SCHEMA_VERSION,
+    append_record,
+    bench_record,
+    load_history,
+    record_result,
+    regress,
+    validate_history,
+)
+
+
+def _record(bench, n, **metrics):
+    return bench_record(
+        bench, metrics, git_rev=f"rev{n}", timestamp_s=float(n)
+    )
+
+
+def _seed_history(path, head_wall_s, baseline_wall_s=1.0, runs=3):
+    """A history: `runs` steady baseline records, then one HEAD record."""
+    for n in range(runs):
+        append_record(
+            _record("fig4", n, driver_wall_s=baseline_wall_s), str(path)
+        )
+    append_record(
+        _record("fig4", runs, driver_wall_s=head_wall_s), str(path)
+    )
+    return str(path)
+
+
+class TestHistoryFile:
+    def test_append_load_roundtrip(self, tmp_path):
+        path = tmp_path / "bench-history.jsonl"
+        append_record(_record("a", 0, wall_s=1.5), str(path))
+        append_record(_record("b", 1, wall_s=2.5), str(path))
+        records = load_history(str(path))
+        assert [r["bench"] for r in records] == ["a", "b"]
+        assert records[0]["schema"] == BENCH_SCHEMA_VERSION
+        assert records[0]["metrics"] == {"wall_s": 1.5}
+        assert records[0]["git_rev"] == "rev0"
+
+    def test_record_result_keeps_only_wall_metrics(self, tmp_path):
+        path = tmp_path / "bench-history.jsonl"
+        result = SimpleNamespace(
+            experiment="fig4",
+            timings={"driver_wall_s": 2.0, "rows": 12.0},
+        )
+        assert record_result(result, str(path)) == str(path)
+        (record,) = load_history(str(path))
+        assert record["metrics"] == {"driver_wall_s": 2.0}
+        # A result with no wall-clock metric records nothing.
+        empty = SimpleNamespace(experiment="t3", timings={"rows": 1.0})
+        assert record_result(empty, str(path)) is None
+        assert len(load_history(str(path))) == 1
+
+    def test_validate_clean_and_broken(self, tmp_path):
+        path = tmp_path / "bench-history.jsonl"
+        append_record(_record("a", 0, wall_s=1.0), str(path))
+        assert validate_history(str(path)) == []
+        with open(path, "a", encoding="utf-8") as fh:
+            fh.write("not json\n")
+            fh.write(json.dumps({"bench": "x"}) + "\n")
+            fh.write(
+                json.dumps(
+                    {
+                        "schema": 99,
+                        "bench": "y",
+                        "metrics": {"wall_s": "fast"},
+                        "git_rev": "r",
+                        "timestamp_s": 0.0,
+                    }
+                )
+                + "\n"
+            )
+        problems = validate_history(str(path))
+        assert any("not JSON" in p for p in problems)
+        assert any("missing keys" in p for p in problems)
+        assert any("schema" in p for p in problems)
+        assert any("not a number" in p for p in problems)
+
+    def test_validate_missing_file(self, tmp_path):
+        problems = validate_history(str(tmp_path / "absent.jsonl"))
+        assert problems and "not found" in problems[0]
+
+
+class TestRegress:
+    def test_clean_history_passes(self, tmp_path):
+        path = _seed_history(
+            tmp_path / "h.jsonl", head_wall_s=1.1, baseline_wall_s=1.0
+        )
+        rows = regress(path)
+        assert rows and not any(r["regressed"] for r in rows)
+        (row,) = rows
+        assert row["baseline"] == pytest.approx(1.0)
+        assert row["ratio"] == pytest.approx(1.1)
+
+    def test_detects_injected_2x_slowdown(self, tmp_path):
+        path = _seed_history(
+            tmp_path / "h.jsonl", head_wall_s=2.0, baseline_wall_s=1.0
+        )
+        (row,) = regress(path)
+        assert row["regressed"]
+        assert row["ratio"] == pytest.approx(2.0)
+
+    def test_baseline_is_median_not_mean(self, tmp_path):
+        path = tmp_path / "h.jsonl"
+        # One anomalous 10s run must not drag the baseline up.
+        for n, wall in enumerate((1.0, 10.0, 1.0, 1.0)):
+            append_record(
+                _record("fig4", n, driver_wall_s=wall), str(path)
+            )
+        append_record(_record("fig4", 9, driver_wall_s=2.0), str(path))
+        (row,) = regress(str(path))
+        assert row["baseline"] == pytest.approx(1.0)
+        assert row["regressed"]
+
+    def test_non_wall_metrics_and_first_runs_ignored(self, tmp_path):
+        path = tmp_path / "h.jsonl"
+        append_record(
+            _record("fig4", 0, driver_wall_s=1.0, rows=10.0), str(path)
+        )
+        append_record(
+            _record("fig4", 1, driver_wall_s=1.0, rows=99.0), str(path)
+        )
+        append_record(_record("t3", 2, driver_wall_s=5.0), str(path))
+        rows = regress(str(path))
+        # `rows` is not `_s`-suffixed; t3 has no prior run to baseline.
+        assert [r["metric"] for r in rows] == ["driver_wall_s"]
+
+
+class TestCli:
+    def test_regress_exit_codes(self, tmp_path, capsys):
+        clean = _seed_history(tmp_path / "clean.jsonl", head_wall_s=1.0)
+        assert cli.main(["regress", "--history", clean]) == 0
+        assert "PASS" in capsys.readouterr().out
+        slow = _seed_history(tmp_path / "slow.jsonl", head_wall_s=2.0)
+        assert cli.main(["regress", "--history", slow]) == 1
+        assert "REGRESSED" in capsys.readouterr().out
+
+    def test_regress_empty_history_passes(self, tmp_path, capsys):
+        path = tmp_path / "h.jsonl"
+        append_record(_record("fig4", 0, driver_wall_s=1.0), str(path))
+        assert cli.main(["regress", "--history", str(path)]) == 0
+        assert "nothing to compare" in capsys.readouterr().out
+
+    def test_validate_dispatches_to_bench_schema(self, tmp_path, capsys):
+        path = tmp_path / "bench-history.jsonl"
+        append_record(_record("fig4", 0, driver_wall_s=1.0), str(path))
+        assert cli.main(["validate", str(path)]) == 0
+        assert "bench-history schema" in capsys.readouterr().out
+        with open(path, "a", encoding="utf-8") as fh:
+            fh.write(json.dumps({"bench": "x"}) + "\n")
+        assert cli.main(["validate", str(path)]) == 1
+
+    def test_export_prom_from_saved_snapshot(self, tmp_path, capsys):
+        from repro.obs.metrics import MetricsRegistry
+
+        reg = MetricsRegistry()
+        reg.inc("serve.queries", 3)
+        reg.observe_hist("serve.latency_s", 1e-3)
+        path = tmp_path / "snap.json"
+        path.write_text(json.dumps(reg.snapshot()))
+        assert cli.main(["export-prom", "--file", str(path)]) == 0
+        out = capsys.readouterr().out
+        assert "# TYPE repro_serve_queries counter" in out
+        assert "repro_serve_queries 3" in out
+        assert "# TYPE repro_serve_latency_s histogram" in out
+        assert 'repro_serve_latency_s_bucket{le="+Inf"} 1' in out
+        assert "repro_serve_latency_s_count 1" in out

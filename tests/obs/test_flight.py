@@ -1,0 +1,114 @@
+"""Flight recorder: ring wraparound, dump format, tracer mirroring,
+and the dump-on-sanitizer-violation post-mortem path."""
+
+import os
+
+import pytest
+
+from repro.analysis import sanitize
+from repro.errors import SimulationError
+from repro.obs import flight
+from repro.obs.events import SCHEMA_VERSION, WarningEvent
+from repro.obs.flight import FlightRecorder, read_dump
+from repro.obs.tracer import Tracer, override
+
+
+@pytest.fixture(autouse=True)
+def _fresh_ring():
+    """Each test gets its own ring; nothing leaks into the process
+    recorder other tests (or the serve suite) share."""
+    ring = FlightRecorder(capacity=8)
+    with flight.override(ring):
+        yield ring
+
+
+class TestRing:
+    def test_wraparound_keeps_the_last_n(self, _fresh_ring):
+        for i in range(20):
+            _fresh_ring.record({"type": "event", "seq": i})
+        assert len(_fresh_ring) == 8
+        retained = [r["seq"] for r in _fresh_ring.snapshot()]
+        assert retained == list(range(12, 20))
+        assert _fresh_ring.recorded == 20
+
+    def test_record_event_serialises_with_ring_epoch(self, _fresh_ring):
+        _fresh_ring.record_event(WarningEvent(source="test", message="m"))
+        (record,) = _fresh_ring.snapshot()
+        assert record["type"] == "event"
+        assert record["event"] == "warning"
+        assert record["t_s"] >= 0.0
+
+    def test_capacity_zero_disables_everything(self, tmp_path):
+        off = FlightRecorder(capacity=0)
+        assert not off.enabled
+        off.record({"type": "event"})
+        assert len(off) == 0
+        assert off.dump("test", directory=str(tmp_path)) is None
+        assert list(tmp_path.iterdir()) == []
+
+    def test_env_capacity(self, monkeypatch):
+        monkeypatch.setenv("REPRO_FLIGHT", "3")
+        assert flight._capacity_from_env() == 3
+        monkeypatch.setenv("REPRO_FLIGHT", "junk")
+        assert flight._capacity_from_env() == flight.DEFAULT_CAPACITY
+
+
+class TestDump:
+    def test_dump_and_read_roundtrip(self, _fresh_ring, tmp_path):
+        for i in range(12):
+            _fresh_ring.record({"type": "event", "seq": i})
+        path = _fresh_ring.dump("unit-test", directory=str(tmp_path))
+        assert path is not None and os.path.exists(path)
+        header, *records = read_dump(path)
+        assert header["type"] == "flight_header"
+        assert header["schema"] == SCHEMA_VERSION
+        assert header["reason"] == "unit-test"
+        assert header["retained"] == 8
+        assert header["recorded"] == 12
+        assert [r["seq"] for r in records] == list(range(4, 12))
+
+    def test_dumps_get_distinct_names(self, _fresh_ring, tmp_path):
+        _fresh_ring.record({"type": "event"})
+        first = _fresh_ring.dump("a", directory=str(tmp_path))
+        second = _fresh_ring.dump("b", directory=str(tmp_path))
+        assert first != second
+        assert _fresh_ring.dumps == 2
+
+    def test_default_dir_under_cache(self, monkeypatch, tmp_path):
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path))
+        assert flight.default_dump_dir() == str(tmp_path / "flight")
+
+
+class TestFeeds:
+    def test_tracer_mirrors_spans_and_events(self, _fresh_ring):
+        tracer = Tracer(label="flight-test")
+        with override(tracer):
+            with tracer.span("region"):
+                pass
+            tracer.event(WarningEvent(source="test", message="m"))
+        kinds = [
+            (r["type"], r.get("event")) for r in _fresh_ring.snapshot()
+        ]
+        assert ("span", None) in kinds
+        assert ("event", "warning") in kinds
+
+    def test_sanitizer_violation_dumps_the_ring(
+        self, _fresh_ring, monkeypatch, tmp_path
+    ):
+        """The post-mortem contract: a SimulationError raised by the
+        sanitizer leaves a flight dump on disk even with tracing off."""
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path))
+        san = sanitize.Sanitizer()
+        import numpy as np
+
+        with pytest.raises(SimulationError, match="lost"):
+            san.check_histogram("h", np.array([3, 4]), 8)
+        dump_dir = tmp_path / "flight"
+        dumps = sorted(dump_dir.iterdir())
+        assert len(dumps) == 1
+        header, *records = read_dump(str(dumps[0]))
+        assert header["reason"] == "sanitizer:h"
+        violations = [
+            r for r in records if r.get("event") == "sanitizer_violation"
+        ]
+        assert violations and "lost" in violations[-1]["message"]

@@ -1,0 +1,162 @@
+"""Metrics registry v2: bounded histograms, windowed gauges, snapshot
+merging, and the thread-safety regression the serve stack depends on."""
+
+import math
+import threading
+
+import pytest
+
+from repro.obs.metrics import (
+    GAUGE_MAX_SAMPLES,
+    HIST_BUCKETS,
+    HIST_FLOOR,
+    HIST_GROWTH,
+    Histogram,
+    MetricsRegistry,
+    WindowedGauge,
+)
+
+
+class TestHistogram:
+    def test_exact_moments_bucketed_quantiles(self):
+        hist = Histogram()
+        values = [1e-4, 2e-4, 4e-4, 8e-4, 1.6e-3]
+        for v in values:
+            hist.observe(v)
+        assert hist.count == 5
+        assert hist.total == pytest.approx(sum(values))
+        assert hist.min == pytest.approx(min(values))
+        assert hist.max == pytest.approx(max(values))
+        assert hist.mean == pytest.approx(sum(values) / 5)
+        # The median's bucket contains the sample itself.
+        lo, hi = Histogram.bucket_bounds(Histogram.bucket_index(4e-4))
+        assert lo <= hist.quantile(50) < hi
+
+    def test_bucket_index_clamps_under_and_overflow(self):
+        assert Histogram.bucket_index(0.0) == 0
+        assert Histogram.bucket_index(HIST_FLOOR / 10) == 0
+        assert Histogram.bucket_index(1e30) == HIST_BUCKETS - 1
+        # Monotonic along the whole range.
+        previous = -1
+        value = HIST_FLOOR / 2
+        while value < 1e5:
+            index = Histogram.bucket_index(value)
+            assert index >= previous
+            previous = index
+            value *= 1.7
+
+    def test_bucket_bounds_partition_the_axis(self):
+        for i in range(0, HIST_BUCKETS - 1, 7):
+            lo, hi = Histogram.bucket_bounds(i)
+            assert hi == pytest.approx(lo * HIST_GROWTH)
+            next_lo, _ = Histogram.bucket_bounds(i + 1)
+            assert next_lo == pytest.approx(hi)
+
+    def test_snapshot_roundtrip_and_merge(self):
+        a, b = Histogram(), Histogram()
+        for v in (1e-3, 2e-3, 5e-3):
+            a.observe(v)
+        for v in (1e-2, 3e-2):
+            b.observe(v)
+        restored = Histogram.from_snapshot(a.snapshot())
+        assert restored.counts == a.counts
+        assert restored.count == a.count
+        assert restored.quantile(50) == a.quantile(50)
+        merged = Histogram.from_snapshot(a.snapshot())
+        merged.merge(b)
+        assert merged.count == 5
+        assert merged.total == pytest.approx(a.total + b.total)
+        assert merged.min == a.min
+        assert merged.max == b.max
+
+    def test_empty_snapshot_has_no_quantiles(self):
+        snap = Histogram().snapshot()
+        assert snap["count"] == 0
+        assert "p50" not in snap and "mean" not in snap
+
+
+class TestWindowedGauge:
+    def test_window_expires_old_samples(self):
+        g = WindowedGauge(window_s=10.0)
+        g.set(5.0, now_s=0.0)
+        g.set(9.0, now_s=2.0)
+        snap = g.snapshot(now_s=3.0)
+        assert snap["window_count"] == 2
+        assert snap["window_mean"] == pytest.approx(7.0)
+        assert snap["window_max"] == 9.0
+        # Past the horizon the window drains, but last/peak survive.
+        snap = g.snapshot(now_s=50.0)
+        assert snap["window_count"] == 0
+        assert snap["last"] == 9.0
+        assert snap["peak"] == 9.0
+
+    def test_sample_cap_bounds_memory(self):
+        g = WindowedGauge(window_s=math.inf)
+        for i in range(GAUGE_MAX_SAMPLES + 50):
+            g.set(float(i), now_s=float(i) * 1e-3)
+        assert len(g.samples) == GAUGE_MAX_SAMPLES
+
+
+class TestRegistry:
+    def test_all_four_sections_snapshot(self):
+        reg = MetricsRegistry()
+        reg.inc("queries")
+        reg.inc("queries", 2.0)
+        reg.observe("width", 4.0)
+        reg.observe("width", 6.0)
+        reg.observe_hist("latency_s", 1e-3)
+        reg.gauge("depth", 3.0, now_s=0.0)
+        snap = reg.snapshot()
+        assert snap["counters"]["queries"] == 3.0
+        assert snap["observations"]["width"] == {
+            "count": 2.0,
+            "total": 10.0,
+            "min": 4.0,
+            "max": 6.0,
+        }
+        assert snap["histograms"]["latency_s"]["count"] == 1
+        assert snap["gauges"]["depth"]["last"] == 3.0
+
+    def test_merge_snapshot_adds_and_merges(self):
+        a, b = MetricsRegistry(), MetricsRegistry()
+        for reg, n in ((a, 3), (b, 4)):
+            for _ in range(n):
+                reg.inc("queries")
+                reg.observe("width", float(n))
+                reg.observe_hist("latency_s", 1e-3 * n)
+        a.merge_snapshot(b.snapshot())
+        snap = a.snapshot()
+        assert snap["counters"]["queries"] == 7.0
+        assert snap["observations"]["width"]["count"] == 7.0
+        assert snap["histograms"]["latency_s"]["count"] == 7
+
+    def test_concurrent_hammer_loses_no_updates(self):
+        """Regression: inc/observe were read-modify-write without a
+        lock, so an 8-thread hammer on one registry dropped updates."""
+        reg = MetricsRegistry()
+        n_threads, n_iter = 8, 2000
+        start = threading.Barrier(n_threads)
+
+        def hammer():
+            start.wait()
+            for i in range(n_iter):
+                reg.inc("hits")
+                reg.observe("width", float(i % 7))
+                reg.observe_hist("latency_s", 1e-4 * (1 + i % 5))
+                reg.gauge("depth", float(i % 3))
+
+        threads = [
+            threading.Thread(target=hammer) for _ in range(n_threads)
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        snap = reg.snapshot()
+        expected = n_threads * n_iter
+        assert snap["counters"]["hits"] == expected
+        assert snap["observations"]["width"]["count"] == expected
+        assert snap["histograms"]["latency_s"]["count"] == expected
+        assert sum(
+            snap["histograms"]["latency_s"]["buckets"].values()
+        ) == expected

@@ -1,0 +1,87 @@
+"""Shared percentile math: exact-vs-numpy parity and the exact-vs-
+bucketed agreement contract the serve STATS surface relies on."""
+
+import numpy as np
+import pytest
+
+from repro.obs.metrics import HIST_GROWTH, Histogram
+from repro.obs.quantiles import (
+    bucket_quantile,
+    exact_percentile,
+    summary_quantiles,
+)
+
+#: The pinned contract: a bucketed percentile is the bucket's geometric
+#: midpoint, so it sits within one bucket (factor HIST_GROWTH each way,
+#: plus interpolation slack) of the exact-sample percentile.
+AGREEMENT_FACTOR = HIST_GROWTH ** 2
+
+
+class TestExactPercentile:
+    def test_matches_numpy_linear_interpolation(self):
+        rng = np.random.default_rng(11)
+        samples = rng.uniform(1e-5, 1e-1, size=403).tolist()
+        for q in (0, 1, 25, 50, 75, 95, 99, 100):
+            assert exact_percentile(samples, q) == pytest.approx(
+                float(np.percentile(samples, q)), abs=1e-15
+            )
+
+    def test_single_sample_and_endpoints(self):
+        assert exact_percentile([0.25], 99) == 0.25
+        samples = [3.0, 1.0, 2.0]
+        assert exact_percentile(samples, 0) == 1.0
+        assert exact_percentile(samples, 100) == 3.0
+        assert exact_percentile(samples, 50) == 2.0
+
+    def test_rejects_empty_and_out_of_range(self):
+        with pytest.raises(ValueError):
+            exact_percentile([], 50)
+        with pytest.raises(ValueError):
+            exact_percentile([1.0], -1)
+        with pytest.raises(ValueError):
+            exact_percentile([1.0], 101)
+
+
+class TestBucketQuantile:
+    def test_walks_to_the_right_bucket(self):
+        rows = [(1.0, 2.0, 3), (2.0, 4.0, 6), (4.0, 8.0, 1)]
+        # ranks 0..2 land in the first bucket, 3..8 in the second.
+        assert bucket_quantile(rows, 0) == pytest.approx((1.0 * 2.0) ** 0.5)
+        assert bucket_quantile(rows, 50) == pytest.approx((2.0 * 4.0) ** 0.5)
+        assert bucket_quantile(rows, 100) == pytest.approx((4.0 * 8.0) ** 0.5)
+
+    def test_summary_quantiles_match_individual_calls(self):
+        rows = [(1.0, 2.0, 10), (2.0, 4.0, 10)]
+        assert summary_quantiles(rows, (50.0, 95.0)) == [
+            bucket_quantile(rows, 50.0),
+            bucket_quantile(rows, 95.0),
+        ]
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            bucket_quantile([], 50)
+        with pytest.raises(ValueError):
+            bucket_quantile([(1.0, 2.0, 0)], 50)
+
+
+class TestAgreementContract:
+    """The reason both paths share this module: for any sample stream,
+    the bucketed answer tracks the exact answer within one histogram
+    bucket's resolution."""
+
+    @pytest.mark.parametrize("seed", [0, 7, 23])
+    def test_bucketed_within_one_bucket_of_exact(self, seed):
+        rng = np.random.default_rng(seed)
+        # Latency-shaped draw: lognormal spanning ~3 orders of magnitude.
+        samples = np.exp(rng.normal(-7.0, 1.2, size=800)).tolist()
+        hist = Histogram()
+        for s in samples:
+            hist.observe(s)
+        for q in (50, 90, 95, 99):
+            exact = exact_percentile(samples, q)
+            bucketed = hist.quantile(q)
+            ratio = bucketed / exact
+            assert 1.0 / AGREEMENT_FACTOR <= ratio <= AGREEMENT_FACTOR, (
+                q,
+                ratio,
+            )

@@ -1,0 +1,157 @@
+"""The serve admin surface: STATS/HEALTH payloads, their validation,
+the histogram-vs-exact latency agreement, error accounting and the
+flight-dump admin op."""
+
+import asyncio
+
+import pytest
+
+from repro.graphs import Graph
+from repro.obs import flight
+from repro.obs.flight import FlightRecorder
+from repro.obs.metrics import HIST_GROWTH
+from repro.obs.quantiles import exact_percentile
+from repro.serve import ServeConfig, validate_payload
+from repro.serve.server import QueryService
+from repro.workloads import chung_lu
+
+
+@pytest.fixture(scope="module")
+def admin_graph():
+    return Graph(chung_lu(600, 4500, seed=5), name="admin")
+
+
+def make_service(graph=None, **overrides):
+    config = ServeConfig(port=0, **overrides)
+    service = QueryService(config)
+    if graph is not None:
+        service.registry.register("g", graph)
+    return service
+
+
+def run_ops(service, *requests):
+    async def scenario():
+        return [await service.handle(r) for r in requests]
+
+    try:
+        return asyncio.run(scenario())
+    finally:
+        service.close()
+
+
+def _query(i, source):
+    return {
+        "id": i,
+        "op": "query",
+        "graph": "g",
+        "algorithm": "bfs",
+        "source": source,
+    }
+
+
+class TestHealth:
+    def test_empty_service_is_not_ready(self):
+        (response,) = run_ops(make_service(), {"id": 1, "op": "health"})
+        health = response["result"]
+        assert validate_payload("serve_health", health) == []
+        assert health["ok"] is False
+        assert health["status"] == "empty"
+        assert health["graphs_loaded"] == 0
+
+    def test_loaded_service_is_ready(self, admin_graph):
+        (response,) = run_ops(
+            make_service(admin_graph), {"id": 1, "op": "health"}
+        )
+        health = response["result"]
+        assert health["ok"] is True
+        assert health["status"] == "ok"
+        assert health["graphs"] == ["g"]
+        assert health["last_error"] is None
+        assert health["last_error_age_s"] is None
+        assert health["uptime_s"] >= 0.0
+
+    def test_error_degrades_status_but_not_ok(self, admin_graph):
+        error, health = run_ops(
+            make_service(admin_graph),
+            {"id": 1, "op": "query", "graph": "g", "algorithm": "dijkstra",
+             "source": 0},
+            {"id": 2, "op": "health"},
+        )
+        assert error["ok"] is False
+        result = health["result"]
+        assert result["ok"] is True
+        assert result["status"] == "degraded"
+        assert "ServeError" in result["last_error"]
+        assert result["last_error_age_s"] >= 0.0
+
+
+class TestStats:
+    def test_payload_validates_and_carries_latency_digest(
+        self, admin_graph
+    ):
+        responses = run_ops(
+            make_service(admin_graph),
+            *[_query(i, i) for i in range(5)],
+            {"id": 99, "op": "stats"},
+        )
+        stats = responses[-1]["result"]
+        assert validate_payload("serve_stats", stats) == []
+        assert stats["queries"] == 5
+        assert stats["errors"] == 0
+        assert stats["uptime_s"] >= 0.0
+        hist = stats["latency"]["all"]
+        assert hist["count"] == 5
+        for key in ("p50", "p95", "p99", "mean", "min", "max"):
+            assert key in hist
+        # Per-algorithm digest too, and the registry snapshot rides
+        # along for the Prometheus exporter.
+        assert stats["latency"]["bfs"]["count"] == 5
+        assert stats["metrics"]["counters"]["serve.queries"] == 5
+        assert stats["gauges"]["serve.queue_depth"]["window_count"] > 0
+        assert stats["graphs"]["g"]["result_cache_hit_rate"] == 0.0
+
+    def test_bucketed_percentiles_agree_with_exact(self, admin_graph):
+        """The acceptance contract: STATS p50/p95/p99 from the bounded
+        buckets track exact percentiles over the served latencies
+        within one histogram bucket."""
+        responses = run_ops(
+            make_service(admin_graph),
+            *[_query(i, i % 11) for i in range(16)],
+            {"id": 99, "op": "stats"},
+        )
+        served = [r["result"]["latency_s"] for r in responses[:-1]]
+        hist = responses[-1]["result"]["latency"]["all"]
+        tolerance = HIST_GROWTH ** 2
+        for q, key in ((50, "p50"), (95, "p95"), (99, "p99")):
+            exact = exact_percentile(served, q)
+            ratio = hist[key] / exact
+            assert 1.0 / tolerance <= ratio <= tolerance, (key, ratio)
+
+    def test_validate_payload_flags_missing_keys(self):
+        problems = validate_payload("serve_stats", {"queries": 1})
+        assert any("uptime_s" in p for p in problems)
+        assert validate_payload("bogus", {}) == ["unknown payload kind 'bogus'"]
+        assert validate_payload("serve_health", None) == [
+            "serve_health payload is NoneType, expected object"
+        ]
+
+
+class TestDumpOp:
+    def test_dump_writes_the_ring(self, admin_graph, monkeypatch, tmp_path):
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path))
+        ring = FlightRecorder(capacity=16)
+        with flight.override(ring):
+            query, dump = run_ops(
+                make_service(admin_graph),
+                _query(1, 3),
+                {"id": 2, "op": "dump"},
+            )
+        assert query["ok"]
+        result = dump["result"]
+        assert result["enabled"] is True
+        assert result["retained"] >= 1
+        records = flight.read_dump(result["path"])
+        assert records[0]["reason"] == "serve:admin-dump"
+        assert any(
+            r.get("event") == "serve_query" for r in records[1:]
+        ), "the served query must be in the ring"
