@@ -2,7 +2,7 @@
 
 PYTHON ?= python
 
-.PHONY: install lint lint-cold test test-O test-sanitize test-all serve-smoke perf bench bench-parallel bench-tune bench-serve bench-full bench-regress artifacts examples trace-demo clean
+.PHONY: install lint lint-cold test test-O test-sanitize test-all serve-smoke perf bench bench-parallel bench-tune bench-serve bench-cluster bench-full bench-regress artifacts examples trace-demo clean
 
 install:
 	$(PYTHON) -m pip install -e . || $(PYTHON) setup.py develop
@@ -78,6 +78,13 @@ bench-tune:
 # check (artifacts/serve_loadgen.{csv,json}).
 bench-serve:
 	$(PYTHON) -m pytest benchmarks/test_bench_serve.py --benchmark-only -s
+
+# Distributed runtime: single-node vs 4-shard pooled PageRank wall
+# clock on the large suite graphs (>= 1.8x where the host has the
+# cores), modeled network share, and the bit-identity contract
+# (artifacts/cluster_bench.{csv,json} + bench-history).
+bench-cluster:
+	$(PYTHON) -m pytest benchmarks/test_bench_cluster.py --benchmark-only -s
 
 # Perf-regression gate: every bench run appends its wall-clock metrics
 # to artifacts/bench-history.jsonl; this compares each bench's latest

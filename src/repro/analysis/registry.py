@@ -92,6 +92,10 @@ R4_WALLCLOCK_ALLOWED_PREFIXES = (
     # times, coalescing windows, burst pacing); none of it touches the
     # modelled cycle counts, which stay bit-identical to direct calls.
     "repro/serve/",
+    # The sharded runtime times the host-side shard fan-out for its
+    # speedup report; interconnect time is modelled in cycles and the
+    # merged results stay bit-identical for any worker count.
+    "repro/cluster/",
 )
 
 #: numpy.random attributes that construct explicitly-seedable generators
@@ -245,7 +249,8 @@ R8_MUTATING_CONTAINER_METHODS = frozenset(
 #: caches of deterministically reconstructible values (worker-side
 #: semiring/system/partition memos, the shm attachment cache).
 R8_MEMO_GLOBALS = frozenset(
-    {"_semirings", "_systems", "_partitions", "_attached"}
+    {"_semirings", "_systems", "_partitions", "_attached",
+     "_shard_runtimes"}
 )
 
 #: Dotted module prefixes whose state is observability/metering, not

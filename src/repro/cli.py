@@ -23,6 +23,7 @@ from typing import Callable, Dict
 
 from .experiments import (
     crossover_table,
+    run_cluster_scaling,
     run_reconfiguration_gains,
     run_scaling,
     run_fig4,
@@ -60,6 +61,9 @@ _DRIVERS: Dict[str, Callable] = {
     # extension artifacts (beyond the paper)
     "scaling": lambda scale, geometry: run_scaling(),
     "gains": lambda scale, geometry: run_reconfiguration_gains(
+        scale=max(scale, 16), geometry_name=geometry
+    ),
+    "cluster": lambda scale, geometry: run_cluster_scaling(
         scale=max(scale, 16), geometry_name=geometry
     ),
 }

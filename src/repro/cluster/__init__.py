@@ -1,0 +1,36 @@
+"""Distributed (multi-node) CoSPARSE: sharded runtime + modeled fabric.
+
+The package splits a square operand into K contiguous row shards, runs
+one co-reconfiguring runtime per shard, exchanges frontier non-zeros
+through a modeled interconnect, and merges results bit-identically to
+single-node.  See :mod:`repro.cluster.runtime` for the contract.
+"""
+
+from .partition import PARTITION_STRATEGIES, Shard, build_shards, shard_bounds
+from .runtime import ClusterIterationRecord, ClusterLog, ShardedRuntime
+from .topology import (
+    ENTRY_BYTES,
+    ExchangeReport,
+    FullMesh,
+    LinkParams,
+    SwitchedStar,
+    TOPOLOGIES,
+    topology_for,
+)
+
+__all__ = [
+    "ShardedRuntime",
+    "ClusterLog",
+    "ClusterIterationRecord",
+    "Shard",
+    "shard_bounds",
+    "build_shards",
+    "PARTITION_STRATEGIES",
+    "ENTRY_BYTES",
+    "LinkParams",
+    "ExchangeReport",
+    "FullMesh",
+    "SwitchedStar",
+    "TOPOLOGIES",
+    "topology_for",
+]

@@ -1,0 +1,182 @@
+"""Modeled cluster interconnects for the sharded runtime.
+
+The distributed extension (ROADMAP item 2) splits the matrix into K row
+shards and exchanges frontier non-zeros between shard owners every
+iteration.  The interconnect here prices that exchange in *model*
+cycles — the same unit the kernel cost model uses — so a sharded run
+reports a network-vs-compute cycle breakdown instead of pretending the
+exchange is free.
+
+Two topologies:
+
+* :class:`FullMesh` — a dedicated link per ordered node pair.  Every
+  message travels concurrently; the exchange takes as long as the
+  slowest single message (latency + serialization).
+* :class:`SwitchedStar` — every node hangs off one central switch via
+  an uplink/downlink pair.  Messages to different peers share the
+  sender's uplink (and the receiver's downlink), so the exchange is
+  bounded by the most occupied port plus two link traversals.
+
+Both keep cumulative per-link byte counters so a whole run's traffic
+can be audited link by link.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional, Tuple
+
+import numpy as np
+
+from ..errors import ConfigurationError
+
+__all__ = [
+    "ENTRY_BYTES",
+    "LinkParams",
+    "ExchangeReport",
+    "FullMesh",
+    "SwitchedStar",
+    "TOPOLOGIES",
+    "topology_for",
+]
+
+#: Wire bytes per exchanged frontier entry: an 8-byte vertex id plus an
+#: 8-byte value (level / distance / rank contribution).
+ENTRY_BYTES = 16
+
+
+@dataclass(frozen=True)
+class LinkParams:
+    """One point-to-point link of the modeled interconnect.
+
+    The defaults approximate a commodity 100 Gb/s fabric against the
+    kernel model's on-chip clock: ~32 bytes per cycle of sustained
+    bandwidth and a half-microsecond-class hop latency.
+    """
+
+    bandwidth_bytes_per_cycle: float = 32.0
+    latency_cycles: float = 500.0
+
+
+DEFAULT_LINK = LinkParams()
+
+
+@dataclass
+class ExchangeReport:
+    """What one frontier exchange moved and cost.
+
+    ``cycles`` is the modeled wall time of the whole exchange (all
+    transfers overlap as the topology allows); ``total_bytes`` sums
+    every message, ``max_link_bytes`` is the most loaded link's share,
+    and ``messages`` counts distinct (src, dst) node pairs that
+    exchanged anything.
+    """
+
+    cycles: float = 0.0
+    total_bytes: int = 0
+    max_link_bytes: int = 0
+    messages: int = 0
+
+
+class _Topology:
+    """Shared plumbing: link params and cumulative per-link bytes."""
+
+    name = "abstract"
+
+    def __init__(self, nodes: int, link: Optional[LinkParams] = None):
+        if nodes < 1:
+            raise ConfigurationError("a topology needs at least one node")
+        self.nodes = int(nodes)
+        self.link = link if link is not None else DEFAULT_LINK
+        #: Cumulative bytes per link, keyed by the topology's link ids.
+        self.link_bytes: Dict[Tuple, int] = {}
+
+    def _charge(self, key: Tuple, nbytes: int) -> None:
+        self.link_bytes[key] = self.link_bytes.get(key, 0) + int(nbytes)
+
+    def exchange(self, traffic_bytes: np.ndarray) -> ExchangeReport:
+        """Price one all-to-all exchange.
+
+        ``traffic_bytes[p, q]`` is how many bytes node ``p`` sends node
+        ``q`` this iteration (the diagonal is ignored — node-local data
+        never touches the wire).
+        """
+        raise NotImplementedError
+
+
+class FullMesh(_Topology):
+    """A dedicated link per ordered node pair (all transfers overlap)."""
+
+    name = "mesh"
+
+    def exchange(self, traffic_bytes: np.ndarray) -> ExchangeReport:
+        report = ExchangeReport()
+        worst = 0.0
+        for p in range(self.nodes):
+            for q in range(self.nodes):
+                if p == q:
+                    continue
+                b = int(traffic_bytes[p, q])
+                if b <= 0:
+                    continue
+                self._charge((p, q), b)
+                report.messages += 1
+                report.total_bytes += b
+                report.max_link_bytes = max(report.max_link_bytes, b)
+                worst = max(
+                    worst,
+                    self.link.latency_cycles
+                    + b / self.link.bandwidth_bytes_per_cycle,
+                )
+        report.cycles = worst
+        return report
+
+
+class SwitchedStar(_Topology):
+    """Every node reaches its peers through one central switch.
+
+    A message traverses the sender's uplink and the receiver's
+    downlink; messages sharing a port serialize on it.  The exchange
+    costs two hop latencies plus the busiest port's serialization time.
+    """
+
+    name = "star"
+
+    def exchange(self, traffic_bytes: np.ndarray) -> ExchangeReport:
+        report = ExchangeReport()
+        t = np.asarray(traffic_bytes, dtype=np.int64).copy()
+        np.fill_diagonal(t, 0)
+        up = t.sum(axis=1)  # bytes leaving each node
+        down = t.sum(axis=0)  # bytes arriving at each node
+        report.messages = int(np.count_nonzero(t))
+        report.total_bytes = int(t.sum())
+        if report.total_bytes == 0:
+            return report
+        for p in range(self.nodes):
+            if up[p]:
+                self._charge(("up", p), int(up[p]))
+            if down[p]:
+                self._charge(("down", p), int(down[p]))
+        busiest = int(max(up.max(), down.max()))
+        report.max_link_bytes = busiest
+        report.cycles = (
+            2.0 * self.link.latency_cycles
+            + busiest / self.link.bandwidth_bytes_per_cycle
+        )
+        return report
+
+
+TOPOLOGIES = ("mesh", "star")
+
+
+def topology_for(
+    name: str, nodes: int, link: Optional[LinkParams] = None
+) -> _Topology:
+    """Construct the named topology (``"mesh"`` or ``"star"``)."""
+    if name == "mesh":
+        return FullMesh(nodes, link)
+    if name == "star":
+        return SwitchedStar(nodes, link)
+    raise ConfigurationError(
+        f"unknown topology {name!r}; expected one of {TOPOLOGIES}"
+    )

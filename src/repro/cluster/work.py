@@ -1,0 +1,178 @@
+"""The sharded runtime's pool task: one shard's SpMV step.
+
+Follows the task contract of :mod:`repro.parallel.work` — ``fn(payload,
+arrays) -> dict`` — but is never cached (``cacheable=False``): the
+result carries numpy arrays and an :class:`IterationRecord`, which the
+scheduler ships back by pickle, not JSON.
+
+Worker-side memo
+----------------
+Rebuilding a shard's :class:`~repro.core.runtime.CoSparseRuntime` (and
+re-sorting nothing — the COO/CSC arrays arrive pre-built through the
+shm arena) every iteration would dominate the fan-out, so workers keep
+one runtime per ``(run token, shard)`` in :data:`_shard_runtimes`.  The
+runtime's *mutable* decision state (last config, the stateful hardware
+mode) is never trusted across calls: the coordinator tracks it centrally
+and every task payload carries the authoritative snapshot, so results
+are bit-identical no matter which worker a task lands on — or whether
+it runs on the serial fallback path in the coordinator itself.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Tuple
+
+import numpy as np
+
+from ..core.runtime import CoSparseRuntime, SpMVOperand
+from ..errors import AlgorithmError
+from ..formats import COOMatrix, CSCMatrix, SparseVector
+from ..hardware import HWMode
+from ..hardware.params import DEFAULT_PARAMS, HardwareParams
+from ..spmv.semiring import (
+    Semiring,
+    bfs_semiring,
+    pagerank_semiring,
+    spmv_semiring,
+    sssp_semiring,
+)
+
+__all__ = ["SHARD_FN", "shard_step", "semiring_from_spec"]
+
+#: Task-function address for :class:`~repro.parallel.tasks.PricingTask`.
+SHARD_FN = "repro.cluster.work:shard_step"
+
+#: (run token, shard index) -> the shard's CoSparseRuntime, per process.
+_shard_runtimes: Dict[Tuple[str, int], CoSparseRuntime] = {}
+
+
+def semiring_from_spec(
+    spec: dict, arrays: Dict[str, np.ndarray]
+) -> Semiring:
+    """Rebuild a driver semiring from its JSON-able ``spec``.
+
+    The recipe arrays (``spec_arrays``) arrive under ``sr_``-prefixed
+    task-array names.  Every builder is a pure function of its inputs,
+    so the rebuilt semiring computes bit-identical results to the
+    coordinator's original.
+    """
+    kind = spec["kind"]
+    if kind == "spmv":
+        return spmv_semiring()
+    if kind == "bfs":
+        return bfs_semiring()
+    if kind == "sssp":
+        return sssp_semiring()
+    if kind == "pagerank":
+        return pagerank_semiring(arrays["sr_degrees"], alpha=spec["alpha"])
+    if kind == "pagerank_norm":
+        # Late import: repro.graphs imports the core runtime; binding at
+        # call time keeps the cluster package importable from anywhere.
+        from ..graphs.pagerank import pagerank_norm_semiring
+
+        return pagerank_norm_semiring(
+            arrays["sr_degrees"], spec["alpha"], int(spec["n"])
+        )
+    raise AlgorithmError(f"unknown semiring spec kind {kind!r}")
+
+
+def _runtime_for(
+    payload: dict, arrays: Dict[str, np.ndarray]
+) -> CoSparseRuntime:
+    key = (payload["token"], int(payload["shard"]))
+    rt = _shard_runtimes.get(key)
+    if rt is not None:
+        return rt
+    n_rows, n_cols = payload["shape"]
+    coo = COOMatrix(
+        n_rows,
+        n_cols,
+        arrays["coo_rows"],
+        arrays["coo_cols"],
+        arrays["coo_vals"],
+        sort=False,
+        check=False,
+    )
+    csc = CSCMatrix(
+        n_rows,
+        n_cols,
+        arrays["csc_indptr"],
+        arrays["csc_indices"],
+        arrays["csc_vals"],
+        check=False,
+    )
+    params_spec = payload.get("params")
+    params = (
+        DEFAULT_PARAMS if params_spec is None else HardwareParams(**params_spec)
+    )
+    rt = CoSparseRuntime(
+        SpMVOperand(coo, csc),
+        payload["geometry"],
+        params=params,
+        policy=payload["policy"],
+        static_config=(
+            payload["static_algorithm"],
+            HWMode[payload["static_mode"]],
+        ),
+        balanced=bool(payload["balanced"]),
+        objective=payload["objective"],
+    )
+    _shard_runtimes[key] = rt
+    return rt
+
+
+def _frontier_from(payload: dict, arrays: Dict[str, np.ndarray]):
+    """The frontier in the same representation the coordinator held.
+
+    Representation matters beyond the functional result: the decision
+    density and the charged conversion cycles depend on whether the
+    frontier arrived sparse or dense, and bit-identity to single-node
+    requires matching both.
+    """
+    if payload["frontier"] == "sparse":
+        return SparseVector(
+            int(payload["n"]),
+            arrays["frontier_idx"],
+            arrays["frontier_vals"],
+            sort=False,
+            check=False,
+        )
+    return arrays["frontier_dense"]
+
+
+def shard_step(payload: dict, arrays: Dict[str, np.ndarray]) -> dict:
+    """Run one shard's reconfigured SpMV invocation.
+
+    Payload: ``token``/``shard`` (memo key), ``shape`` (local rows ×
+    global cols), runtime config (``geometry``, ``policy``,
+    ``static_algorithm``/``static_mode``, ``balanced``, ``objective``,
+    ``params``), ``semiring`` (spec dict), ``frontier`` ("sparse" or
+    "dense") + ``n``, and ``state`` — the coordinator's authoritative
+    per-shard snapshot (iteration number, last logged config, the
+    persistent hardware mode).  Arrays: the shard matrix in both
+    formats, the frontier, the semiring's recipe arrays, and the
+    shard's ``current`` slice (carry semirings).
+
+    Returns the shard's values/touched slices plus the single
+    :class:`IterationRecord` the invocation logged (pickled back whole
+    so the coordinator's cluster log holds real per-shard records).
+    """
+    rt = _runtime_for(payload, arrays)
+    state = payload["state"]
+    rt.reset_log()
+    rt._iteration = int(state["iteration"])
+    rt._last_algorithm = state["last_algorithm"]
+    rt._last_mode = (
+        None if state["last_mode"] is None else HWMode[state["last_mode"]]
+    )
+    rt.system.current_mode = (
+        None if state["system_mode"] is None else HWMode[state["system_mode"]]
+    )
+    semiring = semiring_from_spec(payload["semiring"], arrays)
+    frontier = _frontier_from(payload, arrays)
+    result = rt.spmv(frontier, semiring, current=arrays.get("current"))
+    return {
+        "values": result.values,
+        "touched": result.touched,
+        "record": rt.log.records[0],
+    }

@@ -74,9 +74,11 @@ class SpMVOperand:
     every iteration of a graph algorithm.
     """
 
-    def __init__(self, coo: COOMatrix):
+    def __init__(self, coo: COOMatrix, csc: Optional[CSCMatrix] = None):
         self.coo = coo
-        self.csc = CSCMatrix.from_coo(coo)
+        # Shard builders (repro.cluster) pass a pre-built CSC so K shard
+        # operands don't re-sort what the coordinator already converted.
+        self.csc = CSCMatrix.from_coo(coo) if csc is None else csc
         self.info = MatrixInfo.of(coo)
         self._partitions = {}
 

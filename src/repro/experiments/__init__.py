@@ -6,6 +6,7 @@ prints the same rows/series the paper reports.  The benchmark suite
 (``benchmarks/``) wraps these, and EXPERIMENTS.md records the outcomes.
 """
 
+from .cluster import CLUSTER_NODE_COUNTS, run_cluster_scaling
 from .fig4 import crossover_table, run_fig4
 from .fig5 import run_fig5
 from .fig6 import run_fig6
@@ -22,6 +23,8 @@ from .svg import bar_chart, figure_svg, line_chart
 from .tables import run_table1, run_table2, run_table3
 
 __all__ = [
+    "CLUSTER_NODE_COUNTS",
+    "run_cluster_scaling",
     "crossover_table",
     "run_fig4",
     "run_fig5",

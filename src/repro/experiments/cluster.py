@@ -1,0 +1,93 @@
+"""Distributed scaling study (extension driver, ROADMAP item 2).
+
+Runs PageRank on suite graphs through the sharded runtime at K ∈
+{1, 2, 4, 8, 16} nodes over a modeled interconnect and reports, per K,
+the network-vs-compute cycle breakdown and the modeled speedup over
+single-node.  PageRank is the stress case for the fabric: its frontier
+is every vertex, so each iteration exchanges the full cut.
+
+Every row also re-asserts the merge contract — the distributed ranks
+must be bit-identical to the single-node run in original vertex ids.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from ..cluster import ShardedRuntime
+from ..graphs import pagerank
+from .common import table3_graph
+from .report import ExperimentResult
+
+__all__ = ["run_cluster_scaling", "CLUSTER_NODE_COUNTS"]
+
+CLUSTER_NODE_COUNTS = (1, 2, 4, 8, 16)
+
+CLUSTER_GRAPHS = ("livejournal", "pokec")
+
+
+def run_cluster_scaling(
+    scale: int = 16,
+    geometry_name: str = "8x16",
+    topology: str = "mesh",
+    nodes_list: Sequence[int] = CLUSTER_NODE_COUNTS,
+    graph_names: Sequence[str] = CLUSTER_GRAPHS,
+    partition: str = "nnz",
+) -> ExperimentResult:
+    """One row per (graph, K): cycles split by network/compute, speedup.
+
+    Shard kernels run serially in-process (``jobs=1``) — this driver
+    measures the *model*, where K nodes overlap perfectly and only the
+    interconnect pushes back; the wall-clock story is
+    ``make bench-cluster``.
+    """
+    result = ExperimentResult(
+        experiment="cluster",
+        title=(
+            f"Distributed PageRank scaling over a {topology} fabric "
+            f"({partition} row shards, per-node {geometry_name})"
+        ),
+        columns=[
+            "graph",
+            "nodes",
+            "topology",
+            "iterations",
+            "compute_cycles",
+            "network_cycles",
+            "network_pct",
+            "exchanged_mb",
+            "speedup",
+            "identical",
+        ],
+    )
+    for name in graph_names:
+        graph = table3_graph(name, scale=scale)
+        base = pagerank(graph, geometry=geometry_name)
+        base_cycles = base.log.total_cycles
+        for nodes in nodes_list:
+            rt = ShardedRuntime(
+                graph.operand,
+                nodes,
+                geometry_name,
+                topology=topology,
+                partition=partition,
+                jobs=1,
+            )
+            run = pagerank(graph, runtime=rt)
+            log = rt.log
+            total = log.total_cycles
+            result.add(
+                graph=name,
+                nodes=nodes,
+                topology=topology,
+                iterations=len(log),
+                compute_cycles=log.total_compute_cycles,
+                network_cycles=log.total_network_cycles,
+                network_pct=100.0 * log.total_network_cycles / total,
+                exchanged_mb=log.total_bytes / 1e6,
+                speedup=base_cycles / total,
+                identical=bool(np.array_equal(base.values, run.values)),
+            )
+    return result

@@ -227,6 +227,7 @@ _RECIPES = {
     "fig9": ("line", dict(x_key="iteration", y_key="vector_density", series_key="best_sw", log_y=True)),
     "fig10": ("bar", dict(label_key="graph", y_key="speedup")),
     "fig7": ("bar", dict(label_key="config", y_key="normalized_time")),
+    "cluster": ("line", dict(x_key="nodes", y_key="speedup", series_key="graph")),
 }
 
 

@@ -9,11 +9,16 @@ from .bc import betweenness_centrality, sigma_semiring
 from .bfs import bfs
 from .cc import cc_semiring, connected_components
 from .cf import cf_loss, collaborative_filtering
-from .common import DEFAULT_GEOMETRY, AlgorithmRun, ensure_runtime
+from .common import (
+    DEFAULT_GEOMETRY,
+    AlgorithmRun,
+    ensure_runtime,
+    notify_frontier,
+)
 from .frontier import FrontierTrace, frontier_from_mask, single_vertex_frontier
 from .graph import Graph
 from .multi import bfs_multi, sssp_multi
-from .pagerank import pagerank, pagerank_semiring_for
+from .pagerank import pagerank, pagerank_norm_semiring, pagerank_semiring_for
 from .sssp import sssp
 
 __all__ = [
@@ -28,11 +33,13 @@ __all__ = [
     "AlgorithmRun",
     "DEFAULT_GEOMETRY",
     "ensure_runtime",
+    "notify_frontier",
     "FrontierTrace",
     "frontier_from_mask",
     "single_vertex_frontier",
     "Graph",
     "pagerank",
+    "pagerank_norm_semiring",
     "pagerank_semiring_for",
     "sssp",
     "sssp_multi",

@@ -22,6 +22,7 @@ from .common import (
     VertexMap,
     algorithm_span,
     ensure_runtime,
+    notify_frontier,
 )
 from .frontier import FrontierTrace, frontier_from_mask, single_vertex_frontier
 from .graph import Graph
@@ -69,6 +70,7 @@ def bfs(
             level += 1.0
             levels[newly] = level
             frontier = frontier_from_mask(newly, levels)
+            notify_frontier(rt, frontier)
         else:
             converged = frontier.nnz == 0
     return AlgorithmRun(

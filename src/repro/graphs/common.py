@@ -19,6 +19,7 @@ __all__ = [
     "VertexMap",
     "algorithm_span",
     "ensure_runtime",
+    "notify_frontier",
     "tune_requested",
     "DEFAULT_GEOMETRY",
 ]
@@ -74,6 +75,20 @@ def ensure_runtime(
         return CoSparseRuntime(graph.operand, geometry, **kw)
     runtime.reset_log()
     return runtime
+
+
+def notify_frontier(runtime, frontier) -> None:
+    """Tell a distribution-aware runtime the next frontier exists.
+
+    The drivers call this right after forming each new frontier — the
+    point where a sharded runtime (:class:`repro.cluster.ShardedRuntime`)
+    would broadcast the fresh non-zeros to the shards that consume them,
+    so that is where it precomputes the exchange plan the next ``spmv``
+    charges.  Plain runtimes have no hook and the call is a no-op.
+    """
+    hook = getattr(runtime, "on_frontier", None)
+    if hook is not None:
+        hook(frontier)
 
 
 class VertexMap:

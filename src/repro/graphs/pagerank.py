@@ -22,32 +22,27 @@ from .common import (
     VertexMap,
     algorithm_span,
     ensure_runtime,
+    notify_frontier,
 )
 from .frontier import FrontierTrace
 from .graph import Graph
 
-__all__ = ["pagerank", "pagerank_semiring_for"]
+__all__ = ["pagerank", "pagerank_norm_semiring", "pagerank_semiring_for"]
 
 
-def pagerank_semiring_for(
-    graph: Graph,
-    alpha: float = 0.15,
-    vertex_map: Optional[VertexMap] = None,
+def pagerank_norm_semiring(
+    degrees: np.ndarray, alpha: float, n: int
 ) -> Semiring:
     """The Table I PR semiring with the teleport term normalised by n.
 
     ``Vector_Op = alpha/n + (1-alpha) * x`` keeps ``sum(ranks) <= 1``
     (strictly less when dangling vertices absorb mass, matching Ligra).
 
-    The combine closes over per-source out-degrees, which index the
-    kernel's vertex space — pass the runtime's ``vertex_map`` so a tuned
-    (permuted) runtime divides by the right degree.
+    A pure function of ``(degrees, alpha, n)`` so a sharded pool worker
+    can rebuild the driver's exact semiring from the attached spec
+    (:mod:`repro.cluster.work`).
     """
-    degrees = graph.out_degrees()
-    if vertex_map is not None:
-        degrees = vertex_map.to_execution(degrees)
     base = pagerank_semiring(degrees, alpha)
-    n = graph.n_vertices
 
     def vector_op(updated, previous):
         return alpha / n + (1.0 - alpha) * updated
@@ -59,7 +54,26 @@ def pagerank_semiring_for(
         identity=base.identity,
         vector_op=vector_op,
         combine_flops=base.combine_flops,
+        spec={"kind": "pagerank_norm", "alpha": float(alpha), "n": int(n)},
+        spec_arrays={"degrees": np.asarray(degrees, dtype=np.float64)},
     )
+
+
+def pagerank_semiring_for(
+    graph: Graph,
+    alpha: float = 0.15,
+    vertex_map: Optional[VertexMap] = None,
+) -> Semiring:
+    """:func:`pagerank_norm_semiring` over ``graph``'s out-degrees.
+
+    The combine closes over per-source out-degrees, which index the
+    kernel's vertex space — pass the runtime's ``vertex_map`` so a tuned
+    (permuted) runtime divides by the right degree.
+    """
+    degrees = graph.out_degrees()
+    if vertex_map is not None:
+        degrees = vertex_map.to_execution(degrees)
+    return pagerank_norm_semiring(degrees, alpha, graph.n_vertices)
 
 
 def pagerank(
@@ -91,6 +105,7 @@ def pagerank(
             result = rt.spmv(ranks, semiring)
             delta = float(np.abs(result.values - ranks).sum())
             ranks = result.values
+            notify_frontier(rt, ranks)
             if delta < tol:
                 converged = True
                 break

@@ -22,6 +22,7 @@ from .common import (
     VertexMap,
     algorithm_span,
     ensure_runtime,
+    notify_frontier,
 )
 from .frontier import FrontierTrace, frontier_from_mask, single_vertex_frontier
 from .graph import Graph
@@ -68,6 +69,7 @@ def sssp(
             improved = result.values < dist
             dist = result.values
             frontier = frontier_from_mask(improved, dist)
+            notify_frontier(rt, frontier)
         else:
             converged = frontier.nnz == 0
     return AlgorithmRun(

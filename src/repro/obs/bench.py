@@ -213,6 +213,7 @@ def regress(
     path: Optional[str] = None,
     tolerance: float = DEFAULT_TOLERANCE,
     window: int = BASELINE_WINDOW,
+    key_prefix: Optional[str] = None,
 ) -> List[dict]:
     """Compare each bench's latest run against its rolling baseline.
 
@@ -224,10 +225,17 @@ def regress(
     comparison row per (bench, metric); rows with ``regressed=True``
     exceeded ``baseline * tolerance``.  First runs and brand-new
     metrics have no baseline and never regress.
+
+    ``key_prefix`` restricts the comparison to benches whose key
+    starts with the prefix (e.g. ``cluster`` to gate only the
+    distributed bench); ``None`` compares everything.
     """
     by_bench: Dict[str, List[dict]] = {}
     for record in load_history(path):
-        by_bench.setdefault(record.get("bench", "?"), []).append(record)
+        bench = record.get("bench", "?")
+        if key_prefix is not None and not bench.startswith(key_prefix):
+            continue
+        by_bench.setdefault(bench, []).append(record)
     rows: List[dict] = []
     for bench, records in sorted(by_bench.items()):
         if len(records) < 2:

@@ -18,10 +18,11 @@ Subcommands
     Render a metrics snapshot — pulled live from a running
     ``repro.serve`` via ``STATS``, or loaded from a saved JSON — as
     Prometheus text exposition on stdout.
-``regress [--history PATH] [--tolerance X] [--window N]``
+``regress [--history PATH] [--tolerance X] [--window N] [--key PREFIX]``
     Compare each bench's latest ``bench-history.jsonl`` record against
     its rolling baseline; exit 1 on any regression (the
-    ``make bench-regress`` gate).
+    ``make bench-regress`` gate).  ``--key`` limits the gate to
+    benches whose key starts with the prefix.
 ``demo [--out BASE] [--n N] [--policy P]``
     Run a small traced BFS (the ``make trace-demo`` target), export
     JSONL + Chrome trace, validate the export, print the summary.
@@ -151,11 +152,13 @@ def _cmd_regress(args) -> int:
             else DEFAULT_TOLERANCE
         ),
         window=args.window if args.window is not None else BASELINE_WINDOW,
+        key_prefix=args.key,
     )
     if not rows:
+        scope = f" under key {args.key!r}" if args.key else ""
         print(
-            f"{path}: no bench has a prior run to baseline against; "
-            "nothing to compare"
+            f"{path}: no bench{scope} has a prior run to baseline "
+            "against; nothing to compare"
         )
         return 0
     regressions = [r for r in rows if r["regressed"]]
@@ -279,6 +282,9 @@ def build_parser() -> argparse.ArgumentParser:
                    help="regression threshold as a head/baseline ratio")
     p.add_argument("--window", type=int, default=None,
                    help="prior runs the rolling baseline medians over")
+    p.add_argument("--key", default=None,
+                   help="only gate benches whose key starts with this "
+                        "prefix (e.g. cluster); default gates all")
     p.set_defaults(fn=_cmd_regress)
 
     p = sub.add_parser("demo", help="run a small traced BFS and export it")

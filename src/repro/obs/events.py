@@ -43,6 +43,8 @@ __all__ = [
     "ProbeDiscardedEvent",
     "TuningEvent",
     "ServeQueryEvent",
+    "ClusterExchangeEvent",
+    "ShardDecisionEvent",
     "SanitizerViolationEvent",
     "WarningEvent",
     "serialize_alternatives",
@@ -161,6 +163,44 @@ class ServeQueryEvent:
 
 
 @dataclass
+class ClusterExchangeEvent:
+    """One modeled frontier exchange of a sharded run (repro.cluster).
+
+    Emitted per charged iteration (the seed frontier is node-local and
+    free); the cycles are *model* time through the interconnect, never
+    host wall clock.
+    """
+
+    iteration: int
+    topology: str
+    nodes: int
+    bytes_total: int
+    max_link_bytes: int
+    network_cycles: float
+
+    kind = "cluster_exchange"
+
+
+@dataclass
+class ShardDecisionEvent:
+    """One shard's per-iteration (algorithm, hw_mode) choice.
+
+    Shards decide independently (each sees its own sub-matrix density),
+    so one cluster iteration emits up to K of these alongside the
+    exchange event.
+    """
+
+    iteration: int
+    shard: int
+    algorithm: str
+    hw_mode: str
+    vector_density: float
+    cycles: float = 0.0
+
+    kind = "shard_decision"
+
+
+@dataclass
 class SanitizerViolationEvent:
     """A runtime-sanitizer invariant failed (SimulationError follows)."""
 
@@ -237,6 +277,21 @@ _EVENT_KEYS = {
         "coalesced_width",
         "cache_hit",
         "latency_s",
+    ),
+    "cluster_exchange": (
+        "iteration",
+        "topology",
+        "nodes",
+        "bytes_total",
+        "max_link_bytes",
+        "network_cycles",
+    ),
+    "shard_decision": (
+        "iteration",
+        "shard",
+        "algorithm",
+        "hw_mode",
+        "vector_density",
     ),
     "sanitizer_violation": ("label", "message"),
     "warning": ("source", "message"),

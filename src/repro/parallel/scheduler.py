@@ -121,6 +121,53 @@ class SweepScheduler:
         #: Filled by :meth:`map`: dispatch/cache/fallback accounting of
         #: the most recent run (mirrored into perf counters and obs).
         self.last_stats: Dict[str, float] = {}
+        #: Persistent pool session: ``(ShmArena, ProcessPoolExecutor)``
+        #: reused across :meth:`map` calls, or None (per-call pools).
+        self._session = None
+
+    # ------------------------------------------------------------------
+    # Persistent session: pool + arena reused across map() calls
+    # ------------------------------------------------------------------
+    def start_session(self) -> None:
+        """Keep one worker pool and shm arena alive across :meth:`map`.
+
+        Iterative callers (the sharded cluster runtime dispatches K
+        shard tasks per algorithm iteration) would otherwise fork a
+        fresh pool and republish every large array each call; the
+        session's arena memoises publishes by buffer identity, so
+        matrix shards ship exactly once per run.  Idempotent; ended by
+        :meth:`close_session` (a pool failure also ends it, after the
+        usual serial fallback).  No-op when ``jobs == 1``.
+        """
+        if self._session is not None or self.jobs <= 1:
+            return
+        import concurrent.futures as cf
+
+        from .shm import ShmArena
+        from .work import pool_init
+
+        self._session = (
+            ShmArena(),
+            cf.ProcessPoolExecutor(
+                max_workers=self.jobs, initializer=pool_init
+            ),
+        )
+
+    def close_session(self) -> None:
+        """Shut the persistent pool down and release its shm segments."""
+        if self._session is None:
+            return
+        arena, executor = self._session
+        self._session = None
+        executor.shutdown(wait=True, cancel_futures=True)
+        arena.close()
+
+    def __enter__(self) -> "SweepScheduler":
+        self.start_session()
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close_session()
 
     # ------------------------------------------------------------------
     def map(self, tasks: Sequence[PricingTask]) -> List[dict]:
@@ -195,14 +242,22 @@ class SweepScheduler:
         from .shm import ShmArena
         from .work import pool_init
 
-        workers = min(self.jobs, len(pending))
-        unfinished = list(pending)
-        busy_s = 0.0
-        t_pool0 = time.perf_counter()
-        with ShmArena() as arena:
+        session = self._session
+        if session is None:
+            workers = min(self.jobs, len(pending))
+            arena = ShmArena()
             executor = cf.ProcessPoolExecutor(
                 max_workers=workers, initializer=pool_init
             )
+        else:
+            # Session mode: the long-lived pool keeps its full width and
+            # the arena keeps every prior publish (id-memoised).
+            workers = self.jobs
+            arena, executor = session
+        unfinished = list(pending)
+        busy_s = 0.0
+        t_pool0 = time.perf_counter()
+        try:
             try:
                 futures = {}
                 for i in pending:
@@ -251,7 +306,11 @@ class SweepScheduler:
             finally:
                 if unfinished:
                     # Hung/dead workers: cancel what never started and
-                    # terminate the rest so shutdown cannot block.
+                    # terminate the rest so shutdown cannot block.  A
+                    # failed session pool is not reusable — drop it so
+                    # later map() calls build fresh per-call pools.
+                    if session is not None:
+                        self._session = None
                     for fut in futures.values():
                         fut.cancel()
                     try:
@@ -261,7 +320,13 @@ class SweepScheduler:
                             proc.terminate()
                     except Exception:  # pragma: no cover - best effort
                         pass
-                executor.shutdown(wait=not unfinished, cancel_futures=True)
+                if unfinished or session is None:
+                    executor.shutdown(
+                        wait=not unfinished, cancel_futures=True
+                    )
+        finally:
+            if unfinished or session is None:
+                arena.close()
         wall_s = time.perf_counter() - t_pool0
         if wall_s > 0:
             stats["worker_utilization"] = round(

@@ -81,6 +81,16 @@ class PerfCounters:
     tuning_plans_applied:
         Non-identity :class:`~repro.tune.TuningPlan`\\ s wired into a
         :class:`~repro.core.runtime.CoSparseRuntime` operand.
+    cluster_spmv_calls:
+        Distributed SpMV invocations through a
+        :class:`~repro.cluster.ShardedRuntime` (one per cluster
+        iteration, regardless of shard count).
+    cluster_shard_tasks:
+        Per-shard kernel steps those invocations fanned out (serial or
+        pooled; ``K`` per cluster iteration).
+    cluster_exchange_bytes:
+        Modeled frontier-exchange traffic charged through the cluster
+        interconnect, in bytes.
     wall_seconds:
         Named wall-clock accumulators fed by :func:`timed`.
     """
@@ -99,6 +109,9 @@ class PerfCounters:
     tuning_plan_cache_hits: int = 0
     tuning_plan_cache_misses: int = 0
     tuning_plans_applied: int = 0
+    cluster_spmv_calls: int = 0
+    cluster_shard_tasks: int = 0
+    cluster_exchange_bytes: int = 0
     wall_seconds: Dict[str, float] = field(default_factory=dict)
 
     def reset(self) -> None:
@@ -117,6 +130,9 @@ class PerfCounters:
         self.tuning_plan_cache_hits = 0
         self.tuning_plan_cache_misses = 0
         self.tuning_plans_applied = 0
+        self.cluster_spmv_calls = 0
+        self.cluster_shard_tasks = 0
+        self.cluster_exchange_bytes = 0
         self.wall_seconds.clear()
 
     def add_time(self, name: str, seconds: float) -> None:
@@ -139,6 +155,9 @@ class PerfCounters:
             "tuning_plan_cache_hits": self.tuning_plan_cache_hits,
             "tuning_plan_cache_misses": self.tuning_plan_cache_misses,
             "tuning_plans_applied": self.tuning_plans_applied,
+            "cluster_spmv_calls": self.cluster_spmv_calls,
+            "cluster_shard_tasks": self.cluster_shard_tasks,
+            "cluster_exchange_bytes": self.cluster_exchange_bytes,
             "wall_seconds": dict(self.wall_seconds),
         }
 

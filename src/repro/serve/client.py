@@ -39,9 +39,20 @@ class ServeClient:
     ):
         self.host = host
         self.port = int(port)
-        self._sock = socket.create_connection(
-            (host, self.port), timeout=timeout_s
-        )
+        self.timeout_s = float(timeout_s)
+        try:
+            self._sock = socket.create_connection(
+                (host, self.port), timeout=self.timeout_s
+            )
+        except socket.timeout:
+            raise ServeError(
+                f"connecting to {host}:{self.port} timed out after "
+                f"{self.timeout_s:g}s"
+            ) from None
+        except OSError as exc:
+            raise ServeError(
+                f"could not connect to {host}:{self.port}: {exc}"
+            ) from None
         self._ids = itertools.count(1)
 
     # ------------------------------------------------------------------
@@ -50,8 +61,19 @@ class ServeClient:
         request_id = next(self._ids)
         message = {"id": request_id, "op": op}
         message.update(args)
-        write_frame_sync(self._sock, message)
-        response = read_frame_sync(self._sock)
+        try:
+            write_frame_sync(self._sock, message)
+            response = read_frame_sync(self._sock)
+        except socket.timeout:
+            raise ServeError(
+                f"no response from {self.host}:{self.port} to {op!r} "
+                f"within {self.timeout_s:g}s"
+            ) from None
+        except OSError as exc:
+            raise ServeError(
+                f"connection to {self.host}:{self.port} failed during "
+                f"{op!r}: {exc}"
+            ) from None
         if response.get("id") not in (request_id, None):
             raise ServeError(
                 f"response id {response.get('id')!r} does not match "

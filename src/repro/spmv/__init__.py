@@ -18,6 +18,8 @@ from .outer import outer_product
 from .partition import (
     IPPartition,
     build_ip_partitions,
+    commvol_row_bounds,
+    cut_columns,
     equal_nnz_row_bounds,
     equal_rows_bounds,
     nnz_per_partition,
@@ -42,6 +44,8 @@ __all__ = [
     "outer_product_batch",
     "IPPartition",
     "build_ip_partitions",
+    "commvol_row_bounds",
+    "cut_columns",
     "equal_nnz_row_bounds",
     "equal_rows_bounds",
     "nnz_per_partition",

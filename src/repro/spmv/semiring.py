@@ -77,6 +77,15 @@ class Semiring:
         representation (0 for additive semirings, +inf for min ones).
         The IP kernel "skips computation and accesses to the output
         vector" for sources holding this value (Section IV-C1).
+    spec:
+        JSON-able reconstruction recipe (``{"kind": ..., ...}``) that
+        lets a pool worker rebuild this exact semiring from scalars —
+        the closures above cannot be pickled across processes.  ``None``
+        for semirings with no registered distributed builder (the
+        sharded runtime then runs them serially).
+    spec_arrays:
+        Arrays the recipe closes over (e.g. PageRank's per-source
+        out-degrees), shipped to workers through the shm arena.
     """
 
     name: str
@@ -89,6 +98,8 @@ class Semiring:
     combine_flops: int = 2
     value_words: int = 1
     absent: float = 0.0
+    spec: Optional[dict] = None
+    spec_arrays: Optional[dict] = None
 
     # ------------------------------------------------------------------
     def init_output(self, n_rows: int, current: Optional[np.ndarray]) -> np.ndarray:
@@ -128,7 +139,10 @@ def spmv_semiring() -> Semiring:
     def combine(a, v_src, v_dst, src_idx, dst_idx):
         return a * v_src
 
-    return Semiring("SpMV", combine, np.add, 0.0, combine_flops=2)
+    return Semiring(
+        "SpMV", combine, np.add, 0.0, combine_flops=2,
+        spec={"kind": "spmv"},
+    )
 
 
 def bfs_semiring() -> Semiring:
@@ -142,7 +156,10 @@ def bfs_semiring() -> Semiring:
     def combine(a, v_src, v_dst, src_idx, dst_idx):
         return np.array(v_src, copy=True)
 
-    return Semiring("BFS", combine, np.minimum, np.inf, combine_flops=1, absent=np.inf)
+    return Semiring(
+        "BFS", combine, np.minimum, np.inf, combine_flops=1, absent=np.inf,
+        spec={"kind": "bfs"},
+    )
 
 
 def sssp_semiring() -> Semiring:
@@ -159,6 +176,7 @@ def sssp_semiring() -> Semiring:
         carry_output=True,
         combine_flops=2,
         absent=np.inf,
+        spec={"kind": "sssp"},
     )
 
 
@@ -183,7 +201,9 @@ def pagerank_semiring(degrees: np.ndarray, alpha: float = 0.15) -> Semiring:
         return alpha + (1.0 - alpha) * updated
 
     return Semiring(
-        "PR", combine, np.add, 0.0, vector_op=vector_op, combine_flops=3
+        "PR", combine, np.add, 0.0, vector_op=vector_op, combine_flops=3,
+        spec={"kind": "pagerank", "alpha": float(alpha)},
+        spec_arrays={"degrees": degrees},
     )
 
 

@@ -1,0 +1,87 @@
+"""Interconnect model tests: exchange pricing and link accounting."""
+
+import numpy as np
+import pytest
+
+from repro.cluster import (
+    ENTRY_BYTES,
+    FullMesh,
+    LinkParams,
+    SwitchedStar,
+    topology_for,
+)
+from repro.errors import ConfigurationError
+
+LINK = LinkParams(bandwidth_bytes_per_cycle=10.0, latency_cycles=100.0)
+
+
+def traffic(entries):
+    """Entry-count matrix -> byte matrix."""
+    return np.asarray(entries, dtype=np.int64) * ENTRY_BYTES
+
+
+class TestFullMesh:
+    def test_cost_is_slowest_single_message(self):
+        mesh = FullMesh(3, LINK)
+        rep = mesh.exchange(traffic([[0, 10, 5], [2, 0, 0], [0, 1, 0]]))
+        # worst message is 10 entries = 160 bytes on a dedicated link
+        assert rep.cycles == pytest.approx(100.0 + 160 / 10.0)
+        assert rep.total_bytes == 18 * ENTRY_BYTES
+        assert rep.max_link_bytes == 10 * ENTRY_BYTES
+        assert rep.messages == 4
+
+    def test_diagonal_is_free(self):
+        mesh = FullMesh(2, LINK)
+        rep = mesh.exchange(traffic([[100, 0], [0, 100]]))
+        assert rep.cycles == 0.0
+        assert rep.total_bytes == 0
+        assert mesh.link_bytes == {}
+
+    def test_link_bytes_accumulate(self):
+        mesh = FullMesh(2, LINK)
+        mesh.exchange(traffic([[0, 3], [1, 0]]))
+        mesh.exchange(traffic([[0, 2], [0, 0]]))
+        assert mesh.link_bytes[(0, 1)] == 5 * ENTRY_BYTES
+        assert mesh.link_bytes[(1, 0)] == 1 * ENTRY_BYTES
+
+
+class TestSwitchedStar:
+    def test_cost_is_busiest_port_plus_two_hops(self):
+        star = SwitchedStar(3, LINK)
+        # node 0 sends 10 to node 1 and 5 to node 2: its uplink carries
+        # 15 entries, the busiest port.
+        rep = star.exchange(traffic([[0, 10, 5], [0, 0, 0], [0, 0, 0]]))
+        busiest = 15 * ENTRY_BYTES
+        assert rep.cycles == pytest.approx(2 * 100.0 + busiest / 10.0)
+        assert rep.max_link_bytes == busiest
+        assert star.link_bytes[("up", 0)] == busiest
+        assert star.link_bytes[("down", 1)] == 10 * ENTRY_BYTES
+        assert star.link_bytes[("down", 2)] == 5 * ENTRY_BYTES
+
+    def test_star_serializes_where_mesh_overlaps(self):
+        t = traffic([[0, 8, 8], [0, 0, 0], [0, 0, 0]])
+        mesh_cycles = FullMesh(3, LINK).exchange(t).cycles
+        star_cycles = SwitchedStar(3, LINK).exchange(t.copy()).cycles
+        # the mesh sends both messages concurrently; the star's shared
+        # uplink serializes them (plus the extra hop)
+        assert star_cycles > mesh_cycles
+
+    def test_zero_traffic_short_circuits(self):
+        star = SwitchedStar(2, LINK)
+        rep = star.exchange(np.zeros((2, 2), dtype=np.int64))
+        assert rep.cycles == 0.0
+        assert star.link_bytes == {}
+
+
+class TestFactory:
+    def test_names(self):
+        assert topology_for("mesh", 2).name == "mesh"
+        assert topology_for("star", 2).name == "star"
+
+    def test_unknown_rejected(self):
+        with pytest.raises(ConfigurationError):
+            topology_for("torus", 4)
+
+    def test_needs_a_node(self):
+        with pytest.raises(ConfigurationError):
+            FullMesh(0)

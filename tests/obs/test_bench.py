@@ -123,6 +123,20 @@ class TestRegress:
         assert row["baseline"] == pytest.approx(1.0)
         assert row["regressed"]
 
+    def test_key_prefix_filters_benches(self, tmp_path):
+        path = tmp_path / "h.jsonl"
+        for bench in ("cluster_bench", "fig4"):
+            for n, wall in enumerate((1.0, 1.0, 2.0)):
+                append_record(
+                    _record(bench, n, driver_wall_s=wall), str(path)
+                )
+        everything = regress(str(path))
+        assert {r["bench"] for r in everything} == {"cluster_bench", "fig4"}
+        only_cluster = regress(str(path), key_prefix="cluster")
+        assert [r["bench"] for r in only_cluster] == ["cluster_bench"]
+        assert only_cluster[0]["regressed"]
+        assert regress(str(path), key_prefix="nope") == []
+
     def test_non_wall_metrics_and_first_runs_ignored(self, tmp_path):
         path = tmp_path / "h.jsonl"
         append_record(
@@ -145,6 +159,13 @@ class TestCli:
         slow = _seed_history(tmp_path / "slow.jsonl", head_wall_s=2.0)
         assert cli.main(["regress", "--history", slow]) == 1
         assert "REGRESSED" in capsys.readouterr().out
+
+    def test_regress_key_flag(self, tmp_path, capsys):
+        slow = _seed_history(tmp_path / "h.jsonl", head_wall_s=2.0)
+        # fig4 regressed, but --key scopes the gate away from it
+        assert cli.main(["regress", "--history", slow, "--key", "serve"]) == 0
+        assert "nothing to compare" in capsys.readouterr().out
+        assert cli.main(["regress", "--history", slow, "--key", "fig"]) == 1
 
     def test_regress_empty_history_passes(self, tmp_path, capsys):
         path = tmp_path / "h.jsonl"

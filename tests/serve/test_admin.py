@@ -119,13 +119,22 @@ class TestStats:
             *[_query(i, i % 11) for i in range(16)],
             {"id": 99, "op": "stats"},
         )
-        served = [r["result"]["latency_s"] for r in responses[:-1]]
+        served = sorted(r["result"]["latency_s"] for r in responses[:-1])
         hist = responses[-1]["result"]["latency"]["all"]
         tolerance = HIST_GROWTH ** 2
         for q, key in ((50, "p50"), (95, "p95"), (99, "p99")):
-            exact = exact_percentile(served, q)
-            ratio = hist[key] / exact
-            assert 1.0 / tolerance <= ratio <= tolerance, (key, ratio)
+            # Exact interpolates between the two bracketing order
+            # statistics; the digest answers within one bucket of one
+            # of them.  With few, noisy samples the interpolation gap
+            # itself can exceed a bucket, so the contract is checked
+            # against the bracket, not the interpolated point.
+            rank = (len(served) - 1) * (q / 100.0)
+            lo, hi = served[int(rank)], served[min(int(rank) + 1,
+                                                   len(served) - 1)]
+            assert lo / tolerance <= hist[key] <= hi * tolerance, (
+                key, hist[key], lo, hi,
+            )
+            assert exact_percentile(served, q) <= hi
 
     def test_validate_payload_flags_missing_keys(self):
         problems = validate_payload("serve_stats", {"queries": 1})

@@ -1,0 +1,61 @@
+"""ServeClient failure paths: a down or stalled server must raise a
+clear :class:`ServeError` instead of hanging or leaking ``OSError``."""
+
+import socket
+
+import pytest
+
+from repro.errors import ServeError
+from repro.serve.client import ServeClient
+
+
+def _free_port():
+    probe = socket.socket()
+    probe.bind(("127.0.0.1", 0))
+    port = probe.getsockname()[1]
+    probe.close()
+    return port
+
+
+class TestConnect:
+    def test_refused_connection_raises_serve_error(self):
+        with pytest.raises(ServeError, match="could not connect"):
+            ServeClient(port=_free_port(), timeout_s=1.0)
+
+    def test_error_names_the_endpoint(self):
+        port = _free_port()
+        with pytest.raises(ServeError, match=f"127.0.0.1:{port}"):
+            ServeClient(port=port, timeout_s=1.0)
+
+
+class TestStalledServer:
+    def test_never_accepting_socket_trips_read_timeout(self):
+        """A listener whose backlog completes the TCP handshake but
+        that never accepts (the server process is wedged) must surface
+        as a timeout ServeError, not block the caller forever."""
+        listener = socket.socket()
+        try:
+            listener.bind(("127.0.0.1", 0))
+            listener.listen(1)
+            port = listener.getsockname()[1]
+            client = ServeClient(port=port, timeout_s=0.3)
+            try:
+                with pytest.raises(ServeError, match="within 0.3s"):
+                    client.ping()
+            finally:
+                client.close()
+        finally:
+            listener.close()
+
+    def test_timeout_is_stored(self):
+        listener = socket.socket()
+        try:
+            listener.bind(("127.0.0.1", 0))
+            listener.listen(1)
+            client = ServeClient(
+                port=listener.getsockname()[1], timeout_s=0.25
+            )
+            assert client.timeout_s == 0.25
+            client.close()
+        finally:
+            listener.close()

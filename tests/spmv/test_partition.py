@@ -61,6 +61,42 @@ class TestEqualNnz:
             assert sizes.max() <= ideal + max(counts)
 
 
+    def test_empty_matrix_pathology(self):
+        """All rows empty: any split works, bounds must still tile."""
+        ptr = row_ptr_from_counts([0] * 12)
+        bounds = equal_nnz_row_bounds(ptr, 4)
+        assert bounds[0] == 0 and bounds[-1] == 12
+        assert np.all(np.diff(bounds) >= 0)
+        assert nnz_per_partition(ptr, bounds).sum() == 0
+
+    def test_one_dense_row_pathology(self):
+        """A single row holding every non-zero: one partition takes it,
+        the rest go empty — never a crash or an uncovered row."""
+        counts = [0] * 5 + [1000] + [0] * 5
+        ptr = row_ptr_from_counts(counts)
+        for parts in (1, 2, 8):
+            bounds = equal_nnz_row_bounds(ptr, parts)
+            assert bounds[0] == 0 and bounds[-1] == len(counts)
+            sizes = nnz_per_partition(ptr, bounds)
+            assert sizes.sum() == 1000
+            assert sizes.max() == 1000
+
+    @given(
+        counts=st.lists(st.integers(0, 50), min_size=1, max_size=200),
+        parts=st.integers(1, 16),
+    )
+    @settings(max_examples=150, deadline=None)
+    def test_balance_within_one_row_of_ideal(self, counts, parts):
+        """Every partition's nnz stays within the heaviest single row of
+        the ideal share — the greedy split's quality guarantee."""
+        ptr = row_ptr_from_counts(counts)
+        sizes = nnz_per_partition(ptr, equal_nnz_row_bounds(ptr, parts))
+        ideal = sum(counts) / parts
+        heaviest = max(counts)
+        assert sizes.max() <= ideal + heaviest
+        assert sizes.min() >= 0
+
+
 class TestEqualRows:
     def test_even_split(self):
         assert list(equal_rows_bounds(10, 2)) == [0, 5, 10]
@@ -72,6 +108,23 @@ class TestEqualRows:
     def test_rejects_nonpositive(self):
         with pytest.raises(ShapeError):
             equal_rows_bounds(10, 0)
+
+    @given(
+        n_rows=st.integers(0, 5000),
+        parts=st.integers(1, 64),
+    )
+    @settings(max_examples=150, deadline=None)
+    def test_properties(self, n_rows, parts):
+        """Monotone non-decreasing, cover all rows, and row counts are
+        balanced to within one row."""
+        bounds = equal_rows_bounds(n_rows, parts)
+        assert len(bounds) == parts + 1
+        assert bounds[0] == 0
+        assert bounds[-1] == n_rows
+        widths = np.diff(bounds)
+        assert np.all(widths >= 0)
+        if n_rows:
+            assert widths.max() - widths.min() <= 1
 
 
 class TestVblock:
